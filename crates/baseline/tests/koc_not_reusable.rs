@@ -1,0 +1,68 @@
+//! The structural cost of the baseline model, measured: without MLVs,
+//! branching twice on the same data broadcasts it twice (§3.3's claim
+//! in the negative), and every broadcast reaches bystanders.
+
+use chorus_baseline::{BaselineChoreography, BaselineProjector, HasChorOp, Located};
+use chorus_transport::{
+    InstrumentedTransport, LocalTransport, LocalTransportChannel, TransportMetrics,
+};
+use std::sync::Arc;
+
+chorus_core::locations! { Decider, Worker, Bystander }
+type Census = chorus_core::LocationSet!(Decider, Worker, Bystander);
+
+/// Branches twice on the same flag. HasChor-style `cond` must broadcast
+/// the scrutinee each time.
+struct DoubleBranch {
+    flag: Located<bool, Decider>,
+}
+
+impl BaselineChoreography<(u32, u32)> for DoubleBranch {
+    type L = Census;
+    fn run(self, op: &impl HasChorOp<Self::L>) -> (u32, u32) {
+        let first = op.cond(Decider, &self.flag, |f| u32::from(*f));
+        let second = op.cond(Decider, &self.flag, |f| u32::from(*f) * 10);
+        (first, second)
+    }
+}
+
+fn run_double_branch() -> ((u32, u32), Arc<TransportMetrics>) {
+    let channel = LocalTransportChannel::<Census>::new();
+    let metrics = Arc::new(TransportMetrics::new());
+    let mut handles = Vec::new();
+
+    macro_rules! endpoint {
+        ($ty:ty, $mk_flag:expr) => {{
+            let c = channel.clone();
+            let m = Arc::clone(&metrics);
+            handles.push(std::thread::spawn(move || {
+                let transport =
+                    InstrumentedTransport::new(LocalTransport::new(<$ty>::default(), c), m);
+                let projector = BaselineProjector::new(<$ty>::default(), &transport);
+                let flag: Located<bool, Decider> = $mk_flag(&projector);
+                projector.epp_and_run(DoubleBranch { flag })
+            }));
+        }};
+    }
+
+    endpoint!(Decider, |p: &BaselineProjector<Census, Decider, _, _>| p.local(true));
+    endpoint!(Worker, |p: &BaselineProjector<Census, Worker, _, _>| p.remote(Decider));
+    endpoint!(Bystander, |p: &BaselineProjector<Census, Bystander, _, _>| p.remote(Decider));
+
+    let results: Vec<(u32, u32)> =
+        handles.into_iter().map(|h| h.join().expect("endpoint")).collect();
+    let first = results[0];
+    assert!(results.iter().all(|r| *r == first), "replicated results must agree");
+    (first, metrics)
+}
+
+#[test]
+fn every_branch_rebroadcasts_to_everyone() {
+    let ((first, second), metrics) = run_double_branch();
+    assert_eq!((first, second), (1, 10));
+    // Two conds × two non-owner recipients each = 4 messages; the MLV
+    // library needs 2 (one multicast) and zero to true bystanders.
+    assert_eq!(metrics.total_messages(), 4);
+    assert_eq!(metrics.messages_to("Worker"), 2);
+    assert_eq!(metrics.messages_to("Bystander"), 2);
+}

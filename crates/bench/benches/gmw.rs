@@ -1,0 +1,98 @@
+//! E4 (paper Figs. 8–9): GMW evaluation time by party count and gate
+//! count — centralized (pure protocol compute) and distributed (threads
+//! + channels).
+
+use chorus_bench::run_gmw;
+use chorus_core::{Faceted, LocationSet, LocationSetFoldable, Runner, Subset};
+use chorus_mpc::Circuit;
+use chorus_protocols::gmw::Gmw;
+use chorus_protocols::roles::{P1, P2, P3, P4};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::BTreeMap;
+use std::hint::black_box;
+use std::marker::PhantomData;
+use std::time::Duration;
+
+fn and_chain(parties: &[&'static str], k: usize) -> Circuit {
+    let mut circuit = Circuit::input(parties[0], 0);
+    for i in 1..=k {
+        circuit = circuit.and(Circuit::input(parties[i % parties.len()], 0));
+    }
+    circuit
+}
+
+fn inputs(parties: &[&str]) -> BTreeMap<String, Vec<bool>> {
+    parties.iter().map(|p| (p.to_string(), vec![true])).collect()
+}
+
+fn run_centralized<P, PRefl, PFold>(circuit: &Circuit, input_map: BTreeMap<String, Vec<bool>>) -> bool
+where
+    P: LocationSet + Subset<P, PRefl> + LocationSetFoldable<P, P, PFold>,
+{
+    let runner: Runner<P> = Runner::new();
+    let faceted: Faceted<Vec<bool>, P> = runner.faceted(input_map);
+    runner.run(Gmw::<P, PRefl, PFold> { circuit, inputs: &faceted, phantom: PhantomData })
+}
+
+fn bench_gmw_centralized(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gmw/centralized_and_chain");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(10);
+
+    for gates in [1usize, 4, 8] {
+        let circuit2 = and_chain(&["P1", "P2"], gates);
+        group.bench_with_input(BenchmarkId::new("2_parties", gates), &gates, |b, _| {
+            b.iter(|| {
+                black_box(run_centralized::<chorus_core::LocationSet!(P1, P2), _, _>(
+                    &circuit2,
+                    inputs(&["P1", "P2"]),
+                ))
+            })
+        });
+        let circuit3 = and_chain(&["P1", "P2", "P3"], gates);
+        group.bench_with_input(BenchmarkId::new("3_parties", gates), &gates, |b, _| {
+            b.iter(|| {
+                black_box(run_centralized::<chorus_core::LocationSet!(P1, P2, P3), _, _>(
+                    &circuit3,
+                    inputs(&["P1", "P2", "P3"]),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_gmw_distributed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gmw/distributed_and_chain_4");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(10);
+
+    group.bench_function("2_parties", |b| {
+        b.iter(|| {
+            let (out, _) = run_gmw!(
+                parties = [P1, P2],
+                circuit = and_chain(&["P1", "P2"], 4),
+                inputs = inputs(&["P1", "P2"])
+            );
+            black_box(out)
+        })
+    });
+    group.bench_function("4_parties", |b| {
+        b.iter(|| {
+            let (out, _) = run_gmw!(
+                parties = [P1, P2, P3, P4],
+                circuit = and_chain(&["P1", "P2", "P3", "P4"], 4),
+                inputs = inputs(&["P1", "P2", "P3", "P4"])
+            );
+            black_box(out)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gmw_centralized, bench_gmw_distributed);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! E3/E6 (paper Fig. 2, Figs. 10–11): replicated KVS wall time by
+//! backup count, conclaves-&-MLVs versus the broadcast-KoC baseline.
+//!
+//! The interesting output is the *ratio trend*: both libraries pay more
+//! as backups grow, but the baseline pays an extra broadcast to every
+//! participant per conditional (three per Put), so its cost grows
+//! strictly faster. `koc_messages` reports the message counts behind
+//! this.
+
+use chorus_bench::{run_baseline_kvs, run_replicated_kvs};
+use chorus_protocols::roles::{Backup1, Backup2, Backup3, Backup4, Backup5, Backup6, Backup7, Backup8};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_conclave_vs_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kvs_backup/put");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(10);
+
+    macro_rules! case {
+        ($n:expr, $choreo:ident, [$($backup:ty),*]) => {
+            group.bench_with_input(BenchmarkId::new("conclave", $n), &$n, |b, _| {
+                b.iter(|| {
+                    let (response, _, _) = run_replicated_kvs!(
+                        backups = [$($backup),*],
+                        request = Request::Put("k".into(), "v".into()),
+                        corrupt = &[]
+                    );
+                    black_box(response)
+                })
+            });
+            group.bench_with_input(BenchmarkId::new("baseline", $n), &$n, |b, _| {
+                b.iter(|| {
+                    let (response, _) = run_baseline_kvs!(
+                        choreo = $choreo,
+                        backups = [$($backup),*],
+                        request = Request::Put("k".into(), "v".into()),
+                        corrupt = &[]
+                    );
+                    black_box(response)
+                })
+            });
+        };
+    }
+
+    case!(1, BaselineKvs1, [Backup1]);
+    case!(2, BaselineKvs2, [Backup1, Backup2]);
+    case!(4, BaselineKvs4, [Backup1, Backup2, Backup3, Backup4]);
+    case!(8, BaselineKvs8, [Backup1, Backup2, Backup3, Backup4, Backup5, Backup6, Backup7, Backup8]);
+    group.finish();
+}
+
+fn bench_resynch_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kvs_backup/resynch");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(10);
+
+    group.bench_function("put_with_corruption_4_backups", |b| {
+        b.iter(|| {
+            let (_, resynched, _) = run_replicated_kvs!(
+                backups = [Backup1, Backup2, Backup3, Backup4],
+                request = Request::Put("k".into(), "v".into()),
+                corrupt = &["Backup2"]
+            );
+            assert!(resynched);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_conclave_vs_baseline, bench_resynch_path);
+criterion_main!(benches);

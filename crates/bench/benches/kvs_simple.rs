@@ -1,0 +1,76 @@
+//! E2 (paper Fig. 1): client–server KVS round-trip latency, centralized
+//! and over the in-process transport.
+
+use chorus_core::{Projector, Runner};
+use chorus_protocols::kvs_simple::{SimpleKvs, SimpleKvsCensus};
+use chorus_protocols::roles::{Client, Primary};
+use chorus_protocols::store::{Request, Response, SharedStore};
+use chorus_transport::{LocalTransport, LocalTransportChannel};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_centralized(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kvs_simple/centralized");
+    group.warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1));
+    let runner: Runner<SimpleKvsCensus> = Runner::new();
+    let store = SharedStore::new();
+    store.put("k", "v");
+
+    group.bench_function("get", |b| {
+        b.iter(|| {
+            let out = runner.run(SimpleKvs {
+                request: runner.local(Request::Get("k".into())),
+                state: runner.local(store.clone()),
+            });
+            black_box(runner.unwrap_located(out))
+        })
+    });
+    group.bench_function("put", |b| {
+        b.iter(|| {
+            let out = runner.run(SimpleKvs {
+                request: runner.local(Request::Put("k".into(), "w".into())),
+                state: runner.local(store.clone()),
+            });
+            black_box(runner.unwrap_located(out))
+        })
+    });
+    group.finish();
+}
+
+fn bench_distributed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kvs_simple/local_transport");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
+
+    group.bench_function("get_round_trip", |b| {
+        b.iter(|| {
+            let channel = LocalTransportChannel::<SimpleKvsCensus>::new();
+            let ch = channel.clone();
+            let server = std::thread::spawn(move || {
+                let transport = LocalTransport::new(Primary, ch);
+                let projector = Projector::new(Primary, &transport);
+                let store = SharedStore::new();
+                store.put("k", "v");
+                projector.epp_and_run(SimpleKvs {
+                    request: projector.remote(Client),
+                    state: projector.local(store),
+                });
+            });
+            let transport = LocalTransport::new(Client, channel);
+            let projector = Projector::new(Client, &transport);
+            let out = projector.epp_and_run(SimpleKvs {
+                request: projector.local(Request::Get("k".into())),
+                state: projector.remote(Primary),
+            });
+            server.join().unwrap();
+            assert_eq!(projector.unwrap(out), Response::Found("v".into()));
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_centralized, bench_distributed);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! E7 (paper §4, Appendix D): throughput of the λC toolchain — type
+//! checking, centralized evaluation, endpoint projection, and network
+//! simulation — as generated program size grows.
+
+use chorus_lambda::gen::{census_of, gen_program, GenConfig};
+use chorus_lambda::network::{Network, Outcome};
+use chorus_lambda::semantics::eval;
+use chorus_lambda::typing::{type_of, Env};
+use chorus_lambda::Expr;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn programs(depth: usize, count: usize) -> (GenConfig, Vec<Expr>) {
+    let config = GenConfig { census_size: 3, max_depth: depth, max_data_depth: 2 };
+    let mut rng = StdRng::seed_from_u64(2024);
+    let exprs = (0..count).map(|_| gen_program(&mut rng, &config).0).collect();
+    (config, exprs)
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lambda");
+    group.warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
+
+    for depth in [3usize, 5, 7] {
+        let (config, exprs) = programs(depth, 20);
+        let census = census_of(&config);
+
+        group.bench_with_input(BenchmarkId::new("typecheck", depth), &depth, |b, _| {
+            b.iter(|| {
+                for e in &exprs {
+                    black_box(type_of(&census, &Env::new(), e).expect("well-typed"));
+                }
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("eval_central", depth), &depth, |b, _| {
+            b.iter(|| {
+                for e in &exprs {
+                    black_box(eval(e, 1_000_000).expect("terminates"));
+                }
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("project_all", depth), &depth, |b, _| {
+            b.iter(|| {
+                for e in &exprs {
+                    black_box(Network::project_all(e));
+                }
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("network_run", depth), &depth, |b, _| {
+            b.iter(|| {
+                for e in &exprs {
+                    let mut net = Network::project_all(e);
+                    assert!(matches!(net.run(1_000_000), Outcome::Finished(_)));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! E5 (paper Figs. 12–13): DPrio lottery wall time, centralized and
+//! distributed.
+
+use chorus_bench::run_lottery;
+use chorus_core::{Faceted, Runner};
+use chorus_mpc::field::FLOTTERY;
+use chorus_protocols::lottery::Lottery;
+use chorus_protocols::roles::{Analyst, C1, C2, C3, S1, S2, S3};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::collections::BTreeMap;
+use std::hint::black_box;
+use std::marker::PhantomData;
+use std::time::Duration;
+
+type Clients = chorus_core::LocationSet!(C1, C2, C3);
+type Servers = chorus_core::LocationSet!(S1, S2, S3);
+type Census = chorus_core::LocationSet!(Analyst, C1, C2, C3, S1, S2, S3);
+
+fn secret_map() -> BTreeMap<String, FLOTTERY> {
+    [("C1", 11u64), ("C2", 22), ("C3", 33)]
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), FLOTTERY::new(v)))
+        .collect()
+}
+
+fn honest() -> BTreeMap<String, bool> {
+    ["S1", "S2", "S3"].into_iter().map(|s| (s.to_string(), false)).collect()
+}
+
+fn bench_centralized(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lottery/centralized");
+    group.warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
+    let runner: Runner<Census> = Runner::new();
+    group.bench_function("3_clients_3_servers", |b| {
+        b.iter(|| {
+            let secrets: Faceted<FLOTTERY, Clients> = runner.faceted(secret_map());
+            let cheaters: Faceted<bool, Servers> = runner.faceted(honest());
+            let out = runner.run(Lottery::<Clients, Servers, Census, _, _, _, _, _, _, _> {
+                secrets: &secrets,
+                tau: 300,
+                cheaters: &cheaters,
+                phantom: PhantomData,
+            });
+            black_box(runner.unwrap_located(out)).expect("honest run")
+        })
+    });
+    group.finish();
+}
+
+fn bench_distributed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lottery/distributed");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(10);
+    group.bench_function("3_clients_3_servers", |b| {
+        b.iter(|| {
+            let secrets: BTreeMap<String, u64> =
+                [("C1", 11u64), ("C2", 22), ("C3", 33)]
+                    .into_iter()
+                    .map(|(k, v)| (k.to_string(), v))
+                    .collect();
+            let (result, _) = run_lottery!(
+                clients = [C1, C2, C3],
+                servers = [S1, S2, S3],
+                secrets = secrets,
+                tau = 300,
+                cheaters = honest()
+            );
+            black_box(result).expect("honest run")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_centralized, bench_distributed);
+criterion_main!(benches);

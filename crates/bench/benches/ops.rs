@@ -1,0 +1,94 @@
+//! Micro-benchmarks of the core choreographic operators: the per-op
+//! overhead of the EPP-as-DI machinery (locally, comm, multicast,
+//! broadcast, conclave, gather) under the centralized runner — i.e. the
+//! cost of the library abstraction with communication taken out.
+
+use chorus_core::{ChoreoOp, Choreography, Located, LocationSet as _, MultiplyLocated, Quire, Runner};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+chorus_core::locations! { A, B, C, D }
+type Census = chorus_core::LocationSet!(A, B, C, D);
+type Others = chorus_core::LocationSet!(B, C, D);
+
+struct LocallyOnly;
+impl Choreography<Located<u64, A>> for LocallyOnly {
+    type L = Census;
+    fn run(self, op: &impl ChoreoOp<Self::L>) -> Located<u64, A> {
+        op.locally(A, |_| 1)
+    }
+}
+
+struct CommOnce;
+impl Choreography<Located<u64, B>> for CommOnce {
+    type L = Census;
+    fn run(self, op: &impl ChoreoOp<Self::L>) -> Located<u64, B> {
+        let at_a = op.locally(A, |_| 1);
+        op.comm(A, B, &at_a)
+    }
+}
+
+struct MulticastOnce;
+impl Choreography<MultiplyLocated<u64, Others>> for MulticastOnce {
+    type L = Census;
+    fn run(self, op: &impl ChoreoOp<Self::L>) -> MultiplyLocated<u64, Others> {
+        let at_a = op.locally(A, |_| 1);
+        op.multicast(A, Others::new(), &at_a)
+    }
+}
+
+struct BroadcastOnce;
+impl Choreography<u64> for BroadcastOnce {
+    type L = Census;
+    fn run(self, op: &impl ChoreoOp<Self::L>) -> u64 {
+        let at_a = op.locally(A, |_| 1);
+        op.broadcast(A, at_a)
+    }
+}
+
+struct ConclaveOnce;
+impl Choreography<MultiplyLocated<u64, Others>> for ConclaveOnce {
+    type L = Census;
+    fn run(self, op: &impl ChoreoOp<Self::L>) -> MultiplyLocated<u64, Others> {
+        op.conclave(InnerWork)
+    }
+}
+struct InnerWork;
+impl Choreography<u64> for InnerWork {
+    type L = Others;
+    fn run(self, _op: &impl ChoreoOp<Self::L>) -> u64 {
+        1
+    }
+}
+
+struct GatherOnce;
+impl Choreography<MultiplyLocated<Quire<u64, Others>, chorus_core::LocationSet!(A)>>
+    for GatherOnce
+{
+    type L = Census;
+    fn run(
+        self,
+        op: &impl ChoreoOp<Self::L>,
+    ) -> MultiplyLocated<Quire<u64, Others>, chorus_core::LocationSet!(A)> {
+        let facets = op.parallel_named(Others::new(), |name| name.len() as u64);
+        op.gather(Others::new(), <chorus_core::LocationSet!(A)>::new(), &facets)
+    }
+}
+
+fn bench_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ops/centralized");
+    group.warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1));
+    let runner: Runner<Census> = Runner::new();
+
+    group.bench_function("locally", |b| b.iter(|| black_box(runner.run(LocallyOnly))));
+    group.bench_function("comm", |b| b.iter(|| black_box(runner.run(CommOnce))));
+    group.bench_function("multicast_3", |b| b.iter(|| black_box(runner.run(MulticastOnce))));
+    group.bench_function("broadcast_4", |b| b.iter(|| black_box(runner.run(BroadcastOnce))));
+    group.bench_function("conclave", |b| b.iter(|| black_box(runner.run(ConclaveOnce))));
+    group.bench_function("gather_3_to_1", |b| b.iter(|| black_box(runner.run(GatherOnce))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_ops);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Micro-benchmarks of the wire-format substrate: encode/decode
+//! throughput for the payload shapes the case studies actually send.
+
+use chorus_protocols::store::{Request, Response};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::collections::BTreeMap;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_wire(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire");
+    group.warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1));
+
+    let request = Request::Put("some-key".into(), "some-value".into());
+    group.bench_function("encode_request", |b| {
+        b.iter(|| black_box(chorus_wire::to_bytes(&request).unwrap()))
+    });
+    let bytes = chorus_wire::to_bytes(&request).unwrap();
+    group.bench_function("decode_request", |b| {
+        b.iter(|| black_box(chorus_wire::from_bytes::<Request>(&bytes).unwrap()))
+    });
+
+    let response = Response::Found("value".into());
+    let response_bytes = chorus_wire::to_bytes(&response).unwrap();
+    group.bench_function("decode_response", |b| {
+        b.iter(|| black_box(chorus_wire::from_bytes::<Response>(&response_bytes).unwrap()))
+    });
+
+    // A resynch snapshot: the largest payload the KVS sends.
+    let snapshot: BTreeMap<String, String> =
+        (0..100).map(|i| (format!("key-{i}"), format!("value-{i}"))).collect();
+    group.bench_function("encode_snapshot_100", |b| {
+        b.iter(|| black_box(chorus_wire::to_bytes(&snapshot).unwrap()))
+    });
+    let snapshot_bytes = chorus_wire::to_bytes(&snapshot).unwrap();
+    group.bench_function("decode_snapshot_100", |b| {
+        b.iter(|| {
+            black_box(chorus_wire::from_bytes::<BTreeMap<String, String>>(&snapshot_bytes).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_wire);
+criterion_main!(benches);

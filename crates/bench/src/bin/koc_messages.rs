@@ -1,0 +1,122 @@
+//! Experiment E3/E9: knowledge-of-choice message counts —
+//! conclaves-&-MLVs versus HasChor-style broadcast (paper §1, §2.2,
+//! §3.2, Fig. 2).
+//!
+//! For each backup count and request type, runs the replicated KVS as a
+//! real multi-threaded system over an instrumented transport and reports
+//! total messages and messages delivered to the client. The client needs
+//! exactly one message (its response); everything beyond that is KoC
+//! waste.
+//!
+//! Run with: `cargo run -p chorus-bench --bin koc_messages`
+
+use chorus_bench::{run_baseline_kvs, run_replicated_kvs};
+use chorus_protocols::roles::{Backup1, Backup2, Backup3, Backup4, Backup5, Backup6, Backup7, Backup8};
+use chorus_protocols::store::Request;
+
+struct Row {
+    backups: usize,
+    request: &'static str,
+    conclave_total: u64,
+    conclave_to_client: u64,
+    baseline_total: u64,
+    baseline_to_client: u64,
+}
+
+fn requests() -> Vec<(&'static str, Request, &'static [&'static str])> {
+    vec![
+        ("Get", Request::Get("k".into()), &[]),
+        ("Put", Request::Put("k".into(), "v".into()), &[]),
+        (
+            "Put+resynch",
+            Request::Put("k".into(), "v".into()),
+            &["Backup1"],
+        ),
+    ]
+}
+
+macro_rules! measure {
+    ($rows:ident, $n:expr, $choreo:ident, [$($backup:ty),*]) => {
+        for (label, request, corrupt) in requests() {
+            let (_, _, conclave) = run_replicated_kvs!(
+                backups = [$($backup),*],
+                request = request.clone(),
+                corrupt = corrupt
+            );
+            let (_, baseline) = run_baseline_kvs!(
+                choreo = $choreo,
+                backups = [$($backup),*],
+                request = request,
+                corrupt = corrupt
+            );
+            $rows.push(Row {
+                backups: $n,
+                request: label,
+                conclave_total: conclave.total_messages(),
+                conclave_to_client: conclave.messages_to("Client"),
+                baseline_total: baseline.total_messages(),
+                baseline_to_client: baseline.messages_to("Client"),
+            });
+        }
+    };
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    measure!(rows, 1, BaselineKvs1, [Backup1]);
+    measure!(rows, 2, BaselineKvs2, [Backup1, Backup2]);
+    measure!(rows, 4, BaselineKvs4, [Backup1, Backup2, Backup3, Backup4]);
+    measure!(
+        rows,
+        8,
+        BaselineKvs8,
+        [Backup1, Backup2, Backup3, Backup4, Backup5, Backup6, Backup7, Backup8]
+    );
+
+    println!("E3/E9 — KoC message counts: conclaves-&-MLVs vs broadcast KoC (Fig. 2 workload)");
+    println!();
+    println!(
+        "{:>8} {:>13} | {:>15} {:>10} | {:>15} {:>10} | {:>8}",
+        "backups", "request", "conclave total", "to client", "baseline total", "to client", "saved"
+    );
+    println!("{}", "-".repeat(98));
+    for row in &rows {
+        let saved = row.baseline_total as i64 - row.conclave_total as i64;
+        println!(
+            "{:>8} {:>13} | {:>15} {:>10} | {:>15} {:>10} | {:>8}",
+            row.backups,
+            row.request,
+            row.conclave_total,
+            row.conclave_to_client,
+            row.baseline_total,
+            row.baseline_to_client,
+            saved,
+        );
+    }
+    println!();
+    println!("Shape checks (the paper's qualitative claims):");
+    let client_always_one = rows.iter().all(|r| r.conclave_to_client == 1);
+    println!(
+        "  [{}] conclave client traffic is exactly 1 message for every workload",
+        if client_always_one { "ok" } else { "FAIL" }
+    );
+    let baseline_wastes = rows.iter().all(|r| r.baseline_to_client > r.conclave_to_client);
+    println!(
+        "  [{}] broadcast KoC always sends the client extra messages",
+        if baseline_wastes { "ok" } else { "FAIL" }
+    );
+    let mut gap_grows = true;
+    for label in ["Get", "Put", "Put+resynch"] {
+        let gaps: Vec<i64> = rows
+            .iter()
+            .filter(|r| r.request == label)
+            .map(|r| r.baseline_total as i64 - r.conclave_total as i64)
+            .collect();
+        gap_grows &= !gaps.is_empty() && gaps.windows(2).all(|w| w[1] >= w[0]);
+    }
+    println!(
+        "  [{}] the absolute message gap grows with the number of backups",
+        if gap_grows { "ok" } else { "FAIL" }
+    );
+    assert!(client_always_one && baseline_wastes && gap_grows, "shape check failed");
+}

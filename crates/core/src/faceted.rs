@@ -1,0 +1,82 @@
+//! Faceted values (§3.4).
+//!
+//! A [`Faceted<V, S>`] is "a choreographic data type annotated with a list
+//! of owners. EPP to any of the owners will result in a normal value
+//! specific to that party; there is no expectation for the owners to have
+//! the same value, or for them to know each other's values."
+//!
+//! Faceted values are what make census polymorphism useful: they are the
+//! argument type of `gather`, the return type of `scatter` and `parallel`,
+//! and the result of `fanout`.
+
+use crate::location::LocationSet;
+use std::collections::BTreeMap;
+use std::marker::PhantomData;
+
+/// A per-location value: each owner in `S` holds its own, possibly
+/// different, facet of type `V`.
+///
+/// At a projected endpoint the map holds exactly the endpoint's own facet;
+/// under the centralized [`Runner`](crate::Runner) it holds every facet.
+/// Either way, unwrapping through
+/// [`Unwrapper::unwrap_faceted`](crate::Unwrapper::unwrap_faceted) yields
+/// the facet of the location doing the unwrapping, so user code cannot
+/// observe the difference.
+///
+/// The representation is hidden (§5.5: "the implementation of `Faceted` ...
+/// is not [safe to expose]"); facets can only be created by choreographic
+/// operators and read through an [`Unwrapper`](crate::Unwrapper).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Faceted<V, S> {
+    facets: BTreeMap<String, V>,
+    owners: PhantomData<S>,
+}
+
+impl<V, S: LocationSet> Faceted<V, S> {
+    /// Builds a faceted value from the facets present at this endpoint.
+    pub(crate) fn from_facets(facets: BTreeMap<String, V>) -> Self {
+        Faceted { facets, owners: PhantomData }
+    }
+
+    /// Looks up the facet belonging to `name`, if present at this endpoint.
+    pub(crate) fn facet(&self, name: &str) -> Option<&V> {
+        self.facets.get(name)
+    }
+
+    /// Consumes the faceted value, returning whatever facets are present at
+    /// this endpoint. Used by the centralized runner's `reveal`-style
+    /// helpers and by tests.
+    pub(crate) fn into_facets(self) -> BTreeMap<String, V> {
+        self.facets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    crate::locations! { Alice, Bob }
+
+    type Duo = crate::LocationSet!(Alice, Bob);
+
+    #[test]
+    fn facets_are_per_owner() {
+        let mut map = BTreeMap::new();
+        map.insert("Alice".to_string(), 1);
+        map.insert("Bob".to_string(), 2);
+        let faceted: Faceted<i32, Duo> = Faceted::from_facets(map);
+        assert_eq!(faceted.facet("Alice"), Some(&1));
+        assert_eq!(faceted.facet("Bob"), Some(&2));
+        assert_eq!(faceted.facet("Carol"), None);
+    }
+
+    #[test]
+    fn endpoint_view_may_hold_a_single_facet() {
+        let mut map = BTreeMap::new();
+        map.insert("Bob".to_string(), 9);
+        let faceted: Faceted<i32, Duo> = Faceted::from_facets(map);
+        assert_eq!(faceted.facet("Alice"), None);
+        assert_eq!(faceted.facet("Bob"), Some(&9));
+        assert_eq!(faceted.into_facets().len(), 1);
+    }
+}

@@ -1,0 +1,130 @@
+//! Type-level iteration over location sets.
+//!
+//! Census polymorphism (§3.4) needs "a way to loop over a polymorphic list
+//! of parties". Because Rust closures cannot be generic, the loop body is a
+//! *struct* implementing [`LocationSetFolder`], whose `f` method is generic
+//! over the current location `Q` together with proofs that `Q` is a member
+//! of both the census and the set being folded over (§5.5). The
+//! [`LocationSetFoldable`] trait walks the type-level list, instantiating
+//! `f` at each head.
+
+use crate::location::{ChoreographyLocation, HCons, HNil, LocationSet};
+use crate::member::Member;
+use std::marker::PhantomData;
+
+/// A fold body usable with [`LocationSetFoldable::foldr`].
+///
+/// `B` is the accumulator type. `Self::L` is the census in scope and
+/// `Self::QS` the set being iterated; `f` receives the current location as
+/// the type parameter `Q` along with inferred membership proofs into both.
+pub trait LocationSetFolder<B> {
+    /// The census every `Q` is known to belong to.
+    type L: LocationSet;
+    /// The set being folded over.
+    type QS: LocationSet;
+
+    /// Processes one location of `Self::QS`.
+    fn f<Q: ChoreographyLocation, QMemberL, QMemberQS>(&self, acc: B) -> B
+    where
+        Q: Member<Self::L, QMemberL>,
+        Q: Member<Self::QS, QMemberQS>;
+}
+
+/// Type-level index for one step of a fold: the head's membership proofs in
+/// the census and the folded set, plus the index for the tail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct FoldStep<IL, IQS, ITail>(PhantomData<(IL, IQS, ITail)>);
+
+/// Type-level index for the empty fold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct FoldNil;
+
+/// A location set that can be folded over with every element proven to be a
+/// member of the census `L` and of the folded set `QS`.
+///
+/// `Index` is inferred; user code supplies `_`. All subsets of a census are
+/// foldable, so in practice the bound
+/// `QS: LocationSetFoldable<Census, QS, Index>` always resolves.
+pub trait LocationSetFoldable<L: LocationSet, QS: LocationSet, Index> {
+    /// Folds `f` over the set, left to right.
+    fn foldr<B, F: LocationSetFolder<B, L = L, QS = QS>>(f: &F, acc: B) -> B;
+}
+
+impl<L: LocationSet, QS: LocationSet> LocationSetFoldable<L, QS, FoldNil> for HNil {
+    fn foldr<B, F: LocationSetFolder<B, L = L, QS = QS>>(_f: &F, acc: B) -> B {
+        acc
+    }
+}
+
+impl<
+        L: LocationSet,
+        QS: LocationSet,
+        Head: ChoreographyLocation,
+        Tail,
+        IL,
+        IQS,
+        ITail,
+    > LocationSetFoldable<L, QS, FoldStep<IL, IQS, ITail>> for HCons<Head, Tail>
+where
+    Head: Member<L, IL>,
+    Head: Member<QS, IQS>,
+    Tail: LocationSetFoldable<L, QS, ITail>,
+{
+    fn foldr<B, F: LocationSetFolder<B, L = L, QS = QS>>(f: &F, acc: B) -> B {
+        let acc = f.f::<Head, IL, IQS>(acc);
+        Tail::foldr(f, acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    crate::locations! { Alice, Bob, Carol }
+
+    type Census = crate::LocationSet!(Alice, Bob, Carol);
+    type Pair = crate::LocationSet!(Carol, Alice);
+
+    struct CollectNames<L, QS>(PhantomData<(L, QS)>);
+
+    impl<L: LocationSet, QS: LocationSet> LocationSetFolder<Vec<&'static str>>
+        for CollectNames<L, QS>
+    {
+        type L = L;
+        type QS = QS;
+
+        fn f<Q: ChoreographyLocation, QMemberL, QMemberQS>(
+            &self,
+            mut acc: Vec<&'static str>,
+        ) -> Vec<&'static str>
+        where
+            Q: Member<Self::L, QMemberL>,
+            Q: Member<Self::QS, QMemberQS>,
+        {
+            acc.push(Q::NAME);
+            acc
+        }
+    }
+
+    fn run_fold<L: LocationSet, QS: LocationSet, Index>() -> Vec<&'static str>
+    where
+        QS: LocationSetFoldable<L, QS, Index>,
+    {
+        QS::foldr(&CollectNames::<L, QS>(PhantomData), Vec::new())
+    }
+
+    #[test]
+    fn folding_the_census_visits_every_location_in_order() {
+        assert_eq!(run_fold::<Census, Census, _>(), vec!["Alice", "Bob", "Carol"]);
+    }
+
+    #[test]
+    fn folding_a_subset_visits_only_its_locations() {
+        assert_eq!(run_fold::<Census, Pair, _>(), vec!["Carol", "Alice"]);
+    }
+
+    #[test]
+    fn folding_the_empty_set_visits_nothing() {
+        assert_eq!(run_fold::<Census, crate::LocationSet!(), _>(), Vec::<&str>::new());
+    }
+}

@@ -1,0 +1,142 @@
+//! Membership and subset constraints, discharged by the type checker.
+//!
+//! The paper (§5.3) describes ChoRus's strategy for the membership proofs
+//! that make conclaves and MLVs safe: `Member` and `Subset` are traits
+//! "parameterized by the containing list of locations" plus "a second
+//! parameter of each trait that provides a concrete proof (again in the form
+//! of indices) of the relation". The index parameter makes trait resolution
+//! deterministic, so rustc infers the proofs; user code never names them.
+
+use crate::location::{ChoreographyLocation, HCons, LocationSet};
+use std::marker::PhantomData;
+
+/// Type-level index: the head of a location set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Here;
+
+/// Type-level index: one step into the tail of a location set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct There<Index>(PhantomData<Index>);
+
+/// Proof that a location occurs in a location set.
+///
+/// `Index` is `Here` or `There<...>` pointing at the position of `Self` in
+/// `L`; it is always inferred. A location type may implement
+/// `Member<L, I>` for several `(L, I)` pairs but for at most one `I` per
+/// `L`, which is what makes inference work.
+///
+/// # Examples
+///
+/// ```
+/// use chorus_core::{Member, LocationSet};
+///
+/// chorus_core::locations! { Alice, Bob }
+///
+/// fn requires_member<L1, LS, Index>(_: L1)
+/// where
+///     LS: LocationSet,
+///     L1: Member<LS, Index>,
+/// {
+/// }
+///
+/// requires_member::<Alice, chorus_core::LocationSet!(Alice, Bob), _>(Alice);
+/// ```
+pub trait Member<L: LocationSet, Index> {}
+
+impl<Head: ChoreographyLocation, Tail: LocationSet> Member<HCons<Head, Tail>, Here> for Head {}
+
+impl<Head: ChoreographyLocation, Tail: LocationSet, X, Index> Member<HCons<Head, Tail>, There<Index>>
+    for X
+where
+    X: Member<Tail, Index>,
+{
+}
+
+/// Type-level index witnessing the empty subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct SubsetNil;
+
+/// Type-level index pairing a membership proof for the subset's head with a
+/// subset proof for its tail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct SubsetCons<IHead, ITail>(PhantomData<(IHead, ITail)>);
+
+/// Proof that every location of `Self` occurs in `L`.
+///
+/// Like [`Member`], the `Index` parameter is a concrete derivation (one
+/// membership index per element of the subset) and is always inferred.
+/// Reflexivity (`S: Subset<S, _>`) follows from the inductive definition, so
+/// censuses can always be narrowed to themselves.
+///
+/// # Examples
+///
+/// ```
+/// use chorus_core::{Subset, LocationSet};
+///
+/// chorus_core::locations! { Alice, Bob, Carol }
+///
+/// fn requires_subset<S, LS, Index>()
+/// where
+///     S: LocationSet + Subset<LS, Index>,
+///     LS: LocationSet,
+/// {
+/// }
+///
+/// type Census = chorus_core::LocationSet!(Alice, Bob, Carol);
+/// requires_subset::<chorus_core::LocationSet!(Carol, Alice), Census, _>();
+/// requires_subset::<Census, Census, _>(); // reflexive
+/// ```
+pub trait Subset<L: LocationSet, Index> {}
+
+impl<L: LocationSet> Subset<L, SubsetNil> for crate::HNil {}
+
+impl<L: LocationSet, Head: ChoreographyLocation, Tail: LocationSet, IHead, ITail>
+    Subset<L, SubsetCons<IHead, ITail>> for HCons<Head, Tail>
+where
+    Head: Member<L, IHead>,
+    Tail: Subset<L, ITail>,
+{
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LocationSet;
+
+    crate::locations! { Alice, Bob, Carol }
+
+    type Census = LocationSet!(Alice, Bob, Carol);
+
+    fn member<X, L: LocationSet, I>()
+    where
+        X: Member<L, I>,
+    {
+    }
+
+    fn subset<S, L: LocationSet, I>()
+    where
+        S: Subset<L, I>,
+    {
+    }
+
+    #[test]
+    fn members_are_inferred_at_any_position() {
+        member::<Alice, Census, _>();
+        member::<Bob, Census, _>();
+        member::<Carol, Census, _>();
+    }
+
+    #[test]
+    fn subsets_are_inferred_in_any_order() {
+        subset::<LocationSet!(), Census, _>();
+        subset::<LocationSet!(Bob), Census, _>();
+        subset::<LocationSet!(Carol, Alice), Census, _>();
+        subset::<LocationSet!(Bob, Carol, Alice), Census, _>();
+    }
+
+    #[test]
+    fn subset_is_reflexive() {
+        subset::<Census, Census, _>();
+        subset::<LocationSet!(Alice), LocationSet!(Alice), _>();
+    }
+}

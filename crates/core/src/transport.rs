@@ -1,0 +1,95 @@
+//! The transport abstraction.
+//!
+//! Choreographies are transport-agnostic (§2.1): "a single choreography can
+//! be executed as either a protocol in which machines communicate using
+//! HTTPS or as a protocol in which threads on a single machine communicate
+//! using sockets". A [`Transport`] is one endpoint's connection to the rest
+//! of the system; concrete implementations (in-process channels, TCP,
+//! instrumented wrappers) live in the `chorus-transport` crate.
+
+use crate::location::{ChoreographyLocation, LocationSet};
+use std::fmt;
+
+/// Errors a transport can report.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum TransportError {
+    /// The peer's endpoint hung up or was never reachable.
+    ConnectionClosed {
+        /// The peer whose connection failed.
+        peer: String,
+    },
+    /// A message named a location the transport does not know.
+    UnknownLocation(String),
+    /// An I/O failure in a socket-backed transport.
+    Io(std::io::Error),
+    /// A payload failed to encode or decode.
+    Codec(chorus_wire::WireError),
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::ConnectionClosed { peer } => {
+                write!(f, "connection to {peer} closed")
+            }
+            TransportError::UnknownLocation(name) => {
+                write!(f, "unknown location {name}")
+            }
+            TransportError::Io(e) => write!(f, "transport I/O error: {e}"),
+            TransportError::Codec(e) => write!(f, "payload codec error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TransportError::Io(e) => Some(e),
+            TransportError::Codec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TransportError {
+    fn from(e: std::io::Error) -> Self {
+        TransportError::Io(e)
+    }
+}
+
+impl From<chorus_wire::WireError> for TransportError {
+    fn from(e: chorus_wire::WireError) -> Self {
+        TransportError::Codec(e)
+    }
+}
+
+/// One endpoint's view of the network: `Target`'s mailbox and outgoing
+/// links within the system census `L`.
+///
+/// Implementations must provide reliable, order-preserving, per-sender
+/// FIFO delivery — the guarantees the paper's λN model assumes (§4.1
+/// "the guarantees of CP only hold in the context of reliable
+/// communication").
+pub trait Transport<L: LocationSet, Target: ChoreographyLocation> {
+    /// The names of every location this transport can reach (including
+    /// `Target` itself).
+    fn locations(&self) -> Vec<&'static str> {
+        L::names()
+    }
+
+    /// Sends `data` to the location named `to`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `to` is unknown or the link fails.
+    fn send(&self, to: &str, data: &[u8]) -> Result<(), TransportError>;
+
+    /// Blocks until a message from the location named `from` arrives.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `from` is unknown or the link fails before a
+    /// message arrives.
+    fn receive(&self, from: &str) -> Result<Vec<u8>, TransportError>;
+}

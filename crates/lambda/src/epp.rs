@@ -1,0 +1,168 @@
+//! Endpoint projection `⟦·⟧p` from λC to λL (Fig. 22).
+
+use crate::local::{floor, floor_value, LExpr, LValue};
+use crate::party::Party;
+use crate::syntax::{Expr, Value};
+
+/// Projects a choreography to the party `p`.
+pub fn project(expr: &Expr, p: Party) -> LExpr {
+    floor(&project_expr(expr, p))
+}
+
+fn project_expr(expr: &Expr, p: Party) -> LExpr {
+    match expr {
+        Expr::Val(v) => LExpr::Val(project_value(v, p)),
+        Expr::App(m, n) => {
+            floor(&LExpr::app(project_expr(m, p), project_expr(n, p)))
+        }
+        Expr::Case { parties, scrutinee, left_var, left, right_var, right } => {
+            let scrutinee = Box::new(project_expr(scrutinee, p));
+            if parties.contains(p) {
+                floor(&LExpr::Case {
+                    scrutinee,
+                    left_var: left_var.clone(),
+                    left: Box::new(project_expr(left, p)),
+                    right_var: right_var.clone(),
+                    right: Box::new(project_expr(right, p)),
+                })
+            } else {
+                // Non-participants keep evaluating the scrutinee (it may
+                // involve them) but both branches are ⊥.
+                floor(&LExpr::Case {
+                    scrutinee,
+                    left_var: left_var.clone(),
+                    left: Box::new(LExpr::Val(LValue::Bottom)),
+                    right_var: right_var.clone(),
+                    right: Box::new(LExpr::Val(LValue::Bottom)),
+                })
+            }
+        }
+    }
+}
+
+fn project_value(value: &Value, p: Party) -> LValue {
+    let projected = match value {
+        Value::Var(x) => LValue::Var(x.clone()),
+        Value::Lambda { param, body, parties, .. } => {
+            if parties.contains(p) {
+                LValue::Lambda { param: param.clone(), body: Box::new(project_expr(body, p)) }
+            } else {
+                LValue::Bottom
+            }
+        }
+        Value::Unit(owners) => {
+            if owners.contains(p) {
+                LValue::Unit
+            } else {
+                LValue::Bottom
+            }
+        }
+        Value::Inl(v) => LValue::inl(project_value(v, p)),
+        Value::Inr(v) => LValue::inr(project_value(v, p)),
+        Value::Pair(l, r) => LValue::pair(project_value(l, p), project_value(r, p)),
+        Value::Tuple(vs) => LValue::Tuple(vs.iter().map(|v| project_value(v, p)).collect()),
+        Value::Fst(owners) => {
+            if owners.contains(p) {
+                LValue::Fst
+            } else {
+                LValue::Bottom
+            }
+        }
+        Value::Snd(owners) => {
+            if owners.contains(p) {
+                LValue::Snd
+            } else {
+                LValue::Bottom
+            }
+        }
+        Value::Lookup(i, owners) => {
+            if owners.contains(p) {
+                LValue::Lookup(*i)
+            } else {
+                LValue::Bottom
+            }
+        }
+        Value::Com { from, to } => {
+            // Fig. 3(c) / Fig. 22: the four-way split.
+            if p == *from && to.contains(p) {
+                let mut others = to.clone();
+                let others = others_without(&mut others, p);
+                LValue::SendSelf(others)
+            } else if p == *from {
+                LValue::Send(to.clone())
+            } else if to.contains(p) {
+                LValue::Recv(*from)
+            } else {
+                LValue::Bottom
+            }
+        }
+    };
+    floor_value(&projected)
+}
+
+fn others_without(set: &mut crate::party::PartySet, p: Party) -> crate::party::PartySet {
+    set.iter().filter(|q| *q != p).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parties;
+
+    #[test]
+    fn com_projects_to_send_recv_and_bottom() {
+        let com = Value::Com { from: Party(0), to: parties![1, 2] };
+        assert_eq!(project_value(&com, Party(0)), LValue::Send(parties![1, 2]));
+        assert_eq!(project_value(&com, Party(1)), LValue::Recv(Party(0)));
+        assert_eq!(project_value(&com, Party(3)), LValue::Bottom);
+    }
+
+    #[test]
+    fn self_including_multicast_projects_to_send_self() {
+        let com = Value::Com { from: Party(0), to: parties![0, 1] };
+        assert_eq!(project_value(&com, Party(0)), LValue::SendSelf(parties![1]));
+        assert_eq!(project_value(&com, Party(1)), LValue::Recv(Party(0)));
+    }
+
+    #[test]
+    fn located_values_project_to_owner_or_bottom() {
+        let unit = Value::Unit(parties![0, 1]);
+        assert_eq!(project_value(&unit, Party(0)), LValue::Unit);
+        assert_eq!(project_value(&unit, Party(2)), LValue::Bottom);
+    }
+
+    #[test]
+    fn whole_communication_projects_to_a_working_pipeline() {
+        // com_{0;{1}} ()@{0}
+        let expr = Expr::app(
+            Expr::val(Value::Com { from: Party(0), to: parties![1] }),
+            Expr::val(Value::Unit(parties![0])),
+        );
+        let at0 = project(&expr, Party(0));
+        let at1 = project(&expr, Party(1));
+        let at2 = project(&expr, Party(2));
+        assert_eq!(
+            at0,
+            LExpr::app(LExpr::val(LValue::Send(parties![1])), LExpr::val(LValue::Unit))
+        );
+        assert_eq!(
+            at1,
+            LExpr::app(LExpr::val(LValue::Recv(Party(0))), LExpr::val(LValue::Bottom))
+        );
+        // A bystander's projection collapses entirely.
+        assert_eq!(at2, LExpr::val(LValue::Bottom));
+    }
+
+    #[test]
+    fn non_participants_skip_case_branches() {
+        let case = Expr::case(
+            parties![0],
+            Expr::val(Value::bool_true(parties![0])),
+            "x",
+            Expr::val(Value::Unit(parties![0])),
+            "y",
+            Expr::val(Value::Unit(parties![0])),
+        );
+        assert_eq!(project(&case, Party(1)), LExpr::val(LValue::Bottom));
+    }
+}

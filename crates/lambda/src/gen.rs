@@ -1,0 +1,304 @@
+//! Random well-typed λC programs.
+//!
+//! The generator is type-directed: given a census and a goal type it
+//! emits an expression of exactly that type, choosing among values,
+//! β-redexes, communications, conclaved cases, and projections. The
+//! property tests use it to check the paper's theorems (progress,
+//! preservation, EPP soundness/completeness, deadlock freedom) on
+//! thousands of programs.
+//!
+//! Sum shapes are restricted to `d + ()` and `() + d` so that injections
+//! have canonical types under the algorithmic checker (see the crate
+//! docs); booleans `() + ()` are the common case, as in the paper's
+//! examples.
+
+use crate::party::{Party, PartySet};
+use crate::syntax::{Data, Expr, Type, Value, Var};
+use rand::Rng;
+
+/// Tuning knobs for the generator.
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// Number of parties in the census (`p0 … p(n-1)`).
+    pub census_size: u32,
+    /// Maximum expression depth.
+    pub max_depth: usize,
+    /// Maximum data-shape depth.
+    pub max_data_depth: usize,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig { census_size: 3, max_depth: 4, max_data_depth: 2 }
+    }
+}
+
+/// The census `{p0, …, p(n-1)}` for a configuration.
+pub fn census_of(config: &GenConfig) -> PartySet {
+    PartySet::from_indices(0..config.census_size)
+}
+
+/// Generates a closed, well-typed program over the configured census,
+/// returning the expression and its type.
+pub fn gen_program<R: Rng + ?Sized>(rng: &mut R, config: &GenConfig) -> (Expr, Type) {
+    let census = census_of(config);
+    let d = gen_data(rng, config.max_data_depth);
+    let owners = gen_owners(rng, &census);
+    let ty = Type::Data(d.clone(), owners.clone());
+    let mut ctx = Ctx { rng, fresh: 0 };
+    let expr = ctx.gen_expr(&census, &[], &d, &owners, config.max_depth);
+    (expr, ty)
+}
+
+struct Ctx<'a, R: Rng + ?Sized> {
+    rng: &'a mut R,
+    fresh: u32,
+}
+
+impl<R: Rng + ?Sized> Ctx<'_, R> {
+    fn fresh_var(&mut self) -> Var {
+        self.fresh += 1;
+        format!("x{}", self.fresh)
+    }
+
+    fn gen_expr(
+        &mut self,
+        census: &PartySet,
+        env: &[(Var, Type)],
+        d: &Data,
+        owners: &PartySet,
+        depth: usize,
+    ) -> Expr {
+        if depth == 0 {
+            return self.gen_leaf(census, env, d, owners);
+        }
+        match self.rng.gen_range(0..10u8) {
+            // Communication: relocate the value from a sender.
+            0 | 1 | 2 => {
+                let sender = pick_party(self.rng, census);
+                let mut source = gen_owners_containing(self.rng, census, sender);
+                source.insert(sender);
+                let arg = self.gen_expr(census, env, d, &source, depth - 1);
+                Expr::app(
+                    Expr::val(Value::Com { from: sender, to: owners.clone() }),
+                    arg,
+                )
+            }
+            // β-redex: (λx:A. body) arg.
+            3 | 4 => {
+                let parties = gen_superset(self.rng, census, owners);
+                let param_d = gen_data(self.rng, 1);
+                let param_owners = gen_owners(self.rng, &parties);
+                let param_ty = Type::Data(param_d.clone(), param_owners.clone());
+                let x = self.fresh_var();
+                let mut body_env: Vec<(Var, Type)> = env.to_vec();
+                body_env.push((x.clone(), param_ty.clone()));
+                let body = self.gen_expr(&parties, &body_env, d, owners, depth - 1);
+                let arg = self.gen_expr(census, env, &param_d, &param_owners, depth - 1);
+                Expr::app(
+                    Expr::val(Value::lambda(x, param_ty, body, parties)),
+                    arg,
+                )
+            }
+            // Conclaved case on a boolean.
+            5 | 6 => {
+                let parties = gen_superset(self.rng, census, owners);
+                let scrutinee_owners = gen_superset(self.rng, census, &parties);
+                let scrutinee =
+                    self.gen_expr(census, env, &Data::bool(), &scrutinee_owners, depth - 1);
+                let xl = self.fresh_var();
+                let xr = self.fresh_var();
+                let mut left_env: Vec<(Var, Type)> = env.to_vec();
+                left_env.push((xl.clone(), Type::Data(Data::Unit, parties.clone())));
+                let mut right_env: Vec<(Var, Type)> = env.to_vec();
+                right_env.push((xr.clone(), Type::Data(Data::Unit, parties.clone())));
+                let left = self.gen_expr(&parties, &left_env, d, owners, depth - 1);
+                let right = self.gen_expr(&parties, &right_env, d, owners, depth - 1);
+                Expr::Case {
+                    parties,
+                    scrutinee: Box::new(scrutinee),
+                    left_var: xl,
+                    left: Box::new(left),
+                    right_var: xr,
+                    right: Box::new(right),
+                }
+            }
+            // Projection out of a pair.
+            7 => {
+                let other = gen_data(self.rng, 1);
+                let pair_owners = gen_superset(self.rng, census, owners);
+                let take_first = self.rng.gen();
+                let pair_d = if take_first {
+                    Data::prod(d.clone(), other)
+                } else {
+                    Data::prod(other, d.clone())
+                };
+                let pair = self.gen_expr(census, env, &pair_d, &pair_owners, depth - 1);
+                let proj = if take_first {
+                    Value::Fst(owners.clone())
+                } else {
+                    Value::Snd(owners.clone())
+                };
+                Expr::app(Expr::val(proj), pair)
+            }
+            _ => self.gen_leaf(census, env, d, owners),
+        }
+    }
+
+    /// A leaf: a variable whose masked type fits, or a literal value.
+    fn gen_leaf(
+        &mut self,
+        census: &PartySet,
+        env: &[(Var, Type)],
+        d: &Data,
+        owners: &PartySet,
+    ) -> Expr {
+        let goal = Type::Data(d.clone(), owners.clone());
+        let candidates: Vec<&(Var, Type)> = env
+            .iter()
+            .filter(|(_, ty)| crate::mask::mask_type(ty, census).as_ref() == Some(&goal))
+            .collect();
+        if !candidates.is_empty() && self.rng.gen_bool(0.5) {
+            let (x, _) = candidates[self.rng.gen_range(0..candidates.len())];
+            return Expr::val(Value::Var(x.clone()));
+        }
+        Expr::val(self.gen_value(d, owners))
+    }
+
+    fn gen_value(&mut self, d: &Data, owners: &PartySet) -> Value {
+        match d {
+            Data::Unit => Value::Unit(owners.clone()),
+            Data::Prod(l, r) => {
+                Value::pair(self.gen_value(l, owners), self.gen_value(r, owners))
+            }
+            Data::Sum(l, r) => {
+                // Shapes are `d + ()` or `() + d`; both sides are unit
+                // for booleans. Pick an injectable side (the side whose
+                // complement is Unit, so the canonical type matches).
+                let left_ok = **r == Data::Unit;
+                let right_ok = **l == Data::Unit;
+                let go_left = match (left_ok, right_ok) {
+                    (true, true) => self.rng.gen(),
+                    (true, false) => true,
+                    (false, true) => false,
+                    (false, false) => {
+                        unreachable!("generator only produces sums with a unit side")
+                    }
+                };
+                if go_left {
+                    Value::inl(self.gen_value(l, owners))
+                } else {
+                    Value::inr(self.gen_value(r, owners))
+                }
+            }
+        }
+    }
+}
+
+/// A random data shape with at least one unit side in every sum.
+pub fn gen_data<R: Rng + ?Sized>(rng: &mut R, depth: usize) -> Data {
+    if depth == 0 {
+        return Data::Unit;
+    }
+    match rng.gen_range(0..4u8) {
+        0 => Data::Unit,
+        1 => Data::bool(),
+        2 => {
+            let inner = gen_data(rng, depth - 1);
+            if rng.gen() {
+                Data::sum(inner, Data::Unit)
+            } else {
+                Data::sum(Data::Unit, inner)
+            }
+        }
+        _ => Data::prod(gen_data(rng, depth - 1), gen_data(rng, depth - 1)),
+    }
+}
+
+/// A random non-empty subset of `census`.
+pub fn gen_owners<R: Rng + ?Sized>(rng: &mut R, census: &PartySet) -> PartySet {
+    let all: Vec<Party> = census.iter().collect();
+    loop {
+        let subset: PartySet = all.iter().copied().filter(|_| rng.gen_bool(0.5)).collect();
+        if !subset.is_empty() {
+            return subset;
+        }
+    }
+}
+
+fn gen_owners_containing<R: Rng + ?Sized>(
+    rng: &mut R,
+    census: &PartySet,
+    must: Party,
+) -> PartySet {
+    let mut set = gen_owners(rng, census);
+    set.insert(must);
+    set
+}
+
+/// A random set with `lower ⊆ result ⊆ census`.
+fn gen_superset<R: Rng + ?Sized>(
+    rng: &mut R,
+    census: &PartySet,
+    lower: &PartySet,
+) -> PartySet {
+    let mut set = lower.clone();
+    for p in census.iter() {
+        if rng.gen_bool(0.3) {
+            set.insert(p);
+        }
+    }
+    set
+}
+
+fn pick_party<R: Rng + ?Sized>(rng: &mut R, set: &PartySet) -> Party {
+    let all: Vec<Party> = set.iter().collect();
+    all[rng.gen_range(0..all.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::typing::{type_of, Env};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generated_programs_type_check_at_the_declared_type() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let config = GenConfig::default();
+        let census = census_of(&config);
+        for i in 0..200 {
+            let (expr, ty) = gen_program(&mut rng, &config);
+            let checked = type_of(&census, &Env::new(), &expr);
+            assert_eq!(checked.as_ref(), Ok(&ty), "program {i}: {expr}");
+        }
+    }
+
+    #[test]
+    fn generator_covers_communication_and_branching() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let config = GenConfig { census_size: 3, max_depth: 5, max_data_depth: 2 };
+        let mut saw_com = false;
+        let mut saw_case = false;
+        for _ in 0..100 {
+            let (expr, _) = gen_program(&mut rng, &config);
+            let printed = expr.to_string();
+            saw_com |= printed.contains("com_");
+            saw_case |= printed.contains("case_");
+        }
+        assert!(saw_com, "no communication generated in 100 programs");
+        assert!(saw_case, "no case generated in 100 programs");
+    }
+
+    #[test]
+    fn single_party_census_works() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let config = GenConfig { census_size: 1, max_depth: 3, max_data_depth: 1 };
+        let census = census_of(&config);
+        for _ in 0..50 {
+            let (expr, ty) = gen_program(&mut rng, &config);
+            assert_eq!(type_of(&census, &Env::new(), &expr), Ok(ty));
+        }
+    }
+}

@@ -1,0 +1,550 @@
+//! The local process language λL (Fig. 19), the `⌊·⌋` floor function
+//! (Fig. 20), and the annotated local semantics (Fig. 21).
+//!
+//! λL is untyped; `⊥` stands for "someone else's problem". The semantics
+//! is written against a [`CommOracle`]: pure steps always fire; `send`
+//! and `recv` redexes consult the oracle, which the λN scheduler
+//! ([`crate::network`]) implements as a rendezvous.
+
+use crate::party::{Party, PartySet};
+use std::fmt;
+
+/// λL expressions (`B` in the paper).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LExpr {
+    /// A value.
+    Val(LValue),
+    /// Application.
+    App(Box<LExpr>, Box<LExpr>),
+    /// Branching.
+    Case {
+        /// The scrutinee.
+        scrutinee: Box<LExpr>,
+        /// Left binder.
+        left_var: String,
+        /// Left branch.
+        left: Box<LExpr>,
+        /// Right binder.
+        right_var: String,
+        /// Right branch.
+        right: Box<LExpr>,
+    },
+}
+
+/// λL values (`L` in the paper).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LValue {
+    /// A variable.
+    Var(String),
+    /// Unit.
+    Unit,
+    /// `λx. B`
+    Lambda {
+        /// The parameter.
+        param: String,
+        /// The body.
+        body: Box<LExpr>,
+    },
+    /// Left injection.
+    Inl(Box<LValue>),
+    /// Right injection.
+    Inr(Box<LValue>),
+    /// A pair.
+    Pair(Box<LValue>, Box<LValue>),
+    /// A tuple.
+    Tuple(Vec<LValue>),
+    /// First projection.
+    Fst,
+    /// Second projection.
+    Snd,
+    /// Tuple lookup.
+    Lookup(usize),
+    /// `recv_p`: expect a message from `p` (ignores its argument).
+    Recv(Party),
+    /// `send_{p*}`: transmit to the (possibly empty) recipient list, then
+    /// evaluate to `⊥`.
+    Send(PartySet),
+    /// `send*_{p*}`: transmit, then evaluate to the sent value.
+    SendSelf(PartySet),
+    /// `⊥` — missing, located someplace else.
+    Bottom,
+}
+
+impl LExpr {
+    /// Wraps a value.
+    pub fn val(v: LValue) -> LExpr {
+        LExpr::Val(v)
+    }
+
+    /// `B B'`
+    pub fn app(f: LExpr, a: LExpr) -> LExpr {
+        LExpr::App(Box::new(f), Box::new(a))
+    }
+
+    /// Whether this expression is a value (normal form).
+    pub fn as_value(&self) -> Option<&LValue> {
+        match self {
+            LExpr::Val(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+impl LValue {
+    /// `Inl L`
+    pub fn inl(v: LValue) -> LValue {
+        LValue::Inl(Box::new(v))
+    }
+
+    /// `Inr L`
+    pub fn inr(v: LValue) -> LValue {
+        LValue::Inr(Box::new(v))
+    }
+
+    /// `Pair L L'`
+    pub fn pair(l: LValue, r: LValue) -> LValue {
+        LValue::Pair(Box::new(l), Box::new(r))
+    }
+}
+
+/// The floor function `⌊·⌋` (Fig. 20): normalizes ⊥-based expressions so
+/// that `⊥`-only structures collapse to `⊥`.
+pub fn floor(expr: &LExpr) -> LExpr {
+    match expr {
+        LExpr::Val(v) => LExpr::Val(floor_value(v)),
+        LExpr::App(f, a) => {
+            let ff = floor(f);
+            let fa = floor(a);
+            // `⊥ L = ⊥` (an application of ⊥ to a value vanishes).
+            if ff.as_value() == Some(&LValue::Bottom) && fa.as_value().is_some() {
+                LExpr::Val(LValue::Bottom)
+            } else {
+                LExpr::app(ff, fa)
+            }
+        }
+        LExpr::Case { scrutinee, left_var, left, right_var, right } => {
+            let fs = floor(scrutinee);
+            if fs.as_value() == Some(&LValue::Bottom) {
+                LExpr::Val(LValue::Bottom)
+            } else {
+                LExpr::Case {
+                    scrutinee: Box::new(fs),
+                    left_var: left_var.clone(),
+                    left: Box::new(floor(left)),
+                    right_var: right_var.clone(),
+                    right: Box::new(floor(right)),
+                }
+            }
+        }
+    }
+}
+
+/// `⌊·⌋` on values.
+pub fn floor_value(value: &LValue) -> LValue {
+    match value {
+        LValue::Lambda { param, body } => {
+            LValue::Lambda { param: param.clone(), body: Box::new(floor(body)) }
+        }
+        LValue::Inl(v) => match floor_value(v) {
+            LValue::Bottom => LValue::Bottom,
+            fv => LValue::inl(fv),
+        },
+        LValue::Inr(v) => match floor_value(v) {
+            LValue::Bottom => LValue::Bottom,
+            fv => LValue::inr(fv),
+        },
+        LValue::Pair(l, r) => {
+            let fl = floor_value(l);
+            let fr = floor_value(r);
+            if fl == LValue::Bottom && fr == LValue::Bottom {
+                LValue::Bottom
+            } else {
+                LValue::pair(fl, fr)
+            }
+        }
+        LValue::Tuple(vs) => {
+            let fvs: Vec<LValue> = vs.iter().map(floor_value).collect();
+            if !fvs.is_empty() && fvs.iter().all(|v| *v == LValue::Bottom) {
+                LValue::Bottom
+            } else {
+                LValue::Tuple(fvs)
+            }
+        }
+        other => other.clone(),
+    }
+}
+
+/// Standard capture-naive substitution for λL (projected programs are
+/// closed and binders are machine-generated, so capture cannot occur).
+pub fn subst(expr: &LExpr, x: &str, v: &LValue) -> LExpr {
+    match expr {
+        LExpr::Val(value) => LExpr::Val(subst_value(value, x, v)),
+        LExpr::App(f, a) => LExpr::app(subst(f, x, v), subst(a, x, v)),
+        LExpr::Case { scrutinee, left_var, left, right_var, right } => LExpr::Case {
+            scrutinee: Box::new(subst(scrutinee, x, v)),
+            left_var: left_var.clone(),
+            left: Box::new(if left_var == x { (**left).clone() } else { subst(left, x, v) }),
+            right_var: right_var.clone(),
+            right: Box::new(if right_var == x {
+                (**right).clone()
+            } else {
+                subst(right, x, v)
+            }),
+        },
+    }
+}
+
+fn subst_value(value: &LValue, x: &str, v: &LValue) -> LValue {
+    match value {
+        LValue::Var(y) => {
+            if y == x {
+                v.clone()
+            } else {
+                value.clone()
+            }
+        }
+        LValue::Lambda { param, body } => {
+            if param == x {
+                value.clone()
+            } else {
+                LValue::Lambda { param: param.clone(), body: Box::new(subst(body, x, v)) }
+            }
+        }
+        LValue::Inl(inner) => LValue::inl(subst_value(inner, x, v)),
+        LValue::Inr(inner) => LValue::inr(subst_value(inner, x, v)),
+        LValue::Pair(l, r) => LValue::pair(subst_value(l, x, v), subst_value(r, x, v)),
+        LValue::Tuple(vs) => LValue::Tuple(vs.iter().map(|w| subst_value(w, x, v)).collect()),
+        _ => value.clone(),
+    }
+}
+
+/// What a process's next redex requires of the network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Need {
+    /// A pure step is available.
+    Internal,
+    /// Blocked on sending `value` to every party in `to`.
+    Send {
+        /// The recipients (excluding self for `send*`).
+        to: PartySet,
+        /// The transmitted value.
+        value: LValue,
+    },
+    /// Blocked on receiving from `from`.
+    Recv {
+        /// The expected sender.
+        from: Party,
+    },
+    /// The expression is a value: nothing to do.
+    Done,
+    /// No rule applies (cannot happen for projections of well-typed
+    /// choreographies).
+    Stuck,
+}
+
+/// The network side of a local step: how sends and receives resolve.
+pub trait CommOracle {
+    /// Called at a send redex; returning `false` blocks the step.
+    fn send(&mut self, to: &PartySet, value: &LValue) -> bool;
+    /// Called at a recv redex; `None` blocks the step.
+    fn recv(&mut self, from: Party) -> Option<LValue>;
+}
+
+/// Oracle that permits only pure steps.
+pub struct PureOnly;
+
+impl CommOracle for PureOnly {
+    fn send(&mut self, _to: &PartySet, _value: &LValue) -> bool {
+        false
+    }
+    fn recv(&mut self, _from: Party) -> Option<LValue> {
+        None
+    }
+}
+
+/// Reports what the next redex of `expr` needs, without stepping.
+pub fn next_need(expr: &LExpr) -> Need {
+    struct Probe {
+        need: Option<Need>,
+    }
+    impl CommOracle for Probe {
+        fn send(&mut self, to: &PartySet, value: &LValue) -> bool {
+            self.need = Some(Need::Send { to: to.clone(), value: value.clone() });
+            false
+        }
+        fn recv(&mut self, from: Party) -> Option<LValue> {
+            self.need = Some(Need::Recv { from });
+            None
+        }
+    }
+    let mut probe = Probe { need: None };
+    match step_local(expr, &mut probe) {
+        Some(_) => Need::Internal,
+        None => match probe.need {
+            Some(need) => need,
+            None => {
+                if expr.as_value().is_some() {
+                    Need::Done
+                } else {
+                    Need::Stuck
+                }
+            }
+        },
+    }
+}
+
+/// Performs one λL step (Fig. 21) using `oracle` to resolve
+/// communication. Returns `None` when no step fires (value, blocked, or
+/// stuck).
+pub fn step_local(expr: &LExpr, oracle: &mut dyn CommOracle) -> Option<LExpr> {
+    match expr {
+        LExpr::Val(_) => None,
+        LExpr::App(f, a) => {
+            // LApp2: the function position steps first.
+            if let Some(f2) = step_local(f, oracle) {
+                return Some(floor(&LExpr::app(f2, (**a).clone())));
+            }
+            // LApp1: then the argument.
+            if let Some(a2) = step_local(a, oracle) {
+                return Some(floor(&LExpr::app((**f).clone(), a2)));
+            }
+            let fv = f.as_value()?;
+            let av = a.as_value()?;
+            apply_local(fv, av, oracle)
+        }
+        LExpr::Case { scrutinee, left_var, left, right_var, right } => {
+            if let Some(s2) = step_local(scrutinee, oracle) {
+                return Some(floor(&LExpr::Case {
+                    scrutinee: Box::new(s2),
+                    left_var: left_var.clone(),
+                    left: left.clone(),
+                    right_var: right_var.clone(),
+                    right: right.clone(),
+                }));
+            }
+            match scrutinee.as_value()? {
+                LValue::Inl(v) => Some(floor(&subst(left, left_var, v))),
+                LValue::Inr(v) => Some(floor(&subst(right, right_var, v))),
+                _ => None,
+            }
+        }
+    }
+}
+
+fn apply_local(f: &LValue, a: &LValue, oracle: &mut dyn CommOracle) -> Option<LExpr> {
+    match f {
+        // LAbsApp.
+        LValue::Lambda { param, body } => Some(floor(&subst(body, param, a))),
+        // LProj1 / LProj2 / LProjN.
+        LValue::Fst => match a {
+            LValue::Pair(l, _) => Some(LExpr::Val((**l).clone())),
+            _ => None,
+        },
+        LValue::Snd => match a {
+            LValue::Pair(_, r) => Some(LExpr::Val((**r).clone())),
+            _ => None,
+        },
+        LValue::Lookup(i) => match a {
+            LValue::Tuple(vs) => vs.get(*i).map(|v| LExpr::Val(v.clone())),
+            _ => None,
+        },
+        // LSend* family: only data can be sent.
+        LValue::Send(to) => {
+            if is_data(a) && oracle.send(to, a) {
+                Some(LExpr::Val(LValue::Bottom))
+            } else {
+                None
+            }
+        }
+        LValue::SendSelf(to) => {
+            if is_data(a) && oracle.send(to, a) {
+                Some(LExpr::Val(a.clone()))
+            } else {
+                None
+            }
+        }
+        // LRecv: the argument is ignored; the oracle supplies the value.
+        LValue::Recv(from) => oracle.recv(*from).map(LExpr::Val),
+        _ => None,
+    }
+}
+
+fn is_data(v: &LValue) -> bool {
+    match v {
+        LValue::Unit | LValue::Bottom => true,
+        LValue::Inl(inner) | LValue::Inr(inner) => is_data(inner),
+        LValue::Pair(l, r) => is_data(l) && is_data(r),
+        _ => false,
+    }
+}
+
+impl fmt::Display for LExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LExpr::Val(v) => write!(f, "{v}"),
+            LExpr::App(m, n) => write!(f, "({m} {n})"),
+            LExpr::Case { scrutinee, left_var, left, right_var, right } => write!(
+                f,
+                "case {scrutinee} of Inl {left_var} ⇒ {left}; Inr {right_var} ⇒ {right}"
+            ),
+        }
+    }
+}
+
+impl fmt::Display for LValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LValue::Var(x) => write!(f, "{x}"),
+            LValue::Unit => write!(f, "()"),
+            LValue::Lambda { param, body } => write!(f, "(λ{param}. {body})"),
+            LValue::Inl(v) => write!(f, "Inl {v}"),
+            LValue::Inr(v) => write!(f, "Inr {v}"),
+            LValue::Pair(l, r) => write!(f, "Pair {l} {r}"),
+            LValue::Tuple(vs) => {
+                write!(f, "(")?;
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, ")")
+            }
+            LValue::Fst => write!(f, "fst"),
+            LValue::Snd => write!(f, "snd"),
+            LValue::Lookup(i) => write!(f, "lookup{i}"),
+            LValue::Recv(p) => write!(f, "recv_{p}"),
+            LValue::Send(ps) => write!(f, "send_{ps}"),
+            LValue::SendSelf(ps) => write!(f, "send*_{ps}"),
+            LValue::Bottom => write!(f, "⊥"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parties;
+
+    #[test]
+    fn floor_collapses_bottom_structures() {
+        assert_eq!(floor_value(&LValue::inl(LValue::Bottom)), LValue::Bottom);
+        assert_eq!(
+            floor_value(&LValue::pair(LValue::Bottom, LValue::Bottom)),
+            LValue::Bottom
+        );
+        // A pair with one real side keeps its structure.
+        assert_eq!(
+            floor_value(&LValue::pair(LValue::Unit, LValue::Bottom)),
+            LValue::pair(LValue::Unit, LValue::Bottom)
+        );
+        let app = LExpr::app(LExpr::val(LValue::Bottom), LExpr::val(LValue::Unit));
+        assert_eq!(floor(&app), LExpr::val(LValue::Bottom));
+    }
+
+    #[test]
+    fn beta_reduction_is_pure() {
+        let id = LValue::Lambda { param: "x".into(), body: Box::new(LExpr::val(LValue::Var("x".into()))) };
+        let app = LExpr::app(LExpr::val(id), LExpr::val(LValue::Unit));
+        assert_eq!(next_need(&app), Need::Internal);
+        let stepped = step_local(&app, &mut PureOnly).unwrap();
+        assert_eq!(stepped, LExpr::val(LValue::Unit));
+    }
+
+    #[test]
+    fn send_blocks_until_the_oracle_allows() {
+        let send = LExpr::app(
+            LExpr::val(LValue::Send(parties![1])),
+            LExpr::val(LValue::Unit),
+        );
+        assert_eq!(
+            next_need(&send),
+            Need::Send { to: parties![1], value: LValue::Unit }
+        );
+        assert_eq!(step_local(&send, &mut PureOnly), None);
+
+        struct Allow;
+        impl CommOracle for Allow {
+            fn send(&mut self, _to: &PartySet, _v: &LValue) -> bool {
+                true
+            }
+            fn recv(&mut self, _from: Party) -> Option<LValue> {
+                None
+            }
+        }
+        assert_eq!(step_local(&send, &mut Allow), Some(LExpr::val(LValue::Bottom)));
+    }
+
+    #[test]
+    fn send_self_keeps_the_value() {
+        struct Allow;
+        impl CommOracle for Allow {
+            fn send(&mut self, _to: &PartySet, _v: &LValue) -> bool {
+                true
+            }
+            fn recv(&mut self, _from: Party) -> Option<LValue> {
+                None
+            }
+        }
+        let send = LExpr::app(
+            LExpr::val(LValue::SendSelf(parties![1])),
+            LExpr::val(LValue::Unit),
+        );
+        assert_eq!(step_local(&send, &mut Allow), Some(LExpr::val(LValue::Unit)));
+    }
+
+    #[test]
+    fn recv_takes_the_oracle_value() {
+        let recv = LExpr::app(
+            LExpr::val(LValue::Recv(Party(0))),
+            LExpr::val(LValue::Bottom),
+        );
+        assert_eq!(next_need(&recv), Need::Recv { from: Party(0) });
+
+        struct Give;
+        impl CommOracle for Give {
+            fn send(&mut self, _to: &PartySet, _v: &LValue) -> bool {
+                false
+            }
+            fn recv(&mut self, from: Party) -> Option<LValue> {
+                assert_eq!(from, Party(0));
+                Some(LValue::inl(LValue::Unit))
+            }
+        }
+        assert_eq!(
+            step_local(&recv, &mut Give),
+            Some(LExpr::val(LValue::inl(LValue::Unit)))
+        );
+    }
+
+    #[test]
+    fn values_need_nothing() {
+        assert_eq!(next_need(&LExpr::val(LValue::Unit)), Need::Done);
+        assert_eq!(next_need(&LExpr::val(LValue::Bottom)), Need::Done);
+    }
+
+    #[test]
+    fn stuck_expressions_are_reported() {
+        // Applying unit to unit has no rule.
+        let stuck = LExpr::app(LExpr::val(LValue::Unit), LExpr::val(LValue::Unit));
+        assert_eq!(next_need(&stuck), Need::Stuck);
+    }
+
+    #[test]
+    fn case_branches_locally() {
+        let case = LExpr::Case {
+            scrutinee: Box::new(LExpr::val(LValue::inr(LValue::Unit))),
+            left_var: "x".into(),
+            left: Box::new(LExpr::val(LValue::Var("x".into()))),
+            right_var: "y".into(),
+            right: Box::new(LExpr::val(LValue::pair(
+                LValue::Var("y".into()),
+                LValue::Var("y".into()),
+            ))),
+        };
+        assert_eq!(
+            step_local(&case, &mut PureOnly),
+            Some(LExpr::val(LValue::pair(LValue::Unit, LValue::Unit)))
+        );
+    }
+}

@@ -1,0 +1,168 @@
+//! The mask operator `▷` (Fig. 15).
+//!
+//! `T ▷ Θ` reads as "type `T` masked to the local census `Θ`" or "`Θ`'s
+//! view of `T`". It is *partial*: masking a data type to a census that
+//! shares no owner, or a function to a census that does not contain all
+//! its participants, is undefined (`None`). Because it is used during
+//! type checking, failures surface as type errors rather than run-time
+//! faults (§4, D.2).
+
+use crate::party::PartySet;
+use crate::syntax::{Type, Value};
+
+/// `T ▷ Θ` for types (rules MTData, MTFunction, MTVector).
+pub fn mask_type(ty: &Type, theta: &PartySet) -> Option<Type> {
+    match ty {
+        Type::Data(d, owners) => {
+            let shared = owners.intersection(theta);
+            // MTData: p⁺ ∩ Θ ≠ ∅
+            if shared.is_empty() {
+                None
+            } else {
+                Some(Type::Data(d.clone(), shared))
+            }
+        }
+        Type::Fun(a, r, owners) => {
+            // MTFunction: p⁺ ⊆ Θ (functions cannot be partially seen).
+            if owners.is_subset(theta) {
+                Some(Type::Fun(a.clone(), r.clone(), owners.clone()))
+            } else {
+                None
+            }
+        }
+        Type::Tuple(ts) => {
+            // MTVector: every component must mask.
+            let masked: Option<Vec<Type>> = ts.iter().map(|t| mask_type(t, theta)).collect();
+            Some(Type::Tuple(masked?))
+        }
+    }
+}
+
+/// `V ▷ Θ` for values (rules MVLambda … MVVar).
+pub fn mask_value(value: &Value, theta: &PartySet) -> Option<Value> {
+    match value {
+        Value::Var(x) => Some(Value::Var(x.clone())), // MVVar
+        Value::Lambda { param, param_ty, body, parties } => {
+            // MVLambda: p⁺ ⊆ Θ, unchanged.
+            if parties.is_subset(theta) {
+                Some(Value::Lambda {
+                    param: param.clone(),
+                    param_ty: param_ty.clone(),
+                    body: body.clone(),
+                    parties: parties.clone(),
+                })
+            } else {
+                None
+            }
+        }
+        Value::Unit(owners) => {
+            // MVUnit: p⁺ ∩ Θ ≠ ∅, owners shrink.
+            let shared = owners.intersection(theta);
+            if shared.is_empty() {
+                None
+            } else {
+                Some(Value::Unit(shared))
+            }
+        }
+        Value::Inl(v) => Some(Value::Inl(Box::new(mask_value(v, theta)?))),
+        Value::Inr(v) => Some(Value::Inr(Box::new(mask_value(v, theta)?))),
+        Value::Pair(l, r) => Some(Value::Pair(
+            Box::new(mask_value(l, theta)?),
+            Box::new(mask_value(r, theta)?),
+        )),
+        Value::Tuple(vs) => {
+            let masked: Option<Vec<Value>> = vs.iter().map(|v| mask_value(v, theta)).collect();
+            Some(Value::Tuple(masked?))
+        }
+        Value::Fst(owners) => {
+            // MVProj1: p⁺ ⊆ Θ, unchanged.
+            owners.is_subset(theta).then(|| Value::Fst(owners.clone()))
+        }
+        Value::Snd(owners) => owners.is_subset(theta).then(|| Value::Snd(owners.clone())),
+        Value::Lookup(i, owners) => {
+            owners.is_subset(theta).then(|| Value::Lookup(*i, owners.clone()))
+        }
+        Value::Com { from, to } => {
+            // MVCom: s ∈ Θ and r⁺ ⊆ Θ, unchanged.
+            (theta.contains(*from) && to.is_subset(theta))
+                .then(|| Value::Com { from: *from, to: to.clone() })
+        }
+    }
+}
+
+/// The paper's `noop▷p⁺(T)` precondition: masking `T` to `p⁺` is defined
+/// and changes nothing.
+pub fn mask_is_noop(ty: &Type, theta: &PartySet) -> bool {
+    mask_type(ty, theta).as_ref() == Some(ty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parties;
+    use crate::syntax::Data;
+
+    #[test]
+    fn data_types_shrink_to_the_intersection() {
+        let ty = Type::data(Data::Unit, parties![0, 1, 2]);
+        assert_eq!(
+            mask_type(&ty, &parties![1, 2, 3]),
+            Some(Type::data(Data::Unit, parties![1, 2]))
+        );
+        assert_eq!(mask_type(&ty, &parties![3]), None);
+    }
+
+    #[test]
+    fn function_types_are_all_or_nothing() {
+        let ty = Type::fun(
+            Type::data(Data::Unit, parties![0]),
+            Type::data(Data::Unit, parties![0]),
+            parties![0, 1],
+        );
+        assert_eq!(mask_type(&ty, &parties![0, 1, 2]), Some(ty.clone()));
+        assert_eq!(mask_type(&ty, &parties![0]), None);
+    }
+
+    #[test]
+    fn unit_values_shrink() {
+        let v = Value::Unit(parties![0, 1]);
+        assert_eq!(mask_value(&v, &parties![1, 2]), Some(Value::Unit(parties![1])));
+        assert_eq!(mask_value(&v, &parties![2]), None);
+    }
+
+    #[test]
+    fn pairs_mask_componentwise() {
+        let v = Value::pair(Value::Unit(parties![0, 1]), Value::Unit(parties![1, 2]));
+        assert_eq!(
+            mask_value(&v, &parties![1]),
+            Some(Value::pair(Value::Unit(parties![1]), Value::Unit(parties![1])))
+        );
+        // The left component cannot mask to {2}.
+        assert_eq!(mask_value(&v, &parties![2]).map(|_| ()), None);
+    }
+
+    #[test]
+    fn masking_to_owners_is_a_noop() {
+        let ty = Type::data(Data::bool(), parties![0, 1]);
+        assert!(mask_is_noop(&ty, &parties![0, 1]));
+        assert!(mask_is_noop(&ty, &parties![0, 1]));
+        assert!(!mask_is_noop(&ty, &parties![0]));
+    }
+
+    #[test]
+    fn com_masks_only_when_fully_visible() {
+        let v = Value::Com { from: crate::party::Party(0), to: parties![1] };
+        assert_eq!(mask_value(&v, &parties![0, 1]), Some(v.clone()));
+        assert_eq!(mask_value(&v, &parties![1]), None);
+    }
+
+    #[test]
+    fn tuples_need_every_component() {
+        let ty = Type::Tuple(vec![
+            Type::data(Data::Unit, parties![0]),
+            Type::data(Data::Unit, parties![1]),
+        ]);
+        assert!(mask_type(&ty, &parties![0, 1]).is_some());
+        assert!(mask_type(&ty, &parties![0]).is_none());
+    }
+}

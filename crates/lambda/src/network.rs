@@ -1,0 +1,284 @@
+//! λN: networks of asynchronous λL processes (Fig. 23).
+//!
+//! A network `N` maps parties to λL expressions. Only `∅`-annotated steps
+//! are "real" (NPro for pure steps; NCom groups where every send is
+//! matched by its receive in the same step), so the scheduler implements
+//! a **rendezvous**: a multicast fires only when every recipient is
+//! blocked on the matching receive.
+//!
+//! Deadlock freedom (Corollary 1) says projections of well-typed
+//! choreographies never get stuck: either some step fires or every
+//! process is a value. [`Network::run`] checks exactly that.
+
+use crate::epp::project;
+use crate::local::{next_need, step_local, CommOracle, LExpr, LValue, Need, PureOnly};
+use crate::party::{Party, PartySet};
+use crate::syntax::Expr;
+use std::collections::BTreeMap;
+
+/// A network state: each party's current λL expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Network {
+    procs: BTreeMap<Party, LExpr>,
+}
+
+/// The result of running a network to quiescence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// Every process reduced to a value.
+    Finished(BTreeMap<Party, LValue>),
+    /// No step can fire but some process is not a value: a deadlock (or
+    /// a stuck process). Impossible for projections of well-typed
+    /// choreographies.
+    Deadlock {
+        /// What each non-value process was waiting for.
+        blocked: BTreeMap<Party, Need>,
+    },
+    /// The step budget ran out.
+    OutOfFuel,
+}
+
+impl Network {
+    /// Projects `expr` to every party in `roles(expr)` (Fig. 22's `⟦M⟧`).
+    pub fn project_all(expr: &Expr) -> Network {
+        let procs = expr
+            .roles()
+            .iter()
+            .map(|p| (p, project(expr, p)))
+            .collect();
+        Network { procs }
+    }
+
+    /// Builds a network from explicit processes.
+    pub fn from_procs(procs: BTreeMap<Party, LExpr>) -> Network {
+        Network { procs }
+    }
+
+    /// Read access to a process.
+    pub fn proc(&self, p: Party) -> Option<&LExpr> {
+        self.procs.get(&p)
+    }
+
+    /// The parties in the network.
+    pub fn parties(&self) -> PartySet {
+        self.procs.keys().copied().collect()
+    }
+
+    /// Attempts one `∅`-annotated network step, preferring the party
+    /// after `cursor` (round-robin fairness). Returns the party that
+    /// moved and whether the step was a communication (an NCom
+    /// rendezvous rather than a pure NPro step).
+    pub fn step_counting(&mut self, cursor: usize) -> Option<(Party, bool)> {
+        let parties: Vec<Party> = self.procs.keys().copied().collect();
+        let n = parties.len();
+        for offset in 0..n {
+            let p = parties[(cursor + offset) % n];
+            let expr = &self.procs[&p];
+            if let Some(stepped) = step_local(expr, &mut PureOnly) {
+                self.procs.insert(p, stepped);
+                return Some((p, false));
+            }
+            if let Need::Send { to, value } = next_need(expr) {
+                let ready = to.iter().all(|r| {
+                    r != p
+                        && matches!(
+                            self.procs.get(&r).map(next_need),
+                            Some(Need::Recv { from }) if from == p
+                        )
+                });
+                if ready {
+                    self.rendezvous(p, &to, &value);
+                    return Some((p, true));
+                }
+            }
+        }
+        None
+    }
+
+    /// Like [`Network::run`] but also reports how many steps were
+    /// communications — the formal counterpart of the benchmark suite's
+    /// message counting.
+    pub fn run_counting(&mut self, fuel: usize) -> (Outcome, usize) {
+        let mut cursor = 0;
+        let mut comms = 0;
+        for _ in 0..fuel {
+            match self.step_counting(cursor) {
+                Some((_, was_comm)) => {
+                    cursor += 1;
+                    if was_comm {
+                        comms += 1;
+                    }
+                }
+                None => return (self.quiesce(), comms),
+            }
+        }
+        (Outcome::OutOfFuel, comms)
+    }
+
+    fn quiesce(&self) -> Outcome {
+        let mut values = BTreeMap::new();
+        let mut blocked = BTreeMap::new();
+        for (p, expr) in &self.procs {
+            match expr.as_value() {
+                Some(v) => {
+                    values.insert(*p, v.clone());
+                }
+                None => {
+                    blocked.insert(*p, next_need(expr));
+                }
+            }
+        }
+        if blocked.is_empty() {
+            Outcome::Finished(values)
+        } else {
+            Outcome::Deadlock { blocked }
+        }
+    }
+
+    /// Attempts one `∅`-annotated network step. Returns the party that
+    /// moved.
+    pub fn step(&mut self, cursor: usize) -> Option<Party> {
+        self.step_counting(cursor).map(|(p, _)| p)
+    }
+
+    fn rendezvous(&mut self, sender: Party, to: &PartySet, value: &LValue) {
+        // Step the sender with an oracle that allows exactly this send.
+        struct AllowSend;
+        impl CommOracle for AllowSend {
+            fn send(&mut self, _to: &PartySet, _value: &LValue) -> bool {
+                true
+            }
+            fn recv(&mut self, _from: Party) -> Option<LValue> {
+                None
+            }
+        }
+        let sender_expr = self.procs[&sender].clone();
+        let stepped = step_local(&sender_expr, &mut AllowSend)
+            .expect("probed send redex must step");
+        self.procs.insert(sender, stepped);
+
+        // Step every recipient with the delivered value.
+        struct Deliver<'a> {
+            from: Party,
+            value: &'a LValue,
+        }
+        impl CommOracle for Deliver<'_> {
+            fn send(&mut self, _to: &PartySet, _value: &LValue) -> bool {
+                false
+            }
+            fn recv(&mut self, from: Party) -> Option<LValue> {
+                (from == self.from).then(|| self.value.clone())
+            }
+        }
+        for r in to.iter() {
+            let expr = self.procs[&r].clone();
+            let mut oracle = Deliver { from: sender, value };
+            let stepped =
+                step_local(&expr, &mut oracle).expect("probed recv redex must step");
+            self.procs.insert(r, stepped);
+        }
+    }
+
+    /// Runs the network round-robin until quiescence.
+    pub fn run(&mut self, fuel: usize) -> Outcome {
+        self.run_counting(fuel).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parties;
+    use crate::syntax::Value;
+
+    #[test]
+    fn multicast_rendezvous_completes() {
+        // com_{0;{1,2}} ()@{0}: p0 sends, p1 and p2 receive.
+        let expr = Expr::app(
+            Expr::val(Value::Com { from: Party(0), to: parties![1, 2] }),
+            Expr::val(Value::Unit(parties![0])),
+        );
+        let mut net = Network::project_all(&expr);
+        match net.run(100) {
+            Outcome::Finished(values) => {
+                assert_eq!(values[&Party(0)], LValue::Bottom);
+                assert_eq!(values[&Party(1)], LValue::Unit);
+                assert_eq!(values[&Party(2)], LValue::Unit);
+            }
+            other => panic!("expected completion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn self_including_multicast_keeps_the_senders_copy() {
+        let expr = Expr::app(
+            Expr::val(Value::Com { from: Party(0), to: parties![0, 1] }),
+            Expr::val(Value::Unit(parties![0])),
+        );
+        let mut net = Network::project_all(&expr);
+        match net.run(100) {
+            Outcome::Finished(values) => {
+                assert_eq!(values[&Party(0)], LValue::Unit);
+                assert_eq!(values[&Party(1)], LValue::Unit);
+            }
+            other => panic!("expected completion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mismatched_network_deadlocks() {
+        // p0 waits for p1, p1 waits for p0 — a handcrafted deadlock that
+        // no well-typed choreography projects to.
+        let mut procs = BTreeMap::new();
+        procs.insert(
+            Party(0),
+            LExpr::app(LExpr::val(LValue::Recv(Party(1))), LExpr::val(LValue::Bottom)),
+        );
+        procs.insert(
+            Party(1),
+            LExpr::app(LExpr::val(LValue::Recv(Party(0))), LExpr::val(LValue::Bottom)),
+        );
+        let mut net = Network::from_procs(procs);
+        match net.run(100) {
+            Outcome::Deadlock { blocked } => {
+                assert_eq!(blocked.len(), 2);
+                assert_eq!(blocked[&Party(0)], Need::Recv { from: Party(1) });
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn case_inside_network_follows_the_chosen_branch() {
+        // p0 cases on a boolean it owns, then sends the chosen unit to
+        // p1. Both branches send, so p1's projection receives either way
+        // (the branches merge to identical recvs after floor).
+        let send_unit = Expr::app(
+            Expr::val(Value::Com { from: Party(0), to: parties![1] }),
+            Expr::val(Value::Unit(parties![0])),
+        );
+        let expr = Expr::case(
+            parties![0],
+            Expr::val(Value::bool_false(parties![0])),
+            "x",
+            send_unit.clone(),
+            "y",
+            send_unit,
+        );
+        // p1's projection: both case branches are ⊥-cases for p1... but
+        // the scrutinee is p0-only, so p1's whole case floors to ⊥ —
+        // meaning p1 must get its recv from elsewhere. Here we project
+        // manually to show the network completing for the participants.
+        let mut net = Network::project_all(&expr);
+        // p1's projection of the *case* is ⊥ (it skips the branch), so
+        // only p0 steps; the send can never match and p0 deadlocks — this
+        // is exactly why λC requires KoC: the choreography above is NOT
+        // well-typed (p1 receives inside a conclave it is not part of).
+        match net.run(100) {
+            Outcome::Deadlock { blocked } => {
+                assert!(blocked.contains_key(&Party(0)));
+            }
+            other => panic!("expected the ill-typed program to deadlock, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Parties and party sets.
+//!
+//! The paper writes `p` for a single party and `p⁺` for a *non-empty* set
+//! of parties; `Θ` is a party set used as a typing context (the census).
+//! [`PartySet`] is an ordered set with the usual algebra; emptiness
+//! checks are the callers' responsibility because the type/semantic rules
+//! state them explicitly.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A party (process, location). Displayed as `p0`, `p1`, ...
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Party(pub u32);
+
+impl fmt::Display for Party {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// An ordered set of parties.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PartySet(BTreeSet<Party>);
+
+impl PartySet {
+    /// The empty set.
+    pub fn empty() -> Self {
+        PartySet(BTreeSet::new())
+    }
+
+    /// A singleton set.
+    pub fn singleton(p: Party) -> Self {
+        PartySet(std::iter::once(p).collect())
+    }
+
+    /// Builds a set from party indices.
+    pub fn from_indices(indices: impl IntoIterator<Item = u32>) -> Self {
+        PartySet(indices.into_iter().map(Party).collect())
+    }
+
+    /// The number of parties.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, p: Party) -> bool {
+        self.0.contains(&p)
+    }
+
+    /// Inserts a party.
+    pub fn insert(&mut self, p: Party) {
+        self.0.insert(p);
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &PartySet) -> PartySet {
+        PartySet(self.0.union(&other.0).copied().collect())
+    }
+
+    /// Set intersection (the engine of the `▷` operator).
+    pub fn intersection(&self, other: &PartySet) -> PartySet {
+        PartySet(self.0.intersection(&other.0).copied().collect())
+    }
+
+    /// Set difference.
+    pub fn difference(&self, other: &PartySet) -> PartySet {
+        PartySet(self.0.difference(&other.0).copied().collect())
+    }
+
+    /// Subset test.
+    pub fn is_subset(&self, other: &PartySet) -> bool {
+        self.0.is_subset(&other.0)
+    }
+
+    /// Iterates in order.
+    pub fn iter(&self) -> impl Iterator<Item = Party> + '_ {
+        self.0.iter().copied()
+    }
+
+    /// An arbitrary (least) element, if any.
+    pub fn first(&self) -> Option<Party> {
+        self.0.iter().next().copied()
+    }
+}
+
+impl FromIterator<Party> for PartySet {
+    fn from_iter<I: IntoIterator<Item = Party>>(iter: I) -> Self {
+        PartySet(iter.into_iter().collect())
+    }
+}
+
+impl fmt::Display for PartySet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, p) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Convenience macro for building party sets in tests: `parties![0, 1]`.
+#[macro_export]
+macro_rules! parties {
+    ($($i:expr),* $(,)?) => {
+        $crate::party::PartySet::from_indices([$($i as u32),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_algebra_behaves() {
+        let a = parties![0, 1, 2];
+        let b = parties![1, 2, 3];
+        assert_eq!(a.union(&b), parties![0, 1, 2, 3]);
+        assert_eq!(a.intersection(&b), parties![1, 2]);
+        assert_eq!(a.difference(&b), parties![0]);
+        assert!(parties![1].is_subset(&a));
+        assert!(!a.is_subset(&b));
+        assert!(a.contains(Party(0)));
+        assert!(!a.contains(Party(3)));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(parties![0, 2].to_string(), "{p0,p2}");
+        assert_eq!(PartySet::empty().to_string(), "{}");
+    }
+
+    #[test]
+    fn first_is_least() {
+        assert_eq!(parties![2, 0, 1].first(), Some(Party(0)));
+        assert_eq!(PartySet::empty().first(), None);
+    }
+}

@@ -1,0 +1,205 @@
+//! Named λC programs encoding the paper's key communication patterns,
+//! used by tests and benchmarks to check *communication complexity*
+//! claims at the formal level.
+//!
+//! The centerpiece pair is [`reuse_koc`] versus [`resend_koc`]: both
+//! branch twice on the same boolean among the same conclave, but the
+//! first binds the multicast result and reuses it ("No additional
+//! communication is needed for KoC in the second conditional!", §3.3),
+//! while the second re-communicates before the second branch — the cost
+//! a system without multiply-located values pays.
+
+use crate::party::{Party, PartySet};
+use crate::syntax::{Data, Expr, Type, Value};
+
+/// A boolean owned by `owners`.
+fn bool_value(flag: bool, owners: PartySet) -> Value {
+    if flag {
+        Value::bool_true(owners)
+    } else {
+        Value::bool_false(owners)
+    }
+}
+
+/// `com_{from;to} payload`
+pub fn com(from: Party, to: PartySet, payload: Expr) -> Expr {
+    Expr::app(Expr::val(Value::Com { from, to }), payload)
+}
+
+/// A case over a boolean where both branches return booleans owned by
+/// the case's parties.
+fn bool_case(parties: PartySet, scrutinee: Expr, then_value: bool, else_value: bool) -> Expr {
+    Expr::case(
+        parties.clone(),
+        scrutinee,
+        "_l",
+        Expr::val(bool_value(then_value, parties.clone())),
+        "_r",
+        Expr::val(bool_value(else_value, parties)),
+    )
+}
+
+/// §3.3 pattern, MLV style: party 0 multicasts a boolean to the conclave
+/// `{1, 2}`, which branches on it **twice** by λ-binding the
+/// multiply-located value. Exactly **one** communication happens.
+pub fn reuse_koc(flag: bool) -> Expr {
+    let conclave = PartySet::from_indices([1, 2]);
+    let multicast = com(
+        Party(0),
+        conclave.clone(),
+        Expr::val(bool_value(flag, PartySet::singleton(Party(0)))),
+    );
+    // λx. case x of ... (case x of ...) — the second case reuses x.
+    let inner = bool_case(
+        conclave.clone(),
+        Expr::val(Value::Var("x".into())),
+        true,
+        false,
+    );
+    let outer = Expr::case(
+        conclave.clone(),
+        Expr::val(Value::Var("x".into())),
+        "_l",
+        inner.clone(),
+        "_r",
+        inner,
+    );
+    let lambda = Value::lambda(
+        "x",
+        Type::data(Data::bool(), conclave.clone()),
+        outer,
+        conclave,
+    );
+    Expr::app(Expr::val(lambda), multicast)
+}
+
+/// The same double branch *without* MLV reuse: after the first case,
+/// party 1 re-communicates the flag to the conclave before the second
+/// branch. **Two** communications happen.
+pub fn resend_koc(flag: bool) -> Expr {
+    let conclave = PartySet::from_indices([1, 2]);
+    let multicast = com(
+        Party(0),
+        conclave.clone(),
+        Expr::val(bool_value(flag, PartySet::singleton(Party(0)))),
+    );
+    let resend = com(
+        Party(1),
+        conclave.clone(),
+        Expr::val(Value::Var("x".into())),
+    );
+    let inner = bool_case(conclave.clone(), resend, true, false);
+    let outer = Expr::case(
+        conclave.clone(),
+        Expr::val(Value::Var("x".into())),
+        "_l",
+        inner.clone(),
+        "_r",
+        inner,
+    );
+    let lambda = Value::lambda(
+        "x",
+        Type::data(Data::bool(), conclave.clone()),
+        outer,
+        conclave,
+    );
+    Expr::app(Expr::val(lambda), multicast)
+}
+
+/// A ring: party 0's unit value is forwarded hop by hop through parties
+/// `1..n`. Costs exactly `n` communications.
+pub fn ring(n: u32) -> Expr {
+    let mut expr = Expr::val(Value::Unit(PartySet::singleton(Party(0))));
+    for hop in 1..=n {
+        expr = com(Party(hop - 1), PartySet::singleton(Party(hop)), expr);
+    }
+    expr
+}
+
+/// A broadcast followed by a conclave-internal decision, the skeleton of
+/// the paper's Fig. 2: party 0 (the "client") sends to party 1 (the
+/// "primary"), which multicasts to the "servers" `{1, …, n}`; the
+/// servers branch; party 0 is never contacted again.
+pub fn client_primary_servers(n_servers: u32, flag: bool) -> Expr {
+    assert!(n_servers >= 1);
+    let servers = PartySet::from_indices(1..=n_servers);
+    let to_primary = com(
+        Party(0),
+        PartySet::singleton(Party(1)),
+        Expr::val(bool_value(flag, PartySet::singleton(Party(0)))),
+    );
+    let shared = com(Party(1), servers.clone(), to_primary);
+    bool_case(servers, shared, true, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::{Network, Outcome};
+    use crate::parties;
+    use crate::semantics::eval;
+    use crate::typing::{type_of, Env};
+
+    fn comm_steps(expr: &Expr) -> usize {
+        let mut net = Network::project_all(expr);
+        let (outcome, comms) = net.run_counting(100_000);
+        assert!(matches!(outcome, Outcome::Finished(_)), "program must finish: {outcome:?}");
+        comms
+    }
+
+    #[test]
+    fn programs_are_well_typed() {
+        let census = parties![0, 1, 2];
+        for flag in [true, false] {
+            type_of(&census, &Env::new(), &reuse_koc(flag)).expect("reuse_koc types");
+            type_of(&census, &Env::new(), &resend_koc(flag)).expect("resend_koc types");
+        }
+        type_of(&parties![0, 1, 2, 3], &Env::new(), &ring(3)).expect("ring types");
+        type_of(&parties![0, 1, 2], &Env::new(), &client_primary_servers(2, true))
+            .expect("kvs skeleton types");
+    }
+
+    #[test]
+    fn koc_reuse_costs_exactly_one_communication() {
+        // The formal version of the paper's §3.3 claim: branching twice
+        // on a bound MLV needs one multicast; re-communicating costs two.
+        for flag in [true, false] {
+            assert_eq!(comm_steps(&reuse_koc(flag)), 1, "reuse, flag={flag}");
+            assert_eq!(comm_steps(&resend_koc(flag)), 2, "resend, flag={flag}");
+        }
+    }
+
+    #[test]
+    fn both_koc_variants_compute_the_same_answer() {
+        for flag in [true, false] {
+            let a = eval(&reuse_koc(flag), 10_000).expect("reuse evaluates");
+            let b = eval(&resend_koc(flag), 10_000).expect("resend evaluates");
+            assert_eq!(a, b, "flag={flag}");
+        }
+    }
+
+    #[test]
+    fn ring_costs_one_communication_per_hop() {
+        for n in 1..=5u32 {
+            assert_eq!(comm_steps(&ring(n)), n as usize);
+        }
+    }
+
+    #[test]
+    fn kvs_skeleton_never_contacts_the_client_again() {
+        // Two comms: client→primary, primary→servers multicast. The
+        // conclave's branch costs nothing extra, and party 0 receives
+        // nothing.
+        for n in 1..=4u32 {
+            let expr = client_primary_servers(n, true);
+            let mut net = Network::project_all(&expr);
+            let (outcome, comms) = net.run_counting(100_000);
+            assert!(matches!(outcome, Outcome::Finished(_)));
+            // Two send redexes fire regardless of n: client→primary and
+            // the primary's multicast (which for n == 1 is a `send*` with
+            // an empty recipient list — a communication step that moves
+            // no bytes, matching LSend1's μ = ∅ case).
+            assert_eq!(comms, 2, "n={n}");
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! The centralized λC semantics (Fig. 18): call-by-value, deterministic,
+//! with location-aware masking at every binding step.
+
+use crate::mask::mask_value;
+use crate::party::PartySet;
+use crate::subst::subst_expr;
+use crate::syntax::{Expr, Value};
+
+/// Performs one semantic step, or returns `None` if `expr` is a value
+/// (or stuck — which cannot happen for well-typed programs, by the
+/// progress theorem).
+pub fn step(expr: &Expr) -> Option<Expr> {
+    match expr {
+        Expr::Val(_) => None,
+        Expr::App(m, n) => {
+            // App2: the function position steps first.
+            if let Some(m2) = step(m) {
+                return Some(Expr::app(m2, (**n).clone()));
+            }
+            // App1: then the argument.
+            if let Some(n2) = step(n) {
+                return Some(Expr::app((**m).clone(), n2));
+            }
+            // Both are values: contract the redex.
+            let Expr::Val(f) = &**m else { return None };
+            let Expr::Val(a) = &**n else { return None };
+            apply(f, a)
+        }
+        Expr::Case { parties, scrutinee, left_var, left, right_var, right } => {
+            // Case: evaluate the scrutinee.
+            if let Some(s2) = step(scrutinee) {
+                return Some(Expr::Case {
+                    parties: parties.clone(),
+                    scrutinee: Box::new(s2),
+                    left_var: left_var.clone(),
+                    left: left.clone(),
+                    right_var: right_var.clone(),
+                    right: right.clone(),
+                });
+            }
+            let Expr::Val(v) = &**scrutinee else { return None };
+            match v {
+                // CaseL: Ml[xl := V ▷ p⁺]
+                Value::Inl(inner) => {
+                    let masked = mask_value(inner, parties)?;
+                    Some(subst_expr(left, left_var, &masked))
+                }
+                // CaseR.
+                Value::Inr(inner) => {
+                    let masked = mask_value(inner, parties)?;
+                    Some(subst_expr(right, right_var, &masked))
+                }
+                _ => None,
+            }
+        }
+    }
+}
+
+fn apply(f: &Value, a: &Value) -> Option<Expr> {
+    match f {
+        // AppAbs: M[x := V ▷ p⁺].
+        Value::Lambda { param, body, parties, .. } => {
+            let masked = mask_value(a, parties)?;
+            Some(subst_expr(body, param, &masked))
+        }
+        // Proj1 / Proj2: project then mask.
+        Value::Fst(parties) => match a {
+            Value::Pair(l, _) => Some(Expr::Val(mask_value(l, parties)?)),
+            _ => None,
+        },
+        Value::Snd(parties) => match a {
+            Value::Pair(_, r) => Some(Expr::Val(mask_value(r, parties)?)),
+            _ => None,
+        },
+        // ProjN.
+        Value::Lookup(i, parties) => match a {
+            Value::Tuple(vs) => Some(Expr::Val(mask_value(vs.get(*i)?, parties)?)),
+            _ => None,
+        },
+        // Com1 / ComPair / ComInl / ComInr: retarget the annotations.
+        Value::Com { from, to } =>
+
+            com_value(a, *from, to).map(Expr::Val),
+        _ => None,
+    }
+}
+
+/// The recursive `Com*` rules: relocate a data value to the recipients.
+fn com_value(v: &Value, from: crate::party::Party, to: &PartySet) -> Option<Value> {
+    match v {
+        // Com1: the sender must see the value (()@p⁺ ▷ {s} defined).
+        Value::Unit(owners) => {
+            if owners.contains(from) {
+                Some(Value::Unit(to.clone()))
+            } else {
+                None
+            }
+        }
+        Value::Pair(l, r) => Some(Value::pair(
+            com_value(l, from, to)?,
+            com_value(r, from, to)?,
+        )),
+        Value::Inl(inner) => Some(Value::inl(com_value(inner, from, to)?)),
+        Value::Inr(inner) => Some(Value::inr(com_value(inner, from, to)?)),
+        _ => None,
+    }
+}
+
+/// Runs to a value, or returns `None` if the fuel runs out or the
+/// expression gets stuck (impossible for well-typed terms: λC has no
+/// recursion, so evaluation terminates).
+pub fn eval(expr: &Expr, fuel: usize) -> Option<Value> {
+    let mut current = expr.clone();
+    for _ in 0..fuel {
+        match step(&current) {
+            Some(next) => current = next,
+            None => {
+                return match current {
+                    Expr::Val(v) => Some(v),
+                    _ => None,
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parties;
+    use crate::party::Party;
+    use crate::syntax::{Data, Type};
+
+    #[test]
+    fn identity_application_masks() {
+        // (λx: ()@{0}. x)@{0} ()@{0,1}  →  ()@{0}
+        let lam = Value::lambda(
+            "x",
+            Type::data(Data::Unit, parties![0]),
+            Expr::val(Value::Var("x".into())),
+            parties![0],
+        );
+        let app = Expr::app(Expr::val(lam), Expr::val(Value::Unit(parties![0, 1])));
+        assert_eq!(eval(&app, 10), Some(Value::Unit(parties![0])));
+    }
+
+    #[test]
+    fn com_relocates_ownership() {
+        // com_{0;{1,2}} ()@{0}  →  ()@{1,2}
+        let app = Expr::app(
+            Expr::val(Value::Com { from: Party(0), to: parties![1, 2] }),
+            Expr::val(Value::Unit(parties![0])),
+        );
+        assert_eq!(eval(&app, 10), Some(Value::Unit(parties![1, 2])));
+    }
+
+    #[test]
+    fn com_relocates_structured_data() {
+        let payload = Value::inl(Value::pair(
+            Value::Unit(parties![0]),
+            Value::Unit(parties![0]),
+        ));
+        let app = Expr::app(
+            Expr::val(Value::Com { from: Party(0), to: parties![1] }),
+            Expr::val(payload),
+        );
+        assert_eq!(
+            eval(&app, 10),
+            Some(Value::inl(Value::pair(
+                Value::Unit(parties![1]),
+                Value::Unit(parties![1])
+            )))
+        );
+    }
+
+    #[test]
+    fn case_picks_the_right_branch() {
+        let make = |scrutinee: Value| {
+            Expr::case(
+                parties![0],
+                Expr::val(scrutinee),
+                "x",
+                Expr::val(Value::pair(Value::Var("x".into()), Value::Unit(parties![0]))),
+                "y",
+                Expr::val(Value::Var("y".into())),
+            )
+        };
+        assert_eq!(
+            eval(&make(Value::bool_true(parties![0])), 10),
+            Some(Value::pair(Value::Unit(parties![0]), Value::Unit(parties![0])))
+        );
+        assert_eq!(
+            eval(&make(Value::bool_false(parties![0])), 10),
+            Some(Value::Unit(parties![0]))
+        );
+    }
+
+    #[test]
+    fn projections_mask_their_result() {
+        let pair = Value::pair(Value::Unit(parties![0, 1]), Value::Unit(parties![0, 1]));
+        let app = Expr::app(Expr::val(Value::Fst(parties![0])), Expr::val(pair));
+        assert_eq!(eval(&app, 10), Some(Value::Unit(parties![0])));
+    }
+
+    #[test]
+    fn function_position_steps_before_argument() {
+        // ((λx. x) (λy. y)) applied left-to-right; both reduce.
+        let id0 = Value::lambda(
+            "x",
+            Type::data(Data::Unit, parties![0]),
+            Expr::val(Value::Var("x".into())),
+            parties![0],
+        );
+        let nested = Expr::app(
+            Expr::app(
+                Expr::val(Value::lambda(
+                    "f",
+                    Type::fun(
+                        Type::data(Data::Unit, parties![0]),
+                        Type::data(Data::Unit, parties![0]),
+                        parties![0],
+                    ),
+                    Expr::val(Value::Var("f".into())),
+                    parties![0],
+                )),
+                Expr::val(id0),
+            ),
+            Expr::val(Value::Unit(parties![0])),
+        );
+        assert_eq!(eval(&nested, 20), Some(Value::Unit(parties![0])));
+    }
+
+    #[test]
+    fn values_do_not_step() {
+        assert_eq!(step(&Expr::val(Value::Unit(parties![0]))), None);
+    }
+}

@@ -1,0 +1,360 @@
+//! λC syntax (Fig. 14).
+//!
+//! "Data" (which can be communicated) is distinguished from functions
+//! (which cannot): [`Data`] describes communicable shapes — unit, sums,
+//! products — while [`Type`] adds located functions and heterogeneous
+//! tuples.
+
+use crate::party::{Party, PartySet};
+use std::fmt;
+
+/// Variable names.
+pub type Var = String;
+
+/// The algebra of communicable data: `d ::= () | d + d | d × d`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Data {
+    /// The unit shape.
+    Unit,
+    /// A disjoint sum.
+    Sum(Box<Data>, Box<Data>),
+    /// A pair.
+    Prod(Box<Data>, Box<Data>),
+}
+
+impl Data {
+    /// `d + d'`
+    pub fn sum(l: Data, r: Data) -> Data {
+        Data::Sum(Box::new(l), Box::new(r))
+    }
+
+    /// `d × d'`
+    pub fn prod(l: Data, r: Data) -> Data {
+        Data::Prod(Box::new(l), Box::new(r))
+    }
+
+    /// The booleans, encoded as `() + ()`.
+    pub fn bool() -> Data {
+        Data::sum(Data::Unit, Data::Unit)
+    }
+}
+
+/// λC types: `T ::= d@p⁺ | (T → T)@p⁺ | (T, …, T)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// A multiply-located data type.
+    Data(Data, PartySet),
+    /// A located function type.
+    Fun(Box<Type>, Box<Type>, PartySet),
+    /// A fixed-length heterogeneous tuple.
+    Tuple(Vec<Type>),
+}
+
+impl Type {
+    /// `d@p⁺`
+    pub fn data(d: Data, owners: PartySet) -> Type {
+        Type::Data(d, owners)
+    }
+
+    /// `(a → r)@p⁺`
+    pub fn fun(a: Type, r: Type, owners: PartySet) -> Type {
+        Type::Fun(Box::new(a), Box::new(r), owners)
+    }
+}
+
+/// λC expressions: `M ::= V | M M | case_{p⁺} M of Inl x ⇒ M; Inr x ⇒ M`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// A value.
+    Val(Value),
+    /// Function application.
+    App(Box<Expr>, Box<Expr>),
+    /// Branching on a sum, conclaved to `parties`.
+    Case {
+        /// The parties participating in the branch (the conclave).
+        parties: PartySet,
+        /// The scrutinee.
+        scrutinee: Box<Expr>,
+        /// Binder for the left branch.
+        left_var: Var,
+        /// The left branch body.
+        left: Box<Expr>,
+        /// Binder for the right branch.
+        right_var: Var,
+        /// The right branch body.
+        right: Box<Expr>,
+    },
+}
+
+impl Expr {
+    /// Wraps a value.
+    pub fn val(v: Value) -> Expr {
+        Expr::Val(v)
+    }
+
+    /// `M N`
+    pub fn app(f: Expr, a: Expr) -> Expr {
+        Expr::App(Box::new(f), Box::new(a))
+    }
+
+    /// `case_{p⁺} N of Inl xl ⇒ Ml; Inr xr ⇒ Mr`
+    pub fn case(
+        parties: PartySet,
+        scrutinee: Expr,
+        left_var: impl Into<Var>,
+        left: Expr,
+        right_var: impl Into<Var>,
+        right: Expr,
+    ) -> Expr {
+        Expr::Case {
+            parties,
+            scrutinee: Box::new(scrutinee),
+            left_var: left_var.into(),
+            left: Box::new(left),
+            right_var: right_var.into(),
+            right: Box::new(right),
+        }
+    }
+
+    /// All parties syntactically mentioned in the expression — the
+    /// paper's `roles(M)`.
+    pub fn roles(&self) -> PartySet {
+        let mut acc = PartySet::empty();
+        self.collect_roles(&mut acc);
+        acc
+    }
+
+    fn collect_roles(&self, acc: &mut PartySet) {
+        match self {
+            Expr::Val(v) => v.collect_roles(acc),
+            Expr::App(f, a) => {
+                f.collect_roles(acc);
+                a.collect_roles(acc);
+            }
+            Expr::Case { parties, scrutinee, left, right, .. } => {
+                for p in parties.iter() {
+                    acc.insert(p);
+                }
+                scrutinee.collect_roles(acc);
+                left.collect_roles(acc);
+                right.collect_roles(acc);
+            }
+        }
+    }
+}
+
+/// λC values (Fig. 14's `V`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    /// A variable.
+    Var(Var),
+    /// `(λx:T. M)@p⁺`
+    Lambda {
+        /// The parameter.
+        param: Var,
+        /// Its annotated type.
+        param_ty: Type,
+        /// The body.
+        body: Box<Expr>,
+        /// The participants (owners) of the function.
+        parties: PartySet,
+    },
+    /// `()@p⁺`
+    Unit(PartySet),
+    /// Left injection.
+    Inl(Box<Value>),
+    /// Right injection.
+    Inr(Box<Value>),
+    /// A data pair.
+    Pair(Box<Value>, Box<Value>),
+    /// A heterogeneous tuple.
+    Tuple(Vec<Value>),
+    /// First projection of a data pair, at `p⁺`.
+    Fst(PartySet),
+    /// Second projection of a data pair, at `p⁺`.
+    Snd(PartySet),
+    /// Tuple lookup `lookupⁿ` at `p⁺`.
+    Lookup(usize, PartySet),
+    /// `com_{s;r⁺}`: multicast from `from` to `to`.
+    Com {
+        /// The sender.
+        from: Party,
+        /// The recipients (non-empty).
+        to: PartySet,
+    },
+}
+
+impl Value {
+    /// `Inl V`
+    pub fn inl(v: Value) -> Value {
+        Value::Inl(Box::new(v))
+    }
+
+    /// `Inr V`
+    pub fn inr(v: Value) -> Value {
+        Value::Inr(Box::new(v))
+    }
+
+    /// `Pair V W`
+    pub fn pair(l: Value, r: Value) -> Value {
+        Value::Pair(Box::new(l), Box::new(r))
+    }
+
+    /// `(λx:T. M)@p⁺`
+    pub fn lambda(param: impl Into<Var>, param_ty: Type, body: Expr, parties: PartySet) -> Value {
+        Value::Lambda { param: param.into(), param_ty, body: Box::new(body), parties }
+    }
+
+    /// The boolean `true`, encoded as `Inl ()@p⁺`.
+    pub fn bool_true(owners: PartySet) -> Value {
+        Value::inl(Value::Unit(owners))
+    }
+
+    /// The boolean `false`, encoded as `Inr ()@p⁺`.
+    pub fn bool_false(owners: PartySet) -> Value {
+        Value::inr(Value::Unit(owners))
+    }
+
+    fn collect_roles(&self, acc: &mut PartySet) {
+        match self {
+            Value::Var(_) => {}
+            Value::Lambda { body, parties, .. } => {
+                for p in parties.iter() {
+                    acc.insert(p);
+                }
+                body.collect_roles(acc);
+            }
+            Value::Unit(ps) | Value::Fst(ps) | Value::Snd(ps) | Value::Lookup(_, ps) => {
+                for p in ps.iter() {
+                    acc.insert(p);
+                }
+            }
+            Value::Inl(v) | Value::Inr(v) => v.collect_roles(acc),
+            Value::Pair(l, r) => {
+                l.collect_roles(acc);
+                r.collect_roles(acc);
+            }
+            Value::Tuple(vs) => {
+                for v in vs {
+                    v.collect_roles(acc);
+                }
+            }
+            Value::Com { from, to } => {
+                acc.insert(*from);
+                for p in to.iter() {
+                    acc.insert(p);
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Data {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Data::Unit => write!(f, "()"),
+            Data::Sum(l, r) => write!(f, "({l}+{r})"),
+            Data::Prod(l, r) => write!(f, "({l}×{r})"),
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Data(d, ps) => write!(f, "{d}@{ps}"),
+            Type::Fun(a, r, ps) => write!(f, "({a}→{r})@{ps}"),
+            Type::Tuple(ts) => {
+                write!(f, "(")?;
+                for (i, t) in ts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Val(v) => write!(f, "{v}"),
+            Expr::App(m, n) => write!(f, "({m} {n})"),
+            Expr::Case { parties, scrutinee, left_var, left, right_var, right } => write!(
+                f,
+                "case_{parties} {scrutinee} of Inl {left_var} ⇒ {left}; Inr {right_var} ⇒ {right}"
+            ),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Var(x) => write!(f, "{x}"),
+            Value::Lambda { param, param_ty, body, parties } => {
+                write!(f, "(λ{param}:{param_ty}. {body})@{parties}")
+            }
+            Value::Unit(ps) => write!(f, "()@{ps}"),
+            Value::Inl(v) => write!(f, "Inl {v}"),
+            Value::Inr(v) => write!(f, "Inr {v}"),
+            Value::Pair(l, r) => write!(f, "Pair {l} {r}"),
+            Value::Tuple(vs) => {
+                write!(f, "(")?;
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, ")")
+            }
+            Value::Fst(ps) => write!(f, "fst@{ps}"),
+            Value::Snd(ps) => write!(f, "snd@{ps}"),
+            Value::Lookup(i, ps) => write!(f, "lookup{i}@{ps}"),
+            Value::Com { from, to } => write!(f, "com_{from};{to}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parties;
+
+    #[test]
+    fn roles_collects_every_mentioned_party() {
+        let expr = Expr::app(
+            Expr::val(Value::Com { from: Party(0), to: parties![1, 2] }),
+            Expr::val(Value::Unit(parties![0])),
+        );
+        assert_eq!(expr.roles(), parties![0, 1, 2]);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = Expr::case(
+            parties![0],
+            Expr::val(Value::bool_true(parties![0])),
+            "x",
+            Expr::val(Value::Var("x".into())),
+            "y",
+            Expr::val(Value::Var("y".into())),
+        );
+        let s = e.to_string();
+        assert!(s.contains("case_{p0}"), "got {s}");
+        assert!(s.contains("Inl"), "got {s}");
+    }
+
+    #[test]
+    fn bool_encoding_round_trips() {
+        assert_eq!(
+            Value::bool_true(parties![0]),
+            Value::inl(Value::Unit(parties![0]))
+        );
+        assert!(matches!(Data::bool(), Data::Sum(_, _)));
+    }
+}

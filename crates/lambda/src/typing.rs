@@ -1,0 +1,483 @@
+//! The λC type system (Fig. 16), read algorithmically.
+//!
+//! A judgment `Θ; Γ ⊢ M : T` becomes `type_of(census, env, expr)`.
+//! Operator values (`com`, `fst`, `snd`, `lookup`) are typed at their
+//! application sites, where the argument determines the free
+//! metavariables of their declarative rules (see the crate docs).
+
+use crate::mask::{mask_is_noop, mask_type};
+use crate::party::PartySet;
+use crate::syntax::{Data, Expr, Type, Value, Var};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A typing context `Γ`.
+pub type Env = HashMap<Var, Type>;
+
+/// Why an expression failed to type-check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TypeError {
+    /// An unbound variable.
+    UnboundVar(Var),
+    /// A variable's type does not mask to the census (TVar).
+    UnmaskableVar(Var),
+    /// A party-set annotation escapes the census.
+    OutsideCensus {
+        /// The offending annotation.
+        annotation: PartySet,
+        /// The census in scope.
+        census: PartySet,
+    },
+    /// An empty party-set annotation (`p⁺` must be non-empty).
+    EmptyAnnotation,
+    /// A lambda's parameter type is not already masked to its parties
+    /// (the `noop▷` precondition of TLambda).
+    ParamNotMasked(Type),
+    /// Application of a non-function.
+    NotAFunction(Type),
+    /// The argument's type does not mask to the function's expectation.
+    ArgumentMismatch {
+        /// What the function expects.
+        expected: Type,
+        /// What the (masked) argument provides.
+        found: Option<Type>,
+    },
+    /// A case scrutinee whose masked type is not a sum.
+    NotASum(Type),
+    /// The two case branches disagree.
+    BranchMismatch(Type, Type),
+    /// A pair of data values whose owner sets are disjoint (TPair).
+    DisjointPair,
+    /// A projection or lookup applied to the wrong shape.
+    BadProjection(Type),
+    /// A tuple lookup out of range.
+    LookupOutOfRange(usize, usize),
+    /// A communication whose sender does not own the payload.
+    SenderLacksPayload {
+        /// The sender.
+        sender: crate::party::Party,
+        /// The payload's owners.
+        owners: PartySet,
+    },
+    /// An operator value (`com`, `fst`, ...) outside application position
+    /// (declarative rules are schemes; see crate docs).
+    OperatorNotApplied(&'static str),
+    /// Communication of a non-data type.
+    NotData(Type),
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::UnboundVar(x) => write!(f, "unbound variable {x}"),
+            TypeError::UnmaskableVar(x) => {
+                write!(f, "variable {x} is not visible in this census")
+            }
+            TypeError::OutsideCensus { annotation, census } => {
+                write!(f, "annotation {annotation} escapes census {census}")
+            }
+            TypeError::EmptyAnnotation => write!(f, "party-set annotation is empty"),
+            TypeError::ParamNotMasked(t) => {
+                write!(f, "lambda parameter type {t} is not masked to the lambda's parties")
+            }
+            TypeError::NotAFunction(t) => write!(f, "cannot apply a value of type {t}"),
+            TypeError::ArgumentMismatch { expected, found } => match found {
+                Some(found) => write!(f, "argument masks to {found}, expected {expected}"),
+                None => write!(f, "argument does not mask to the function's parties (expected {expected})"),
+            },
+            TypeError::NotASum(t) => write!(f, "case scrutinee has non-sum type {t}"),
+            TypeError::BranchMismatch(l, r) => {
+                write!(f, "case branches disagree: {l} versus {r}")
+            }
+            TypeError::DisjointPair => write!(f, "pair components have disjoint owners"),
+            TypeError::BadProjection(t) => write!(f, "cannot project from type {t}"),
+            TypeError::LookupOutOfRange(i, n) => {
+                write!(f, "lookup{i} out of range for a {n}-tuple")
+            }
+            TypeError::SenderLacksPayload { sender, owners } => {
+                write!(f, "sender {sender} does not own the payload (owners {owners})")
+            }
+            TypeError::OperatorNotApplied(op) => {
+                write!(f, "operator {op} is only typeable in application position")
+            }
+            TypeError::NotData(t) => write!(f, "type {t} is not communicable data"),
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+/// `Θ; Γ ⊢ M : T` (Fig. 16).
+///
+/// # Errors
+///
+/// Returns a [`TypeError`] describing the first violated rule.
+pub fn type_of(census: &PartySet, env: &Env, expr: &Expr) -> Result<Type, TypeError> {
+    match expr {
+        Expr::Val(v) => type_of_value(census, env, v),
+        Expr::App(m, n) => type_of_app(census, env, m, n),
+        Expr::Case { parties, scrutinee, left_var, left, right_var, right } => {
+            // TCase.
+            if parties.is_empty() {
+                return Err(TypeError::EmptyAnnotation);
+            }
+            if !parties.is_subset(census) {
+                return Err(TypeError::OutsideCensus {
+                    annotation: parties.clone(),
+                    census: census.clone(),
+                });
+            }
+            let t_n = type_of(census, env, scrutinee)?;
+            let masked = mask_type(&t_n, parties)
+                .ok_or_else(|| TypeError::NotASum(t_n.clone()))?;
+            let (dl, dr) = match &masked {
+                Type::Data(Data::Sum(dl, dr), owners) if owners == parties => {
+                    ((**dl).clone(), (**dr).clone())
+                }
+                _ => return Err(TypeError::NotASum(masked)),
+            };
+            let mut left_env = env.clone();
+            left_env.insert(left_var.clone(), Type::Data(dl, parties.clone()));
+            let t_l = type_of(parties, &left_env, left)?;
+            let mut right_env = env.clone();
+            right_env.insert(right_var.clone(), Type::Data(dr, parties.clone()));
+            let t_r = type_of(parties, &right_env, right)?;
+            if t_l != t_r {
+                return Err(TypeError::BranchMismatch(t_l, t_r));
+            }
+            Ok(t_l)
+        }
+    }
+}
+
+fn type_of_app(census: &PartySet, env: &Env, m: &Expr, n: &Expr) -> Result<Type, TypeError> {
+    // Operator schemes: com/fst/snd/lookup applied directly.
+    if let Expr::Val(op) = m {
+        match op {
+            Value::Com { from, to } => {
+                // TCom + TApp combined: the argument fixes d and s⁺.
+                if to.is_empty() {
+                    return Err(TypeError::EmptyAnnotation);
+                }
+                let fun_parties = PartySet::singleton(*from).union(to);
+                if !fun_parties.is_subset(census) {
+                    return Err(TypeError::OutsideCensus {
+                        annotation: fun_parties,
+                        census: census.clone(),
+                    });
+                }
+                let t_n = type_of(census, env, n)?;
+                return match &t_n {
+                    Type::Data(d, owners) => {
+                        if owners.contains(*from) {
+                            Ok(Type::Data(d.clone(), to.clone()))
+                        } else {
+                            Err(TypeError::SenderLacksPayload {
+                                sender: *from,
+                                owners: owners.clone(),
+                            })
+                        }
+                    }
+                    other => Err(TypeError::NotData(other.clone())),
+                };
+            }
+            Value::Fst(parties) | Value::Snd(parties) => {
+                // TProj1/TProj2 + TApp.
+                check_annotation(parties, census)?;
+                let t_n = type_of(census, env, n)?;
+                let masked = mask_type(&t_n, parties)
+                    .ok_or_else(|| TypeError::BadProjection(t_n.clone()))?;
+                return match masked {
+                    Type::Data(Data::Prod(d1, d2), owners) if owners == *parties => {
+                        let d = if matches!(op, Value::Fst(_)) { *d1 } else { *d2 };
+                        Ok(Type::Data(d, parties.clone()))
+                    }
+                    other => Err(TypeError::BadProjection(other)),
+                };
+            }
+            Value::Lookup(i, parties) => {
+                // TProjN + TApp.
+                check_annotation(parties, census)?;
+                let t_n = type_of(census, env, n)?;
+                let masked = mask_type(&t_n, parties)
+                    .ok_or_else(|| TypeError::BadProjection(t_n.clone()))?;
+                return match masked {
+                    Type::Tuple(ts) => {
+                        if *i < ts.len() {
+                            // noop▷p⁺ required by TProjN: components must
+                            // already be masked to `parties`.
+                            let t = ts[*i].clone();
+                            if mask_is_noop(&Type::Tuple(ts.clone()), parties) {
+                                Ok(t)
+                            } else {
+                                Err(TypeError::BadProjection(Type::Tuple(ts)))
+                            }
+                        } else {
+                            Err(TypeError::LookupOutOfRange(*i, ts.len()))
+                        }
+                    }
+                    other => Err(TypeError::BadProjection(other)),
+                };
+            }
+            _ => {}
+        }
+    }
+
+    // General TApp.
+    let t_m = type_of(census, env, m)?;
+    match t_m {
+        Type::Fun(t_a, t_r, parties) => {
+            let t_n = type_of(census, env, n)?;
+            let masked = mask_type(&t_n, &parties);
+            if masked.as_ref() == Some(&*t_a) {
+                Ok(*t_r)
+            } else {
+                Err(TypeError::ArgumentMismatch { expected: *t_a, found: masked })
+            }
+        }
+        other => Err(TypeError::NotAFunction(other)),
+    }
+}
+
+fn type_of_value(census: &PartySet, env: &Env, value: &Value) -> Result<Type, TypeError> {
+    match value {
+        Value::Var(x) => {
+            // TVar: the environment's type, masked to the census.
+            let ty = env.get(x).ok_or_else(|| TypeError::UnboundVar(x.clone()))?;
+            mask_type(ty, census).ok_or_else(|| TypeError::UnmaskableVar(x.clone()))
+        }
+        Value::Lambda { param, param_ty, body, parties } => {
+            // TLambda.
+            check_annotation(parties, census)?;
+            if !mask_is_noop(param_ty, parties) {
+                return Err(TypeError::ParamNotMasked(param_ty.clone()));
+            }
+            let mut body_env = env.clone();
+            body_env.insert(param.clone(), param_ty.clone());
+            let t_r = type_of(parties, &body_env, body)?;
+            Ok(Type::fun(param_ty.clone(), t_r, parties.clone()))
+        }
+        Value::Unit(owners) => {
+            // TUnit.
+            check_annotation(owners, census)?;
+            Ok(Type::Data(Data::Unit, owners.clone()))
+        }
+        Value::Inl(v) => {
+            // TInl: the right component is free in the declarative rule;
+            // we canonicalize it to Unit. (Generated programs branch on
+            // booleans `()+()`, where this is exact.)
+            match type_of_value(census, env, v)? {
+                Type::Data(d, owners) => {
+                    Ok(Type::Data(Data::sum(d, Data::Unit), owners))
+                }
+                other => Err(TypeError::NotData(other)),
+            }
+        }
+        Value::Inr(v) => match type_of_value(census, env, v)? {
+            Type::Data(d, owners) => Ok(Type::Data(Data::sum(Data::Unit, d), owners)),
+            other => Err(TypeError::NotData(other)),
+        },
+        Value::Pair(l, r) => {
+            // TPair: owners intersect.
+            let t_l = type_of_value(census, env, l)?;
+            let t_r = type_of_value(census, env, r)?;
+            match (t_l, t_r) {
+                (Type::Data(d1, p1), Type::Data(d2, p2)) => {
+                    let shared = p1.intersection(&p2);
+                    if shared.is_empty() {
+                        Err(TypeError::DisjointPair)
+                    } else {
+                        Ok(Type::Data(Data::prod(d1, d2), shared))
+                    }
+                }
+                (l, _) => Err(TypeError::NotData(l)),
+            }
+        }
+        Value::Tuple(vs) => {
+            // TVec.
+            let ts: Result<Vec<Type>, TypeError> =
+                vs.iter().map(|v| type_of_value(census, env, v)).collect();
+            Ok(Type::Tuple(ts?))
+        }
+        Value::Fst(_) => Err(TypeError::OperatorNotApplied("fst")),
+        Value::Snd(_) => Err(TypeError::OperatorNotApplied("snd")),
+        Value::Lookup(_, _) => Err(TypeError::OperatorNotApplied("lookup")),
+        Value::Com { .. } => Err(TypeError::OperatorNotApplied("com")),
+    }
+}
+
+fn check_annotation(annotation: &PartySet, census: &PartySet) -> Result<(), TypeError> {
+    if annotation.is_empty() {
+        Err(TypeError::EmptyAnnotation)
+    } else if !annotation.is_subset(census) {
+        Err(TypeError::OutsideCensus { annotation: annotation.clone(), census: census.clone() })
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parties;
+    use crate::party::Party;
+
+    fn check(census: &PartySet, expr: &Expr) -> Result<Type, TypeError> {
+        type_of(census, &Env::new(), expr)
+    }
+
+    #[test]
+    fn units_type_at_their_owners() {
+        let e = Expr::val(Value::Unit(parties![0, 1]));
+        assert_eq!(
+            check(&parties![0, 1, 2], &e),
+            Ok(Type::data(Data::Unit, parties![0, 1]))
+        );
+        assert!(matches!(
+            check(&parties![0], &e),
+            Err(TypeError::OutsideCensus { .. })
+        ));
+    }
+
+    #[test]
+    fn identity_lambda_masks_its_argument() {
+        // (λx: ()@{0}. x)@{0} applied to ()@{0,1}  — the §D.2 example.
+        let lam = Value::lambda(
+            "x",
+            Type::data(Data::Unit, parties![0]),
+            Expr::val(Value::Var("x".into())),
+            parties![0],
+        );
+        let app = Expr::app(Expr::val(lam), Expr::val(Value::Unit(parties![0, 1])));
+        assert_eq!(
+            check(&parties![0, 1], &app),
+            Ok(Type::data(Data::Unit, parties![0]))
+        );
+    }
+
+    #[test]
+    fn lambda_with_unmasked_param_is_rejected() {
+        let lam = Value::lambda(
+            "x",
+            Type::data(Data::Unit, parties![0, 1]), // not masked to {0}
+            Expr::val(Value::Var("x".into())),
+            parties![0],
+        );
+        assert!(matches!(
+            check(&parties![0, 1], &Expr::val(lam)),
+            Err(TypeError::ParamNotMasked(_))
+        ));
+    }
+
+    #[test]
+    fn com_types_at_the_recipients() {
+        let app = Expr::app(
+            Expr::val(Value::Com { from: Party(0), to: parties![1, 2] }),
+            Expr::val(Value::Unit(parties![0])),
+        );
+        assert_eq!(
+            check(&parties![0, 1, 2], &app),
+            Ok(Type::data(Data::Unit, parties![1, 2]))
+        );
+    }
+
+    #[test]
+    fn com_requires_the_sender_to_own_the_payload() {
+        let app = Expr::app(
+            Expr::val(Value::Com { from: Party(0), to: parties![1] }),
+            Expr::val(Value::Unit(parties![2])),
+        );
+        assert!(matches!(
+            check(&parties![0, 1, 2], &app),
+            Err(TypeError::SenderLacksPayload { .. })
+        ));
+    }
+
+    #[test]
+    fn case_requires_scrutinee_ownership() {
+        // Everyone in the case's parties must own the scrutinee.
+        let scrutinee = Expr::val(Value::bool_true(parties![0]));
+        let case = Expr::case(
+            parties![0, 1],
+            scrutinee,
+            "x",
+            Expr::val(Value::Unit(parties![0, 1])),
+            "y",
+            Expr::val(Value::Unit(parties![0, 1])),
+        );
+        assert!(matches!(check(&parties![0, 1], &case), Err(TypeError::NotASum(_))));
+    }
+
+    #[test]
+    fn well_formed_case_types() {
+        let scrutinee = Expr::val(Value::bool_true(parties![0, 1]));
+        let case = Expr::case(
+            parties![0, 1],
+            scrutinee,
+            "x",
+            Expr::val(Value::Unit(parties![0, 1])),
+            "y",
+            Expr::val(Value::Unit(parties![0, 1])),
+        );
+        assert_eq!(
+            check(&parties![0, 1], &case),
+            Ok(Type::data(Data::Unit, parties![0, 1]))
+        );
+    }
+
+    #[test]
+    fn branch_mismatch_is_detected() {
+        let case = Expr::case(
+            parties![0],
+            Expr::val(Value::bool_true(parties![0])),
+            "x",
+            Expr::val(Value::Unit(parties![0])),
+            "y",
+            Expr::val(Value::pair(Value::Unit(parties![0]), Value::Unit(parties![0]))),
+        );
+        assert!(matches!(
+            check(&parties![0], &case),
+            Err(TypeError::BranchMismatch(_, _))
+        ));
+    }
+
+    #[test]
+    fn projections_type_through_application() {
+        let pair = Value::pair(Value::Unit(parties![0, 1]), Value::Unit(parties![0, 1]));
+        let app = Expr::app(Expr::val(Value::Fst(parties![0])), Expr::val(pair));
+        assert_eq!(check(&parties![0, 1], &app), Ok(Type::data(Data::Unit, parties![0])));
+    }
+
+    #[test]
+    fn bare_operators_are_rejected() {
+        assert!(matches!(
+            check(&parties![0], &Expr::val(Value::Fst(parties![0]))),
+            Err(TypeError::OperatorNotApplied("fst"))
+        ));
+        assert!(matches!(
+            check(&parties![0], &Expr::val(Value::Com { from: Party(0), to: parties![0] })),
+            Err(TypeError::OperatorNotApplied("com"))
+        ));
+    }
+
+    #[test]
+    fn tuples_and_lookup() {
+        let tuple = Value::Tuple(vec![
+            Value::Unit(parties![0]),
+            Value::Unit(parties![0]),
+        ]);
+        let app = Expr::app(Expr::val(Value::Lookup(1, parties![0])), Expr::val(tuple));
+        assert_eq!(check(&parties![0], &app), Ok(Type::data(Data::Unit, parties![0])));
+
+        let short = Value::Tuple(vec![Value::Unit(parties![0])]);
+        let bad = Expr::app(Expr::val(Value::Lookup(3, parties![0])), Expr::val(short));
+        assert!(matches!(check(&parties![0], &bad), Err(TypeError::LookupOutOfRange(3, 1))));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let err = check(&parties![0], &Expr::val(Value::Var("ghost".into()))).unwrap_err();
+        assert!(err.to_string().contains("ghost"));
+    }
+}

@@ -1,0 +1,87 @@
+//! Negative tests: the type system rejects exactly the programs whose
+//! projections would deadlock — the formal justification for the
+//! conclaves-&-MLVs knowledge-of-choice discipline.
+
+use chorus_lambda::network::{Network, Outcome};
+use chorus_lambda::parties;
+use chorus_lambda::syntax::{Expr, Value};
+use chorus_lambda::typing::{type_of, Env, TypeError};
+use chorus_lambda::Party;
+
+/// A conditional whose branches make party 2 receive, while party 2 has
+/// no knowledge of the choice (it does not own the scrutinee).
+fn koc_violation() -> Expr {
+    let send_to_2 = Expr::app(
+        Expr::val(Value::Com { from: Party(0), to: parties![2] }),
+        Expr::val(Value::Unit(parties![0])),
+    );
+    Expr::case(
+        parties![0], // only party 0 branches...
+        Expr::val(Value::bool_true(parties![0])),
+        "x",
+        send_to_2.clone(), // ...but the branch involves party 2
+        "y",
+        send_to_2,
+    )
+}
+
+#[test]
+fn branch_bodies_must_stay_inside_the_conclave() {
+    // TCase conclaves the branches to {0}; com_{0;{2}} needs {0,2}.
+    let err = type_of(&parties![0, 1, 2], &Env::new(), &koc_violation()).unwrap_err();
+    assert!(
+        matches!(err, TypeError::OutsideCensus { .. }),
+        "expected an OutsideCensus error, got {err:?}"
+    );
+}
+
+#[test]
+fn the_rejected_program_would_deadlock() {
+    // Corollary 1 only protects *well-typed* programs: if we project the
+    // ill-typed choreography anyway, party 2's projection skips the case
+    // (it lacks knowledge of choice) while party 0 tries to send — a
+    // deadlock, which is exactly what the type system prevented.
+    let mut net = Network::project_all(&koc_violation());
+    match net.run(10_000) {
+        Outcome::Deadlock { blocked } => {
+            assert!(blocked.contains_key(&Party(0)), "the sender is stuck");
+        }
+        other => panic!("expected a deadlock, got {other:?}"),
+    }
+}
+
+#[test]
+fn scrutinee_ownership_is_required() {
+    // All branching parties must own the scrutinee (TCase's masking
+    // precondition) — party 1 branches without knowing the value.
+    let expr = Expr::case(
+        parties![0, 1],
+        Expr::val(Value::bool_true(parties![0])),
+        "x",
+        Expr::val(Value::Unit(parties![0, 1])),
+        "y",
+        Expr::val(Value::Unit(parties![0, 1])),
+    );
+    let err = type_of(&parties![0, 1], &Env::new(), &expr).unwrap_err();
+    assert!(matches!(err, TypeError::NotASum(_)), "got {err:?}");
+}
+
+#[test]
+fn communication_needs_the_sender_in_the_census() {
+    let expr = Expr::app(
+        Expr::val(Value::Com { from: Party(5), to: parties![1] }),
+        Expr::val(Value::Unit(parties![5])),
+    );
+    let err = type_of(&parties![0, 1], &Env::new(), &expr).unwrap_err();
+    assert!(matches!(err, TypeError::OutsideCensus { .. }), "got {err:?}");
+}
+
+#[test]
+fn empty_recipient_sets_are_rejected() {
+    let expr = Expr::app(
+        Expr::val(Value::Com { from: Party(0), to: chorus_lambda::PartySet::empty() }),
+        Expr::val(Value::Unit(parties![0])),
+    );
+    let err = type_of(&parties![0, 1], &Env::new(), &expr).unwrap_err();
+    assert!(matches!(err, TypeError::EmptyAnnotation), "got {err:?}");
+}

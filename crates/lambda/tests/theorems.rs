@@ -1,0 +1,167 @@
+//! Dynamic checks of the paper's metatheory (§4.1, Appendices F–I) on
+//! randomly generated well-typed programs:
+//!
+//! * **Progress** (Theorem 3): a well-typed expression is a value or can
+//!   step.
+//! * **Preservation** (Theorem 2): stepping preserves the type exactly.
+//! * **Termination**: λC has no recursion, so evaluation reaches a value.
+//! * **EPP soundness & completeness** (Theorems 4–5): the projected
+//!   network reaches exactly the projection of the central result.
+//! * **Deadlock freedom** (Corollary 1): the projected network never
+//!   gets stuck.
+
+use chorus_lambda::epp::project;
+use chorus_lambda::gen::{census_of, gen_program, GenConfig};
+use chorus_lambda::local::floor_value;
+use chorus_lambda::network::{Network, Outcome};
+use chorus_lambda::semantics::{eval, step};
+use chorus_lambda::syntax::Expr;
+use chorus_lambda::typing::{type_of, Env};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const FUEL: usize = 100_000;
+
+fn generate(seed: u64, census_size: u32, depth: usize) -> (Expr, chorus_lambda::Type) {
+    let config = GenConfig { census_size, max_depth: depth, max_data_depth: 2 };
+    let mut rng = StdRng::seed_from_u64(seed);
+    gen_program(&mut rng, &config)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// Theorems 2 + 3: every intermediate expression is well-typed at
+    /// the same type, and only values fail to step.
+    #[test]
+    fn progress_and_preservation(seed: u64, census_size in 1u32..4, depth in 1usize..5) {
+        let (expr, ty) = generate(seed, census_size, depth);
+        let census = census_of(&GenConfig { census_size, max_depth: depth, max_data_depth: 2 });
+        let mut current = expr;
+        for _ in 0..FUEL {
+            let checked = type_of(&census, &Env::new(), &current);
+            prop_assert_eq!(
+                checked.as_ref(),
+                Ok(&ty),
+                "preservation failed at {}",
+                current
+            );
+            match step(&current) {
+                Some(next) => current = next,
+                None => {
+                    // Progress: a non-stepping expression must be a value.
+                    prop_assert!(
+                        matches!(current, Expr::Val(_)),
+                        "stuck non-value: {}",
+                        current
+                    );
+                    return Ok(());
+                }
+            }
+        }
+        prop_assert!(false, "evaluation did not terminate");
+    }
+
+    /// Theorems 4 + 5 and Corollary 1: the network of projections runs
+    /// without deadlock to exactly the projection of the central result.
+    #[test]
+    fn epp_is_sound_and_complete_and_deadlock_free(
+        seed: u64,
+        census_size in 1u32..4,
+        depth in 1usize..5,
+    ) {
+        let (expr, _ty) = generate(seed, census_size, depth);
+        let central = eval(&expr, FUEL).expect("well-typed programs evaluate");
+
+        let mut network = Network::project_all(&expr);
+        match network.run(FUEL) {
+            Outcome::Finished(values) => {
+                for (party, local_value) in &values {
+                    let expected = floor_value(&project_value_of(&central, *party));
+                    prop_assert_eq!(
+                        local_value,
+                        &expected,
+                        "party {} disagrees with the central semantics for {}",
+                        party,
+                        expr
+                    );
+                }
+            }
+            Outcome::Deadlock { blocked } => {
+                prop_assert!(false, "deadlock {:?} running {}", blocked, expr);
+            }
+            Outcome::OutOfFuel => prop_assert!(false, "network out of fuel for {}", expr),
+        }
+    }
+}
+
+/// Projects a central *value* to a party (the value fragment of `⟦·⟧p`).
+fn project_value_of(
+    value: &chorus_lambda::Value,
+    party: chorus_lambda::Party,
+) -> chorus_lambda::local::LValue {
+    match project(&Expr::Val(value.clone()), party) {
+        chorus_lambda::local::LExpr::Val(v) => v,
+        other => panic!("projection of a value is a value, got {other}"),
+    }
+}
+
+/// A handwritten end-to-end sanity check matching the paper's D.8
+/// example: `⟦com_{s;{p,q}} ()@{s}⟧` reaches `⟦()@{p,q}⟧` in one
+/// rendezvous.
+#[test]
+fn paper_example_network() {
+    use chorus_lambda::parties;
+    use chorus_lambda::syntax::Value;
+    use chorus_lambda::Party;
+
+    let expr = Expr::app(
+        Expr::val(Value::Com { from: Party(0), to: parties![1, 2] }),
+        Expr::val(Value::Unit(parties![0])),
+    );
+    let central = eval(&expr, 100).unwrap();
+    assert_eq!(central, Value::Unit(parties![1, 2]));
+
+    let mut network = Network::project_all(&expr);
+    match network.run(100) {
+        Outcome::Finished(values) => {
+            assert_eq!(values[&Party(1)], chorus_lambda::local::LValue::Unit);
+            assert_eq!(values[&Party(2)], chorus_lambda::local::LValue::Unit);
+            assert_eq!(values[&Party(0)], chorus_lambda::local::LValue::Bottom);
+        }
+        other => panic!("unexpected outcome {other:?}"),
+    }
+}
+
+/// Volume check outside proptest: a large batch of bigger programs, all
+/// four theorems at once.
+#[test]
+fn theorem_sweep_on_larger_programs() {
+    let mut failures = Vec::new();
+    for seed in 0..150u64 {
+        let (expr, ty) = generate(seed.wrapping_mul(0x9E3779B97F4A7C15), 4, 6);
+        let census = census_of(&GenConfig { census_size: 4, max_depth: 6, max_data_depth: 2 });
+        if type_of(&census, &Env::new(), &expr).as_ref() != Ok(&ty) {
+            failures.push(format!("seed {seed}: generator/type mismatch"));
+            continue;
+        }
+        let Some(central) = eval(&expr, FUEL) else {
+            failures.push(format!("seed {seed}: did not evaluate"));
+            continue;
+        };
+        let mut network = Network::project_all(&expr);
+        match network.run(FUEL) {
+            Outcome::Finished(values) => {
+                for (party, v) in values {
+                    let expected = floor_value(&project_value_of(&central, party));
+                    if v != expected {
+                        failures.push(format!("seed {seed}: {party} got {v}, wanted {expected}"));
+                    }
+                }
+            }
+            other => failures.push(format!("seed {seed}: network outcome {other:?}")),
+        }
+    }
+    assert!(failures.is_empty(), "{} failures:\n{}", failures.len(), failures.join("\n"));
+}

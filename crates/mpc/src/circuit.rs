@@ -1,0 +1,244 @@
+//! Boolean circuits for the GMW protocol (Fig. 8).
+//!
+//! Mirrors the paper's `Circuit` GADT:
+//!
+//! ```haskell
+//! data Circuit :: [LocTy] -> Type where
+//!   InputWire :: Member p ps -> Circuit ps
+//!   LitWire   :: Bool -> Circuit ps
+//!   AndGate   :: Circuit ps -> Circuit ps -> Circuit ps
+//!   XorGate   :: Circuit ps -> Circuit ps -> Circuit ps
+//! ```
+//!
+//! In Rust the input's owner is a location *name* resolved at run time;
+//! the GMW choreography checks that every named party is in its census.
+
+use rand::Rng;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A boolean circuit over the inputs of named parties.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Circuit {
+    /// A secret input supplied by the named party. Each occurrence
+    /// consumes the party's next unused input value.
+    Input {
+        /// The party providing the input.
+        party: &'static str,
+        /// Index into that party's input vector.
+        index: usize,
+    },
+    /// A public constant.
+    Lit(bool),
+    /// Logical AND of two sub-circuits (requires OT under GMW).
+    And(Box<Circuit>, Box<Circuit>),
+    /// Logical XOR of two sub-circuits (free under GMW).
+    Xor(Box<Circuit>, Box<Circuit>),
+}
+
+impl Circuit {
+    /// An input wire for `party`'s `index`-th input.
+    pub fn input(party: &'static str, index: usize) -> Self {
+        Circuit::Input { party, index }
+    }
+
+    /// A literal wire.
+    pub fn lit(value: bool) -> Self {
+        Circuit::Lit(value)
+    }
+
+    /// Conjunction.
+    pub fn and(self, rhs: Circuit) -> Self {
+        Circuit::And(Box::new(self), Box::new(rhs))
+    }
+
+    /// Exclusive or.
+    pub fn xor(self, rhs: Circuit) -> Self {
+        Circuit::Xor(Box::new(self), Box::new(rhs))
+    }
+
+    /// Negation, encoded as `x ⊕ 1`.
+    pub fn not(self) -> Self {
+        self.xor(Circuit::Lit(true))
+    }
+
+    /// Disjunction, encoded as `(x ⊕ y) ⊕ (x ∧ y)`.
+    pub fn or(self, rhs: Circuit) -> Self {
+        let x = self.clone();
+        let y = rhs.clone();
+        self.xor(rhs).xor(x.and(y))
+    }
+
+    /// Evaluates the circuit in the clear — the correctness oracle for
+    /// the GMW choreography.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an input wire names a party or index missing from
+    /// `inputs`.
+    pub fn eval_plain(&self, inputs: &BTreeMap<&str, Vec<bool>>) -> bool {
+        match self {
+            Circuit::Input { party, index } => {
+                *inputs
+                    .get(party)
+                    .unwrap_or_else(|| panic!("no inputs for party {party}"))
+                    .get(*index)
+                    .unwrap_or_else(|| panic!("party {party} has no input #{index}"))
+            }
+            Circuit::Lit(b) => *b,
+            Circuit::And(l, r) => l.eval_plain(inputs) && r.eval_plain(inputs),
+            Circuit::Xor(l, r) => l.eval_plain(inputs) ^ r.eval_plain(inputs),
+        }
+    }
+
+    /// Counts `(inputs, literals, and_gates, xor_gates)`.
+    pub fn gate_counts(&self) -> GateCounts {
+        let mut counts = GateCounts::default();
+        self.count_into(&mut counts);
+        counts
+    }
+
+    fn count_into(&self, counts: &mut GateCounts) {
+        match self {
+            Circuit::Input { .. } => counts.inputs += 1,
+            Circuit::Lit(_) => counts.literals += 1,
+            Circuit::And(l, r) => {
+                counts.and_gates += 1;
+                l.count_into(counts);
+                r.count_into(counts);
+            }
+            Circuit::Xor(l, r) => {
+                counts.xor_gates += 1;
+                l.count_into(counts);
+                r.count_into(counts);
+            }
+        }
+    }
+
+    /// The number of inputs each party must supply: `party -> count`,
+    /// where `count` is one past the largest index used.
+    pub fn required_inputs(&self) -> BTreeMap<&'static str, usize> {
+        let mut required = BTreeMap::new();
+        self.collect_inputs(&mut required);
+        required
+    }
+
+    fn collect_inputs(&self, required: &mut BTreeMap<&'static str, usize>) {
+        match self {
+            Circuit::Input { party, index } => {
+                let entry = required.entry(*party).or_insert(0);
+                *entry = (*entry).max(index + 1);
+            }
+            Circuit::Lit(_) => {}
+            Circuit::And(l, r) | Circuit::Xor(l, r) => {
+                l.collect_inputs(required);
+                r.collect_inputs(required);
+            }
+        }
+    }
+
+    /// Generates a random circuit with `gates` internal gates over the
+    /// given parties, one input wire per party. Used by benchmarks and
+    /// property tests.
+    pub fn random<R: Rng + ?Sized>(rng: &mut R, parties: &[&'static str], gates: usize) -> Self {
+        assert!(!parties.is_empty(), "need at least one party");
+        let mut pool: Vec<Circuit> = parties.iter().map(|p| Circuit::input(p, 0)).collect();
+        pool.push(Circuit::lit(rng.gen()));
+        for _ in 0..gates {
+            let a = pool[rng.gen_range(0..pool.len())].clone();
+            let b = pool[rng.gen_range(0..pool.len())].clone();
+            let gate = if rng.gen() { a.and(b) } else { a.xor(b) };
+            pool.push(gate);
+        }
+        pool.pop().expect("pool is nonempty")
+    }
+}
+
+/// Gate statistics for a [`Circuit`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GateCounts {
+    /// Input wires.
+    pub inputs: usize,
+    /// Literal wires.
+    pub literals: usize,
+    /// AND gates (each costs n·(n−1) oblivious transfers under GMW).
+    pub and_gates: usize,
+    /// XOR gates (free under GMW).
+    pub xor_gates: usize,
+}
+
+impl fmt::Display for GateCounts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} inputs, {} literals, {} AND, {} XOR",
+            self.inputs, self.literals, self.and_gates, self.xor_gates
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn inputs(pairs: &[(&'static str, &[bool])]) -> BTreeMap<&'static str, Vec<bool>> {
+        pairs.iter().map(|(p, v)| (*p, v.to_vec())).collect()
+    }
+
+    #[test]
+    fn gates_evaluate_truthfully() {
+        let x = || Circuit::input("a", 0);
+        let y = || Circuit::input("b", 0);
+        for xa in [false, true] {
+            for yb in [false, true] {
+                let env = inputs(&[("a", &[xa]), ("b", &[yb])]);
+                assert_eq!(x().and(y()).eval_plain(&env), xa && yb);
+                assert_eq!(x().xor(y()).eval_plain(&env), xa ^ yb);
+                assert_eq!(x().or(y()).eval_plain(&env), xa || yb);
+                assert_eq!(x().not().eval_plain(&env), !xa);
+            }
+        }
+    }
+
+    #[test]
+    fn multiple_inputs_per_party() {
+        let c = Circuit::input("a", 0).xor(Circuit::input("a", 1));
+        let env = inputs(&[("a", &[true, false])]);
+        assert!(c.eval_plain(&env));
+        assert_eq!(c.required_inputs()["a"], 2);
+    }
+
+    #[test]
+    fn gate_counts_are_accurate() {
+        let c = Circuit::input("a", 0)
+            .and(Circuit::input("b", 0))
+            .xor(Circuit::lit(true));
+        let counts = c.gate_counts();
+        assert_eq!(
+            counts,
+            GateCounts { inputs: 2, literals: 1, and_gates: 1, xor_gates: 1 }
+        );
+        assert!(!counts.to_string().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "no inputs for party")]
+    fn missing_party_panics() {
+        Circuit::input("ghost", 0).eval_plain(&BTreeMap::new());
+    }
+
+    #[test]
+    fn random_circuits_are_well_formed() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let parties = ["p1", "p2", "p3"];
+        for gates in [0, 1, 5, 50] {
+            let c = Circuit::random(&mut rng, &parties, gates);
+            let required = c.required_inputs();
+            let env: BTreeMap<&str, Vec<bool>> =
+                required.iter().map(|(p, n)| (*p, vec![true; *n])).collect();
+            let _ = c.eval_plain(&env); // must not panic
+        }
+    }
+}

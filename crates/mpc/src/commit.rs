@@ -1,0 +1,72 @@
+//! Salted hash commitments (Appendix C, steps 2 and 4).
+//!
+//! "Each server computes and publishes the hash α = H(ρ, ψ) to serve as a
+//! commitment"; later "all servers verify each other's commitment by
+//! checking α = H(ρ, ψ)". The commitment prevents any server from
+//! choosing its "random" value after seeing the others'.
+
+use crate::sha256::Sha256;
+use serde::{Deserialize, Serialize};
+
+/// A binding, hiding (up to SHA-256) commitment to a `u64` value with a
+/// `u64` salt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Commitment([u8; 32]);
+
+impl Commitment {
+    /// Commits to `value` with `salt`: `α = H(ρ, ψ)`.
+    pub fn commit(value: u64, salt: u64) -> Self {
+        let mut hasher = Sha256::new();
+        hasher.update(&value.to_le_bytes());
+        hasher.update(&salt.to_le_bytes());
+        Commitment(hasher.finalize())
+    }
+
+    /// Checks an opened commitment.
+    pub fn verify(&self, value: u64, salt: u64) -> bool {
+        *self == Self::commit(value, salt)
+    }
+
+    /// The raw digest.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn honest_openings_verify(value: u64, salt: u64) {
+            prop_assert!(Commitment::commit(value, salt).verify(value, salt));
+        }
+
+        #[test]
+        fn wrong_value_fails(value: u64, salt: u64, other: u64) {
+            prop_assume!(value != other);
+            prop_assert!(!Commitment::commit(value, salt).verify(other, salt));
+        }
+
+        #[test]
+        fn wrong_salt_fails(value: u64, salt: u64, other: u64) {
+            prop_assume!(salt != other);
+            prop_assert!(!Commitment::commit(value, salt).verify(value, other));
+        }
+    }
+
+    #[test]
+    fn commitment_is_deterministic() {
+        assert_eq!(Commitment::commit(7, 9), Commitment::commit(7, 9));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = Commitment::commit(123, 456);
+        let bytes = chorus_wire::to_bytes(&c).unwrap();
+        let back: Commitment = chorus_wire::from_bytes(&bytes).unwrap();
+        assert_eq!(c, back);
+    }
+}

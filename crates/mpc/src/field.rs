@@ -1,0 +1,267 @@
+//! Prime-field arithmetic.
+//!
+//! [`Fp<P>`] is the field of integers modulo the prime `P`. Two instances
+//! are used throughout the case studies: [`FLOTTERY`] (the field of size
+//! 999983 from the paper's Appendix C — "we used the finite field of size
+//! 999983") and [`F61`] (the Mersenne prime 2⁶¹−1, used as the ambient
+//! group for oblivious transfer).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// An element of the prime field of order `P`.
+///
+/// The representation is always reduced: `0 <= value < P`.
+///
+/// # Examples
+///
+/// ```
+/// use chorus_mpc::field::Fp;
+///
+/// type F7 = Fp<7>;
+/// let a = F7::new(5);
+/// let b = F7::new(4);
+/// assert_eq!((a + b).value(), 2);
+/// assert_eq!((a * b).value(), 6);
+/// assert_eq!((a / b).value(), (a * b.inverse()).value());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Fp<const P: u64>(u64);
+
+/// The DPrio lottery field (Appendix C).
+pub type FLOTTERY = Fp<999_983>;
+
+/// The Mersenne-prime field 2⁶¹ − 1.
+pub type F61 = Fp<2_305_843_009_213_693_951>;
+
+impl<const P: u64> Fp<P> {
+    /// The additive identity.
+    pub const ZERO: Self = Fp(0);
+    /// The multiplicative identity.
+    pub const ONE: Self = Fp(1 % P);
+
+    /// Creates a field element, reducing modulo `P`.
+    pub const fn new(value: u64) -> Self {
+        Fp(value % P)
+    }
+
+    /// The canonical representative in `0..P`.
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+
+    /// The field order.
+    pub const fn order() -> u64 {
+        P
+    }
+
+    /// Samples a uniformly random element.
+    pub fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        Fp(rng.gen_range(0..P))
+    }
+
+    /// Modular exponentiation by squaring.
+    pub fn pow(self, mut exp: u64) -> Self {
+        let mut base = self;
+        let mut acc = Self::ONE;
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc *= base;
+            }
+            base *= base;
+            exp >>= 1;
+        }
+        acc
+    }
+
+    /// The multiplicative inverse, by Fermat's little theorem.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero, which has no inverse.
+    pub fn inverse(self) -> Self {
+        assert!(self.0 != 0, "zero has no multiplicative inverse");
+        self.pow(P - 2)
+    }
+}
+
+impl<const P: u64> fmt::Display for Fp<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl<const P: u64> Default for Fp<P> {
+    fn default() -> Self {
+        Self::ZERO
+    }
+}
+
+impl<const P: u64> From<u64> for Fp<P> {
+    fn from(value: u64) -> Self {
+        Self::new(value)
+    }
+}
+
+impl<const P: u64> Add for Fp<P> {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        let (sum, overflow) = self.0.overflowing_add(rhs.0);
+        if overflow {
+            // Only possible when P > 2^63; handled via u128.
+            Fp(((self.0 as u128 + rhs.0 as u128) % P as u128) as u64)
+        } else {
+            Fp(sum % P)
+        }
+    }
+}
+
+impl<const P: u64> AddAssign for Fp<P> {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl<const P: u64> Sub for Fp<P> {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        if self.0 >= rhs.0 {
+            Fp(self.0 - rhs.0)
+        } else {
+            Fp(P - (rhs.0 - self.0))
+        }
+    }
+}
+
+impl<const P: u64> SubAssign for Fp<P> {
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+
+impl<const P: u64> Neg for Fp<P> {
+    type Output = Self;
+    fn neg(self) -> Self {
+        Self::ZERO - self
+    }
+}
+
+impl<const P: u64> Mul for Fp<P> {
+    type Output = Self;
+    fn mul(self, rhs: Self) -> Self {
+        Fp(((self.0 as u128 * rhs.0 as u128) % P as u128) as u64)
+    }
+}
+
+impl<const P: u64> MulAssign for Fp<P> {
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl<const P: u64> Div for Fp<P> {
+    type Output = Self;
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    fn div(self, rhs: Self) -> Self {
+        self * rhs.inverse()
+    }
+}
+
+impl<const P: u64> std::iter::Sum for Fp<P> {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::ZERO, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+
+    type F = FLOTTERY;
+
+    fn arb_f() -> impl Strategy<Value = F> {
+        (0u64..F::order()).prop_map(F::new)
+    }
+
+    proptest! {
+        #[test]
+        fn addition_commutes(a in arb_f(), b in arb_f()) {
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        #[test]
+        fn addition_associates(a in arb_f(), b in arb_f(), c in arb_f()) {
+            prop_assert_eq!((a + b) + c, a + (b + c));
+        }
+
+        #[test]
+        fn multiplication_distributes(a in arb_f(), b in arb_f(), c in arb_f()) {
+            prop_assert_eq!(a * (b + c), a * b + a * c);
+        }
+
+        #[test]
+        fn subtraction_inverts_addition(a in arb_f(), b in arb_f()) {
+            prop_assert_eq!(a + b - b, a);
+        }
+
+        #[test]
+        fn negation_sums_to_zero(a in arb_f()) {
+            prop_assert_eq!(a + (-a), F::ZERO);
+        }
+
+        #[test]
+        fn nonzero_elements_have_inverses(a in (1u64..F::order()).prop_map(F::new)) {
+            prop_assert_eq!(a * a.inverse(), F::ONE);
+            prop_assert_eq!(a / a, F::ONE);
+        }
+
+        #[test]
+        fn pow_matches_repeated_multiplication(a in arb_f(), e in 0u64..32) {
+            let mut expected = F::ONE;
+            for _ in 0..e {
+                expected *= a;
+            }
+            prop_assert_eq!(a.pow(e), expected);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn mersenne_field_arithmetic_is_consistent(a in any::<u64>(), b in any::<u64>()) {
+            let x = F61::new(a);
+            let y = F61::new(b);
+            prop_assert_eq!(x + y - y, x);
+            prop_assert_eq!(x * y, y * x);
+        }
+    }
+
+    #[test]
+    fn constants_are_reduced() {
+        assert_eq!(F::ZERO.value(), 0);
+        assert_eq!(F::ONE.value(), 1);
+        assert_eq!(Fp::<2>::new(5).value(), 1);
+    }
+
+    #[test]
+    fn random_sampling_is_in_range() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            assert!(F::random(&mut rng).value() < F::order());
+        }
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let a = F::new(123_456);
+        let bytes = chorus_wire::to_bytes(&a).unwrap();
+        let back: F = chorus_wire::from_bytes(&bytes).unwrap();
+        assert_eq!(a, back);
+    }
+}

@@ -1,0 +1,32 @@
+//! Cryptographic substrate for the paper's case studies (§6, Appendices
+//! A and C).
+//!
+//! Everything here is built from scratch on the standard library:
+//!
+//! * [`field`] — prime-field arithmetic, including the field of size
+//!   999983 used by the DPrio lottery (Appendix C) and a 61-bit Mersenne
+//!   field used as the group for oblivious transfer.
+//! * [`sharing`] — XOR and additive secret sharing (Appendix A,
+//!   "additive secret sharing").
+//! * [`sha256`] — FIPS 180-4 SHA-256, used for the lottery's commitments.
+//! * [`commit`] — salted hash commitments (`α = H(ρ, ψ)` in Appendix C).
+//! * [`ot`] — 1-of-2 oblivious transfer (Appendix A). The paper's Haskell
+//!   implementation uses RSA via `cryptonite`; we substitute a
+//!   Bellare–Micali-style construction over a toy-sized prime group,
+//!   which preserves the protocol's message structure (keys → encrypted
+//!   pair → local decryption). **The parameters are toy-sized: this is a
+//!   faithful protocol skeleton, not production cryptography.**
+//! * [`circuit`] — boolean circuits for the GMW protocol, with a
+//!   plaintext evaluator used as the correctness oracle in tests and a
+//!   random-circuit generator used by benchmarks.
+
+pub mod circuit;
+pub mod commit;
+pub mod field;
+pub mod ot;
+pub mod sha256;
+pub mod sharing;
+
+pub use circuit::Circuit;
+pub use field::{Fp, F61, FLOTTERY};
+pub use sha256::Sha256;

@@ -1,0 +1,135 @@
+//! Additive secret sharing (Appendix A).
+//!
+//! "A secret bit 𝑥 can be secret shared by generating 𝑛 random shares
+//! 𝑠₁…𝑠ₙ such that 𝑥 = Σ 𝑠ᵢ. If 𝑛−1 of the shares are generated uniformly
+//! and independently randomly, and the final share is chosen to satisfy
+//! the property above, then the shares can be safely distributed."
+//!
+//! Boolean sharing works in the field of booleans (XOR); field sharing
+//! works in any [`crate::field::Fp`].
+
+use crate::field::Fp;
+use rand::Rng;
+
+/// Shares a boolean into `n` XOR-shares.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn share_bool<R: Rng + ?Sized>(rng: &mut R, secret: bool, n: usize) -> Vec<bool> {
+    assert!(n > 0, "cannot share among zero parties");
+    let mut shares: Vec<bool> = (0..n - 1).map(|_| rng.gen()).collect();
+    let free_xor = shares.iter().fold(false, |a, b| a ^ b);
+    shares.push(secret ^ free_xor);
+    shares
+}
+
+/// Reconstructs a boolean from its XOR-shares.
+pub fn reveal_bool(shares: &[bool]) -> bool {
+    shares.iter().fold(false, |a, b| a ^ b)
+}
+
+/// Shares a field element into `n` additive shares.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn share_field<const P: u64, R: Rng + ?Sized>(
+    rng: &mut R,
+    secret: Fp<P>,
+    n: usize,
+) -> Vec<Fp<P>> {
+    assert!(n > 0, "cannot share among zero parties");
+    let mut shares: Vec<Fp<P>> = (0..n - 1).map(|_| Fp::random(rng)).collect();
+    let free_sum: Fp<P> = shares.iter().copied().sum();
+    shares.push(secret - free_sum);
+    shares
+}
+
+/// Reconstructs a field element from its additive shares.
+pub fn reveal_field<const P: u64>(shares: &[Fp<P>]) -> Fp<P> {
+    shares.iter().copied().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::FLOTTERY;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    proptest! {
+        #[test]
+        fn bool_shares_reconstruct(secret: bool, n in 1usize..16, seed: u64) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let shares = share_bool(&mut rng, secret, n);
+            prop_assert_eq!(shares.len(), n);
+            prop_assert_eq!(reveal_bool(&shares), secret);
+        }
+
+        #[test]
+        fn field_shares_reconstruct(value in 0u64..FLOTTERY::order(), n in 1usize..16, seed: u64) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let secret = FLOTTERY::new(value);
+            let shares = share_field(&mut rng, secret, n);
+            prop_assert_eq!(shares.len(), n);
+            prop_assert_eq!(reveal_field(&shares), secret);
+        }
+
+        #[test]
+        fn shares_are_additively_homomorphic(
+            x in 0u64..FLOTTERY::order(),
+            y in 0u64..FLOTTERY::order(),
+            n in 1usize..8,
+            seed: u64,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let xs = share_field(&mut rng, FLOTTERY::new(x), n);
+            let ys = share_field(&mut rng, FLOTTERY::new(y), n);
+            let sums: Vec<FLOTTERY> = xs.iter().zip(&ys).map(|(a, b)| *a + *b).collect();
+            prop_assert_eq!(reveal_field(&sums), FLOTTERY::new(x) + FLOTTERY::new(y));
+        }
+
+        #[test]
+        fn bool_shares_are_xor_homomorphic(x: bool, y: bool, n in 1usize..8, seed: u64) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let xs = share_bool(&mut rng, x, n);
+            let ys = share_bool(&mut rng, y, n);
+            let xor: Vec<bool> = xs.iter().zip(&ys).map(|(a, b)| a ^ b).collect();
+            prop_assert_eq!(reveal_bool(&xor), x ^ y);
+        }
+    }
+
+    #[test]
+    fn single_party_share_is_the_secret() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(share_bool(&mut rng, true, 1), vec![true]);
+        assert_eq!(
+            share_field(&mut rng, FLOTTERY::new(42), 1),
+            vec![FLOTTERY::new(42)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "zero parties")]
+    fn sharing_among_zero_parties_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        share_bool(&mut rng, true, 0);
+    }
+
+    #[test]
+    fn individual_shares_look_uniform() {
+        // Sanity check (not a security proof): with many trials, the first
+        // share of a fixed secret should be true about half the time.
+        let mut rng = StdRng::seed_from_u64(1);
+        let trials = 2000;
+        let mut trues = 0;
+        for _ in 0..trials {
+            if share_bool(&mut rng, true, 2)[0] {
+                trues += 1;
+            }
+        }
+        assert!((800..1200).contains(&trues), "got {trues} trues out of {trials}");
+    }
+}

@@ -1,0 +1,248 @@
+//! The replicated KVS of Fig. 2, rewritten against the HasChor-style
+//! baseline library (`chorus-baseline`) for the paper's efficiency
+//! comparison (§1, §2.2).
+//!
+//! Three structural regressions are forced by the baseline model:
+//!
+//! 1. Every conditional (`cond`) **broadcasts its scrutinee to the whole
+//!    census**, so the client receives the request relay, the repeated
+//!    request relay, and the resynch decision — none of which it needs.
+//! 2. Without MLVs, knowledge of choice **cannot be reused**: the second
+//!    phase re-broadcasts the very same request.
+//! 3. Without census polymorphism, the choreography must **enumerate its
+//!    backups**; the [`baseline_replicated_kvs!`](crate::baseline_replicated_kvs) macro unrolls one
+//!    choreography per backup count, which is exactly the manual labor
+//!    census polymorphism removes.
+
+use crate::store::SharedStore;
+#[cfg(test)]
+use crate::store::{Request, Response};
+
+/// Declares a baseline replicated-KVS choreography for a fixed census.
+///
+/// The generated struct has two fields: `request` (the client's request)
+/// and `stores` (a name-keyed map holding only the stores present at the
+/// executing endpoint; the centralized runner passes all of them).
+#[macro_export]
+macro_rules! baseline_replicated_kvs {
+    (
+        $(#[$meta:meta])*
+        $name:ident,
+        census = $census:ty,
+        client = $client:ty,
+        primary = $primary:ty,
+        backups = [$($backup:ty),* $(,)?]
+    ) => {
+        $(#[$meta])*
+        pub struct $name {
+            /// The client's request.
+            pub request: ::chorus_baseline::Located<$crate::store::Request, $client>,
+            /// Each endpoint's stores, keyed by location name. A projected
+            /// endpoint holds only its own; the runner holds all.
+            pub stores: ::std::collections::BTreeMap<String, $crate::store::SharedStore>,
+        }
+
+        impl ::chorus_baseline::BaselineChoreography<
+            ::chorus_baseline::Located<$crate::store::Response, $client>,
+        > for $name {
+            type L = $census;
+
+            fn run(
+                self,
+                op: &impl ::chorus_baseline::HasChorOp<Self::L>,
+            ) -> ::chorus_baseline::Located<$crate::store::Response, $client> {
+                use ::chorus_core::ChoreographyLocation as _;
+                let stores = &self.stores;
+                let store_of = |name: &str| {
+                    stores.get(name).expect("endpoint has its own store").clone()
+                };
+
+                let request = op.comm(
+                    <$client>::new(),
+                    <$primary>::new(),
+                    &self.request,
+                );
+
+                // FIRST broadcast: `cond` sends the request to the whole
+                // census — including the client, who just sent it.
+                let response = op.cond(<$primary>::new(), &request, |req| match req {
+                    $crate::store::Request::Put(key, value) => {
+                        $(
+                            let ack = op.locally(<$backup>::new(), |_| {
+                                store_of(<$backup>::NAME).put(key, value);
+                            });
+                            let _ = op.comm(<$backup>::new(), <$primary>::new(), &ack);
+                        )*
+                        op.locally(<$primary>::new(), |_| {
+                            store_of(<$primary>::NAME).put(key, value)
+                        })
+                    }
+                    $crate::store::Request::Get(key) => op.locally(<$primary>::new(), |_| {
+                        store_of(<$primary>::NAME).get(key)
+                    }),
+                    $crate::store::Request::Stop => op.locally(<$primary>::new(), |_| {
+                        $crate::store::Response::Stopped
+                    }),
+                });
+
+                let response = op.comm(<$primary>::new(), <$client>::new(), &response);
+
+                // SECOND broadcast of the *same* request: without MLVs the
+                // knowledge-of-choice decision cannot be reused.
+                op.cond(<$primary>::new(), &request, |req| {
+                    if let $crate::store::Request::Put(_, _) = req {
+                        let mut hashes = Vec::new();
+                        $(
+                            let h = op.locally(<$backup>::new(), |_| {
+                                store_of(<$backup>::NAME).content_hash()
+                            });
+                            hashes.push(op.comm(<$backup>::new(), <$primary>::new(), &h));
+                        )*
+                        let needs_resynch = op.locally(<$primary>::new(), |un| {
+                            let mut distinct = ::std::collections::BTreeSet::new();
+                            distinct.insert(store_of(<$primary>::NAME).content_hash());
+                            for h in &hashes {
+                                distinct.insert(*un.unwrap_ref(h));
+                            }
+                            distinct.len() > 1
+                        });
+                        // THIRD broadcast: the resynch decision also goes
+                        // to everyone, client included.
+                        op.cond(<$primary>::new(), &needs_resynch, |needs| {
+                            if *needs {
+                                let snapshot = op.locally(<$primary>::new(), |_| {
+                                    store_of(<$primary>::NAME).snapshot()
+                                });
+                                $(
+                                    let copy = op.comm(
+                                        <$primary>::new(),
+                                        <$backup>::new(),
+                                        &snapshot,
+                                    );
+                                    op.locally(<$backup>::new(), |un| {
+                                        store_of(<$backup>::NAME)
+                                            .overwrite(un.unwrap(&copy));
+                                    });
+                                )*
+                            }
+                        });
+                    }
+                });
+
+                response
+            }
+        }
+    };
+}
+
+baseline_replicated_kvs! {
+    /// Baseline replicated KVS with one backup.
+    BaselineKvs1,
+    census = chorus_core::LocationSet!(
+        crate::roles::Client, crate::roles::Primary, crate::roles::Backup1
+    ),
+    client = crate::roles::Client,
+    primary = crate::roles::Primary,
+    backups = [crate::roles::Backup1]
+}
+
+baseline_replicated_kvs! {
+    /// Baseline replicated KVS with two backups.
+    BaselineKvs2,
+    census = chorus_core::LocationSet!(
+        crate::roles::Client, crate::roles::Primary,
+        crate::roles::Backup1, crate::roles::Backup2
+    ),
+    client = crate::roles::Client,
+    primary = crate::roles::Primary,
+    backups = [crate::roles::Backup1, crate::roles::Backup2]
+}
+
+baseline_replicated_kvs! {
+    /// Baseline replicated KVS with four backups.
+    BaselineKvs4,
+    census = chorus_core::LocationSet!(
+        crate::roles::Client, crate::roles::Primary,
+        crate::roles::Backup1, crate::roles::Backup2,
+        crate::roles::Backup3, crate::roles::Backup4
+    ),
+    client = crate::roles::Client,
+    primary = crate::roles::Primary,
+    backups = [
+        crate::roles::Backup1, crate::roles::Backup2,
+        crate::roles::Backup3, crate::roles::Backup4
+    ]
+}
+
+baseline_replicated_kvs! {
+    /// Baseline replicated KVS with eight backups.
+    BaselineKvs8,
+    census = chorus_core::LocationSet!(
+        crate::roles::Client, crate::roles::Primary,
+        crate::roles::Backup1, crate::roles::Backup2,
+        crate::roles::Backup3, crate::roles::Backup4,
+        crate::roles::Backup5, crate::roles::Backup6,
+        crate::roles::Backup7, crate::roles::Backup8
+    ),
+    client = crate::roles::Client,
+    primary = crate::roles::Primary,
+    backups = [
+        crate::roles::Backup1, crate::roles::Backup2,
+        crate::roles::Backup3, crate::roles::Backup4,
+        crate::roles::Backup5, crate::roles::Backup6,
+        crate::roles::Backup7, crate::roles::Backup8
+    ]
+}
+
+/// Convenience: builds the full store map (for the centralized runner).
+pub fn all_stores(names: &[&str]) -> std::collections::BTreeMap<String, SharedStore> {
+    names.iter().map(|n| (n.to_string(), SharedStore::new())).collect()
+}
+
+/// Re-exported so callers see the same request/response types as the
+/// conclave version.
+pub use crate::store::{Request as BaselineRequest, Response as BaselineResponse};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chorus_baseline::BaselineRunner;
+
+    type Census2 = chorus_core::LocationSet!(
+        crate::roles::Client,
+        crate::roles::Primary,
+        crate::roles::Backup1,
+        crate::roles::Backup2
+    );
+
+    #[test]
+    fn baseline_put_replicates_and_resynch_repairs() {
+        let runner: BaselineRunner<Census2> = BaselineRunner::new();
+        let stores = all_stores(&["Primary", "Backup1", "Backup2"]);
+        stores["Backup1"].corrupt_next_put();
+
+        let out = runner.run(BaselineKvs2 {
+            request: runner.local(Request::Put("k".into(), "v".into())),
+            stores: stores.clone(),
+        });
+        assert_eq!(runner.unwrap_located(out), Response::NotFound);
+
+        // The corrupted backup was repaired by the resynch path.
+        let reference = stores["Primary"].snapshot();
+        for store in stores.values() {
+            assert_eq!(store.snapshot(), reference);
+        }
+    }
+
+    #[test]
+    fn baseline_get_answers_from_primary() {
+        let runner: BaselineRunner<Census2> = BaselineRunner::new();
+        let stores = all_stores(&["Primary", "Backup1", "Backup2"]);
+        stores["Primary"].put("k", "v");
+        let out = runner.run(BaselineKvs2 {
+            request: runner.local(Request::Get("k".into())),
+            stores,
+        });
+        assert_eq!(runner.unwrap_located(out), Response::Found("v".into()));
+    }
+}

@@ -1,0 +1,24 @@
+//! The paper's case-study choreographies (§6, Appendices A–C),
+//! implemented against `chorus-core`.
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`kvs_simple`] | Fig. 1 — client–server key-value store |
+//! | [`kvs_baseline`] | the same protocol as [`kvs_backup`] written against the HasChor-style baseline library, for the efficiency comparison |
+//! | [`kvs_backup`] | Fig. 2 — census-polymorphic primary/backup KVS with hash checks and resynch |
+//! | [`kvs_gather`] | Figs. 10–11 — ChoRus-style KVS with a hand-rolled `Gather` fan-in |
+//! | [`gmw`] | Figs. 8–9 — GMW secure multiparty computation |
+//! | [`lottery`] | Figs. 12–13 — the DPrio fair lottery |
+//!
+//! The [`roles`] module declares reusable concrete locations (clients,
+//! servers, parties) that examples, tests, and benchmarks instantiate the
+//! census-polymorphic choreographies with.
+
+pub mod gmw;
+pub mod kvs_backup;
+pub mod kvs_baseline;
+pub mod kvs_gather;
+pub mod kvs_simple;
+pub mod lottery;
+pub mod roles;
+pub mod store;

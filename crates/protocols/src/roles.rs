@@ -1,0 +1,73 @@
+//! Concrete locations shared by examples, tests, and benchmarks.
+//!
+//! Census-polymorphic choreographies are generic over location *sets*; to
+//! run one you instantiate it with concrete locations (the paper §4:
+//! census polymorphism resolves statically — "it is always possible in
+//! principle to unroll the top-level choreography into a monomorphic
+//! form"). These declarations are that unrolling's vocabulary.
+
+chorus_core::locations! {
+    /// The requesting client in the KVS protocols.
+    Client,
+    /// The primary server in the KVS protocols.
+    Primary,
+    /// The analyst receiving the lottery output (Appendix C).
+    Analyst,
+}
+
+chorus_core::locations! {
+    /// Backup server #1.
+    Backup1,
+    /// Backup server #2.
+    Backup2,
+    /// Backup server #3.
+    Backup3,
+    /// Backup server #4.
+    Backup4,
+    /// Backup server #5.
+    Backup5,
+    /// Backup server #6.
+    Backup6,
+    /// Backup server #7.
+    Backup7,
+    /// Backup server #8.
+    Backup8,
+}
+
+chorus_core::locations! {
+    /// MPC party #1.
+    P1,
+    /// MPC party #2.
+    P2,
+    /// MPC party #3.
+    P3,
+    /// MPC party #4.
+    P4,
+    /// MPC party #5.
+    P5,
+    /// MPC party #6.
+    P6,
+    /// MPC party #7.
+    P7,
+    /// MPC party #8.
+    P8,
+}
+
+chorus_core::locations! {
+    /// Lottery client #1.
+    C1,
+    /// Lottery client #2.
+    C2,
+    /// Lottery client #3.
+    C3,
+    /// Lottery client #4.
+    C4,
+    /// Lottery server #1.
+    S1,
+    /// Lottery server #2.
+    S2,
+    /// Lottery server #3.
+    S3,
+    /// Lottery server #4.
+    S4,
+}

@@ -1,0 +1,172 @@
+//! The key-value store state shared by the KVS choreographies.
+//!
+//! Mirrors the paper's Fig. 2 setup: each server holds a mutable `State`
+//! (`Map String String`) behind a reference, and `updateState` "has a
+//! small chance of randomly saving the wrong value" — here corruption is
+//! injected deterministically through [`SharedStore::corrupt_next_put`]
+//! so tests and benchmarks control when the resynch path fires.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A request against the store (Fig. 2: `Put | Get | Stop`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Request {
+    /// Associate a value with a key; responds with the previous value.
+    Put(String, String),
+    /// Look up a key.
+    Get(String),
+    /// Shut the system down.
+    Stop,
+}
+
+/// A response from the store (Fig. 2: `Found | NotFound | Stopped`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Response {
+    /// The (previous) value associated with the key.
+    Found(String),
+    /// No value is associated with the key.
+    NotFound,
+    /// The system acknowledged a `Stop`.
+    Stopped,
+}
+
+/// One server's copy of the store: shared, mutable, and corruptible.
+///
+/// Cloning shares the underlying state (it is an `Arc`), which is how a
+/// test keeps a handle on a server's store while the choreography runs.
+#[derive(Debug, Clone, Default)]
+pub struct SharedStore {
+    inner: Arc<Mutex<StoreInner>>,
+}
+
+#[derive(Debug, Default)]
+struct StoreInner {
+    map: BTreeMap<String, String>,
+    corrupt_next_put: bool,
+}
+
+impl SharedStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arms fault injection: the next `Put` on this replica stores a
+    /// corrupted value (the paper's "small chance of randomly saving the
+    /// wrong value", made deterministic).
+    pub fn corrupt_next_put(&self) {
+        self.inner.lock().corrupt_next_put = true;
+    }
+
+    /// Applies a `Put`, returning the previous value (Fig. 2's
+    /// `updateState`).
+    pub fn put(&self, key: &str, value: &str) -> Response {
+        let mut inner = self.inner.lock();
+        let stored = if std::mem::take(&mut inner.corrupt_next_put) {
+            format!("{value}\u{fffd}corrupt")
+        } else {
+            value.to_string()
+        };
+        match inner.map.insert(key.to_string(), stored) {
+            Some(previous) => Response::Found(previous),
+            None => Response::NotFound,
+        }
+    }
+
+    /// Looks up a key (Fig. 2's `lookupState`).
+    pub fn get(&self, key: &str) -> Response {
+        match self.inner.lock().map.get(key) {
+            Some(value) => Response::Found(value.clone()),
+            None => Response::NotFound,
+        }
+    }
+
+    /// A content hash of the whole store (Fig. 2's `hashState`), used to
+    /// detect replica divergence. FNV-1a over the sorted entries.
+    pub fn content_hash(&self) -> u64 {
+        let inner = self.inner.lock();
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut absorb = |bytes: &[u8]| {
+            for b in bytes {
+                hash ^= u64::from(*b);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        for (k, v) in inner.map.iter() {
+            absorb(k.as_bytes());
+            absorb(&[0]);
+            absorb(v.as_bytes());
+            absorb(&[1]);
+        }
+        hash
+    }
+
+    /// A copy of the full contents, for resynch and assertions.
+    pub fn snapshot(&self) -> BTreeMap<String, String> {
+        self.inner.lock().map.clone()
+    }
+
+    /// Replaces the contents wholesale (the resynch step).
+    pub fn overwrite(&self, map: BTreeMap<String, String>) {
+        self.inner.lock().map = map;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_returns_previous_value() {
+        let store = SharedStore::new();
+        assert_eq!(store.put("k", "v1"), Response::NotFound);
+        assert_eq!(store.put("k", "v2"), Response::Found("v1".into()));
+        assert_eq!(store.get("k"), Response::Found("v2".into()));
+        assert_eq!(store.get("missing"), Response::NotFound);
+    }
+
+    #[test]
+    fn corruption_fires_once() {
+        let store = SharedStore::new();
+        store.corrupt_next_put();
+        store.put("k", "v");
+        assert_ne!(store.get("k"), Response::Found("v".into()));
+        store.put("k", "v");
+        assert_eq!(store.get("k"), Response::Found("v".into()));
+    }
+
+    #[test]
+    fn content_hash_detects_divergence() {
+        let a = SharedStore::new();
+        let b = SharedStore::new();
+        assert_eq!(a.content_hash(), b.content_hash());
+        a.put("k", "v");
+        b.put("k", "v");
+        assert_eq!(a.content_hash(), b.content_hash());
+        b.put("k", "w");
+        assert_ne!(a.content_hash(), b.content_hash());
+    }
+
+    #[test]
+    fn overwrite_resynchronizes() {
+        let a = SharedStore::new();
+        let b = SharedStore::new();
+        a.put("k", "v");
+        b.corrupt_next_put();
+        b.put("k", "v");
+        assert_ne!(a.content_hash(), b.content_hash());
+        b.overwrite(a.snapshot());
+        assert_eq!(a.content_hash(), b.content_hash());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = SharedStore::new();
+        let b = a.clone();
+        a.put("k", "v");
+        assert_eq!(b.get("k"), Response::Found("v".into()));
+    }
+}

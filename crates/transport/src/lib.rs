@@ -1,0 +1,21 @@
+//! Transports for choreographic programs.
+//!
+//! The paper's libraries execute one choreography over interchangeable
+//! transports (§2.1): threads in one process, or sockets between machines.
+//! This crate provides:
+//!
+//! * [`LocalTransport`] — in-process, channel-based; each participant runs
+//!   on its own thread.
+//! * [`TcpTransport`] — length-prefixed frames over TCP sockets, for
+//!   multi-process execution on one or more hosts.
+//! * [`InstrumentedTransport`] — a wrapper that counts messages and bytes
+//!   per edge; every communication-efficiency experiment in the benchmark
+//!   harness uses it.
+
+mod local;
+mod metrics;
+mod tcp;
+
+pub use local::{LocalTransport, LocalTransportChannel};
+pub use metrics::{EdgeMetrics, InstrumentedTransport, MetricsSnapshot, TransportMetrics};
+pub use tcp::{free_local_addrs, TcpConfig, TcpConfigBuilder, TcpTransport};

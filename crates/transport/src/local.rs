@@ -1,0 +1,154 @@
+//! In-process transport: participants are threads, links are channels.
+
+use chorus_core::{ChoreographyLocation, LocationSet, Transport, TransportError};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::collections::HashMap;
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+type Link = (Sender<Vec<u8>>, Receiver<Vec<u8>>);
+
+/// The shared fabric connecting every pair of locations in `L`.
+///
+/// Create one channel, clone it into each participant's thread, and wrap
+/// each clone in a [`LocalTransport`].
+///
+/// # Examples
+///
+/// ```
+/// use chorus_transport::{LocalTransport, LocalTransportChannel};
+///
+/// chorus_core::locations! { Alice, Bob }
+/// type System = chorus_core::LocationSet!(Alice, Bob);
+///
+/// let channel = LocalTransportChannel::<System>::new();
+/// let for_alice = LocalTransport::new(Alice, channel.clone());
+/// let for_bob = LocalTransport::new(Bob, channel);
+/// # let _ = (for_alice, for_bob);
+/// ```
+pub struct LocalTransportChannel<L: LocationSet> {
+    links: Arc<HashMap<(&'static str, &'static str), Link>>,
+    system: PhantomData<L>,
+}
+
+impl<L: LocationSet> Clone for LocalTransportChannel<L> {
+    fn clone(&self) -> Self {
+        LocalTransportChannel { links: Arc::clone(&self.links), system: PhantomData }
+    }
+}
+
+impl<L: LocationSet> LocalTransportChannel<L> {
+    /// Creates a fabric with an unbounded FIFO link for every ordered pair
+    /// of distinct locations in `L`.
+    pub fn new() -> Self {
+        let names = L::names();
+        let mut links = HashMap::new();
+        for from in &names {
+            for to in &names {
+                if from != to {
+                    links.insert((*from, *to), unbounded());
+                }
+            }
+        }
+        LocalTransportChannel { links: Arc::new(links), system: PhantomData }
+    }
+}
+
+impl<L: LocationSet> Default for LocalTransportChannel<L> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One participant's endpoint of a [`LocalTransportChannel`].
+pub struct LocalTransport<L: LocationSet, Target: ChoreographyLocation> {
+    channel: LocalTransportChannel<L>,
+    target: PhantomData<Target>,
+}
+
+impl<L: LocationSet, Target: ChoreographyLocation> LocalTransport<L, Target> {
+    /// Creates `target`'s endpoint over the shared fabric.
+    pub fn new(target: Target, channel: LocalTransportChannel<L>) -> Self {
+        let _ = target;
+        LocalTransport { channel, target: PhantomData }
+    }
+}
+
+impl<L: LocationSet, Target: ChoreographyLocation> Transport<L, Target>
+    for LocalTransport<L, Target>
+{
+    fn send(&self, to: &str, data: &[u8]) -> Result<(), TransportError> {
+        let link = self
+            .channel
+            .links
+            .get(&(Target::NAME, to))
+            .ok_or_else(|| TransportError::UnknownLocation(to.to_string()))?;
+        link.0
+            .send(data.to_vec())
+            .map_err(|_| TransportError::ConnectionClosed { peer: to.to_string() })
+    }
+
+    fn receive(&self, from: &str) -> Result<Vec<u8>, TransportError> {
+        let link = self
+            .channel
+            .links
+            .get(&(from, Target::NAME))
+            .ok_or_else(|| TransportError::UnknownLocation(from.to_string()))?;
+        link.1
+            .recv()
+            .map_err(|_| TransportError::ConnectionClosed { peer: from.to_string() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chorus_core::Transport as _;
+
+    chorus_core::locations! { Alice, Bob }
+    type System = chorus_core::LocationSet!(Alice, Bob);
+
+    #[test]
+    fn send_and_receive_preserve_fifo_order() {
+        let channel = LocalTransportChannel::<System>::new();
+        let alice = LocalTransport::new(Alice, channel.clone());
+        let bob = LocalTransport::new(Bob, channel);
+        alice.send("Bob", b"one").unwrap();
+        alice.send("Bob", b"two").unwrap();
+        assert_eq!(bob.receive("Alice").unwrap(), b"one");
+        assert_eq!(bob.receive("Alice").unwrap(), b"two");
+    }
+
+    #[test]
+    fn unknown_locations_are_rejected() {
+        let channel = LocalTransportChannel::<System>::new();
+        let alice = LocalTransport::new(Alice, channel);
+        assert!(matches!(
+            alice.send("Nobody", b"x"),
+            Err(TransportError::UnknownLocation(_))
+        ));
+        assert!(matches!(
+            alice.receive("Nobody"),
+            Err(TransportError::UnknownLocation(_))
+        ));
+    }
+
+    #[test]
+    fn locations_lists_the_census() {
+        let channel = LocalTransportChannel::<System>::new();
+        let alice = LocalTransport::new(Alice, channel);
+        assert_eq!(alice.locations(), vec!["Alice", "Bob"]);
+    }
+
+    #[test]
+    fn links_are_directional() {
+        let channel = LocalTransportChannel::<System>::new();
+        let alice = LocalTransport::new(Alice, channel.clone());
+        let bob = LocalTransport::new(Bob, channel);
+        alice.send("Bob", b"ping").unwrap();
+        // Bob's message to Alice does not interfere with Alice's to Bob.
+        bob.send("Alice", b"pong").unwrap();
+        assert_eq!(bob.receive("Alice").unwrap(), b"ping");
+        assert_eq!(alice.receive("Bob").unwrap(), b"pong");
+    }
+}

@@ -1,0 +1,194 @@
+//! Message accounting: the measurement substrate for every
+//! communication-efficiency experiment.
+
+use chorus_core::{ChoreographyLocation, LocationSet, Transport, TransportError};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+/// Counters for one directed edge of the system.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EdgeMetrics {
+    /// Number of messages sent along this edge.
+    pub messages: u64,
+    /// Total payload bytes sent along this edge.
+    pub bytes: u64,
+}
+
+/// Shared counters, typically one [`Arc`] cloned into every participant's
+/// [`InstrumentedTransport`].
+///
+/// Only *sends* are recorded, so sharing one `TransportMetrics` across all
+/// endpoints counts each message exactly once.
+#[derive(Debug, Default)]
+pub struct TransportMetrics {
+    edges: Mutex<BTreeMap<(String, String), EdgeMetrics>>,
+}
+
+/// A point-in-time copy of the counters.
+pub type MetricsSnapshot = BTreeMap<(String, String), EdgeMetrics>;
+
+impl TransportMetrics {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn record_send(&self, from: &str, to: &str, bytes: usize) {
+        let mut edges = self.edges.lock();
+        let entry = edges.entry((from.to_string(), to.to_string())).or_default();
+        entry.messages += 1;
+        entry.bytes += bytes as u64;
+    }
+
+    /// Returns a copy of the per-edge counters.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.edges.lock().clone()
+    }
+
+    /// Total messages sent across all edges.
+    pub fn total_messages(&self) -> u64 {
+        self.edges.lock().values().map(|e| e.messages).sum()
+    }
+
+    /// Total payload bytes sent across all edges.
+    pub fn total_bytes(&self) -> u64 {
+        self.edges.lock().values().map(|e| e.bytes).sum()
+    }
+
+    /// Messages received by (i.e. addressed to) `location`.
+    pub fn messages_to(&self, location: &str) -> u64 {
+        self.edges
+            .lock()
+            .iter()
+            .filter(|((_, to), _)| to == location)
+            .map(|(_, e)| e.messages)
+            .sum()
+    }
+
+    /// Messages sent by `location`.
+    pub fn messages_from(&self, location: &str) -> u64 {
+        self.edges
+            .lock()
+            .iter()
+            .filter(|((from, _), _)| from == location)
+            .map(|(_, e)| e.messages)
+            .sum()
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&self) {
+        self.edges.lock().clear();
+    }
+}
+
+/// Wraps any transport, recording each send into a shared
+/// [`TransportMetrics`].
+pub struct InstrumentedTransport<L: LocationSet, Target: ChoreographyLocation, T> {
+    inner: T,
+    metrics: Arc<TransportMetrics>,
+    phantom: PhantomData<fn() -> (L, Target)>,
+}
+
+impl<L, Target, T> InstrumentedTransport<L, Target, T>
+where
+    L: LocationSet,
+    Target: ChoreographyLocation,
+    T: Transport<L, Target>,
+{
+    /// Wraps `inner`, recording sends into `metrics`.
+    pub fn new(inner: T, metrics: Arc<TransportMetrics>) -> Self {
+        InstrumentedTransport { inner, metrics, phantom: PhantomData }
+    }
+
+    /// Returns the shared counters.
+    pub fn metrics(&self) -> Arc<TransportMetrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// Unwraps the inner transport.
+    pub fn into_inner(self) -> T {
+        self.inner
+    }
+}
+
+impl<L, Target, T> Transport<L, Target> for InstrumentedTransport<L, Target, T>
+where
+    L: LocationSet,
+    Target: ChoreographyLocation,
+    T: Transport<L, Target>,
+{
+    fn locations(&self) -> Vec<&'static str> {
+        self.inner.locations()
+    }
+
+    fn send(&self, to: &str, data: &[u8]) -> Result<(), TransportError> {
+        self.metrics.record_send(Target::NAME, to, data.len());
+        self.inner.send(to, data)
+    }
+
+    fn receive(&self, from: &str) -> Result<Vec<u8>, TransportError> {
+        self.inner.receive(from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LocalTransport, LocalTransportChannel};
+
+    chorus_core::locations! { Alice, Bob, Carol }
+    type System = chorus_core::LocationSet!(Alice, Bob, Carol);
+
+    fn setup() -> (
+        InstrumentedTransport<System, Alice, LocalTransport<System, Alice>>,
+        InstrumentedTransport<System, Bob, LocalTransport<System, Bob>>,
+        Arc<TransportMetrics>,
+    ) {
+        let channel = LocalTransportChannel::<System>::new();
+        let metrics = Arc::new(TransportMetrics::new());
+        let alice = InstrumentedTransport::new(
+            LocalTransport::new(Alice, channel.clone()),
+            Arc::clone(&metrics),
+        );
+        let bob = InstrumentedTransport::new(
+            LocalTransport::new(Bob, channel),
+            Arc::clone(&metrics),
+        );
+        (alice, bob, metrics)
+    }
+
+    #[test]
+    fn sends_are_counted_once_per_message() {
+        let (alice, bob, metrics) = setup();
+        alice.send("Bob", b"abcd").unwrap();
+        alice.send("Carol", b"xy").unwrap();
+        bob.receive("Alice").unwrap();
+        assert_eq!(metrics.total_messages(), 2);
+        assert_eq!(metrics.total_bytes(), 6);
+        assert_eq!(metrics.messages_from("Alice"), 2);
+        assert_eq!(metrics.messages_to("Bob"), 1);
+        assert_eq!(metrics.messages_to("Carol"), 1);
+        assert_eq!(metrics.messages_to("Alice"), 0);
+    }
+
+    #[test]
+    fn snapshot_reports_per_edge_counters() {
+        let (alice, _bob, metrics) = setup();
+        alice.send("Bob", b"123").unwrap();
+        alice.send("Bob", b"45").unwrap();
+        let snap = metrics.snapshot();
+        let edge = snap[&("Alice".to_string(), "Bob".to_string())];
+        assert_eq!(edge, EdgeMetrics { messages: 2, bytes: 5 });
+    }
+
+    #[test]
+    fn reset_zeroes_counters() {
+        let (alice, _bob, metrics) = setup();
+        alice.send("Bob", b"123").unwrap();
+        metrics.reset();
+        assert_eq!(metrics.total_messages(), 0);
+        assert_eq!(metrics.total_bytes(), 0);
+    }
+}

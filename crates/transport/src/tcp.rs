@@ -1,0 +1,321 @@
+//! TCP transport: length-prefixed frames over sockets.
+//!
+//! Each endpoint binds a listener at its configured address. Outgoing
+//! links are opened lazily (with retry, so start-up order does not matter)
+//! and begin with a handshake frame carrying the sender's location name;
+//! after that, every frame is `u32` little-endian length + payload.
+//! A reader thread per peer pushes frames into a per-sender FIFO, giving
+//! the per-sender ordering guarantee the λN model assumes.
+
+use chorus_core::{ChoreographyLocation, LocationSet, Transport, TransportError};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::marker::PhantomData;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Address book for a TCP system: one socket address per location in `L`.
+#[derive(Debug, Clone)]
+pub struct TcpConfig<L: LocationSet> {
+    addrs: HashMap<&'static str, SocketAddr>,
+    system: PhantomData<L>,
+}
+
+/// Builder for [`TcpConfig`].
+#[derive(Debug, Default)]
+pub struct TcpConfigBuilder {
+    addrs: HashMap<&'static str, SocketAddr>,
+}
+
+impl TcpConfigBuilder {
+    /// Starts an empty address book.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Assigns `addr` to `location`.
+    pub fn location<P: ChoreographyLocation>(mut self, location: P, addr: SocketAddr) -> Self {
+        let _ = location;
+        self.addrs.insert(P::NAME, addr);
+        self
+    }
+
+    /// Finalizes the address book for the system census `L`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the set of missing names if any location in `L` has no
+    /// address.
+    pub fn build<L: LocationSet>(self) -> Result<TcpConfig<L>, Vec<&'static str>> {
+        let missing: Vec<&'static str> =
+            L::names().into_iter().filter(|n| !self.addrs.contains_key(n)).collect();
+        if missing.is_empty() {
+            Ok(TcpConfig { addrs: self.addrs, system: PhantomData })
+        } else {
+            Err(missing)
+        }
+    }
+}
+
+/// Reserves `n` distinct loopback addresses with OS-assigned free ports.
+///
+/// Test/bench helper: binds ephemeral listeners, records their addresses,
+/// and releases them. (The usual caveat applies: the ports could in
+/// principle be reused between this call and the transport's bind.)
+pub fn free_local_addrs(n: usize) -> std::io::Result<Vec<SocketAddr>> {
+    let listeners: Vec<TcpListener> =
+        (0..n).map(|_| TcpListener::bind("127.0.0.1:0")).collect::<Result<_, _>>()?;
+    listeners.iter().map(|l| l.local_addr()).collect()
+}
+
+fn write_frame(stream: &mut TcpStream, payload: &[u8]) -> std::io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidInput, "frame too large"))?;
+    stream.write_all(&len.to_le_bytes())?;
+    stream.write_all(payload)?;
+    stream.flush()
+}
+
+fn read_frame(stream: &mut TcpStream) -> std::io::Result<Vec<u8>> {
+    let mut len_bytes = [0u8; 4];
+    stream.read_exact(&mut len_bytes)?;
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    let mut payload = vec![0u8; len];
+    stream.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+/// One endpoint of a TCP-connected choreography.
+pub struct TcpTransport<L: LocationSet, Target: ChoreographyLocation> {
+    config: TcpConfig<L>,
+    outgoing: Mutex<HashMap<&'static str, TcpStream>>,
+    incoming: HashMap<&'static str, Receiver<Vec<u8>>>,
+    stop: Arc<AtomicBool>,
+    target: PhantomData<Target>,
+}
+
+impl<L: LocationSet, Target: ChoreographyLocation> TcpTransport<L, Target> {
+    /// Binds `target`'s listener and starts its acceptor thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the listener cannot bind to the configured
+    /// address.
+    pub fn bind(target: Target, config: TcpConfig<L>) -> Result<Self, TransportError> {
+        let _ = target;
+        let addr = *config
+            .addrs
+            .get(Target::NAME)
+            .ok_or_else(|| TransportError::UnknownLocation(Target::NAME.to_string()))?;
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+
+        let mut senders: HashMap<&'static str, Sender<Vec<u8>>> = HashMap::new();
+        let mut incoming = HashMap::new();
+        for name in L::names() {
+            if name != Target::NAME {
+                let (tx, rx) = unbounded();
+                senders.insert(name, tx);
+                incoming.insert(name, rx);
+            }
+        }
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let acceptor_stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            accept_loop(listener, senders, acceptor_stop);
+        });
+
+        Ok(TcpTransport {
+            config,
+            outgoing: Mutex::new(HashMap::new()),
+            incoming,
+            stop,
+            target: PhantomData,
+        })
+    }
+
+    fn connect(&self, to: &'static str) -> Result<TcpStream, TransportError> {
+        let addr = *self
+            .config
+            .addrs
+            .get(to)
+            .ok_or_else(|| TransportError::UnknownLocation(to.to_string()))?;
+        // Retry with backoff: peers may not have bound their listeners yet.
+        let mut delay = Duration::from_millis(5);
+        let mut last_err = None;
+        for _ in 0..60 {
+            match TcpStream::connect_timeout(&addr, Duration::from_secs(1)) {
+                Ok(mut stream) => {
+                    stream.set_nodelay(true).ok();
+                    // Handshake: announce who we are.
+                    write_frame(&mut stream, Target::NAME.as_bytes())?;
+                    return Ok(stream);
+                }
+                Err(e) => {
+                    last_err = Some(e);
+                    std::thread::sleep(delay);
+                    delay = (delay * 2).min(Duration::from_millis(200));
+                }
+            }
+        }
+        Err(TransportError::Io(last_err.unwrap_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::TimedOut, "connect retries exhausted")
+        })))
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    senders: HashMap<&'static str, Sender<Vec<u8>>>,
+    stop: Arc<AtomicBool>,
+) {
+    let senders = Arc::new(senders);
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((mut stream, _)) => {
+                let senders = Arc::clone(&senders);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    stream.set_nonblocking(false).ok();
+                    stream.set_nodelay(true).ok();
+                    // Handshake frame identifies the peer.
+                    let Ok(name_bytes) = read_frame(&mut stream) else { return };
+                    let Ok(name) = String::from_utf8(name_bytes) else { return };
+                    let Some(queue) = senders.get(name.as_str()) else { return };
+                    while !stop.load(Ordering::Relaxed) {
+                        match read_frame(&mut stream) {
+                            Ok(payload) => {
+                                if queue.send(payload).is_err() {
+                                    return;
+                                }
+                            }
+                            Err(_) => return, // peer hung up
+                        }
+                    }
+                });
+            }
+            Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+impl<L: LocationSet, Target: ChoreographyLocation> Drop for TcpTransport<L, Target> {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+    }
+}
+
+impl<L: LocationSet, Target: ChoreographyLocation> Transport<L, Target>
+    for TcpTransport<L, Target>
+{
+    fn send(&self, to: &str, data: &[u8]) -> Result<(), TransportError> {
+        let to_static = L::names()
+            .into_iter()
+            .find(|n| *n == to)
+            .ok_or_else(|| TransportError::UnknownLocation(to.to_string()))?;
+        let mut outgoing = self.outgoing.lock();
+        if !outgoing.contains_key(to_static) {
+            let stream = self.connect(to_static)?;
+            outgoing.insert(to_static, stream);
+        }
+        let stream = outgoing.get_mut(to_static).expect("just inserted");
+        write_frame(stream, data).map_err(|e| {
+            // A dead link is not recoverable within one choreography.
+            outgoing.remove(to_static);
+            TransportError::Io(e)
+        })
+    }
+
+    fn receive(&self, from: &str) -> Result<Vec<u8>, TransportError> {
+        let queue = self
+            .incoming
+            .get(from)
+            .ok_or_else(|| TransportError::UnknownLocation(from.to_string()))?;
+        queue
+            .recv()
+            .map_err(|_| TransportError::ConnectionClosed { peer: from.to_string() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    chorus_core::locations! { Alice, Bob }
+    type System = chorus_core::LocationSet!(Alice, Bob);
+
+    fn config() -> TcpConfig<System> {
+        let addrs = free_local_addrs(2).unwrap();
+        TcpConfigBuilder::new()
+            .location(Alice, addrs[0])
+            .location(Bob, addrs[1])
+            .build::<System>()
+            .unwrap()
+    }
+
+    #[test]
+    fn config_requires_every_location() {
+        let addrs = free_local_addrs(1).unwrap();
+        let result = TcpConfigBuilder::new().location(Alice, addrs[0]).build::<System>();
+        assert_eq!(result.unwrap_err(), vec!["Bob"]);
+    }
+
+    #[test]
+    fn messages_cross_sockets_in_order() {
+        let config = config();
+        let a_cfg = config.clone();
+        let b_cfg = config;
+        let bob = std::thread::spawn(move || {
+            let t = TcpTransport::bind(Bob, b_cfg).unwrap();
+            let one = t.receive("Alice").unwrap();
+            let two = t.receive("Alice").unwrap();
+            t.send("Alice", b"ack").unwrap();
+            (one, two)
+        });
+        let alice = TcpTransport::bind(Alice, a_cfg).unwrap();
+        alice.send("Bob", b"first").unwrap();
+        alice.send("Bob", b"second").unwrap();
+        assert_eq!(alice.receive("Bob").unwrap(), b"ack");
+        let (one, two) = bob.join().unwrap();
+        assert_eq!(one, b"first");
+        assert_eq!(two, b"second");
+    }
+
+    #[test]
+    fn connect_retries_until_peer_binds() {
+        let config = config();
+        let a_cfg = config.clone();
+        let b_cfg = config;
+        // Alice sends before Bob has bound its listener.
+        let alice = std::thread::spawn(move || {
+            let t = TcpTransport::bind(Alice, a_cfg).unwrap();
+            t.send("Bob", b"early").unwrap();
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        let bob = TcpTransport::bind(Bob, b_cfg).unwrap();
+        assert_eq!(bob.receive("Alice").unwrap(), b"early");
+        alice.join().unwrap();
+    }
+
+    #[test]
+    fn empty_payloads_are_delivered() {
+        let config = config();
+        let a_cfg = config.clone();
+        let b_cfg = config;
+        let bob = std::thread::spawn(move || {
+            let t = TcpTransport::bind(Bob, b_cfg).unwrap();
+            t.receive("Alice").unwrap()
+        });
+        let alice = TcpTransport::bind(Alice, a_cfg).unwrap();
+        alice.send("Bob", b"").unwrap();
+        assert_eq!(bob.join().unwrap(), b"");
+    }
+}

@@ -1,0 +1,189 @@
+//! End-to-end projection tests: the same choreography runs centralized,
+//! over in-process channels, and over TCP sockets, producing identical
+//! results — the paper's portability claim (§2.1).
+
+use chorus_core::{
+    ChoreoOp, Choreography, Faceted, Located, LocationSet, MultiplyLocated, Projector, Quire,
+    Runner,
+};
+use chorus_transport::{
+    free_local_addrs, InstrumentedTransport, LocalTransport, LocalTransportChannel,
+    TcpConfigBuilder, TcpTransport, TransportMetrics,
+};
+use std::sync::Arc;
+
+chorus_core::locations! { Client, Primary, Backup }
+
+type Census = chorus_core::LocationSet!(Client, Primary, Backup);
+type Servers = chorus_core::LocationSet!(Primary, Backup);
+
+/// Client sends a number; servers replicate it; each server doubles it;
+/// client gets the primary's copy plus the sum of everyone's copies.
+struct Replicate {
+    input: Located<u64, Client>,
+}
+
+impl Choreography<Located<u64, Client>> for Replicate {
+    type L = Census;
+
+    fn run(self, op: &impl ChoreoOp<Self::L>) -> Located<u64, Client> {
+        let at_primary = op.comm(Client, Primary, &self.input);
+        let shared: MultiplyLocated<u64, Servers> =
+            op.multicast(Primary, Servers::new(), &at_primary);
+        let doubled: MultiplyLocated<u64, Servers> = op.conclave(Double { shared }).flatten();
+        // Redistribute the replicated value as facets so `gather` has
+        // per-party data to collect.
+        let facets: Faceted<u64, Servers> =
+            op.conclave(AsFacets { value: doubled }).flatten();
+        let gathered: MultiplyLocated<Quire<u64, Servers>, chorus_core::LocationSet!(Client)> =
+            op.gather(Servers::new(), <chorus_core::LocationSet!(Client)>::new(), &facets);
+        op.locally(Client, |un| un.unwrap_ref(&gathered).values().sum())
+    }
+}
+
+struct Double {
+    shared: MultiplyLocated<u64, Servers>,
+}
+
+impl Choreography<MultiplyLocated<u64, Servers>> for Double {
+    type L = Servers;
+    fn run(self, op: &impl ChoreoOp<Self::L>) -> MultiplyLocated<u64, Servers> {
+        let v = op.naked(self.shared);
+        let at_primary = op.locally(Primary, move |_| v * 2);
+        op.multicast(Primary, Servers::new(), &at_primary)
+    }
+}
+
+struct AsFacets {
+    value: MultiplyLocated<u64, Servers>,
+}
+
+impl Choreography<Faceted<u64, Servers>> for AsFacets {
+    type L = Servers;
+    fn run(self, op: &impl ChoreoOp<Self::L>) -> Faceted<u64, Servers> {
+        let v = op.naked(self.value);
+        op.parallel(Servers::new(), move || v)
+    }
+}
+
+const INPUT: u64 = 21;
+const EXPECTED: u64 = 84; // two servers, each holding 21*2
+
+#[test]
+fn centralized_runner_computes_the_protocol() {
+    let runner: Runner<Census> = Runner::new();
+    let out = runner.run(Replicate { input: runner.local(INPUT) });
+    assert_eq!(runner.unwrap_located(out), EXPECTED);
+}
+
+#[test]
+fn local_transport_projection_agrees_with_runner() {
+    let channel = LocalTransportChannel::<Census>::new();
+
+    let c = channel.clone();
+    let client = std::thread::spawn(move || {
+        let transport = LocalTransport::new(Client, c);
+        let projector = Projector::new(Client, &transport);
+        let out = projector.epp_and_run(Replicate { input: projector.local(INPUT) });
+        projector.unwrap(out)
+    });
+    let c = channel.clone();
+    let primary = std::thread::spawn(move || {
+        let transport = LocalTransport::new(Primary, c);
+        let projector = Projector::new(Primary, &transport);
+        projector.epp_and_run(Replicate { input: projector.remote(Client) });
+    });
+    let c = channel;
+    let backup = std::thread::spawn(move || {
+        let transport = LocalTransport::new(Backup, c);
+        let projector = Projector::new(Backup, &transport);
+        projector.epp_and_run(Replicate { input: projector.remote(Client) });
+    });
+
+    assert_eq!(client.join().unwrap(), EXPECTED);
+    primary.join().unwrap();
+    backup.join().unwrap();
+}
+
+#[test]
+fn tcp_transport_projection_agrees_with_runner() {
+    let addrs = free_local_addrs(3).unwrap();
+    let config = TcpConfigBuilder::new()
+        .location(Client, addrs[0])
+        .location(Primary, addrs[1])
+        .location(Backup, addrs[2])
+        .build::<Census>()
+        .unwrap();
+
+    let cfg = config.clone();
+    let client = std::thread::spawn(move || {
+        let transport = TcpTransport::bind(Client, cfg).unwrap();
+        let projector = Projector::new(Client, &transport);
+        let out = projector.epp_and_run(Replicate { input: projector.local(INPUT) });
+        projector.unwrap(out)
+    });
+    let cfg = config.clone();
+    let primary = std::thread::spawn(move || {
+        let transport = TcpTransport::bind(Primary, cfg).unwrap();
+        let projector = Projector::new(Primary, &transport);
+        projector.epp_and_run(Replicate { input: projector.remote(Client) });
+    });
+    let cfg = config;
+    let backup = std::thread::spawn(move || {
+        let transport = TcpTransport::bind(Backup, cfg).unwrap();
+        let projector = Projector::new(Backup, &transport);
+        projector.epp_and_run(Replicate { input: projector.remote(Client) });
+    });
+
+    assert_eq!(client.join().unwrap(), EXPECTED);
+    primary.join().unwrap();
+    backup.join().unwrap();
+}
+
+#[test]
+fn conclaves_send_nothing_to_outsiders() {
+    // The paper's headline efficiency claim (§3.2): the client receives no
+    // traffic from the servers' internal conclave work.
+    let channel = LocalTransportChannel::<Census>::new();
+    let metrics = Arc::new(TransportMetrics::new());
+
+    let mut handles = Vec::new();
+    {
+        let c = channel.clone();
+        let m = Arc::clone(&metrics);
+        handles.push(std::thread::spawn(move || {
+            let transport = InstrumentedTransport::new(LocalTransport::new(Client, c), m);
+            let projector = Projector::new(Client, &transport);
+            let out = projector.epp_and_run(Replicate { input: projector.local(INPUT) });
+            assert_eq!(projector.unwrap(out), EXPECTED);
+        }));
+    }
+    {
+        let c = channel.clone();
+        let m = Arc::clone(&metrics);
+        handles.push(std::thread::spawn(move || {
+            let transport = InstrumentedTransport::new(LocalTransport::new(Primary, c), m);
+            let projector = Projector::new(Primary, &transport);
+            projector.epp_and_run(Replicate { input: projector.remote(Client) });
+        }));
+    }
+    {
+        let c = channel;
+        let m = Arc::clone(&metrics);
+        handles.push(std::thread::spawn(move || {
+            let transport = InstrumentedTransport::new(LocalTransport::new(Backup, c), m);
+            let projector = Projector::new(Backup, &transport);
+            projector.epp_and_run(Replicate { input: projector.remote(Client) });
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    // Client → Primary: 1 (request). Primary → Backup: replication +
+    // conclave-internal multicasts. Client receives ONLY the gathered
+    // responses (one per server), nothing from the Double conclave.
+    let to_client = metrics.messages_to("Client");
+    assert_eq!(to_client, 2, "client must receive exactly the two gathered responses");
+    assert_eq!(metrics.messages_from("Client"), 1);
+}

@@ -1,0 +1,58 @@
+//! Error type for the wire format.
+
+use std::fmt;
+
+/// Errors produced while encoding or decoding the wire format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WireError {
+    /// A custom message produced by a `Serialize`/`Deserialize` impl.
+    Message(String),
+    /// The input ended before the value was fully decoded.
+    UnexpectedEof,
+    /// Input remained after the value was fully decoded.
+    TrailingBytes(usize),
+    /// A boolean byte was neither `0` nor `1`.
+    InvalidBool(u8),
+    /// A `char` was encoded as an invalid Unicode scalar value.
+    InvalidChar(u32),
+    /// A string was not valid UTF-8.
+    InvalidUtf8,
+    /// A length prefix exceeded the remaining input size.
+    LengthOverflow(u64),
+    /// The value cannot be represented in this format
+    /// (currently only produced for `deserialize_any`, which requires a
+    /// self-describing format).
+    Unsupported(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Message(msg) => write!(f, "{msg}"),
+            WireError::UnexpectedEof => write!(f, "unexpected end of input"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after value"),
+            WireError::InvalidBool(b) => write!(f, "invalid boolean byte {b}"),
+            WireError::InvalidChar(c) => write!(f, "invalid unicode scalar value {c:#x}"),
+            WireError::InvalidUtf8 => write!(f, "invalid UTF-8 sequence"),
+            WireError::LengthOverflow(n) => {
+                write!(f, "length prefix {n} exceeds remaining input")
+            }
+            WireError::Unsupported(what) => write!(f, "unsupported operation: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl serde::ser::Error for WireError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        WireError::Message(msg.to_string())
+    }
+}
+
+impl serde::de::Error for WireError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        WireError::Message(msg.to_string())
+    }
+}

@@ -1,0 +1,374 @@
+//! Serializer half of the wire format.
+
+use crate::{Result, WireError};
+use bytes::BufMut;
+use serde::ser::{self, Serialize};
+
+/// Serializes `value` into a freshly allocated byte vector.
+///
+/// # Errors
+///
+/// Returns [`WireError::Message`] if the value's `Serialize` impl reports a
+/// custom error, or [`WireError::Unsupported`] for values the format cannot
+/// represent (sequences of unknown length are buffered, so they *are*
+/// supported).
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> chorus_wire::Result<()> {
+/// let bytes = chorus_wire::to_bytes(&(1u16, true))?;
+/// assert_eq!(bytes, vec![1, 0, 1]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_bytes<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    let mut serializer = Serializer { out: Vec::new() };
+    value.serialize(&mut serializer)?;
+    Ok(serializer.out)
+}
+
+/// A streaming serializer writing the wire format into a `Vec<u8>`.
+///
+/// Most users want [`to_bytes`]; the type is public so callers can reuse a
+/// buffer across many messages.
+#[derive(Debug, Default)]
+pub struct Serializer {
+    out: Vec<u8>,
+}
+
+impl Serializer {
+    /// Creates a serializer with an empty output buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes the serializer and returns the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.out
+    }
+
+    fn put_len(&mut self, len: usize) -> Result<()> {
+        let len32 = u32::try_from(len)
+            .map_err(|_| WireError::Message(format!("length {len} exceeds u32::MAX")))?;
+        self.out.put_u32_le(len32);
+        Ok(())
+    }
+}
+
+/// Serializer for sequences whose length is not known up front: elements are
+/// buffered and the length prefix is patched in when the sequence ends.
+#[derive(Debug)]
+pub struct SeqSerializer<'a> {
+    parent: &'a mut Serializer,
+    len_pos: usize,
+    count: u32,
+}
+
+impl<'a> SeqSerializer<'a> {
+    fn begin(parent: &'a mut Serializer, known_len: Option<usize>) -> Result<Self> {
+        let len_pos = parent.out.len();
+        match known_len {
+            Some(len) => parent.put_len(len)?,
+            None => parent.out.put_u32_le(0),
+        }
+        Ok(SeqSerializer { parent, len_pos, count: 0 })
+    }
+
+    fn element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<()> {
+        self.count = self
+            .count
+            .checked_add(1)
+            .ok_or_else(|| WireError::Message("sequence too long".into()))?;
+        value.serialize(&mut *self.parent)
+    }
+
+    fn finish(self) -> Result<()> {
+        // Patch the length for unknown-length sequences. For known lengths
+        // this rewrites the same value, which is harmless and catches
+        // impls that lie about their length.
+        let bytes = self.count.to_le_bytes();
+        self.parent.out[self.len_pos..self.len_pos + 4].copy_from_slice(&bytes);
+        Ok(())
+    }
+}
+
+impl<'a> ser::Serializer for &'a mut Serializer {
+    type Ok = ();
+    type Error = WireError;
+
+    type SerializeSeq = SeqSerializer<'a>;
+    type SerializeTuple = Self;
+    type SerializeTupleStruct = Self;
+    type SerializeTupleVariant = Self;
+    type SerializeMap = SeqSerializer<'a>;
+    type SerializeStruct = Self;
+    type SerializeStructVariant = Self;
+
+    fn serialize_bool(self, v: bool) -> Result<()> {
+        self.out.put_u8(v as u8);
+        Ok(())
+    }
+
+    fn serialize_i8(self, v: i8) -> Result<()> {
+        self.out.put_i8(v);
+        Ok(())
+    }
+
+    fn serialize_i16(self, v: i16) -> Result<()> {
+        self.out.put_i16_le(v);
+        Ok(())
+    }
+
+    fn serialize_i32(self, v: i32) -> Result<()> {
+        self.out.put_i32_le(v);
+        Ok(())
+    }
+
+    fn serialize_i64(self, v: i64) -> Result<()> {
+        self.out.put_i64_le(v);
+        Ok(())
+    }
+
+    fn serialize_i128(self, v: i128) -> Result<()> {
+        self.out.put_i128_le(v);
+        Ok(())
+    }
+
+    fn serialize_u8(self, v: u8) -> Result<()> {
+        self.out.put_u8(v);
+        Ok(())
+    }
+
+    fn serialize_u16(self, v: u16) -> Result<()> {
+        self.out.put_u16_le(v);
+        Ok(())
+    }
+
+    fn serialize_u32(self, v: u32) -> Result<()> {
+        self.out.put_u32_le(v);
+        Ok(())
+    }
+
+    fn serialize_u64(self, v: u64) -> Result<()> {
+        self.out.put_u64_le(v);
+        Ok(())
+    }
+
+    fn serialize_u128(self, v: u128) -> Result<()> {
+        self.out.put_u128_le(v);
+        Ok(())
+    }
+
+    fn serialize_f32(self, v: f32) -> Result<()> {
+        self.out.put_f32_le(v);
+        Ok(())
+    }
+
+    fn serialize_f64(self, v: f64) -> Result<()> {
+        self.out.put_f64_le(v);
+        Ok(())
+    }
+
+    fn serialize_char(self, v: char) -> Result<()> {
+        self.out.put_u32_le(v as u32);
+        Ok(())
+    }
+
+    fn serialize_str(self, v: &str) -> Result<()> {
+        self.put_len(v.len())?;
+        self.out.extend_from_slice(v.as_bytes());
+        Ok(())
+    }
+
+    fn serialize_bytes(self, v: &[u8]) -> Result<()> {
+        self.put_len(v.len())?;
+        self.out.extend_from_slice(v);
+        Ok(())
+    }
+
+    fn serialize_none(self) -> Result<()> {
+        self.out.put_u8(0);
+        Ok(())
+    }
+
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<()> {
+        self.out.put_u8(1);
+        value.serialize(self)
+    }
+
+    fn serialize_unit(self) -> Result<()> {
+        Ok(())
+    }
+
+    fn serialize_unit_struct(self, _name: &'static str) -> Result<()> {
+        Ok(())
+    }
+
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+    ) -> Result<()> {
+        self.out.put_u32_le(variant_index);
+        Ok(())
+    }
+
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<()> {
+        value.serialize(self)
+    }
+
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        value: &T,
+    ) -> Result<()> {
+        self.out.put_u32_le(variant_index);
+        value.serialize(self)
+    }
+
+    fn serialize_seq(self, len: Option<usize>) -> Result<Self::SerializeSeq> {
+        SeqSerializer::begin(self, len)
+    }
+
+    fn serialize_tuple(self, _len: usize) -> Result<Self::SerializeTuple> {
+        Ok(self)
+    }
+
+    fn serialize_tuple_struct(
+        self,
+        _name: &'static str,
+        _len: usize,
+    ) -> Result<Self::SerializeTupleStruct> {
+        Ok(self)
+    }
+
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Self::SerializeTupleVariant> {
+        self.out.put_u32_le(variant_index);
+        Ok(self)
+    }
+
+    fn serialize_map(self, len: Option<usize>) -> Result<Self::SerializeMap> {
+        SeqSerializer::begin(self, len)
+    }
+
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<Self::SerializeStruct> {
+        Ok(self)
+    }
+
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Self::SerializeStructVariant> {
+        self.out.put_u32_le(variant_index);
+        Ok(self)
+    }
+
+    fn is_human_readable(&self) -> bool {
+        false
+    }
+}
+
+impl ser::SerializeSeq for SeqSerializer<'_> {
+    type Ok = ();
+    type Error = WireError;
+
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<()> {
+        self.element(value)
+    }
+
+    fn end(self) -> Result<()> {
+        self.finish()
+    }
+}
+
+impl ser::SerializeMap for SeqSerializer<'_> {
+    type Ok = ();
+    type Error = WireError;
+
+    fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<()> {
+        self.element(key)
+    }
+
+    fn serialize_value<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<()> {
+        // Keys and values alternate; only keys bump the entry count, so
+        // divide the count bump between them: count keys only.
+        self.count -= 1; // undo the bump done for the key ...
+        self.element(value) // ... and redo it for the pair as a whole
+    }
+
+    fn end(self) -> Result<()> {
+        self.finish()
+    }
+}
+
+macro_rules! forward_compound {
+    ($trait:path, $method:ident) => {
+        impl $trait for &mut Serializer {
+            type Ok = ();
+            type Error = WireError;
+
+            fn $method<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<()> {
+                value.serialize(&mut **self)
+            }
+
+            fn end(self) -> Result<()> {
+                Ok(())
+            }
+        }
+    };
+}
+
+forward_compound!(ser::SerializeTuple, serialize_element);
+forward_compound!(ser::SerializeTupleStruct, serialize_field);
+forward_compound!(ser::SerializeTupleVariant, serialize_field);
+
+impl ser::SerializeStruct for &mut Serializer {
+    type Ok = ();
+    type Error = WireError;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        _key: &'static str,
+        value: &T,
+    ) -> Result<()> {
+        value.serialize(&mut **self)
+    }
+
+    fn end(self) -> Result<()> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeStructVariant for &mut Serializer {
+    type Ok = ();
+    type Error = WireError;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        _key: &'static str,
+        value: &T,
+    ) -> Result<()> {
+        value.serialize(&mut **self)
+    }
+
+    fn end(self) -> Result<()> {
+        Ok(())
+    }
+}

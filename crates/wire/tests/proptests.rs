@@ -1,0 +1,83 @@
+//! Property tests for the wire format: arbitrary values round-trip, and
+//! the decoder never panics on arbitrary bytes (it may reject them).
+
+use proptest::collection::{btree_map, vec};
+use proptest::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Message {
+    Ping,
+    Text(String),
+    Batch(Vec<u64>),
+    Tagged { id: u32, body: Option<Box<Message>> },
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    let leaf = prop_oneof![
+        Just(Message::Ping),
+        ".{0,32}".prop_map(Message::Text),
+        vec(any::<u64>(), 0..8).prop_map(Message::Batch),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        (any::<u32>(), proptest::option::of(inner))
+            .prop_map(|(id, body)| Message::Tagged { id, body: body.map(Box::new) })
+    })
+}
+
+proptest! {
+    #[test]
+    fn primitives_round_trip(v: (u8, i16, u32, i64, u128, bool, char)) {
+        let bytes = chorus_wire::to_bytes(&v).unwrap();
+        prop_assert_eq!(chorus_wire::from_bytes::<(u8, i16, u32, i64, u128, bool, char)>(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn strings_round_trip(s in ".{0,256}") {
+        let bytes = chorus_wire::to_bytes(&s).unwrap();
+        prop_assert_eq!(chorus_wire::from_bytes::<String>(&bytes).unwrap(), s);
+    }
+
+    #[test]
+    fn collections_round_trip(
+        v in vec(any::<i32>(), 0..64),
+        m in btree_map(".{0,8}", any::<u64>(), 0..16),
+    ) {
+        let bytes = chorus_wire::to_bytes(&(v.clone(), m.clone())).unwrap();
+        let (v2, m2): (Vec<i32>, BTreeMap<String, u64>) =
+            chorus_wire::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(v, v2);
+        prop_assert_eq!(m, m2);
+    }
+
+    #[test]
+    fn recursive_enums_round_trip(msg in arb_message()) {
+        let bytes = chorus_wire::to_bytes(&msg).unwrap();
+        prop_assert_eq!(chorus_wire::from_bytes::<Message>(&bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn floats_round_trip_bitwise(a: f32, b: f64) {
+        let bytes = chorus_wire::to_bytes(&(a, b)).unwrap();
+        let (a2, b2): (f32, f64) = chorus_wire::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(a.to_bits(), a2.to_bits());
+        prop_assert_eq!(b.to_bits(), b2.to_bits());
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage(bytes in vec(any::<u8>(), 0..256)) {
+        // Any outcome is fine except a panic.
+        let _ = chorus_wire::from_bytes::<Message>(&bytes);
+        let _ = chorus_wire::from_bytes::<String>(&bytes);
+        let _ = chorus_wire::from_bytes::<Vec<u64>>(&bytes);
+        let _ = chorus_wire::from_bytes::<(bool, u32)>(&bytes);
+    }
+
+    #[test]
+    fn encoding_is_deterministic(msg in arb_message()) {
+        let a = chorus_wire::to_bytes(&msg).unwrap();
+        let b = chorus_wire::to_bytes(&msg).unwrap();
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,99 @@
+//! The DPrio fair lottery (paper §6, Appendix C): clients secret-share
+//! values to servers; the servers commit-then-open random draws to pick
+//! a winner; the analyst reconstructs one client's value without
+//! learning whose. Pass `--cheat` to watch a dishonest server get caught
+//! by commitment verification.
+//!
+//! Run with: `cargo run --example lottery [-- --cheat]`
+
+use chorus_repro::core::{LocationSet as _, Projector};
+use chorus_repro::mpc::field::FLOTTERY;
+use chorus_repro::protocols::lottery::Lottery;
+use chorus_repro::protocols::roles::{Analyst, C1, C2, C3, S1, S2};
+use chorus_repro::transport::{LocalTransport, LocalTransportChannel};
+use std::marker::PhantomData;
+
+type Clients = chorus_repro::core::LocationSet!(C1, C2, C3);
+type Servers = chorus_repro::core::LocationSet!(S1, S2);
+type Census = chorus_repro::core::LocationSet!(Analyst, C1, C2, C3, S1, S2);
+
+fn main() {
+    let cheat = std::env::args().any(|a| a == "--cheat");
+    let secrets = [("C1", 1001u64), ("C2", 2002), ("C3", 3003)];
+    println!("client secrets: {secrets:?}");
+    if cheat {
+        println!("server S2 will open a value it never committed to ...");
+    }
+
+    let channel = LocalTransportChannel::<Census>::new();
+    let mut handles = Vec::new();
+
+    macro_rules! client {
+        ($ty:ty, $secret:expr) => {{
+            let c = channel.clone();
+            handles.push(std::thread::spawn(move || {
+                let transport = LocalTransport::new(<$ty>::default(), c);
+                let projector = Projector::new(<$ty>::default(), &transport);
+                let _ = projector.epp_and_run(
+                    Lottery::<Clients, Servers, Census, _, _, _, _, _, _, _> {
+                        secrets: &projector.local_faceted(FLOTTERY::new($secret)),
+                        tau: 300,
+                        cheaters: &projector.remote_faceted(Servers::new()),
+                        phantom: PhantomData,
+                    },
+                );
+            }));
+        }};
+    }
+
+    macro_rules! server {
+        ($ty:ty, $cheats:expr) => {{
+            let c = channel.clone();
+            let cheats: bool = $cheats;
+            handles.push(std::thread::spawn(move || {
+                let transport = LocalTransport::new(<$ty>::default(), c);
+                let projector = Projector::new(<$ty>::default(), &transport);
+                let _ = projector.epp_and_run(
+                    Lottery::<Clients, Servers, Census, _, _, _, _, _, _, _> {
+                        secrets: &projector.remote_faceted(Clients::new()),
+                        tau: 300,
+                        cheaters: &projector.local_faceted(cheats),
+                        phantom: PhantomData,
+                    },
+                );
+            }));
+        }};
+    }
+
+    client!(C1, 1001);
+    client!(C2, 2002);
+    client!(C3, 3003);
+    server!(S1, false);
+    server!(S2, cheat);
+
+    // The analyst.
+    let transport = LocalTransport::new(Analyst, channel);
+    let projector = Projector::new(Analyst, &transport);
+    let out = projector.epp_and_run(Lottery::<Clients, Servers, Census, _, _, _, _, _, _, _> {
+        secrets: &projector.remote_faceted(Clients::new()),
+        tau: 300,
+        cheaters: &projector.remote_faceted(Servers::new()),
+        phantom: PhantomData,
+    });
+
+    for h in handles {
+        h.join().expect("endpoint thread");
+    }
+
+    match projector.unwrap(out) {
+        Ok(value) => {
+            println!("[Analyst] reconstructed {value} (one of the secrets, sender unknown)");
+            assert!(secrets.iter().any(|(_, v)| *v == value));
+            assert!(!cheat, "a cheating run must abort");
+        }
+        Err(e) => {
+            println!("[Analyst] lottery aborted: {e}");
+            assert!(cheat, "honest runs must succeed");
+        }
+    }
+}

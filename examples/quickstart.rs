@@ -1,0 +1,82 @@
+//! Quickstart: the paper's Fig. 1 — a client/server key-value store —
+//! written once and executed three ways: centralized, over in-process
+//! channels, and over TCP sockets.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use chorus_repro::core::{Projector, Runner};
+use chorus_repro::protocols::kvs_simple::{SimpleKvs, SimpleKvsCensus};
+use chorus_repro::protocols::roles::{Client, Primary};
+use chorus_repro::protocols::store::{Request, Response, SharedStore};
+use chorus_repro::transport::{
+    free_local_addrs, LocalTransport, LocalTransportChannel, TcpConfigBuilder, TcpTransport,
+};
+
+fn main() {
+    // 1. Centralized: run the choreography directly — handy for tests.
+    let runner: Runner<SimpleKvsCensus> = Runner::new();
+    let store = SharedStore::new();
+    let put = SimpleKvs {
+        request: runner.local(Request::Put("title".into(), "choreographies".into())),
+        state: runner.local(store.clone()),
+    };
+    let response = runner.unwrap_located(runner.run(put));
+    println!("[centralized] put -> {response:?}");
+
+    // 2. Projected over in-process channels: each participant is a
+    //    thread; endpoint projection happens at run time.
+    let channel = LocalTransportChannel::<SimpleKvsCensus>::new();
+    let ch = channel.clone();
+    let store_for_server = store.clone();
+    let server = std::thread::spawn(move || {
+        let transport = LocalTransport::new(Primary, ch);
+        let projector = Projector::new(Primary, &transport);
+        projector.epp_and_run(SimpleKvs {
+            request: projector.remote(Client),
+            state: projector.local(store_for_server),
+        });
+    });
+    let transport = LocalTransport::new(Client, channel);
+    let projector = Projector::new(Client, &transport);
+    let out = projector.epp_and_run(SimpleKvs {
+        request: projector.local(Request::Get("title".into())),
+        state: projector.remote(Primary),
+    });
+    server.join().unwrap();
+    let answer = projector.unwrap(out);
+    println!("[channels]    get -> {answer:?}");
+    assert_eq!(answer, Response::Found("choreographies".into()));
+
+    // 3. The same choreography over TCP sockets: real processes would
+    //    each run one branch of this; here both endpoints share a
+    //    process for demonstration.
+    let addrs = free_local_addrs(2).expect("reserve loopback ports");
+    let config = TcpConfigBuilder::new()
+        .location(Client, addrs[0])
+        .location(Primary, addrs[1])
+        .build::<SimpleKvsCensus>()
+        .expect("complete address book");
+
+    let cfg = config.clone();
+    let store_for_server = store.clone();
+    let server = std::thread::spawn(move || {
+        let transport = TcpTransport::bind(Primary, cfg).expect("bind server");
+        let projector = Projector::new(Primary, &transport);
+        projector.epp_and_run(SimpleKvs {
+            request: projector.remote(Client),
+            state: projector.local(store_for_server),
+        });
+    });
+    let transport = TcpTransport::bind(Client, config).expect("bind client");
+    let projector = Projector::new(Client, &transport);
+    let out = projector.epp_and_run(SimpleKvs {
+        request: projector.local(Request::Get("title".into())),
+        state: projector.remote(Primary),
+    });
+    server.join().unwrap();
+    let answer = projector.unwrap(out);
+    println!("[tcp]         get -> {answer:?}");
+    assert_eq!(answer, Response::Found("choreographies".into()));
+
+    println!("one choreography, three transports — all agree.");
+}

@@ -1,0 +1,177 @@
+//! Cross-crate integration tests: the case-study choreographies
+//! executed as real distributed systems (threads + TCP sockets or
+//! channels), exercised through the facade crate.
+
+use chorus_repro::core::{ChoreographyLocation as _, LocationSet as _, Projector};
+use chorus_repro::mpc::Circuit;
+use chorus_repro::protocols::gmw::Gmw;
+use chorus_repro::protocols::kvs_backup::{KvsCensus, ReplicatedKvs, Servers};
+use chorus_repro::protocols::roles::{Backup1, Backup2, Client, Primary, P1, P2, P3};
+use chorus_repro::protocols::store::{Request, Response, SharedStore};
+use chorus_repro::transport::{
+    free_local_addrs, LocalTransport, LocalTransportChannel, TcpConfigBuilder, TcpTransport,
+};
+use std::marker::PhantomData;
+
+type Backups = chorus_repro::core::LocationSet!(Backup1, Backup2);
+type Census = KvsCensus<Backups>;
+
+#[test]
+fn replicated_kvs_over_tcp_with_fault_injection() {
+    let addrs = free_local_addrs(4).unwrap();
+    let config = TcpConfigBuilder::new()
+        .location(Client, addrs[0])
+        .location(Primary, addrs[1])
+        .location(Backup1, addrs[2])
+        .location(Backup2, addrs[3])
+        .build::<Census>()
+        .unwrap();
+
+    let mut servers = Vec::new();
+    macro_rules! server {
+        ($ty:ty, $corrupt:expr) => {{
+            let cfg = config.clone();
+            servers.push(std::thread::spawn(move || {
+                let transport = TcpTransport::bind(<$ty>::new(), cfg).unwrap();
+                let projector = Projector::new(<$ty>::new(), &transport);
+                let store = SharedStore::new();
+                if $corrupt {
+                    store.corrupt_next_put();
+                }
+                let outcome = projector.epp_and_run(ReplicatedKvs::<Backups, _, _, _> {
+                    request: projector.remote(Client),
+                    states: projector.local_faceted(store.clone()),
+                    phantom: PhantomData,
+                });
+                (projector.unwrap(outcome.resynched), store.snapshot())
+            }));
+        }};
+    }
+    server!(Primary, false);
+    server!(Backup1, true);
+    server!(Backup2, false);
+
+    let cfg = config;
+    let client = std::thread::spawn(move || {
+        let transport = TcpTransport::bind(Client, cfg).unwrap();
+        let projector = Projector::new(Client, &transport);
+        let outcome = projector.epp_and_run(ReplicatedKvs::<Backups, _, _, _> {
+            request: projector.local(Request::Put("k".into(), "v".into())),
+            states: projector.remote_faceted(<Servers<Backups>>::new()),
+            phantom: PhantomData,
+        });
+        projector.unwrap(outcome.response)
+    });
+
+    assert_eq!(client.join().unwrap(), Response::NotFound);
+    let results: Vec<_> = servers.into_iter().map(|h| h.join().unwrap()).collect();
+    // Every server saw the resynch and all replicas converged.
+    assert!(results.iter().all(|(resynched, _)| *resynched));
+    let reference = &results[0].1;
+    assert!(results.iter().all(|(_, snapshot)| snapshot == reference));
+    assert_eq!(reference.get("k").map(String::as_str), Some("v"));
+}
+
+#[test]
+fn gmw_three_parties_over_tcp() {
+    type Parties = chorus_repro::core::LocationSet!(P1, P2, P3);
+    let addrs = free_local_addrs(3).unwrap();
+    let config = TcpConfigBuilder::new()
+        .location(P1, addrs[0])
+        .location(P2, addrs[1])
+        .location(P3, addrs[2])
+        .build::<Parties>()
+        .unwrap();
+
+    // majority(a,b,c) over private inputs (true, true, false) = true
+    let circuit = std::sync::Arc::new(
+        Circuit::input("P1", 0)
+            .and(Circuit::input("P2", 0))
+            .xor(Circuit::input("P1", 0).and(Circuit::input("P3", 0)))
+            .xor(Circuit::input("P2", 0).and(Circuit::input("P3", 0))),
+    );
+
+    let mut handles = Vec::new();
+    macro_rules! party {
+        ($ty:ty, $input:expr) => {{
+            let cfg = config.clone();
+            let circuit = std::sync::Arc::clone(&circuit);
+            handles.push(std::thread::spawn(move || {
+                let transport = TcpTransport::bind(<$ty>::new(), cfg).unwrap();
+                let projector = Projector::new(<$ty>::new(), &transport);
+                projector.epp_and_run(Gmw::<Parties, _, _> {
+                    circuit: &circuit,
+                    inputs: &projector.local_faceted(vec![$input]),
+                    phantom: PhantomData,
+                })
+            }));
+        }};
+    }
+    party!(P1, true);
+    party!(P2, true);
+    party!(P3, false);
+
+    let results: Vec<bool> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    assert_eq!(results, vec![true, true, true]);
+}
+
+#[test]
+fn kvs_gather_choreography_over_channels() {
+    use chorus_repro::protocols::kvs_gather::{Kvs, KvsCensus, Request, ServerSet, Store};
+
+    type GatherCensus = KvsCensus<Backups>;
+    let channel = LocalTransportChannel::<GatherCensus>::new();
+
+    let mut handles = Vec::new();
+    macro_rules! backup {
+        ($ty:ty) => {{
+            let c = channel.clone();
+            handles.push(std::thread::spawn(move || {
+                let transport = LocalTransport::new(<$ty>::new(), c);
+                let projector = Projector::new(<$ty>::new(), &transport);
+                let store = Store::default();
+                let _ = projector.epp_and_run(Kvs::<Backups, _, _, _, _> {
+                    request: projector.remote(Client),
+                    backup_stores: &projector.local_faceted::<Store, Backups, _>(store.clone()),
+                    server_store: &projector.remote(Primary),
+                    phantom: PhantomData,
+                });
+                let value = store.lock().get("x").copied();
+                value
+            }));
+        }};
+    }
+    backup!(Backup1);
+    backup!(Backup2);
+
+    // The primary (cannot use the macro: it owns `server_store`).
+    let c = channel.clone();
+    let primary = std::thread::spawn(move || {
+        let transport = LocalTransport::new(Primary, c);
+        let projector = Projector::new(Primary, &transport);
+        let store = Store::default();
+        let _ = projector.epp_and_run(Kvs::<Backups, _, _, _, _> {
+            request: projector.remote(Client),
+            backup_stores: &projector.remote_faceted(Backups::new()),
+            server_store: &projector.local(store.clone()),
+            phantom: PhantomData,
+        });
+        let value = store.lock().get("x").copied();
+        value
+    });
+
+    let transport = LocalTransport::new(Client, channel);
+    let projector = Projector::new(Client, &transport);
+    let out = projector.epp_and_run(Kvs::<Backups, _, _, _, _> {
+        request: projector.local(Request::Put("x".into(), 9)),
+        backup_stores: &projector.remote_faceted(Backups::new()),
+        server_store: &projector.remote(Primary),
+        phantom: PhantomData,
+    });
+    assert_eq!(projector.unwrap(out), 0, "put succeeds");
+
+    assert_eq!(primary.join().unwrap(), Some(9));
+    for h in handles {
+        assert_eq!(h.join().unwrap(), Some(9), "backups hold the written value");
+    }
+}
