@@ -23,7 +23,7 @@
 //! transports with `chorus-core`, so both libraries run over identical
 //! plumbing and message counts are directly comparable.
 
-use chorus_core::{ChoreographyLocation, LocationSet, Member, Portable, Transport};
+use chorus_core::{ChoreographyLocation, LocationSet, Member, Portable, Session, SessionTransport};
 use std::marker::PhantomData;
 
 /// A value of type `V` owned by the single location `L` — HasChor's
@@ -120,27 +120,32 @@ pub trait HasChorOp<Census: LocationSet> {
 }
 
 /// Projects baseline choreographies to one endpoint over a
-/// [`Transport`], mirroring `chorus_core::Projector`.
-pub struct BaselineProjector<'a, TL, Target, T, TargetIndex>
+/// [`Session`], mirroring `chorus_core::Session::epp_and_run`.
+///
+/// The projector runs inside one session of a shared endpoint, so the
+/// baseline and the conclaves-&-MLVs library execute over identical
+/// plumbing (same envelopes, same layers, same demultiplexing) and
+/// their message counts stay directly comparable.
+pub struct BaselineProjector<'a, 'e, TL, Target, T, TargetIndex>
 where
     TL: LocationSet,
     Target: ChoreographyLocation,
-    T: Transport<TL, Target>,
+    T: SessionTransport<TL, Target>,
 {
-    transport: &'a T,
-    phantom: PhantomData<fn() -> (TL, Target, TargetIndex)>,
+    session: &'a Session<'e, TL, Target, T>,
+    phantom: PhantomData<fn() -> TargetIndex>,
 }
 
-impl<'a, TL, Target, T, TargetIndex> BaselineProjector<'a, TL, Target, T, TargetIndex>
+impl<'a, 'e, TL, Target, T, TargetIndex> BaselineProjector<'a, 'e, TL, Target, T, TargetIndex>
 where
     TL: LocationSet,
     Target: ChoreographyLocation + Member<TL, TargetIndex>,
-    T: Transport<TL, Target>,
+    T: SessionTransport<TL, Target>,
 {
-    /// Creates a projector for `target` over `transport`.
-    pub fn new(target: Target, transport: &'a T) -> Self {
+    /// Creates a projector for `target` running inside `session`.
+    pub fn new(target: Target, session: &'a Session<'e, TL, Target, T>) -> Self {
         let _ = target;
-        BaselineProjector { transport, phantom: PhantomData }
+        BaselineProjector { session, phantom: PhantomData }
     }
 
     /// Wraps a value this endpoint holds.
@@ -177,54 +182,54 @@ where
         Target: Member<L, TargetInL>,
         C: BaselineChoreography<V, L = L>,
     {
-        let op: BaselineEppOp<'a, L, TL, Target, T> =
-            BaselineEppOp { transport: self.transport, phantom: PhantomData };
+        let op: BaselineEppOp<'a, 'e, L, TL, Target, T> =
+            BaselineEppOp { session: self.session, phantom: PhantomData };
         choreo.run(&op)
     }
 }
 
-struct BaselineEppOp<'a, Census, TL, Target, T>
+struct BaselineEppOp<'a, 'e, Census, TL, Target, T>
 where
     Census: LocationSet,
     TL: LocationSet,
     Target: ChoreographyLocation,
-    T: Transport<TL, Target>,
+    T: SessionTransport<TL, Target>,
 {
-    transport: &'a T,
+    session: &'a Session<'e, TL, Target, T>,
     phantom: PhantomData<fn() -> (Census, TL, Target)>,
 }
 
-impl<Census, TL, Target, T> BaselineEppOp<'_, Census, TL, Target, T>
+impl<Census, TL, Target, T> BaselineEppOp<'_, '_, Census, TL, Target, T>
 where
     Census: LocationSet,
     TL: LocationSet,
     Target: ChoreographyLocation,
-    T: Transport<TL, Target>,
+    T: SessionTransport<TL, Target>,
 {
     fn send_to<V: Portable>(&self, to: &str, value: &V) {
         let bytes = chorus_wire::to_bytes(value)
             .unwrap_or_else(|e| panic!("failed to encode message for {to}: {e}"));
-        self.transport
-            .send(to, &bytes)
+        self.session
+            .send_bytes(to, &bytes)
             .unwrap_or_else(|e| panic!("failed to send to {to}: {e}"));
     }
 
     fn receive_from<V: Portable>(&self, from: &str) -> V {
         let bytes = self
-            .transport
-            .receive(from)
+            .session
+            .receive_bytes(from)
             .unwrap_or_else(|e| panic!("failed to receive from {from}: {e}"));
         chorus_wire::from_bytes(&bytes)
             .unwrap_or_else(|e| panic!("failed to decode message from {from}: {e}"))
     }
 }
 
-impl<Census, TL, Target, T> HasChorOp<Census> for BaselineEppOp<'_, Census, TL, Target, T>
+impl<Census, TL, Target, T> HasChorOp<Census> for BaselineEppOp<'_, '_, Census, TL, Target, T>
 where
     Census: LocationSet,
     TL: LocationSet,
     Target: ChoreographyLocation,
-    T: Transport<TL, Target>,
+    T: SessionTransport<TL, Target>,
 {
     fn locally<V, L1: ChoreographyLocation, Index>(
         &self,
@@ -371,9 +376,8 @@ impl<Census: LocationSet> HasChorOp<Census> for BaselineRunOp<Census> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use chorus_transport::{
-        InstrumentedTransport, LocalTransport, LocalTransportChannel, TransportMetrics,
-    };
+    use chorus_core::Endpoint;
+    use chorus_transport::{LocalTransport, LocalTransportChannel, TransportMetrics};
     use std::sync::Arc;
 
     chorus_core::locations! { Alice, Bob, Carol }
@@ -423,9 +427,12 @@ mod tests {
                 let c = channel.clone();
                 let m = Arc::clone(&metrics);
                 handles.push(std::thread::spawn(move || {
-                    let transport =
-                        InstrumentedTransport::new(LocalTransport::new($loc, c), m);
-                    let projector = BaselineProjector::new($loc, &transport);
+                    let endpoint = Endpoint::builder($loc)
+                        .transport(LocalTransport::new($loc, c))
+                        .layer(m)
+                        .build();
+                    let session = endpoint.session();
+                    let projector = BaselineProjector::new($loc, &session);
                     let flag: Located<bool, Alice> = $flag(&projector);
                     projector.epp_and_run(Branchy { flag })
                 }));

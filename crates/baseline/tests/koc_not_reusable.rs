@@ -3,9 +3,8 @@
 //! in the negative), and every broadcast reaches bystanders.
 
 use chorus_baseline::{BaselineChoreography, BaselineProjector, HasChorOp, Located};
-use chorus_transport::{
-    InstrumentedTransport, LocalTransport, LocalTransportChannel, TransportMetrics,
-};
+use chorus_core::Endpoint;
+use chorus_transport::{LocalTransport, LocalTransportChannel, TransportMetrics};
 use std::sync::Arc;
 
 chorus_core::locations! { Decider, Worker, Bystander }
@@ -36,9 +35,12 @@ fn run_double_branch() -> ((u32, u32), Arc<TransportMetrics>) {
             let c = channel.clone();
             let m = Arc::clone(&metrics);
             handles.push(std::thread::spawn(move || {
-                let transport =
-                    InstrumentedTransport::new(LocalTransport::new(<$ty>::default(), c), m);
-                let projector = BaselineProjector::new(<$ty>::default(), &transport);
+                let endpoint = Endpoint::builder(<$ty>::default())
+                    .transport(LocalTransport::new(<$ty>::default(), c))
+                    .layer(m)
+                    .build();
+                let session = endpoint.session();
+                let projector = BaselineProjector::new(<$ty>::default(), &session);
                 let flag: Located<bool, Decider> = $mk_flag(&projector);
                 projector.epp_and_run(DoubleBranch { flag })
             }));

@@ -25,7 +25,10 @@ fn inputs(parties: &[&str]) -> BTreeMap<String, Vec<bool>> {
     parties.iter().map(|p| (p.to_string(), vec![true])).collect()
 }
 
-fn run_centralized<P, PRefl, PFold>(circuit: &Circuit, input_map: BTreeMap<String, Vec<bool>>) -> bool
+fn run_centralized<P, PRefl, PFold>(
+    circuit: &Circuit,
+    input_map: BTreeMap<String, Vec<bool>>,
+) -> bool
 where
     P: LocationSet + Subset<P, PRefl> + LocationSetFoldable<P, P, PFold>,
 {

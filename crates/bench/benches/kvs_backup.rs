@@ -8,7 +8,9 @@
 //! this.
 
 use chorus_bench::{run_baseline_kvs, run_replicated_kvs};
-use chorus_protocols::roles::{Backup1, Backup2, Backup3, Backup4, Backup5, Backup6, Backup7, Backup8};
+use chorus_protocols::roles::{
+    Backup1, Backup2, Backup3, Backup4, Backup5, Backup6, Backup7, Backup8,
+};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::time::Duration;
@@ -49,7 +51,11 @@ fn bench_conclave_vs_baseline(c: &mut Criterion) {
     case!(1, BaselineKvs1, [Backup1]);
     case!(2, BaselineKvs2, [Backup1, Backup2]);
     case!(4, BaselineKvs4, [Backup1, Backup2, Backup3, Backup4]);
-    case!(8, BaselineKvs8, [Backup1, Backup2, Backup3, Backup4, Backup5, Backup6, Backup7, Backup8]);
+    case!(
+        8,
+        BaselineKvs8,
+        [Backup1, Backup2, Backup3, Backup4, Backup5, Backup6, Backup7, Backup8]
+    );
     group.finish();
 }
 

@@ -1,7 +1,9 @@
 //! E2 (paper Fig. 1): client–server KVS round-trip latency, centralized
-//! and over the in-process transport.
+//! and over the in-process transport — both the legacy shape (fresh
+//! fabric + endpoint per run) and the session-multiplexed shape (one
+//! long-lived endpoint pair, one session per run).
 
-use chorus_core::{Projector, Runner};
+use chorus_core::{Endpoint, Runner};
 use chorus_protocols::kvs_simple::{SimpleKvs, SimpleKvsCensus};
 use chorus_protocols::roles::{Client, Primary};
 use chorus_protocols::store::{Request, Response, SharedStore};
@@ -45,29 +47,65 @@ fn bench_distributed(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(2))
         .sample_size(20);
 
-    group.bench_function("get_round_trip", |b| {
+    // Legacy shape: a fresh fabric, endpoint, and server thread per run.
+    group.bench_function("get_round_trip_fresh_endpoint", |b| {
         b.iter(|| {
             let channel = LocalTransportChannel::<SimpleKvsCensus>::new();
             let ch = channel.clone();
             let server = std::thread::spawn(move || {
-                let transport = LocalTransport::new(Primary, ch);
-                let projector = Projector::new(Primary, &transport);
+                let endpoint = Endpoint::new(LocalTransport::new(Primary, ch));
+                let session = endpoint.session();
                 let store = SharedStore::new();
                 store.put("k", "v");
-                projector.epp_and_run(SimpleKvs {
-                    request: projector.remote(Client),
-                    state: projector.local(store),
+                session.epp_and_run(SimpleKvs {
+                    request: session.remote(Client),
+                    state: session.local(store),
                 });
             });
-            let transport = LocalTransport::new(Client, channel);
-            let projector = Projector::new(Client, &transport);
-            let out = projector.epp_and_run(SimpleKvs {
-                request: projector.local(Request::Get("k".into())),
-                state: projector.remote(Primary),
+            let endpoint = Endpoint::new(LocalTransport::new(Client, channel));
+            let session = endpoint.session();
+            let out = session.epp_and_run(SimpleKvs {
+                request: session.local(Request::Get("k".into())),
+                state: session.remote(Primary),
             });
             server.join().unwrap();
-            assert_eq!(projector.unwrap(out), Response::Found("v".into()));
+            assert_eq!(session.unwrap(out), Response::Found("v".into()));
         })
+    });
+
+    // Session shape: both endpoints and the server thread live across
+    // the whole benchmark; each run is just a session.
+    group.bench_function("get_round_trip_shared_endpoint", |b| {
+        let channel = LocalTransportChannel::<SimpleKvsCensus>::new();
+        let (id_tx, id_rx) = std::sync::mpsc::channel::<u64>();
+        let ch = channel.clone();
+        let server = std::thread::spawn(move || {
+            let endpoint = Endpoint::new(LocalTransport::new(Primary, ch));
+            let store = SharedStore::new();
+            store.put("k", "v");
+            for id in id_rx {
+                let session = endpoint.session_with_id(id);
+                session.epp_and_run(SimpleKvs {
+                    request: session.remote(Client),
+                    state: session.local(store.clone()),
+                });
+            }
+        });
+        let endpoint = Endpoint::new(LocalTransport::new(Client, channel));
+        let mut next_id = 0u64;
+        b.iter(|| {
+            let id = next_id;
+            next_id += 1;
+            id_tx.send(id).expect("server thread alive");
+            let session = endpoint.session_with_id(id);
+            let out = session.epp_and_run(SimpleKvs {
+                request: session.local(Request::Get("k".into())),
+                state: session.remote(Primary),
+            });
+            assert_eq!(session.unwrap(out), Response::Found("v".into()));
+        });
+        drop(id_tx);
+        server.join().unwrap();
     });
     group.finish();
 }

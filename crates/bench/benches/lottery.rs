@@ -55,11 +55,10 @@ fn bench_distributed(c: &mut Criterion) {
         .sample_size(10);
     group.bench_function("3_clients_3_servers", |b| {
         b.iter(|| {
-            let secrets: BTreeMap<String, u64> =
-                [("C1", 11u64), ("C2", 22), ("C3", 33)]
-                    .into_iter()
-                    .map(|(k, v)| (k.to_string(), v))
-                    .collect();
+            let secrets: BTreeMap<String, u64> = [("C1", 11u64), ("C2", 22), ("C3", 33)]
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect();
             let (result, _) = run_lottery!(
                 clients = [C1, C2, C3],
                 servers = [S1, S2, S3],

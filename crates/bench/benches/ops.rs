@@ -3,7 +3,9 @@
 //! broadcast, conclave, gather) under the centralized runner — i.e. the
 //! cost of the library abstraction with communication taken out.
 
-use chorus_core::{ChoreoOp, Choreography, Located, LocationSet as _, MultiplyLocated, Quire, Runner};
+use chorus_core::{
+    ChoreoOp, Choreography, Located, LocationSet as _, MultiplyLocated, Quire, Runner,
+};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::time::Duration;

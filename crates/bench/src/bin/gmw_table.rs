@@ -15,11 +15,7 @@ use std::collections::BTreeMap;
 use std::time::Instant;
 
 fn inputs(parties: &[&str]) -> BTreeMap<String, Vec<bool>> {
-    parties
-        .iter()
-        .enumerate()
-        .map(|(i, p)| (p.to_string(), vec![i % 2 == 0]))
-        .collect()
+    parties.iter().enumerate().map(|(i, p)| (p.to_string(), vec![i % 2 == 0])).collect()
 }
 
 fn and_chain(parties: &[&'static str], k: usize) -> Circuit {

@@ -11,7 +11,9 @@
 //! Run with: `cargo run -p chorus-bench --bin koc_messages`
 
 use chorus_bench::{run_baseline_kvs, run_replicated_kvs};
-use chorus_protocols::roles::{Backup1, Backup2, Backup3, Backup4, Backup5, Backup6, Backup7, Backup8};
+use chorus_protocols::roles::{
+    Backup1, Backup2, Backup3, Backup4, Backup5, Backup6, Backup7, Backup8,
+};
 use chorus_protocols::store::Request;
 
 struct Row {
@@ -27,11 +29,7 @@ fn requests() -> Vec<(&'static str, Request, &'static [&'static str])> {
     vec![
         ("Get", Request::Get("k".into()), &[]),
         ("Put", Request::Put("k".into(), "v".into()), &[]),
-        (
-            "Put+resynch",
-            Request::Put("k".into(), "v".into()),
-            &["Backup1"],
-        ),
+        ("Put+resynch", Request::Put("k".into(), "v".into()), &["Backup1"]),
     ]
 }
 

@@ -21,11 +21,7 @@ use std::collections::BTreeMap;
 use std::marker::PhantomData;
 
 fn secrets(names: &[&str]) -> BTreeMap<String, u64> {
-    names
-        .iter()
-        .enumerate()
-        .map(|(i, n)| (n.to_string(), 1000 + i as u64))
-        .collect()
+    names.iter().enumerate().map(|(i, n)| (n.to_string(), 1000 + i as u64)).collect()
 }
 
 fn honest(names: &[&str]) -> BTreeMap<String, bool> {
@@ -150,10 +146,7 @@ fn main() {
             let frac = *c as f64 / trials as f64;
             (0.2..=0.47).contains(&frac)
         });
-    println!(
-        "  [{}] every client wins at a near-uniform rate",
-        if fair { "ok" } else { "FAIL" }
-    );
+    println!("  [{}] every client wins at a near-uniform rate", if fair { "ok" } else { "FAIL" });
     let caught = cheated == Err(LotteryError::CommitmentFailed);
     println!(
         "  [{}] a cheating server is detected by commitment verification",

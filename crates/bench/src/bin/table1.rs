@@ -127,10 +127,7 @@ fn main() {
 
     println!("E1 — Table 1 reproduction: feature comparison");
     println!();
-    println!(
-        "{:<52} | {:^9} | {:^6} | {:^11}",
-        "feature", "HasChor*", "λC", "chorus-core"
-    );
+    println!("{:<52} | {:^9} | {:^6} | {:^11}", "feature", "HasChor*", "λC", "chorus-core");
     println!("{}", "-".repeat(90));
     for (feature, _, baseline, lambda, core) in &rows {
         println!(

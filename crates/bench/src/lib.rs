@@ -1,25 +1,29 @@
 //! Shared harness for the benchmark suite: macros that execute the
 //! case-study choreographies as real multi-threaded systems over
-//! instrumented transports, returning results *and* per-edge message
-//! counts. Every table/figure binary and criterion bench builds on
-//! these.
+//! metrics-instrumented endpoints, returning results *and* per-edge
+//! message counts. Every table/figure binary and criterion bench builds
+//! on these.
+//!
+//! Each participant builds one [`chorus_core::Endpoint`] with a shared
+//! [`TransportMetrics`] layer and runs the choreography in a session;
+//! the endpoints share one in-process fabric per run.
 
 pub use chorus_transport::{EdgeMetrics, MetricsSnapshot, TransportMetrics};
 
 /// Runs the census-polymorphic replicated KVS (paper Fig. 2) once over
-/// an instrumented in-process transport, one thread per location.
+/// a metrics-instrumented in-process endpoint per location, one thread
+/// per location.
 ///
 /// Expands to a block evaluating to
 /// `(Response, bool /* resynched */, Arc<TransportMetrics>)`.
 #[macro_export]
 macro_rules! run_replicated_kvs {
     (backups = [$($backup:ty),* $(,)?], request = $request:expr, corrupt = $corrupt:expr) => {{
-        use chorus_core::{ChoreographyLocation as _, LocationSet as _, Projector};
+        use chorus_core::{ChoreographyLocation as _, Endpoint, LocationSet as _};
         use chorus_protocols::kvs_backup::{KvsCensus, ReplicatedKvs, Servers};
         use chorus_protocols::roles::{Client, Primary};
         use chorus_protocols::store::{Request, SharedStore};
-        use chorus_transport::{InstrumentedTransport, LocalTransport, LocalTransportChannel,
-                               TransportMetrics};
+        use chorus_transport::{LocalTransport, LocalTransportChannel, TransportMetrics};
         use std::marker::PhantomData;
         use std::sync::Arc;
 
@@ -39,16 +43,19 @@ macro_rules! run_replicated_kvs {
             let m = Arc::clone(&metrics);
             let request = request.clone();
             std::thread::spawn(move || {
-                let transport = InstrumentedTransport::new(LocalTransport::new(Client, c), m);
-                let projector = Projector::new(Client, &transport);
-                let outcome = projector.epp_and_run(ReplicatedKvs::<Backups, _, _, _> {
-                    request: projector.local(request),
-                    states: projector.remote_faceted::<SharedStore, Servers<Backups>>(
+                let endpoint = Endpoint::builder(Client)
+                    .transport(LocalTransport::new(Client, c))
+                    .layer(m)
+                    .build();
+                let session = endpoint.session();
+                let outcome = session.epp_and_run(ReplicatedKvs::<Backups, _, _, _> {
+                    request: session.local(request),
+                    states: session.remote_faceted::<SharedStore, Servers<Backups>>(
                         <Servers<Backups>>::new(),
                     ),
                     phantom: PhantomData,
                 });
-                projector.unwrap(outcome.response)
+                session.unwrap(outcome.response)
             })
         };
 
@@ -60,18 +67,21 @@ macro_rules! run_replicated_kvs {
             let corrupt_me = corrupt.contains(&Primary::NAME);
             std::thread::spawn(move || {
                 let _ = request;
-                let transport = InstrumentedTransport::new(LocalTransport::new(Primary, c), m);
-                let projector = Projector::new(Primary, &transport);
+                let endpoint = Endpoint::builder(Primary)
+                    .transport(LocalTransport::new(Primary, c))
+                    .layer(m)
+                    .build();
+                let session = endpoint.session();
                 let store = SharedStore::new();
                 if corrupt_me {
                     store.corrupt_next_put();
                 }
-                let outcome = projector.epp_and_run(ReplicatedKvs::<Backups, _, _, _> {
-                    request: projector.remote(Client),
-                    states: projector.local_faceted(store),
+                let outcome = session.epp_and_run(ReplicatedKvs::<Backups, _, _, _> {
+                    request: session.remote(Client),
+                    states: session.local_faceted(store),
                     phantom: PhantomData,
                 });
-                projector.unwrap(outcome.resynched)
+                session.unwrap(outcome.resynched)
             })
         };
 
@@ -82,16 +92,18 @@ macro_rules! run_replicated_kvs {
                 let m = Arc::clone(&metrics);
                 let corrupt_me = corrupt.contains(&<$backup>::NAME);
                 server_handles.push(std::thread::spawn(move || {
-                    let transport =
-                        InstrumentedTransport::new(LocalTransport::new(<$backup>::new(), c), m);
-                    let projector = Projector::new(<$backup>::new(), &transport);
+                    let endpoint = Endpoint::builder(<$backup>::new())
+                        .transport(LocalTransport::new(<$backup>::new(), c))
+                        .layer(m)
+                        .build();
+                    let session = endpoint.session();
                     let store = SharedStore::new();
                     if corrupt_me {
                         store.corrupt_next_put();
                     }
-                    let outcome = projector.epp_and_run(ReplicatedKvs::<Backups, _, _, _> {
-                        request: projector.remote(Client),
-                        states: projector.local_faceted(store),
+                    let outcome = session.epp_and_run(ReplicatedKvs::<Backups, _, _, _> {
+                        request: session.remote(Client),
+                        states: session.local_faceted(store),
                         phantom: PhantomData,
                     });
                     let _ = outcome;
@@ -108,8 +120,8 @@ macro_rules! run_replicated_kvs {
     }};
 }
 
-/// Runs a HasChor-style baseline replicated KVS once over an
-/// instrumented in-process transport.
+/// Runs a HasChor-style baseline replicated KVS once over a
+/// metrics-instrumented in-process endpoint per location.
 ///
 /// Expands to a block evaluating to `(Response, Arc<TransportMetrics>)`.
 #[macro_export]
@@ -121,12 +133,11 @@ macro_rules! run_baseline_kvs {
         corrupt = $corrupt:expr
     ) => {{
         use chorus_baseline::BaselineProjector;
-        use chorus_core::ChoreographyLocation as _;
+        use chorus_core::{ChoreographyLocation as _, Endpoint};
         use chorus_protocols::kvs_baseline::$choreo;
         use chorus_protocols::roles::{Client, Primary};
         use chorus_protocols::store::{Request, SharedStore};
-        use chorus_transport::{InstrumentedTransport, LocalTransport, LocalTransportChannel,
-                               TransportMetrics};
+        use chorus_transport::{LocalTransport, LocalTransportChannel, TransportMetrics};
         use std::sync::Arc;
 
         type Census = <$choreo as chorus_baseline::BaselineChoreography<
@@ -155,8 +166,12 @@ macro_rules! run_baseline_kvs {
             let m = Arc::clone(&metrics);
             let request = request.clone();
             std::thread::spawn(move || {
-                let transport = InstrumentedTransport::new(LocalTransport::new(Client, c), m);
-                let projector = BaselineProjector::new(Client, &transport);
+                let endpoint = Endpoint::builder(Client)
+                    .transport(LocalTransport::new(Client, c))
+                    .layer(m)
+                    .build();
+                let session = endpoint.session();
+                let projector = BaselineProjector::new(Client, &session);
                 let out = projector.epp_and_run($choreo {
                     request: projector.local(request),
                     stores: ::std::collections::BTreeMap::new(),
@@ -170,8 +185,12 @@ macro_rules! run_baseline_kvs {
             let m = Arc::clone(&metrics);
             let stores = own_store(Primary::NAME, corrupt.contains(&Primary::NAME));
             handles.push(std::thread::spawn(move || {
-                let transport = InstrumentedTransport::new(LocalTransport::new(Primary, c), m);
-                let projector = BaselineProjector::new(Primary, &transport);
+                let endpoint = Endpoint::builder(Primary)
+                    .transport(LocalTransport::new(Primary, c))
+                    .layer(m)
+                    .build();
+                let session = endpoint.session();
+                let projector = BaselineProjector::new(Primary, &session);
                 let _ = projector.epp_and_run($choreo {
                     request: projector.remote(Client),
                     stores,
@@ -185,9 +204,12 @@ macro_rules! run_baseline_kvs {
                 let m = Arc::clone(&metrics);
                 let stores = own_store(<$backup>::NAME, corrupt.contains(&<$backup>::NAME));
                 handles.push(std::thread::spawn(move || {
-                    let transport =
-                        InstrumentedTransport::new(LocalTransport::new(<$backup>::new(), c), m);
-                    let projector = BaselineProjector::new(<$backup>::new(), &transport);
+                    let endpoint = Endpoint::builder(<$backup>::new())
+                        .transport(LocalTransport::new(<$backup>::new(), c))
+                        .layer(m)
+                        .build();
+                    let session = endpoint.session();
+                    let projector = BaselineProjector::new(<$backup>::new(), &session);
                     let _ = projector.epp_and_run($choreo {
                         request: projector.remote(Client),
                         stores,
@@ -204,17 +226,16 @@ macro_rules! run_baseline_kvs {
     }};
 }
 
-/// Runs the GMW choreography once over an instrumented in-process
-/// transport, one thread per party.
+/// Runs the GMW choreography once over a metrics-instrumented
+/// in-process endpoint per party, one thread per party.
 ///
 /// Expands to a block evaluating to `(bool, Arc<TransportMetrics>)`.
 #[macro_export]
 macro_rules! run_gmw {
     (parties = [$($party:ty),* $(,)?], circuit = $circuit:expr, inputs = $inputs:expr) => {{
-        use chorus_core::{ChoreographyLocation as _, Projector};
+        use chorus_core::{ChoreographyLocation as _, Endpoint};
         use chorus_protocols::gmw::Gmw;
-        use chorus_transport::{InstrumentedTransport, LocalTransport, LocalTransportChannel,
-                               TransportMetrics};
+        use chorus_transport::{LocalTransport, LocalTransportChannel, TransportMetrics};
         use std::marker::PhantomData;
         use std::sync::Arc;
 
@@ -233,12 +254,14 @@ macro_rules! run_gmw {
                 let circuit = Arc::clone(&circuit);
                 let my_inputs = inputs.get(<$party>::NAME).cloned().unwrap_or_default();
                 handles.push(std::thread::spawn(move || {
-                    let transport =
-                        InstrumentedTransport::new(LocalTransport::new(<$party>::new(), c), m);
-                    let projector = Projector::new(<$party>::new(), &transport);
-                    projector.epp_and_run(Gmw::<Parties, _, _> {
+                    let endpoint = Endpoint::builder(<$party>::new())
+                        .transport(LocalTransport::new(<$party>::new(), c))
+                        .layer(m)
+                        .build();
+                    let session = endpoint.session();
+                    session.epp_and_run(Gmw::<Parties, _, _> {
                         circuit: &circuit,
-                        inputs: &projector.local_faceted(my_inputs),
+                        inputs: &session.local_faceted(my_inputs),
                         phantom: PhantomData,
                     })
                 }));
@@ -252,8 +275,8 @@ macro_rules! run_gmw {
     }};
 }
 
-/// Runs the DPrio lottery once over an instrumented in-process
-/// transport, one thread per endpoint.
+/// Runs the DPrio lottery once over a metrics-instrumented in-process
+/// endpoint per participant, one thread per endpoint.
 ///
 /// Expands to a block evaluating to
 /// `(Result<u64, LotteryError>, Arc<TransportMetrics>)`.
@@ -266,12 +289,11 @@ macro_rules! run_lottery {
         tau = $tau:expr,
         cheaters = $cheaters:expr
     ) => {{
-        use chorus_core::{ChoreographyLocation as _, LocationSet as _, Projector};
+        use chorus_core::{ChoreographyLocation as _, Endpoint, LocationSet as _};
         use chorus_mpc::field::FLOTTERY;
         use chorus_protocols::lottery::Lottery;
         use chorus_protocols::roles::Analyst;
-        use chorus_transport::{InstrumentedTransport, LocalTransport, LocalTransportChannel,
-                               TransportMetrics};
+        use chorus_transport::{LocalTransport, LocalTransportChannel, TransportMetrics};
         use std::marker::PhantomData;
         use std::sync::Arc;
 
@@ -291,17 +313,20 @@ macro_rules! run_lottery {
             let c = channel.clone();
             let m = Arc::clone(&metrics);
             std::thread::spawn(move || {
-                let transport = InstrumentedTransport::new(LocalTransport::new(Analyst, c), m);
-                let projector = Projector::new(Analyst, &transport);
-                let out = projector.epp_and_run(
+                let endpoint = Endpoint::builder(Analyst)
+                    .transport(LocalTransport::new(Analyst, c))
+                    .layer(m)
+                    .build();
+                let session = endpoint.session();
+                let out = session.epp_and_run(
                     Lottery::<Clients, Servers, Census, _, _, _, _, _, _, _> {
-                        secrets: &projector.remote_faceted(Clients::new()),
+                        secrets: &session.remote_faceted(Clients::new()),
                         tau,
-                        cheaters: &projector.remote_faceted(Servers::new()),
+                        cheaters: &session.remote_faceted(Servers::new()),
                         phantom: PhantomData,
                     },
                 );
-                projector.unwrap(out)
+                session.unwrap(out)
             })
         };
 
@@ -311,14 +336,16 @@ macro_rules! run_lottery {
                 let m = Arc::clone(&metrics);
                 let secret = FLOTTERY::new(secrets[<$client>::NAME]);
                 handles.push(std::thread::spawn(move || {
-                    let transport =
-                        InstrumentedTransport::new(LocalTransport::new(<$client>::new(), c), m);
-                    let projector = Projector::new(<$client>::new(), &transport);
-                    let _ = projector.epp_and_run(
+                    let endpoint = Endpoint::builder(<$client>::new())
+                        .transport(LocalTransport::new(<$client>::new(), c))
+                        .layer(m)
+                        .build();
+                    let session = endpoint.session();
+                    let _ = session.epp_and_run(
                         Lottery::<Clients, Servers, Census, _, _, _, _, _, _, _> {
-                            secrets: &projector.local_faceted(secret),
+                            secrets: &session.local_faceted(secret),
                             tau,
-                            cheaters: &projector.remote_faceted(Servers::new()),
+                            cheaters: &session.remote_faceted(Servers::new()),
                             phantom: PhantomData,
                         },
                     );
@@ -332,14 +359,16 @@ macro_rules! run_lottery {
                 let m = Arc::clone(&metrics);
                 let cheat = cheaters.get(<$server>::NAME).copied().unwrap_or(false);
                 handles.push(std::thread::spawn(move || {
-                    let transport =
-                        InstrumentedTransport::new(LocalTransport::new(<$server>::new(), c), m);
-                    let projector = Projector::new(<$server>::new(), &transport);
-                    let _ = projector.epp_and_run(
+                    let endpoint = Endpoint::builder(<$server>::new())
+                        .transport(LocalTransport::new(<$server>::new(), c))
+                        .layer(m)
+                        .build();
+                    let session = endpoint.session();
+                    let _ = session.epp_and_run(
                         Lottery::<Clients, Servers, Census, _, _, _, _, _, _, _> {
-                            secrets: &projector.remote_faceted(Clients::new()),
+                            secrets: &session.remote_faceted(Clients::new()),
                             tau,
-                            cheaters: &projector.local_faceted(cheat),
+                            cheaters: &session.local_faceted(cheat),
                             phantom: PhantomData,
                         },
                     );

@@ -164,8 +164,7 @@ pub trait ChoreoOp<ChoreoLS: LocationSet> {
         ChoreoLS: Subset<S, Index>,
     {
         let _ = self;
-        data.into_inner_option()
-            .expect("naked: census-owned value must be present at every member")
+        data.into_inner_option().expect("naked: census-owned value must be present at every member")
     }
 
     /// Runs a sub-choreography among the sub-census `S` (§3.2).
@@ -193,7 +192,13 @@ pub trait ChoreoOp<ChoreoLS: LocationSet> {
     /// # Panics
     ///
     /// Panics if the underlying transport fails.
-    fn comm<Sender: ChoreographyLocation, Receiver: ChoreographyLocation, V: Portable, Index1, Index2>(
+    fn comm<
+        Sender: ChoreographyLocation,
+        Receiver: ChoreographyLocation,
+        V: Portable,
+        Index1,
+        Index2,
+    >(
         &self,
         from: Sender,
         to: Receiver,
@@ -286,10 +291,13 @@ pub trait ChoreoOp<ChoreoLS: LocationSet> {
         F: Fn(&'static str) -> V,
         Self: Sized,
     {
-        self.fanout(locations, ParallelBody::<'_, F, V, ChoreoLS, S> {
-            computation: &computation,
-            phantom: PhantomData,
-        })
+        self.fanout(
+            locations,
+            ParallelBody::<'_, F, V, ChoreoLS, S> {
+                computation: &computation,
+                phantom: PhantomData,
+            },
+        )
     }
 
     /// Divergent local computation over an existing [`Faceted`] value:
@@ -307,11 +315,10 @@ pub trait ChoreoOp<ChoreoLS: LocationSet> {
         F: Fn(&W) -> V,
         Self: Sized,
     {
-        self.fanout(locations, MapFacetsBody::<'_, F, W, V, ChoreoLS, S> {
-            data,
-            f: &f,
-            phantom: PhantomData,
-        })
+        self.fanout(
+            locations,
+            MapFacetsBody::<'_, F, W, V, ChoreoLS, S> { data, f: &f, phantom: PhantomData },
+        )
     }
 
     /// Like [`map_facets`](ChoreoOp::map_facets) but over two faceted
@@ -329,12 +336,15 @@ pub trait ChoreoOp<ChoreoLS: LocationSet> {
         F: Fn(&W1, &W2) -> V,
         Self: Sized,
     {
-        self.fanout(locations, MapFacets2Body::<'_, F, W1, W2, V, ChoreoLS, S> {
-            left,
-            right,
-            f: &f,
-            phantom: PhantomData,
-        })
+        self.fanout(
+            locations,
+            MapFacets2Body::<'_, F, W1, W2, V, ChoreoLS, S> {
+                left,
+                right,
+                f: &f,
+                phantom: PhantomData,
+            },
+        )
     }
 
     /// Distributes the entries of a sender-held [`Quire`] so that each
@@ -448,8 +458,7 @@ where
         Q: Member<Self::L, QMemberL>,
         Q: Member<Self::QS, QMemberQS>,
     {
-        let result =
-            self.choreo.run::<Q, QSSubsetL, RSSubsetL, QMemberL, QMemberQS>(self.op);
+        let result = self.choreo.run::<Q, QSSubsetL, RSSubsetL, QMemberL, QMemberQS>(self.op);
         if let Some(v) = result.into_inner_option() {
             acc.insert(Q::NAME.to_string(), v);
         }
@@ -481,9 +490,7 @@ where
         Q: Member<Self::L, QMemberL>,
         Q: Member<Self::QS, QMemberQS>,
     {
-        op.locally(Q::new(), |un| {
-            (self.f)(un.unwrap_faceted_ref::<W, QS, QMemberQS>(self.data))
-        })
+        op.locally(Q::new(), |un| (self.f)(un.unwrap_faceted_ref::<W, QS, QMemberQS>(self.data)))
     }
 }
 

@@ -1,0 +1,128 @@
+//! Lifts any raw [`Transport`] into a [`SessionTransport`].
+//!
+//! Session-native transports (the in-process and TCP transports in
+//! `chorus-transport`) demultiplex frames themselves. [`Demux`] is the
+//! portable fallback for transports that only offer raw per-sender byte
+//! streams: it wraps sends in [`Envelope`]s and, on the receive side,
+//! pumps the raw stream into per-(session, sender) FIFO mailboxes.
+//!
+//! At most one thread per sender performs the blocking raw receive (the
+//! "pump"); other threads waiting on the same sender park on a condvar
+//! and are woken whenever a frame is deposited, taking over the pump if
+//! their frame has not arrived yet.
+
+use crate::location::{ChoreographyLocation, LocationSet};
+use crate::transport::{SequenceTracker, SessionId, SessionTransport, Transport, TransportError};
+use chorus_wire::Envelope;
+use std::collections::{HashMap, VecDeque};
+use std::marker::PhantomData;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// A [`SessionTransport`] built from a raw [`Transport`].
+pub struct Demux<L, Target, T>
+where
+    L: LocationSet,
+    Target: ChoreographyLocation,
+    T: Transport<L, Target>,
+{
+    inner: T,
+    senders: Mutex<HashMap<String, Arc<SenderState>>>,
+    phantom: PhantomData<fn() -> (L, Target)>,
+}
+
+#[derive(Default)]
+struct SenderState {
+    inner: Mutex<SenderInner>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+struct SenderInner {
+    mailboxes: HashMap<SessionId, VecDeque<Envelope>>,
+    sequences: SequenceTracker,
+    pumping: bool,
+    dead: Option<String>,
+}
+
+impl<L, Target, T> Demux<L, Target, T>
+where
+    L: LocationSet,
+    Target: ChoreographyLocation,
+    T: Transport<L, Target>,
+{
+    /// Wraps `inner`.
+    pub fn new(inner: T) -> Self {
+        Demux { inner, senders: Mutex::new(HashMap::new()), phantom: PhantomData }
+    }
+
+    /// Unwraps the raw transport.
+    pub fn into_inner(self) -> T {
+        self.inner
+    }
+
+    fn sender_state(&self, from: &str) -> Arc<SenderState> {
+        let mut senders = self.senders.lock().expect("demux sender map poisoned");
+        Arc::clone(senders.entry(from.to_string()).or_default())
+    }
+}
+
+impl<L, Target, T> SessionTransport<L, Target> for Demux<L, Target, T>
+where
+    L: LocationSet,
+    Target: ChoreographyLocation,
+    T: Transport<L, Target>,
+{
+    fn locations(&self) -> Vec<&'static str> {
+        self.inner.locations()
+    }
+
+    fn send_frame(&self, to: &str, frame: Envelope) -> Result<(), TransportError> {
+        self.inner.send(to, &frame.encode())
+    }
+
+    fn receive_frame(&self, session: SessionId, from: &str) -> Result<Envelope, TransportError> {
+        // Unknown senders fail fast instead of blocking forever.
+        if !L::names().contains(&from) {
+            return Err(TransportError::UnknownLocation(from.to_string()));
+        }
+        let state = self.sender_state(from);
+        let mut inner = state.inner.lock().expect("demux sender state poisoned");
+        loop {
+            if let Some(envelope) = inner.mailboxes.get_mut(&session).and_then(VecDeque::pop_front)
+            {
+                return Ok(envelope);
+            }
+            if let Some(reason) = &inner.dead {
+                return Err(TransportError::Protocol(format!(
+                    "link from {from} is down: {reason}"
+                )));
+            }
+            if inner.pumping {
+                // Someone else is doing the blocking receive; wait for a
+                // deposit or for the pump to free up.
+                inner = state.cv.wait(inner).expect("demux sender state poisoned");
+                continue;
+            }
+            // Become the pump: do one blocking raw receive without
+            // holding the lock, then deposit the frame.
+            inner.pumping = true;
+            drop(inner);
+            let received = self.inner.receive(from);
+            inner = state.inner.lock().expect("demux sender state poisoned");
+            inner.pumping = false;
+            match received.and_then(|bytes| Ok(Envelope::decode(&bytes)?)) {
+                Ok(envelope) => {
+                    if let Err(e) = inner.sequences.check(envelope.session, from, envelope.seq) {
+                        inner.dead = Some(e.to_string());
+                    } else {
+                        inner.mailboxes.entry(envelope.session).or_default().push_back(envelope);
+                    }
+                }
+                Err(e) => {
+                    inner.dead = Some(e.to_string());
+                }
+            }
+            state.cv.notify_all();
+        }
+    }
+}

@@ -56,15 +56,8 @@ impl<L: LocationSet, QS: LocationSet> LocationSetFoldable<L, QS, FoldNil> for HN
     }
 }
 
-impl<
-        L: LocationSet,
-        QS: LocationSet,
-        Head: ChoreographyLocation,
-        Tail,
-        IL,
-        IQS,
-        ITail,
-    > LocationSetFoldable<L, QS, FoldStep<IL, IQS, ITail>> for HCons<Head, Tail>
+impl<L: LocationSet, QS: LocationSet, Head: ChoreographyLocation, Tail, IL, IQS, ITail>
+    LocationSetFoldable<L, QS, FoldStep<IL, IQS, ITail>> for HCons<Head, Tail>
 where
     Head: Member<L, IL>,
     Head: Member<QS, IQS>,
@@ -87,9 +80,7 @@ mod tests {
 
     struct CollectNames<L, QS>(PhantomData<(L, QS)>);
 
-    impl<L: LocationSet, QS: LocationSet> LocationSetFolder<Vec<&'static str>>
-        for CollectNames<L, QS>
-    {
+    impl<L: LocationSet, QS: LocationSet> LocationSetFolder<Vec<&'static str>> for CollectNames<L, QS> {
         type L = L;
         type QS = QS;
 

@@ -50,11 +50,16 @@
 //! assert_eq!(runner.unwrap_located(result), "hello, world");
 //! ```
 //!
-//! To execute the same choreography as a real distributed system, give each
-//! process a [`Projector`] over a transport from the `chorus-transport`
-//! crate and call [`Projector::epp_and_run`].
+//! To execute the same choreography as a real distributed system, give
+//! each process an [`Endpoint`] over a transport from the
+//! `chorus-transport` crate, open a [`Session`], and call
+//! [`Session::epp_and_run`]. One endpoint multiplexes any number of
+//! concurrent sessions over shared links, and [`Layer`] middleware
+//! (metrics, tracing) installed at build time observes every message.
 
 mod choreography;
+mod demux;
+mod endpoint;
 mod faceted;
 mod fold;
 mod located;
@@ -64,15 +69,23 @@ pub mod ops;
 mod projector;
 mod quire;
 mod runner;
+mod session;
 mod transport;
 
 pub use choreography::{ChoreoOp, Choreography, FanInChoreography, FanOutChoreography, Portable};
+pub use demux::Demux;
+pub use endpoint::{Endpoint, EndpointBuilder, EndpointBuilderWithTransport, Layer, MessageCtx};
 pub use faceted::Faceted;
 pub use fold::{FoldNil, FoldStep, LocationSetFoldable, LocationSetFolder};
 pub use located::{Located, MultiplyLocated, Unwrapper};
 pub use location::{ChoreographyLocation, HCons, HNil, LocationSet};
 pub use member::{Here, Member, Subset, SubsetCons, SubsetNil, There};
+#[allow(deprecated)]
 pub use projector::Projector;
+pub use projector::PROJECTOR_SESSION;
 pub use quire::Quire;
 pub use runner::Runner;
-pub use transport::{Transport, TransportError};
+pub use session::Session;
+pub use transport::{
+    SequenceTracker, SessionId, SessionTransport, Transport, TransportError, RAW_SESSION,
+};

@@ -58,7 +58,6 @@ impl<V, S> MultiplyLocated<V, S> {
     pub(crate) fn as_inner_option(&self) -> Option<&V> {
         self.value.as_ref()
     }
-
 }
 
 impl<V, S2, S> MultiplyLocated<Faceted<V, S2>, S> {
@@ -136,16 +135,11 @@ impl<L1: ChoreographyLocation> Unwrapper<L1> {
     /// # Panics
     ///
     /// See [`Unwrapper::unwrap`].
-    pub fn unwrap_ref<'a, V, S: LocationSet, Index>(
-        &self,
-        mlv: &'a MultiplyLocated<V, S>,
-    ) -> &'a V
+    pub fn unwrap_ref<'a, V, S: LocationSet, Index>(&self, mlv: &'a MultiplyLocated<V, S>) -> &'a V
     where
         L1: Member<S, Index>,
     {
-        mlv.value
-            .as_ref()
-            .expect("located value absent at an owner: value escaped its executor")
+        mlv.value.as_ref().expect("located value absent at an owner: value escaped its executor")
     }
 
     /// Returns a clone of `L1`'s facet of a faceted value.
@@ -172,9 +166,7 @@ impl<L1: ChoreographyLocation> Unwrapper<L1> {
     where
         L1: Member<S, Index>,
     {
-        faceted
-            .facet(L1::NAME)
-            .expect("facet absent at an owner: value escaped its executor")
+        faceted.facet(L1::NAME).expect("facet absent at an owner: value escaped its executor")
     }
 }
 
@@ -186,8 +178,7 @@ mod tests {
 
     #[test]
     fn local_values_unwrap_at_owners() {
-        let mlv: MultiplyLocated<u32, crate::LocationSet!(Alice, Bob)> =
-            MultiplyLocated::local(7);
+        let mlv: MultiplyLocated<u32, crate::LocationSet!(Alice, Bob)> = MultiplyLocated::local(7);
         let un: Unwrapper<Alice> = Unwrapper::new();
         assert_eq!(un.unwrap(&mlv), 7);
         assert_eq!(*un.unwrap_ref(&mlv), 7);

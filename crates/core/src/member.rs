@@ -45,8 +45,8 @@ pub trait Member<L: LocationSet, Index> {}
 
 impl<Head: ChoreographyLocation, Tail: LocationSet> Member<HCons<Head, Tail>, Here> for Head {}
 
-impl<Head: ChoreographyLocation, Tail: LocationSet, X, Index> Member<HCons<Head, Tail>, There<Index>>
-    for X
+impl<Head: ChoreographyLocation, Tail: LocationSet, X, Index>
+    Member<HCons<Head, Tail>, There<Index>> for X
 where
     X: Member<Tail, Index>,
 {

@@ -1,57 +1,71 @@
-//! Endpoint projection as dependency injection (§5.2).
+//! The deprecated single-session projection shim.
 //!
-//! A [`Projector`] turns a choreography into the behavior of one endpoint
-//! at run time, not by analyzing the program but by *running* it with
-//! operator implementations specialized to the target: `locally` runs the
-//! computation only at the target, `multicast` becomes sends at the source
-//! and a receive at each destination (the `⟦com⟧p` rule of Fig. 3c), and
-//! `conclave` skips the body entirely when the target is outside the
-//! sub-census.
+//! [`Projector`] was the original execution surface: one projector, one
+//! transport, one choreography run. It is kept as a thin wrapper over a
+//! single-session [`Endpoint`](crate::Endpoint) so existing call sites
+//! keep compiling, but new code should build an endpoint once and open
+//! a [`Session`](crate::Session) per run:
+//!
+//! ```ignore
+//! // Before:
+//! let projector = Projector::new(Alice, &transport);
+//! let out = projector.epp_and_run(choreo);
+//!
+//! // After:
+//! let endpoint = Endpoint::builder(Alice).transport(transport).build();
+//! let session = endpoint.session();
+//! let out = session.epp_and_run(choreo);
+//! ```
+//!
+//! The shim always runs in session [`PROJECTOR_SESSION`]; two projectors
+//! running concurrently over the same links therefore still corrupt each
+//! other — the exact limitation sessions remove.
 
-use crate::choreography::{ChoreoOp, Choreography, Portable};
-use crate::located::{Located, MultiplyLocated, Unwrapper};
+use crate::choreography::Choreography;
+use crate::endpoint::Endpoint;
+use crate::located::{Located, MultiplyLocated};
 use crate::location::{ChoreographyLocation, LocationSet};
 use crate::member::{Member, Subset};
-use crate::transport::Transport;
+use crate::transport::{SessionId, SessionTransport};
 use std::marker::PhantomData;
 
+/// The fixed session id every [`Projector`] runs in.
+///
+/// Reserved near the top of the id space (just below
+/// [`RAW_SESSION`](crate::RAW_SESSION)) so it can never collide with
+/// the ids [`Endpoint::session`](crate::Endpoint::session) allocates
+/// sequentially from zero — a projector and session-based code sharing
+/// one set of links stay isolated during incremental migration.
+pub const PROJECTOR_SESSION: SessionId = SessionId::MAX - 1;
+
 /// Projects choreographies to one endpoint and executes them over a
-/// [`Transport`].
-///
-/// `TL` is the census the transport can reach and `Target` the endpoint
-/// this process plays. The projector can run any choreography whose census
-/// is a subset of `TL` and contains `Target`.
-///
-/// # Examples
-///
-/// See the crate-level documentation for a complete program; construction
-/// looks like:
-///
-/// ```ignore
-/// let transport = LocalTransport::new(Alice, channel.clone());
-/// let projector = Projector::new(Alice, &transport);
-/// let result = projector.epp_and_run(MyChoreography { .. });
-/// ```
+/// transport, one run at a time.
+#[deprecated(
+    since = "0.2.0",
+    note = "build an `Endpoint` once and open a `Session` per run: \
+            `Endpoint::builder(target).transport(t).build().session()`"
+)]
 pub struct Projector<'a, TL, Target, T, TargetIndex>
 where
     TL: LocationSet,
     Target: ChoreographyLocation,
-    T: Transport<TL, Target>,
+    T: SessionTransport<TL, Target>,
 {
-    transport: &'a T,
-    phantom: PhantomData<fn() -> (TL, Target, TargetIndex)>,
+    endpoint: Endpoint<TL, Target, &'a T>,
+    phantom: PhantomData<fn() -> TargetIndex>,
 }
 
+#[allow(deprecated)]
 impl<'a, TL, Target, T, TargetIndex> Projector<'a, TL, Target, T, TargetIndex>
 where
     TL: LocationSet,
     Target: ChoreographyLocation + Member<TL, TargetIndex>,
-    T: Transport<TL, Target>,
+    T: SessionTransport<TL, Target>,
 {
     /// Creates a projector for `target` over `transport`.
     pub fn new(target: Target, transport: &'a T) -> Self {
         let _ = target;
-        Projector { transport, phantom: PhantomData }
+        Projector { endpoint: Endpoint::new(transport), phantom: PhantomData }
     }
 
     /// Wraps a value this endpoint holds into a located value at `Target`,
@@ -77,8 +91,7 @@ where
     }
 
     /// Wraps a value this endpoint holds as its facet of a faceted value,
-    /// for use as a choreography argument (e.g. each server's private
-    /// state in the paper's Fig. 2).
+    /// for use as a choreography argument.
     pub fn local_faceted<V, S, Index>(&self, value: V) -> crate::Faceted<V, S>
     where
         S: LocationSet,
@@ -110,7 +123,7 @@ where
     }
 
     /// Performs endpoint projection of `choreo` to `Target` and runs the
-    /// projected program to completion.
+    /// projected program to completion in session [`PROJECTOR_SESSION`].
     ///
     /// # Panics
     ///
@@ -122,152 +135,6 @@ where
         Target: Member<L, TargetInL>,
         C: Choreography<V, L = L>,
     {
-        let op: EppOp<'a, L, TL, Target, T> = EppOp {
-            transport: self.transport,
-            phantom: PhantomData,
-        };
-        choreo.run(&op)
-    }
-}
-
-/// The injected operator implementations for endpoint projection.
-struct EppOp<'a, ChoreoLS, TL, Target, T>
-where
-    ChoreoLS: LocationSet,
-    TL: LocationSet,
-    Target: ChoreographyLocation,
-    T: Transport<TL, Target>,
-{
-    transport: &'a T,
-    phantom: PhantomData<fn() -> (ChoreoLS, TL, Target)>,
-}
-
-impl<ChoreoLS, TL, Target, T> EppOp<'_, ChoreoLS, TL, Target, T>
-where
-    ChoreoLS: LocationSet,
-    TL: LocationSet,
-    Target: ChoreographyLocation,
-    T: Transport<TL, Target>,
-{
-    fn send_to<V: Portable>(&self, to: &str, value: &V) {
-        let bytes = chorus_wire::to_bytes(value)
-            .unwrap_or_else(|e| panic!("failed to encode message for {to}: {e}"));
-        self.transport
-            .send(to, &bytes)
-            .unwrap_or_else(|e| panic!("failed to send to {to}: {e}"));
-    }
-
-    fn receive_from<V: Portable>(&self, from: &str) -> V {
-        let bytes = self
-            .transport
-            .receive(from)
-            .unwrap_or_else(|e| panic!("failed to receive from {from}: {e}"));
-        chorus_wire::from_bytes(&bytes)
-            .unwrap_or_else(|e| panic!("failed to decode message from {from}: {e}"))
-    }
-}
-
-impl<ChoreoLS, TL, Target, T> ChoreoOp<ChoreoLS> for EppOp<'_, ChoreoLS, TL, Target, T>
-where
-    ChoreoLS: LocationSet,
-    TL: LocationSet,
-    Target: ChoreographyLocation,
-    T: Transport<TL, Target>,
-{
-    fn locally<V, L1: ChoreographyLocation, Index>(
-        &self,
-        _location: L1,
-        computation: impl Fn(Unwrapper<L1>) -> V,
-    ) -> Located<V, L1>
-    where
-        L1: Member<ChoreoLS, Index>,
-    {
-        if L1::NAME == Target::NAME {
-            MultiplyLocated::local(computation(Unwrapper::new()))
-        } else {
-            MultiplyLocated::remote()
-        }
-    }
-
-    fn multicast<Sender: ChoreographyLocation, V: Portable, D: LocationSet, Index1, Index2>(
-        &self,
-        _src: Sender,
-        _destination: D,
-        data: &Located<V, Sender>,
-    ) -> MultiplyLocated<V, D>
-    where
-        Sender: Member<ChoreoLS, Index1>,
-        D: Subset<ChoreoLS, Index2>,
-    {
-        let destinations = D::names();
-        if Sender::NAME == Target::NAME {
-            let value = data
-                .as_inner_option()
-                .expect("multicast: sender must hold the value it sends");
-            for dest in &destinations {
-                if *dest != Sender::NAME {
-                    self.send_to(dest, value);
-                }
-            }
-            if destinations.contains(&Sender::NAME) {
-                // The sender keeps its copy via an in-memory round trip so
-                // that `V` needs no `Clone` bound and serialization bugs
-                // surface identically at every owner.
-                let bytes = chorus_wire::to_bytes(value)
-                    .unwrap_or_else(|e| panic!("failed to encode multicast payload: {e}"));
-                MultiplyLocated::local(chorus_wire::from_bytes(&bytes).unwrap_or_else(|e| {
-                    panic!("failed to decode multicast payload locally: {e}")
-                }))
-            } else {
-                MultiplyLocated::remote()
-            }
-        } else if destinations.contains(&Target::NAME) {
-            MultiplyLocated::local(self.receive_from(Sender::NAME))
-        } else {
-            MultiplyLocated::remote()
-        }
-    }
-
-    fn broadcast<Sender: ChoreographyLocation, V: Portable, Index>(
-        &self,
-        _src: Sender,
-        data: Located<V, Sender>,
-    ) -> V
-    where
-        Sender: Member<ChoreoLS, Index>,
-    {
-        if Sender::NAME == Target::NAME {
-            let value = data
-                .into_inner_option()
-                .expect("broadcast: sender must hold the value it sends");
-            for dest in ChoreoLS::names() {
-                if dest != Sender::NAME {
-                    self.send_to(dest, &value);
-                }
-            }
-            value
-        } else {
-            self.receive_from(Sender::NAME)
-        }
-    }
-
-    fn conclave<R, S: LocationSet, C: Choreography<R, L = S>, Index>(
-        &self,
-        choreo: C,
-    ) -> MultiplyLocated<R, S>
-    where
-        S: Subset<ChoreoLS, Index>,
-    {
-        if S::names().contains(&Target::NAME) {
-            let sub_op: EppOp<'_, S, TL, Target, T> =
-                EppOp { transport: self.transport, phantom: PhantomData };
-            MultiplyLocated::local(choreo.run(&sub_op))
-        } else {
-            MultiplyLocated::remote()
-        }
-    }
-
-    fn resident(&self, owners: &[&'static str]) -> bool {
-        owners.contains(&Target::NAME)
+        self.endpoint.session_with_id(PROJECTOR_SESSION).epp_and_run(choreo)
     }
 }

@@ -201,6 +201,7 @@ mod tests {
     #[test]
     fn serde_rejects_wrong_keys() {
         crate::locations! { Dave }
+        let _ = Dave;
         let mut map = BTreeMap::new();
         map.insert("Dave".to_string(), 1u32);
         let bytes = chorus_wire::to_bytes(&map).unwrap();

@@ -65,8 +65,7 @@ impl<L: LocationSet> Runner<L> {
     /// Extracts the value from a located result. Only the runner can do
     /// this: at projected endpoints located values are opaque.
     pub fn unwrap_located<V, S: LocationSet>(&self, data: MultiplyLocated<V, S>) -> V {
-        data.into_inner_option()
-            .expect("centralized runner always holds located values")
+        data.into_inner_option().expect("centralized runner always holds located values")
     }
 
     /// Builds a faceted value from every owner's facet, keyed by location
@@ -113,8 +112,8 @@ impl<L: LocationSet> Default for Runner<L> {
 struct RunOp<L: LocationSet>(PhantomData<L>);
 
 fn codec_round_trip<V: Portable>(value: &V) -> V {
-    let bytes = chorus_wire::to_bytes(value)
-        .unwrap_or_else(|e| panic!("failed to encode message: {e}"));
+    let bytes =
+        chorus_wire::to_bytes(value).unwrap_or_else(|e| panic!("failed to encode message: {e}"));
     chorus_wire::from_bytes(&bytes).unwrap_or_else(|e| panic!("failed to decode message: {e}"))
 }
 
@@ -140,9 +139,7 @@ impl<ChoreoLS: LocationSet> ChoreoOp<ChoreoLS> for RunOp<ChoreoLS> {
         Sender: Member<ChoreoLS, Index1>,
         D: Subset<ChoreoLS, Index2>,
     {
-        let value = data
-            .as_inner_option()
-            .expect("multicast: sender must hold the value it sends");
+        let value = data.as_inner_option().expect("multicast: sender must hold the value it sends");
         MultiplyLocated::local(codec_round_trip(value))
     }
 
@@ -154,8 +151,7 @@ impl<ChoreoLS: LocationSet> ChoreoOp<ChoreoLS> for RunOp<ChoreoLS> {
     where
         Sender: Member<ChoreoLS, Index>,
     {
-        data.into_inner_option()
-            .expect("broadcast: sender must hold the value it sends")
+        data.into_inner_option().expect("broadcast: sender must hold the value it sends")
     }
 
     fn conclave<R, S: LocationSet, C: Choreography<R, L = S>, Index>(

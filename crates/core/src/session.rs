@@ -1,0 +1,319 @@
+//! Sessions: one choreography run over a shared [`Endpoint`].
+//!
+//! A [`Session`] is a cheap handle carrying a session id and per-peer
+//! sequence counters. `session.epp_and_run(choreo)` performs endpoint
+//! projection as dependency injection (§5.2) exactly like the old
+//! `Projector`, but every message travels in a
+//! [`chorus_wire::Envelope`] tagged with the session id, so any number
+//! of sessions can run concurrently over one transport.
+
+use crate::choreography::{ChoreoOp, Choreography, Portable};
+use crate::endpoint::{Endpoint, MessageCtx};
+use crate::located::{Located, MultiplyLocated, Unwrapper};
+use crate::location::{ChoreographyLocation, LocationSet};
+use crate::member::{Member, Subset};
+use crate::transport::{SessionId, SessionTransport, TransportError};
+use chorus_wire::Envelope;
+use std::collections::HashMap;
+use std::marker::PhantomData;
+use std::sync::Mutex;
+
+/// One choreography run multiplexed over an [`Endpoint`].
+///
+/// Obtained from [`Endpoint::session`] or
+/// [`Endpoint::session_with_id`]; all participants of a run must agree
+/// on the session id. A session is not `Sync` in spirit — it represents
+/// one sequential run — but creating many sessions from one endpoint
+/// and running them on separate threads is the intended concurrency
+/// model.
+pub struct Session<'e, TL, Target, T>
+where
+    TL: LocationSet,
+    Target: ChoreographyLocation,
+    T: SessionTransport<TL, Target>,
+{
+    endpoint: &'e Endpoint<TL, Target, T>,
+    id: SessionId,
+    seqs: Mutex<HashMap<&'static str, u64>>,
+}
+
+impl<'e, TL, Target, T> Session<'e, TL, Target, T>
+where
+    TL: LocationSet,
+    Target: ChoreographyLocation,
+    T: SessionTransport<TL, Target>,
+{
+    pub(crate) fn new(endpoint: &'e Endpoint<TL, Target, T>, id: SessionId) -> Self {
+        Session { endpoint, id, seqs: Mutex::new(HashMap::new()) }
+    }
+
+    /// This session's id.
+    pub fn id(&self) -> SessionId {
+        self.id
+    }
+
+    /// The endpoint this session runs over.
+    pub fn endpoint(&self) -> &'e Endpoint<TL, Target, T> {
+        self.endpoint
+    }
+
+    /// Wraps a value this endpoint holds into a located value at
+    /// `Target`, for use as a choreography argument.
+    pub fn local<V>(&self, value: V) -> Located<V, Target> {
+        MultiplyLocated::local(value)
+    }
+
+    /// Produces the placeholder for a located value owned by some
+    /// *other* location, for use as a choreography argument.
+    ///
+    /// # Panics
+    ///
+    /// The returned placeholder panics if unwrapped, which can only
+    /// happen if `at` is this session's own target — pass values this
+    /// endpoint actually holds through [`Session::local`] instead.
+    pub fn remote<V, L2, Index>(&self, at: L2) -> Located<V, L2>
+    where
+        L2: ChoreographyLocation + Member<TL, Index>,
+    {
+        let _ = at;
+        MultiplyLocated::remote()
+    }
+
+    /// Wraps a value this endpoint holds as its facet of a faceted
+    /// value, for use as a choreography argument.
+    pub fn local_faceted<V, S, Index>(&self, value: V) -> crate::Faceted<V, S>
+    where
+        S: LocationSet,
+        Target: Member<S, Index>,
+    {
+        let mut facets = std::collections::BTreeMap::new();
+        facets.insert(Target::NAME.to_string(), value);
+        crate::Faceted::from_facets(facets)
+    }
+
+    /// Produces the placeholder view of a faceted value owned by other
+    /// locations, for use as a choreography argument.
+    pub fn remote_faceted<V, S: LocationSet>(&self, at: S) -> crate::Faceted<V, S> {
+        let _ = at;
+        crate::Faceted::from_facets(std::collections::BTreeMap::new())
+    }
+
+    /// Extracts a value this endpoint owns from a choreography result.
+    ///
+    /// The `Member` bound makes this type-safe: only values `Target`
+    /// actually owns can be unwrapped.
+    pub fn unwrap<V, S, Index>(&self, data: MultiplyLocated<V, S>) -> V
+    where
+        S: LocationSet,
+        Target: Member<S, Index>,
+    {
+        data.into_inner_option()
+            .expect("located value absent at an owner: value escaped its executor")
+    }
+
+    /// Performs endpoint projection of `choreo` to `Target` and runs the
+    /// projected program to completion within this session.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transport fails mid-choreography. (Deadlock freedom
+    /// holds only under reliable communication; see §4.1.)
+    pub fn epp_and_run<V, L, C, LSubsetTL, TargetInL>(&self, choreo: C) -> V
+    where
+        L: LocationSet + Subset<TL, LSubsetTL>,
+        Target: Member<L, TargetInL>,
+        C: Choreography<V, L = L>,
+    {
+        let op: SessionEppOp<'_, 'e, L, TL, Target, T> =
+            SessionEppOp { session: self, phantom: PhantomData };
+        choreo.run(&op)
+    }
+
+    /// Sends raw payload bytes to the location named `to` within this
+    /// session, passing them through the endpoint's layer stack.
+    ///
+    /// This is the low-level hook alternative projection engines (e.g.
+    /// `chorus-baseline`) build on; `epp_and_run` is the normal entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `to` is unknown or the link fails.
+    pub fn send_bytes(&self, to: &str, payload: &[u8]) -> Result<(), TransportError> {
+        let to_static = TL::names()
+            .into_iter()
+            .find(|name| *name == to)
+            .ok_or_else(|| TransportError::UnknownLocation(to.to_string()))?;
+        // Hold the counter lock across the transport send: a session is
+        // one sequential run, but `Session` is `Sync`, and a session
+        // shared across threads must still put frames on the wire in
+        // sequence order or the receiver's tracker poisons the link for
+        // every session behind that sender.
+        let mut seqs = self.seqs.lock().expect("session sequence counters poisoned");
+        let counter = seqs.entry(to_static).or_insert(0);
+        let seq = *counter;
+        *counter += 1;
+        let ctx = MessageCtx { session: self.id, seq, from: Target::NAME, to: to_static };
+        self.endpoint.notify_send(&ctx, payload);
+        self.endpoint
+            .transport()
+            .send_frame(to_static, Envelope::new(self.id, seq, payload.to_vec()))
+    }
+
+    /// Blocks until payload bytes from the location named `from` arrive
+    /// in this session's mailbox, passing them through the endpoint's
+    /// layer stack.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `from` is unknown or the link fails before a
+    /// frame arrives.
+    pub fn receive_bytes(&self, from: &str) -> Result<Vec<u8>, TransportError> {
+        let envelope = self.endpoint.transport().receive_frame(self.id, from)?;
+        let ctx = MessageCtx { session: self.id, seq: envelope.seq, from, to: Target::NAME };
+        self.endpoint.notify_receive(&ctx, &envelope.payload);
+        Ok(envelope.payload)
+    }
+}
+
+/// The injected operator implementations for session-scoped endpoint
+/// projection.
+struct SessionEppOp<'a, 'e, ChoreoLS, TL, Target, T>
+where
+    ChoreoLS: LocationSet,
+    TL: LocationSet,
+    Target: ChoreographyLocation,
+    T: SessionTransport<TL, Target>,
+{
+    session: &'a Session<'e, TL, Target, T>,
+    phantom: PhantomData<fn() -> ChoreoLS>,
+}
+
+impl<ChoreoLS, TL, Target, T> SessionEppOp<'_, '_, ChoreoLS, TL, Target, T>
+where
+    ChoreoLS: LocationSet,
+    TL: LocationSet,
+    Target: ChoreographyLocation,
+    T: SessionTransport<TL, Target>,
+{
+    fn send_to<V: Portable>(&self, to: &str, value: &V) {
+        let bytes = chorus_wire::to_bytes(value)
+            .unwrap_or_else(|e| panic!("failed to encode message for {to}: {e}"));
+        self.session
+            .send_bytes(to, &bytes)
+            .unwrap_or_else(|e| panic!("failed to send to {to}: {e}"));
+    }
+
+    fn receive_from<V: Portable>(&self, from: &str) -> V {
+        let bytes = self
+            .session
+            .receive_bytes(from)
+            .unwrap_or_else(|e| panic!("failed to receive from {from}: {e}"));
+        chorus_wire::from_bytes(&bytes)
+            .unwrap_or_else(|e| panic!("failed to decode message from {from}: {e}"))
+    }
+}
+
+impl<ChoreoLS, TL, Target, T> ChoreoOp<ChoreoLS> for SessionEppOp<'_, '_, ChoreoLS, TL, Target, T>
+where
+    ChoreoLS: LocationSet,
+    TL: LocationSet,
+    Target: ChoreographyLocation,
+    T: SessionTransport<TL, Target>,
+{
+    fn locally<V, L1: ChoreographyLocation, Index>(
+        &self,
+        _location: L1,
+        computation: impl Fn(Unwrapper<L1>) -> V,
+    ) -> Located<V, L1>
+    where
+        L1: Member<ChoreoLS, Index>,
+    {
+        if L1::NAME == Target::NAME {
+            MultiplyLocated::local(computation(Unwrapper::new()))
+        } else {
+            MultiplyLocated::remote()
+        }
+    }
+
+    fn multicast<Sender: ChoreographyLocation, V: Portable, D: LocationSet, Index1, Index2>(
+        &self,
+        _src: Sender,
+        _destination: D,
+        data: &Located<V, Sender>,
+    ) -> MultiplyLocated<V, D>
+    where
+        Sender: Member<ChoreoLS, Index1>,
+        D: Subset<ChoreoLS, Index2>,
+    {
+        let destinations = D::names();
+        if Sender::NAME == Target::NAME {
+            let value =
+                data.as_inner_option().expect("multicast: sender must hold the value it sends");
+            for dest in &destinations {
+                if *dest != Sender::NAME {
+                    self.send_to(dest, value);
+                }
+            }
+            if destinations.contains(&Sender::NAME) {
+                // The sender keeps its copy via an in-memory round trip so
+                // that `V` needs no `Clone` bound and serialization bugs
+                // surface identically at every owner.
+                let bytes = chorus_wire::to_bytes(value)
+                    .unwrap_or_else(|e| panic!("failed to encode multicast payload: {e}"));
+                MultiplyLocated::local(
+                    chorus_wire::from_bytes(&bytes).unwrap_or_else(|e| {
+                        panic!("failed to decode multicast payload locally: {e}")
+                    }),
+                )
+            } else {
+                MultiplyLocated::remote()
+            }
+        } else if destinations.contains(&Target::NAME) {
+            MultiplyLocated::local(self.receive_from(Sender::NAME))
+        } else {
+            MultiplyLocated::remote()
+        }
+    }
+
+    fn broadcast<Sender: ChoreographyLocation, V: Portable, Index>(
+        &self,
+        _src: Sender,
+        data: Located<V, Sender>,
+    ) -> V
+    where
+        Sender: Member<ChoreoLS, Index>,
+    {
+        if Sender::NAME == Target::NAME {
+            let value =
+                data.into_inner_option().expect("broadcast: sender must hold the value it sends");
+            for dest in ChoreoLS::names() {
+                if dest != Sender::NAME {
+                    self.send_to(dest, &value);
+                }
+            }
+            value
+        } else {
+            self.receive_from(Sender::NAME)
+        }
+    }
+
+    fn conclave<R, S: LocationSet, C: Choreography<R, L = S>, Index>(
+        &self,
+        choreo: C,
+    ) -> MultiplyLocated<R, S>
+    where
+        S: Subset<ChoreoLS, Index>,
+    {
+        if S::names().contains(&Target::NAME) {
+            let sub_op: SessionEppOp<'_, '_, S, TL, Target, T> =
+                SessionEppOp { session: self.session, phantom: PhantomData };
+            MultiplyLocated::local(choreo.run(&sub_op))
+        } else {
+            MultiplyLocated::remote()
+        }
+    }
+
+    fn resident(&self, owners: &[&'static str]) -> bool {
+        owners.contains(&Target::NAME)
+    }
+}

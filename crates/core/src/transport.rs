@@ -25,6 +25,9 @@ pub enum TransportError {
     Io(std::io::Error),
     /// A payload failed to encode or decode.
     Codec(chorus_wire::WireError),
+    /// A peer violated the session protocol (e.g. a frame arrived out of
+    /// sequence within one session).
+    Protocol(String),
 }
 
 impl fmt::Display for TransportError {
@@ -38,6 +41,7 @@ impl fmt::Display for TransportError {
             }
             TransportError::Io(e) => write!(f, "transport I/O error: {e}"),
             TransportError::Codec(e) => write!(f, "payload codec error: {e}"),
+            TransportError::Protocol(msg) => write!(f, "session protocol violation: {msg}"),
         }
     }
 }
@@ -92,4 +96,122 @@ pub trait Transport<L: LocationSet, Target: ChoreographyLocation> {
     /// Returns an error if `from` is unknown or the link fails before a
     /// message arrives.
     fn receive(&self, from: &str) -> Result<Vec<u8>, TransportError>;
+}
+
+/// Identifies one choreography run multiplexed over a shared transport.
+pub type SessionId = u64;
+
+/// The session id the raw [`Transport`] compatibility path uses on
+/// session-native transports.
+pub const RAW_SESSION: SessionId = SessionId::MAX;
+
+/// A transport that carries many concurrent choreography sessions over
+/// one set of links, demultiplexing incoming frames into
+/// per-(session, sender) FIFO mailboxes.
+///
+/// Frames are [`chorus_wire::Envelope`]s: session id, per-edge sequence
+/// number, payload. Implementations must preserve per-sender FIFO order
+/// *within* each session — the guarantee the λN model assumes (§4.1) —
+/// while letting different sessions interleave freely on the wire.
+///
+/// This is the transport interface [`Endpoint`](crate::Endpoint) is
+/// built on; the raw [`Transport`] trait remains for single-stream,
+/// unframed byte links, and any raw transport can be lifted into a
+/// session transport with [`Demux`](crate::Demux).
+pub trait SessionTransport<L: LocationSet, Target: ChoreographyLocation> {
+    /// The names of every location this transport can reach (including
+    /// `Target` itself).
+    fn locations(&self) -> Vec<&'static str> {
+        L::names()
+    }
+
+    /// Sends one frame to the location named `to`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `to` is unknown or the link fails.
+    fn send_frame(&self, to: &str, frame: chorus_wire::Envelope) -> Result<(), TransportError>;
+
+    /// Blocks until a frame of `session` from the location named `from`
+    /// arrives, and returns it.
+    ///
+    /// Frames of other sessions arriving meanwhile are queued into their
+    /// own mailboxes, never dropped.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `from` is unknown, the link fails, or the
+    /// peer violates per-session frame ordering.
+    fn receive_frame(
+        &self,
+        session: SessionId,
+        from: &str,
+    ) -> Result<chorus_wire::Envelope, TransportError>;
+}
+
+impl<L, Target, T> SessionTransport<L, Target> for &T
+where
+    L: LocationSet,
+    Target: ChoreographyLocation,
+    T: SessionTransport<L, Target> + ?Sized,
+{
+    fn locations(&self) -> Vec<&'static str> {
+        (**self).locations()
+    }
+
+    fn send_frame(&self, to: &str, frame: chorus_wire::Envelope) -> Result<(), TransportError> {
+        (**self).send_frame(to, frame)
+    }
+
+    fn receive_frame(
+        &self,
+        session: SessionId,
+        from: &str,
+    ) -> Result<chorus_wire::Envelope, TransportError> {
+        (**self).receive_frame(session, from)
+    }
+}
+
+/// Tracks per-(session, sender) expected sequence numbers and rejects
+/// regressions.
+///
+/// A sequence restart (an incoming `seq` of zero) is accepted and resets
+/// the expectation: it marks a fresh run reusing the same session id on
+/// a long-lived transport, which is how the deprecated
+/// single-session [`Projector`](crate::Projector) shim behaves across
+/// consecutive `epp_and_run` calls.
+#[derive(Debug, Default)]
+pub struct SequenceTracker {
+    next: std::collections::HashMap<(SessionId, String), u64>,
+}
+
+impl SequenceTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Validates `seq` as the next frame of `(session, from)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError::Protocol`] if `seq` is neither the
+    /// expected next sequence number nor a restart at zero.
+    pub fn check(
+        &mut self,
+        session: SessionId,
+        from: &str,
+        seq: u64,
+    ) -> Result<(), TransportError> {
+        let expected = self.next.entry((session, from.to_string())).or_insert(0);
+        if seq == *expected || seq == 0 {
+            *expected = seq + 1;
+            Ok(())
+        } else {
+            Err(TransportError::Protocol(format!(
+                "frame from {from} in session {session} arrived out of order: \
+                 expected seq {expected}, got {seq}"
+            )))
+        }
+    }
 }

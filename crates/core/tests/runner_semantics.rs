@@ -3,8 +3,8 @@
 //! parallel, scatter/gather, and census polymorphism.
 
 use chorus_core::{
-    ChoreoOp, Choreography, FanInChoreography, FanOutChoreography, Faceted, Located,
-    LocationSet, LocationSetFoldable, Member, MultiplyLocated, Quire, Runner, Subset,
+    ChoreoOp, Choreography, Faceted, FanInChoreography, FanOutChoreography, Located, LocationSet,
+    LocationSetFoldable, Member, MultiplyLocated, Quire, Runner, Subset,
 };
 use std::marker::PhantomData;
 
@@ -291,9 +291,8 @@ fn census_polymorphic_choreography_instantiates_at_different_sizes() {
     impl<Workers, WSubset, WFold, ClientIdx> Choreography<Located<u32, Client>>
         for Sum<Workers, WSubset, WFold, ClientIdx>
     where
-        Workers: LocationSet
-            + Subset<Census, WSubset>
-            + LocationSetFoldable<Census, Workers, WFold>,
+        Workers:
+            LocationSet + Subset<Census, WSubset> + LocationSetFoldable<Census, Workers, WFold>,
         Client: Member<Census, ClientIdx>,
     {
         type L = Census;
@@ -317,9 +316,8 @@ fn census_polymorphic_choreography_instantiates_at_different_sizes() {
 
     let runner: Runner<Census> = Runner::new();
 
-    let one = runner.run(Sum::<chorus_core::LocationSet!(Primary), _, _, _> {
-        phantom: PhantomData,
-    });
+    let one =
+        runner.run(Sum::<chorus_core::LocationSet!(Primary), _, _, _> { phantom: PhantomData });
     assert_eq!(runner.unwrap_located(one), 7);
 
     let three = runner.run(Sum::<Servers, _, _, _> { phantom: PhantomData });
@@ -332,8 +330,7 @@ fn flatten_narrows_nested_ownership() {
     impl Choreography<Located<u8, Primary>> for Nest {
         type L = Census;
         fn run(self, op: &impl ChoreoOp<Self::L>) -> Located<u8, Primary> {
-            let nested: MultiplyLocated<Located<u8, Primary>, Servers> =
-                op.conclave(Inner);
+            let nested: MultiplyLocated<Located<u8, Primary>, Servers> = op.conclave(Inner);
             nested.flatten()
         }
     }

@@ -12,9 +12,7 @@ pub fn project(expr: &Expr, p: Party) -> LExpr {
 fn project_expr(expr: &Expr, p: Party) -> LExpr {
     match expr {
         Expr::Val(v) => LExpr::Val(project_value(v, p)),
-        Expr::App(m, n) => {
-            floor(&LExpr::app(project_expr(m, p), project_expr(n, p)))
-        }
+        Expr::App(m, n) => floor(&LExpr::app(project_expr(m, p), project_expr(n, p))),
         Expr::Case { parties, scrutinee, left_var, left, right_var, right } => {
             let scrutinee = Box::new(project_expr(scrutinee, p));
             if parties.contains(p) {
@@ -145,10 +143,7 @@ mod tests {
             at0,
             LExpr::app(LExpr::val(LValue::Send(parties![1])), LExpr::val(LValue::Unit))
         );
-        assert_eq!(
-            at1,
-            LExpr::app(LExpr::val(LValue::Recv(Party(0))), LExpr::val(LValue::Bottom))
-        );
+        assert_eq!(at1, LExpr::app(LExpr::val(LValue::Recv(Party(0))), LExpr::val(LValue::Bottom)));
         // A bystander's projection collapses entirely.
         assert_eq!(at2, LExpr::val(LValue::Bottom));
     }

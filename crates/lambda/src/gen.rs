@@ -74,15 +74,12 @@ impl<R: Rng + ?Sized> Ctx<'_, R> {
         }
         match self.rng.gen_range(0..10u8) {
             // Communication: relocate the value from a sender.
-            0 | 1 | 2 => {
+            0..=2 => {
                 let sender = pick_party(self.rng, census);
                 let mut source = gen_owners_containing(self.rng, census, sender);
                 source.insert(sender);
                 let arg = self.gen_expr(census, env, d, &source, depth - 1);
-                Expr::app(
-                    Expr::val(Value::Com { from: sender, to: owners.clone() }),
-                    arg,
-                )
+                Expr::app(Expr::val(Value::Com { from: sender, to: owners.clone() }), arg)
             }
             // β-redex: (λx:A. body) arg.
             3 | 4 => {
@@ -95,10 +92,7 @@ impl<R: Rng + ?Sized> Ctx<'_, R> {
                 body_env.push((x.clone(), param_ty.clone()));
                 let body = self.gen_expr(&parties, &body_env, d, owners, depth - 1);
                 let arg = self.gen_expr(census, env, &param_d, &param_owners, depth - 1);
-                Expr::app(
-                    Expr::val(Value::lambda(x, param_ty, body, parties)),
-                    arg,
-                )
+                Expr::app(Expr::val(Value::lambda(x, param_ty, body, parties)), arg)
             }
             // Conclaved case on a boolean.
             5 | 6 => {
@@ -168,9 +162,7 @@ impl<R: Rng + ?Sized> Ctx<'_, R> {
     fn gen_value(&mut self, d: &Data, owners: &PartySet) -> Value {
         match d {
             Data::Unit => Value::Unit(owners.clone()),
-            Data::Prod(l, r) => {
-                Value::pair(self.gen_value(l, owners), self.gen_value(r, owners))
-            }
+            Data::Prod(l, r) => Value::pair(self.gen_value(l, owners), self.gen_value(r, owners)),
             Data::Sum(l, r) => {
                 // Shapes are `d + ()` or `() + d`; both sides are unit
                 // for booleans. Pick an injectable side (the side whose
@@ -226,22 +218,14 @@ pub fn gen_owners<R: Rng + ?Sized>(rng: &mut R, census: &PartySet) -> PartySet {
     }
 }
 
-fn gen_owners_containing<R: Rng + ?Sized>(
-    rng: &mut R,
-    census: &PartySet,
-    must: Party,
-) -> PartySet {
+fn gen_owners_containing<R: Rng + ?Sized>(rng: &mut R, census: &PartySet, must: Party) -> PartySet {
     let mut set = gen_owners(rng, census);
     set.insert(must);
     set
 }
 
 /// A random set with `lower ⊆ result ⊆ census`.
-fn gen_superset<R: Rng + ?Sized>(
-    rng: &mut R,
-    census: &PartySet,
-    lower: &PartySet,
-) -> PartySet {
+fn gen_superset<R: Rng + ?Sized>(rng: &mut R, census: &PartySet, lower: &PartySet) -> PartySet {
     let mut set = lower.clone();
     for p in census.iter() {
         if rng.gen_bool(0.3) {

@@ -185,11 +185,7 @@ pub fn subst(expr: &LExpr, x: &str, v: &LValue) -> LExpr {
             left_var: left_var.clone(),
             left: Box::new(if left_var == x { (**left).clone() } else { subst(left, x, v) }),
             right_var: right_var.clone(),
-            right: Box::new(if right_var == x {
-                (**right).clone()
-            } else {
-                subst(right, x, v)
-            }),
+            right: Box::new(if right_var == x { (**right).clone() } else { subst(right, x, v) }),
         },
     }
 }
@@ -383,10 +379,9 @@ impl fmt::Display for LExpr {
         match self {
             LExpr::Val(v) => write!(f, "{v}"),
             LExpr::App(m, n) => write!(f, "({m} {n})"),
-            LExpr::Case { scrutinee, left_var, left, right_var, right } => write!(
-                f,
-                "case {scrutinee} of Inl {left_var} ⇒ {left}; Inr {right_var} ⇒ {right}"
-            ),
+            LExpr::Case { scrutinee, left_var, left, right_var, right } => {
+                write!(f, "case {scrutinee} of Inl {left_var} ⇒ {left}; Inr {right_var} ⇒ {right}")
+            }
         }
     }
 }
@@ -429,10 +424,7 @@ mod tests {
     #[test]
     fn floor_collapses_bottom_structures() {
         assert_eq!(floor_value(&LValue::inl(LValue::Bottom)), LValue::Bottom);
-        assert_eq!(
-            floor_value(&LValue::pair(LValue::Bottom, LValue::Bottom)),
-            LValue::Bottom
-        );
+        assert_eq!(floor_value(&LValue::pair(LValue::Bottom, LValue::Bottom)), LValue::Bottom);
         // A pair with one real side keeps its structure.
         assert_eq!(
             floor_value(&LValue::pair(LValue::Unit, LValue::Bottom)),
@@ -444,7 +436,10 @@ mod tests {
 
     #[test]
     fn beta_reduction_is_pure() {
-        let id = LValue::Lambda { param: "x".into(), body: Box::new(LExpr::val(LValue::Var("x".into()))) };
+        let id = LValue::Lambda {
+            param: "x".into(),
+            body: Box::new(LExpr::val(LValue::Var("x".into()))),
+        };
         let app = LExpr::app(LExpr::val(id), LExpr::val(LValue::Unit));
         assert_eq!(next_need(&app), Need::Internal);
         let stepped = step_local(&app, &mut PureOnly).unwrap();
@@ -453,14 +448,8 @@ mod tests {
 
     #[test]
     fn send_blocks_until_the_oracle_allows() {
-        let send = LExpr::app(
-            LExpr::val(LValue::Send(parties![1])),
-            LExpr::val(LValue::Unit),
-        );
-        assert_eq!(
-            next_need(&send),
-            Need::Send { to: parties![1], value: LValue::Unit }
-        );
+        let send = LExpr::app(LExpr::val(LValue::Send(parties![1])), LExpr::val(LValue::Unit));
+        assert_eq!(next_need(&send), Need::Send { to: parties![1], value: LValue::Unit });
         assert_eq!(step_local(&send, &mut PureOnly), None);
 
         struct Allow;
@@ -486,19 +475,13 @@ mod tests {
                 None
             }
         }
-        let send = LExpr::app(
-            LExpr::val(LValue::SendSelf(parties![1])),
-            LExpr::val(LValue::Unit),
-        );
+        let send = LExpr::app(LExpr::val(LValue::SendSelf(parties![1])), LExpr::val(LValue::Unit));
         assert_eq!(step_local(&send, &mut Allow), Some(LExpr::val(LValue::Unit)));
     }
 
     #[test]
     fn recv_takes_the_oracle_value() {
-        let recv = LExpr::app(
-            LExpr::val(LValue::Recv(Party(0))),
-            LExpr::val(LValue::Bottom),
-        );
+        let recv = LExpr::app(LExpr::val(LValue::Recv(Party(0))), LExpr::val(LValue::Bottom));
         assert_eq!(next_need(&recv), Need::Recv { from: Party(0) });
 
         struct Give;
@@ -511,10 +494,7 @@ mod tests {
                 Some(LValue::inl(LValue::Unit))
             }
         }
-        assert_eq!(
-            step_local(&recv, &mut Give),
-            Some(LExpr::val(LValue::inl(LValue::Unit)))
-        );
+        assert_eq!(step_local(&recv, &mut Give), Some(LExpr::val(LValue::inl(LValue::Unit))));
     }
 
     #[test]

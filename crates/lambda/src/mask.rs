@@ -66,10 +66,9 @@ pub fn mask_value(value: &Value, theta: &PartySet) -> Option<Value> {
         }
         Value::Inl(v) => Some(Value::Inl(Box::new(mask_value(v, theta)?))),
         Value::Inr(v) => Some(Value::Inr(Box::new(mask_value(v, theta)?))),
-        Value::Pair(l, r) => Some(Value::Pair(
-            Box::new(mask_value(l, theta)?),
-            Box::new(mask_value(r, theta)?),
-        )),
+        Value::Pair(l, r) => {
+            Some(Value::Pair(Box::new(mask_value(l, theta)?), Box::new(mask_value(r, theta)?)))
+        }
         Value::Tuple(vs) => {
             let masked: Option<Vec<Value>> = vs.iter().map(|v| mask_value(v, theta)).collect();
             Some(Value::Tuple(masked?))

@@ -41,11 +41,7 @@ pub enum Outcome {
 impl Network {
     /// Projects `expr` to every party in `roles(expr)` (Fig. 22's `⟦M⟧`).
     pub fn project_all(expr: &Expr) -> Network {
-        let procs = expr
-            .roles()
-            .iter()
-            .map(|p| (p, project(expr, p)))
-            .collect();
+        let procs = expr.roles().iter().map(|p| (p, project(expr, p))).collect();
         Network { procs }
     }
 
@@ -153,8 +149,8 @@ impl Network {
             }
         }
         let sender_expr = self.procs[&sender].clone();
-        let stepped = step_local(&sender_expr, &mut AllowSend)
-            .expect("probed send redex must step");
+        let stepped =
+            step_local(&sender_expr, &mut AllowSend).expect("probed send redex must step");
         self.procs.insert(sender, stepped);
 
         // Step every recipient with the delivered value.
@@ -173,8 +169,7 @@ impl Network {
         for r in to.iter() {
             let expr = self.procs[&r].clone();
             let mut oracle = Deliver { from: sender, value };
-            let stepped =
-                step_local(&expr, &mut oracle).expect("probed recv redex must step");
+            let stepped = step_local(&expr, &mut oracle).expect("probed recv redex must step");
             self.procs.insert(r, stepped);
         }
     }

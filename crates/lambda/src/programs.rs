@@ -44,18 +44,10 @@ fn bool_case(parties: PartySet, scrutinee: Expr, then_value: bool, else_value: b
 /// multiply-located value. Exactly **one** communication happens.
 pub fn reuse_koc(flag: bool) -> Expr {
     let conclave = PartySet::from_indices([1, 2]);
-    let multicast = com(
-        Party(0),
-        conclave.clone(),
-        Expr::val(bool_value(flag, PartySet::singleton(Party(0)))),
-    );
+    let multicast =
+        com(Party(0), conclave.clone(), Expr::val(bool_value(flag, PartySet::singleton(Party(0)))));
     // λx. case x of ... (case x of ...) — the second case reuses x.
-    let inner = bool_case(
-        conclave.clone(),
-        Expr::val(Value::Var("x".into())),
-        true,
-        false,
-    );
+    let inner = bool_case(conclave.clone(), Expr::val(Value::Var("x".into())), true, false);
     let outer = Expr::case(
         conclave.clone(),
         Expr::val(Value::Var("x".into())),
@@ -64,12 +56,7 @@ pub fn reuse_koc(flag: bool) -> Expr {
         "_r",
         inner,
     );
-    let lambda = Value::lambda(
-        "x",
-        Type::data(Data::bool(), conclave.clone()),
-        outer,
-        conclave,
-    );
+    let lambda = Value::lambda("x", Type::data(Data::bool(), conclave.clone()), outer, conclave);
     Expr::app(Expr::val(lambda), multicast)
 }
 
@@ -78,16 +65,9 @@ pub fn reuse_koc(flag: bool) -> Expr {
 /// branch. **Two** communications happen.
 pub fn resend_koc(flag: bool) -> Expr {
     let conclave = PartySet::from_indices([1, 2]);
-    let multicast = com(
-        Party(0),
-        conclave.clone(),
-        Expr::val(bool_value(flag, PartySet::singleton(Party(0)))),
-    );
-    let resend = com(
-        Party(1),
-        conclave.clone(),
-        Expr::val(Value::Var("x".into())),
-    );
+    let multicast =
+        com(Party(0), conclave.clone(), Expr::val(bool_value(flag, PartySet::singleton(Party(0)))));
+    let resend = com(Party(1), conclave.clone(), Expr::val(Value::Var("x".into())));
     let inner = bool_case(conclave.clone(), resend, true, false);
     let outer = Expr::case(
         conclave.clone(),
@@ -97,12 +77,7 @@ pub fn resend_koc(flag: bool) -> Expr {
         "_r",
         inner,
     );
-    let lambda = Value::lambda(
-        "x",
-        Type::data(Data::bool(), conclave.clone()),
-        outer,
-        conclave,
-    );
+    let lambda = Value::lambda("x", Type::data(Data::bool(), conclave.clone()), outer, conclave);
     Expr::app(Expr::val(lambda), multicast)
 }
 

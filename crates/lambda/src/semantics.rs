@@ -78,9 +78,7 @@ fn apply(f: &Value, a: &Value) -> Option<Expr> {
             _ => None,
         },
         // Com1 / ComPair / ComInl / ComInr: retarget the annotations.
-        Value::Com { from, to } =>
-
-            com_value(a, *from, to).map(Expr::Val),
+        Value::Com { from, to } => com_value(a, *from, to).map(Expr::Val),
         _ => None,
     }
 }
@@ -96,10 +94,7 @@ fn com_value(v: &Value, from: crate::party::Party, to: &PartySet) -> Option<Valu
                 None
             }
         }
-        Value::Pair(l, r) => Some(Value::pair(
-            com_value(l, from, to)?,
-            com_value(r, from, to)?,
-        )),
+        Value::Pair(l, r) => Some(Value::pair(com_value(l, from, to)?, com_value(r, from, to)?)),
         Value::Inl(inner) => Some(Value::inl(com_value(inner, from, to)?)),
         Value::Inr(inner) => Some(Value::inr(com_value(inner, from, to)?)),
         _ => None,
@@ -157,20 +152,14 @@ mod tests {
 
     #[test]
     fn com_relocates_structured_data() {
-        let payload = Value::inl(Value::pair(
-            Value::Unit(parties![0]),
-            Value::Unit(parties![0]),
-        ));
+        let payload = Value::inl(Value::pair(Value::Unit(parties![0]), Value::Unit(parties![0])));
         let app = Expr::app(
             Expr::val(Value::Com { from: Party(0), to: parties![1] }),
             Expr::val(payload),
         );
         assert_eq!(
             eval(&app, 10),
-            Some(Value::inl(Value::pair(
-                Value::Unit(parties![1]),
-                Value::Unit(parties![1])
-            )))
+            Some(Value::inl(Value::pair(Value::Unit(parties![1]), Value::Unit(parties![1]))))
         );
     }
 
@@ -190,10 +179,7 @@ mod tests {
             eval(&make(Value::bool_true(parties![0])), 10),
             Some(Value::pair(Value::Unit(parties![0]), Value::Unit(parties![0])))
         );
-        assert_eq!(
-            eval(&make(Value::bool_false(parties![0])), 10),
-            Some(Value::Unit(parties![0]))
-        );
+        assert_eq!(eval(&make(Value::bool_false(parties![0])), 10), Some(Value::Unit(parties![0])));
     }
 
     #[test]

@@ -73,9 +73,11 @@ pub fn subst_value(value: &Value, x: &Var, v: &Value) -> Value {
             Value::Pair(Box::new(subst_value(l, x, v)), Box::new(subst_value(r, x, v)))
         }
         Value::Tuple(vs) => Value::Tuple(vs.iter().map(|w| subst_value(w, x, v)).collect()),
-        Value::Unit(_) | Value::Fst(_) | Value::Snd(_) | Value::Lookup(_, _) | Value::Com { .. } => {
-            value.clone()
-        }
+        Value::Unit(_)
+        | Value::Fst(_)
+        | Value::Snd(_)
+        | Value::Lookup(_, _)
+        | Value::Com { .. } => value.clone(),
     }
 }
 
@@ -105,12 +107,7 @@ mod tests {
 
     #[test]
     fn lambda_binders_shadow() {
-        let lam = Value::lambda(
-            "x",
-            Type::data(Data::Unit, parties![0]),
-            var("x"),
-            parties![0],
-        );
+        let lam = Value::lambda("x", Type::data(Data::Unit, parties![0]), var("x"), parties![0]);
         let out = subst_value(&lam, &"x".into(), &Value::Unit(parties![0]));
         assert_eq!(out, lam);
     }
@@ -118,12 +115,7 @@ mod tests {
     #[test]
     fn substitution_under_lambda_masks_the_value() {
         // λy. x  with x := ()@{0,1}, lambda at {0}: x becomes ()@{0}.
-        let lam = Value::lambda(
-            "y",
-            Type::data(Data::Unit, parties![0]),
-            var("x"),
-            parties![0],
-        );
+        let lam = Value::lambda("y", Type::data(Data::Unit, parties![0]), var("x"), parties![0]);
         let out = subst_value(&lam, &"x".into(), &Value::Unit(parties![0, 1]));
         match out {
             Value::Lambda { body, .. } => {
@@ -136,12 +128,7 @@ mod tests {
     #[test]
     fn unmaskable_values_leave_the_body_alone() {
         // The lambda lives at {1}; ()@{0} cannot mask there.
-        let lam = Value::lambda(
-            "y",
-            Type::data(Data::Unit, parties![1]),
-            var("x"),
-            parties![1],
-        );
+        let lam = Value::lambda("y", Type::data(Data::Unit, parties![1]), var("x"), parties![1]);
         let out = subst_value(&lam, &"x".into(), &Value::Unit(parties![0]));
         assert_eq!(out, lam);
     }

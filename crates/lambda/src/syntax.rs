@@ -351,10 +351,7 @@ mod tests {
 
     #[test]
     fn bool_encoding_round_trips() {
-        assert_eq!(
-            Value::bool_true(parties![0]),
-            Value::inl(Value::Unit(parties![0]))
-        );
+        assert_eq!(Value::bool_true(parties![0]), Value::inl(Value::Unit(parties![0])));
         assert!(matches!(Data::bool(), Data::Sum(_, _)));
     }
 }

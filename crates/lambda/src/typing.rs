@@ -84,7 +84,10 @@ impl fmt::Display for TypeError {
             TypeError::NotAFunction(t) => write!(f, "cannot apply a value of type {t}"),
             TypeError::ArgumentMismatch { expected, found } => match found {
                 Some(found) => write!(f, "argument masks to {found}, expected {expected}"),
-                None => write!(f, "argument does not mask to the function's parties (expected {expected})"),
+                None => write!(
+                    f,
+                    "argument does not mask to the function's parties (expected {expected})"
+                ),
             },
             TypeError::NotASum(t) => write!(f, "case scrutinee has non-sum type {t}"),
             TypeError::BranchMismatch(l, r) => {
@@ -129,8 +132,7 @@ pub fn type_of(census: &PartySet, env: &Env, expr: &Expr) -> Result<Type, TypeEr
                 });
             }
             let t_n = type_of(census, env, scrutinee)?;
-            let masked = mask_type(&t_n, parties)
-                .ok_or_else(|| TypeError::NotASum(t_n.clone()))?;
+            let masked = mask_type(&t_n, parties).ok_or_else(|| TypeError::NotASum(t_n.clone()))?;
             let (dl, dr) = match &masked {
                 Type::Data(Data::Sum(dl, dr), owners) if owners == parties => {
                     ((**dl).clone(), (**dr).clone())
@@ -268,9 +270,7 @@ fn type_of_value(census: &PartySet, env: &Env, value: &Value) -> Result<Type, Ty
             // we canonicalize it to Unit. (Generated programs branch on
             // booleans `()+()`, where this is exact.)
             match type_of_value(census, env, v)? {
-                Type::Data(d, owners) => {
-                    Ok(Type::Data(Data::sum(d, Data::Unit), owners))
-                }
+                Type::Data(d, owners) => Ok(Type::Data(Data::sum(d, Data::Unit), owners)),
                 other => Err(TypeError::NotData(other)),
             }
         }
@@ -330,14 +330,8 @@ mod tests {
     #[test]
     fn units_type_at_their_owners() {
         let e = Expr::val(Value::Unit(parties![0, 1]));
-        assert_eq!(
-            check(&parties![0, 1, 2], &e),
-            Ok(Type::data(Data::Unit, parties![0, 1]))
-        );
-        assert!(matches!(
-            check(&parties![0], &e),
-            Err(TypeError::OutsideCensus { .. })
-        ));
+        assert_eq!(check(&parties![0, 1, 2], &e), Ok(Type::data(Data::Unit, parties![0, 1])));
+        assert!(matches!(check(&parties![0], &e), Err(TypeError::OutsideCensus { .. })));
     }
 
     #[test]
@@ -350,10 +344,7 @@ mod tests {
             parties![0],
         );
         let app = Expr::app(Expr::val(lam), Expr::val(Value::Unit(parties![0, 1])));
-        assert_eq!(
-            check(&parties![0, 1], &app),
-            Ok(Type::data(Data::Unit, parties![0]))
-        );
+        assert_eq!(check(&parties![0, 1], &app), Ok(Type::data(Data::Unit, parties![0])));
     }
 
     #[test]
@@ -376,10 +367,7 @@ mod tests {
             Expr::val(Value::Com { from: Party(0), to: parties![1, 2] }),
             Expr::val(Value::Unit(parties![0])),
         );
-        assert_eq!(
-            check(&parties![0, 1, 2], &app),
-            Ok(Type::data(Data::Unit, parties![1, 2]))
-        );
+        assert_eq!(check(&parties![0, 1, 2], &app), Ok(Type::data(Data::Unit, parties![1, 2])));
     }
 
     #[test]
@@ -420,10 +408,7 @@ mod tests {
             "y",
             Expr::val(Value::Unit(parties![0, 1])),
         );
-        assert_eq!(
-            check(&parties![0, 1], &case),
-            Ok(Type::data(Data::Unit, parties![0, 1]))
-        );
+        assert_eq!(check(&parties![0, 1], &case), Ok(Type::data(Data::Unit, parties![0, 1])));
     }
 
     #[test]
@@ -436,10 +421,7 @@ mod tests {
             "y",
             Expr::val(Value::pair(Value::Unit(parties![0]), Value::Unit(parties![0]))),
         );
-        assert!(matches!(
-            check(&parties![0], &case),
-            Err(TypeError::BranchMismatch(_, _))
-        ));
+        assert!(matches!(check(&parties![0], &case), Err(TypeError::BranchMismatch(_, _))));
     }
 
     #[test]
@@ -463,10 +445,7 @@ mod tests {
 
     #[test]
     fn tuples_and_lookup() {
-        let tuple = Value::Tuple(vec![
-            Value::Unit(parties![0]),
-            Value::Unit(parties![0]),
-        ]);
+        let tuple = Value::Tuple(vec![Value::Unit(parties![0]), Value::Unit(parties![0])]);
         let app = Expr::app(Expr::val(Value::Lookup(1, parties![0])), Expr::val(tuple));
         assert_eq!(check(&parties![0], &app), Ok(Type::data(Data::Unit, parties![0])));
 

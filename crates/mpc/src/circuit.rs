@@ -58,6 +58,7 @@ impl Circuit {
     }
 
     /// Negation, encoded as `x ⊕ 1`.
+    #[allow(clippy::should_implement_trait)] // mirrors `and`/`or`/`xor` builder names
     pub fn not(self) -> Self {
         self.xor(Circuit::Lit(true))
     }
@@ -78,13 +79,11 @@ impl Circuit {
     /// `inputs`.
     pub fn eval_plain(&self, inputs: &BTreeMap<&str, Vec<bool>>) -> bool {
         match self {
-            Circuit::Input { party, index } => {
-                *inputs
-                    .get(party)
-                    .unwrap_or_else(|| panic!("no inputs for party {party}"))
-                    .get(*index)
-                    .unwrap_or_else(|| panic!("party {party} has no input #{index}"))
-            }
+            Circuit::Input { party, index } => *inputs
+                .get(party)
+                .unwrap_or_else(|| panic!("no inputs for party {party}"))
+                .get(*index)
+                .unwrap_or_else(|| panic!("party {party} has no input #{index}")),
             Circuit::Lit(b) => *b,
             Circuit::And(l, r) => l.eval_plain(inputs) && r.eval_plain(inputs),
             Circuit::Xor(l, r) => l.eval_plain(inputs) ^ r.eval_plain(inputs),
@@ -212,14 +211,9 @@ mod tests {
 
     #[test]
     fn gate_counts_are_accurate() {
-        let c = Circuit::input("a", 0)
-            .and(Circuit::input("b", 0))
-            .xor(Circuit::lit(true));
+        let c = Circuit::input("a", 0).and(Circuit::input("b", 0)).xor(Circuit::lit(true));
         let counts = c.gate_counts();
-        assert_eq!(
-            counts,
-            GateCounts { inputs: 2, literals: 1, and_gates: 1, xor_gates: 1 }
-        );
+        assert_eq!(counts, GateCounts { inputs: 2, literals: 1, and_gates: 1, xor_gates: 1 });
         assert!(!counts.to_string().is_empty());
     }
 

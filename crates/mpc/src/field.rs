@@ -166,6 +166,7 @@ impl<const P: u64> Div for Fp<P> {
     /// # Panics
     ///
     /// Panics if `rhs` is zero.
+    #[allow(clippy::suspicious_arithmetic_impl)] // division IS multiplication by the inverse
     fn div(self, rhs: Self) -> Self {
         self * rhs.inverse()
     }

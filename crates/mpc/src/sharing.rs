@@ -105,10 +105,7 @@ mod tests {
     fn single_party_share_is_the_secret() {
         let mut rng = StdRng::seed_from_u64(0);
         assert_eq!(share_bool(&mut rng, true, 1), vec![true]);
-        assert_eq!(
-            share_field(&mut rng, FLOTTERY::new(42), 1),
-            vec![FLOTTERY::new(42)]
-        );
+        assert_eq!(share_field(&mut rng, FLOTTERY::new(42), 1), vec![FLOTTERY::new(42)]);
     }
 
     #[test]

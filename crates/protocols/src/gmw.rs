@@ -140,17 +140,12 @@ where
 
     // For every receiver j, collect m_ij = r_ij ⊕ (u_i ∧ v_j) from every
     // sender i via OT, and XOR them into b_j (Fig. 9's `bs` fanOut).
-    let b: Faceted<bool, P> = op.fanout(
-        P::new(),
-        OtFanOut::<'_, P, PFold> { u, v, masks: &masks, phantom: PhantomData },
-    );
+    let b: Faceted<bool, P> =
+        op.fanout(P::new(), OtFanOut::<'_, P, PFold> { u, v, masks: &masks, phantom: PhantomData });
 
     // share_i = (u_i ∧ v_i) ⊕ b_i ⊕ (⊕_{j≠i} r_ij)  (Fig. 9's
     // `computeShare`).
-    op.fanout(
-        P::new(),
-        CombineShares::<'_, P> { u, v, b: &b, masks: &masks },
-    )
+    op.fanout(P::new(), CombineShares::<'_, P> { u, v, b: &b, masks: &masks })
 }
 
 /// Folder that locates the input's owner in the census and has it share
@@ -331,8 +326,10 @@ where
             ot::ReceiverKeys::generate(&mut thread_rng(), v_j)
         });
         let pks = op.locally(R::new(), |un| {
-            un.unwrap_ref::<ot::ReceiverKeys, chorus_core::LocationSet!(R), chorus_core::Here>(&keys)
-                .public()
+            un.unwrap_ref::<ot::ReceiverKeys, chorus_core::LocationSet!(R), chorus_core::Here>(
+                &keys,
+            )
+            .public()
         });
         let pks_at_sender = op.comm(R::new(), S::new(), &pks);
         // Sender: encrypt (r, r ⊕ u) under the receiver's keys.
@@ -351,10 +348,14 @@ where
         let cts_at_receiver = op.comm(S::new(), R::new(), &cts);
         // Receiver: decrypt the selected masked product.
         op.locally(R::new(), |un| {
-            un.unwrap_ref::<ot::ReceiverKeys, chorus_core::LocationSet!(R), chorus_core::Here>(&keys)
-                .decrypt(un.unwrap_ref::<ot::Ciphertexts, chorus_core::LocationSet!(R), chorus_core::Here>(
+            un.unwrap_ref::<ot::ReceiverKeys, chorus_core::LocationSet!(R), chorus_core::Here>(
+                &keys,
+            )
+            .decrypt(
+                un.unwrap_ref::<ot::Ciphertexts, chorus_core::LocationSet!(R), chorus_core::Here>(
                     &cts_at_receiver,
-                ))
+                ),
+            )
         })
     }
 }
@@ -408,20 +409,13 @@ mod tests {
     type Two = chorus_core::LocationSet!(P1, P2);
     type Three = chorus_core::LocationSet!(P1, P2, P3);
 
-    fn run_gmw<P, PRefl, PFold>(
-        circuit: &Circuit,
-        inputs: BTreeMap<String, Vec<bool>>,
-    ) -> bool
+    fn run_gmw<P, PRefl, PFold>(circuit: &Circuit, inputs: BTreeMap<String, Vec<bool>>) -> bool
     where
         P: LocationSet + Subset<P, PRefl> + LocationSetFoldable<P, P, PFold>,
     {
         let runner: Runner<P> = Runner::new();
         let faceted = runner.faceted(inputs);
-        runner.run(Gmw::<P, PRefl, PFold> {
-            circuit,
-            inputs: &faceted,
-            phantom: PhantomData,
-        })
+        runner.run(Gmw::<P, PRefl, PFold> { circuit, inputs: &faceted, phantom: PhantomData })
     }
 
     fn two_party_inputs(a: bool, b: bool) -> BTreeMap<String, Vec<bool>> {
@@ -538,9 +532,8 @@ mod more_tests {
     #[test]
     fn multiple_inputs_per_party() {
         // P1 supplies two bits; the circuit XORs them and ANDs with P2's.
-        let circuit = Circuit::input("P1", 0)
-            .xor(Circuit::input("P1", 1))
-            .and(Circuit::input("P2", 0));
+        let circuit =
+            Circuit::input("P1", 0).xor(Circuit::input("P1", 1)).and(Circuit::input("P2", 0));
         for bits in 0..8u8 {
             let (a, b, c) = (bits & 1 != 0, bits & 2 != 0, bits & 4 != 0);
             let mut inputs = BTreeMap::new();

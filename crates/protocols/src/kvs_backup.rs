@@ -63,8 +63,7 @@ impl<Backups: LocationSet, SrvSubsetCensus, SrvRefl, SrvFold> Choreography<KvsOu
 where
     Servers<Backups>: Subset<KvsCensus<Backups>, SrvSubsetCensus>,
     Servers<Backups>: Subset<Servers<Backups>, SrvRefl>,
-    Servers<Backups>:
-        LocationSetFoldable<Servers<Backups>, Servers<Backups>, SrvFold>,
+    Servers<Backups>: LocationSetFoldable<Servers<Backups>, Servers<Backups>, SrvFold>,
 {
     type L = KvsCensus<Backups>;
 
@@ -115,8 +114,7 @@ impl<Backups: LocationSet, SrvRefl, SrvFold> Choreography<Located<Response, Prim
     for HandleRequest<'_, Backups, SrvRefl, SrvFold>
 where
     Servers<Backups>: Subset<Servers<Backups>, SrvRefl>,
-    Servers<Backups>:
-        LocationSetFoldable<Servers<Backups>, Servers<Backups>, SrvFold>,
+    Servers<Backups>: LocationSetFoldable<Servers<Backups>, Servers<Backups>, SrvFold>,
 {
     type L = Servers<Backups>;
 
@@ -130,15 +128,17 @@ where
                 // The primary waits for every server's acknowledgement
                 // (the paper's `fanIn` of `_ack` flags, line 28).
                 let acks: Faceted<(), Servers<Backups>> = op.parallel(servers, || ());
-                let _acks: MultiplyLocated<Quire<(), Servers<Backups>>, chorus_core::LocationSet!(Primary)> =
-                    op.gather(servers, <chorus_core::LocationSet!(Primary)>::new(), &acks);
+                let _acks: MultiplyLocated<
+                    Quire<(), Servers<Backups>>,
+                    chorus_core::LocationSet!(Primary),
+                > = op.gather(servers, <chorus_core::LocationSet!(Primary)>::new(), &acks);
                 // `localize primary responses` (line 31): the primary's
                 // facet is its response.
                 op.locally(Primary, |un| un.unwrap_faceted(&responses))
             }
-            Request::Get(key) => op.locally(Primary, |un| {
-                un.unwrap_faceted_ref(self.states).get(&key)
-            }),
+            Request::Get(key) => {
+                op.locally(Primary, |un| un.unwrap_faceted_ref(self.states).get(&key))
+            }
             Request::Stop => op.locally(Primary, |_| Response::Stopped),
         }
     }
@@ -157,8 +157,7 @@ impl<Backups: LocationSet, SrvRefl, SrvFold> Choreography<bool>
     for SyncCheck<'_, Backups, SrvRefl, SrvFold>
 where
     Servers<Backups>: Subset<Servers<Backups>, SrvRefl>,
-    Servers<Backups>:
-        LocationSetFoldable<Servers<Backups>, Servers<Backups>, SrvFold>,
+    Servers<Backups>: LocationSetFoldable<Servers<Backups>, Servers<Backups>, SrvFold>,
 {
     type L = Servers<Backups>;
 
@@ -169,8 +168,10 @@ where
                 // Lines 42–44: hash every replica, gather at the primary.
                 let hashes: Faceted<u64, Servers<Backups>> =
                     op.map_facets(servers, self.states, SharedStore::content_hash);
-                let gathered: MultiplyLocated<Quire<u64, Servers<Backups>>, chorus_core::LocationSet!(Primary)> =
-                    op.gather(servers, <chorus_core::LocationSet!(Primary)>::new(), &hashes);
+                let gathered: MultiplyLocated<
+                    Quire<u64, Servers<Backups>>,
+                    chorus_core::LocationSet!(Primary),
+                > = op.gather(servers, <chorus_core::LocationSet!(Primary)>::new(), &hashes);
                 // Lines 45–47: the primary checks for divergence.
                 let needs_resynch = op.locally(Primary, |un| {
                     let quire = un.unwrap_ref(&gathered);
@@ -215,9 +216,7 @@ mod tests {
             map.insert(name.to_string(), SharedStore::new());
         }
         let runner: Runner<Census> = Runner::new();
-        let faceted = runner.faceted(
-            map.iter().map(|(k, v)| (k.clone(), v.clone())).collect(),
-        );
+        let faceted = runner.faceted(map.iter().map(|(k, v)| (k.clone(), v.clone())).collect());
         (map, faceted)
     }
 
@@ -231,10 +230,7 @@ mod tests {
             states: states.clone(),
             phantom: PhantomData,
         });
-        (
-            runner.unwrap_located(outcome.response),
-            runner.unwrap_located(outcome.resynched),
-        )
+        (runner.unwrap_located(outcome.response), runner.unwrap_located(outcome.resynched))
     }
 
     #[test]

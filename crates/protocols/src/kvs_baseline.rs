@@ -239,10 +239,8 @@ mod tests {
         let runner: BaselineRunner<Census2> = BaselineRunner::new();
         let stores = all_stores(&["Primary", "Backup1", "Backup2"]);
         stores["Primary"].put("k", "v");
-        let out = runner.run(BaselineKvs2 {
-            request: runner.local(Request::Get("k".into())),
-            stores,
-        });
+        let out =
+            runner.run(BaselineKvs2 { request: runner.local(Request::Get("k".into())), stores });
         assert_eq!(runner.unwrap_located(out), Response::Found("v".into()));
     }
 }

@@ -116,17 +116,25 @@ where
                     });
                 // ...and report their status codes to the server (Fig. 10
                 // lines 14–17, via the Fig. 11 Gather).
-                let gathered: MultiplyLocated<Quire<Response, Backups>, chorus_core::LocationSet!(Primary)> =
-                    op.fanin(Backups::new(), Gather::<'_, Response, Backups, chorus_core::LocationSet!(Primary), ServerSet<Backups>> {
+                let gathered: MultiplyLocated<
+                    Quire<Response, Backups>,
+                    chorus_core::LocationSet!(Primary),
+                > = op.fanin(
+                    Backups::new(),
+                    Gather::<
+                        '_,
+                        Response,
+                        Backups,
+                        chorus_core::LocationSet!(Primary),
+                        ServerSet<Backups>,
+                    > {
                         values: &oks,
                         phantom: PhantomData,
-                    });
+                    },
+                );
                 // Fig. 10 lines 18–26: commit only if every backup is ok.
                 op.locally(Primary, |un| {
-                    let all_ok = un
-                        .unwrap_ref(&gathered)
-                        .values()
-                        .all(|response| *response == 0);
+                    let all_ok = un.unwrap_ref(&gathered).values().all(|response| *response == 0);
                     if all_ok {
                         handle_put(un.unwrap_ref(self.server_store), &key, value)
                     } else {
@@ -154,8 +162,8 @@ pub struct Kvs<'a, Backups: LocationSet, BPresent, BServers, BRefl, BFold> {
     pub phantom: PhantomData<(BPresent, BServers, BRefl, BFold)>,
 }
 
-impl<Backups: LocationSet, BPresent, BServers, BRefl, BFold>
-    Choreography<Located<Response, Client>> for Kvs<'_, Backups, BPresent, BServers, BRefl, BFold>
+impl<Backups: LocationSet, BPresent, BServers, BRefl, BFold> Choreography<Located<Response, Client>>
+    for Kvs<'_, Backups, BPresent, BServers, BRefl, BFold>
 where
     ServerSet<Backups>: Subset<KvsCensus<Backups>, BPresent>,
     Backups: Subset<ServerSet<Backups>, BServers>,

@@ -74,10 +74,7 @@ mod tests {
             request: runner.local(Request::Get("lang".into())),
             state: runner.local(store),
         };
-        assert_eq!(
-            runner.unwrap_located(runner.run(get)),
-            Response::Found("rust".into())
-        );
+        assert_eq!(runner.unwrap_located(runner.run(get)), Response::Found("rust".into()));
     }
 
     #[test]

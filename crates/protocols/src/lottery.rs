@@ -94,10 +94,7 @@ where
     fn run(self, op: &impl ChoreoOp<Self::L>) -> Located<Result<u64, LotteryError>, Analyst> {
         assert!(Clients::LENGTH > 0, "the lottery needs at least one client");
         assert!(Servers::LENGTH > 0, "the lottery needs at least one server");
-        assert!(
-            self.tau >= Clients::LENGTH as u64,
-            "tau must be at least the number of clients"
-        );
+        assert!(self.tau >= Clients::LENGTH as u64, "tau must be at least the number of clients");
 
         // Clients split their secrets into one additive share per server
         // (Fig. 12 `clientShares`).
@@ -152,10 +149,8 @@ where
 /// Splits `secret` into additive shares keyed by the servers.
 fn additive_share_quire<Servers: LocationSet>(secret: FLOTTERY) -> Quire<FLOTTERY, Servers> {
     let mut rng = thread_rng();
-    let mut map: BTreeMap<String, FLOTTERY> = Servers::names()
-        .into_iter()
-        .map(|n| (n.to_string(), FLOTTERY::random(&mut rng)))
-        .collect();
+    let mut map: BTreeMap<String, FLOTTERY> =
+        Servers::names().into_iter().map(|n| (n.to_string(), FLOTTERY::random(&mut rng))).collect();
     let total: FLOTTERY = map.values().copied().sum();
     let first = Servers::names()[0];
     if let Some(entry) = map.get_mut(first) {
@@ -170,7 +165,8 @@ struct CollectShares<'a, Clients: LocationSet, Servers: LocationSet, Census, CSu
     phantom: PhantomData<(Census, CSub, CFold)>,
 }
 
-impl<Clients, Servers, Census, CSub, CFold> chorus_core::FanOutChoreography<Quire<FLOTTERY, Clients>>
+impl<Clients, Servers, Census, CSub, CFold>
+    chorus_core::FanOutChoreography<Quire<FLOTTERY, Clients>>
     for CollectShares<'_, Clients, Servers, Census, CSub, CFold>
 where
     Clients: LocationSet + Subset<Census, CSub> + LocationSetFoldable<Census, Clients, CFold>,
@@ -256,9 +252,8 @@ impl<Clients, Servers, SRefl, SSelfFold> Choreography<Faceted<(FLOTTERY, bool), 
     for ServersLottery<'_, Clients, Servers, SRefl, SSelfFold>
 where
     Clients: LocationSet,
-    Servers: LocationSet
-        + Subset<Servers, SRefl>
-        + LocationSetFoldable<Servers, Servers, SSelfFold>,
+    Servers:
+        LocationSet + Subset<Servers, SRefl> + LocationSetFoldable<Servers, Servers, SSelfFold>,
 {
     type L = Servers;
 
@@ -289,13 +284,11 @@ where
         let alpha_all = op.naked(alpha_all);
         let psi_all = op.naked(psi_all);
         let rho_all = op.naked(rho_all);
-        let ok = alpha_all
-            .iter()
-            .all(|(name, commitment)| {
-                let rho_n = rho_all.get_by_name(name).expect("same index set");
-                let psi_n = psi_all.get_by_name(name).expect("same index set");
-                commitment.verify(*rho_n, *psi_n)
-            });
+        let ok = alpha_all.iter().all(|(name, commitment)| {
+            let rho_n = rho_all.get_by_name(name).expect("same index set");
+            let psi_n = psi_all.get_by_name(name).expect("same index set");
+            commitment.verify(*rho_n, *psi_n)
+        });
 
         // 5) Sum the random values to pick the winning client index.
         let total: u64 = rho_all.values().sum();

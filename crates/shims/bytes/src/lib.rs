@@ -1,0 +1,91 @@
+//! In-tree, API-compatible subset of the `bytes` crate.
+//!
+//! The build environment has no access to crates.io, so this shim
+//! provides exactly the surface the workspace uses: the [`BufMut`]
+//! little-endian put methods on `Vec<u8>`.
+
+/// A growable buffer that integers and floats can be appended to.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends a single byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a single signed byte.
+    fn put_i8(&mut self, v: i8) {
+        self.put_slice(&[v as u8]);
+    }
+
+    /// Appends `v` in little-endian order.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends `v` in little-endian order.
+    fn put_i16_le(&mut self, v: i16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends `v` in little-endian order.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends `v` in little-endian order.
+    fn put_i32_le(&mut self, v: i32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends `v` in little-endian order.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends `v` in little-endian order.
+    fn put_i64_le(&mut self, v: i64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends `v` in little-endian order.
+    fn put_u128_le(&mut self, v: u128) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends `v` in little-endian order.
+    fn put_i128_le(&mut self, v: i128) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends `v` in little-endian order.
+    fn put_f32_le(&mut self, v: f32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends `v` in little-endian order.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn little_endian_puts_match_to_le_bytes() {
+        let mut out = Vec::new();
+        out.put_u8(0xAB);
+        out.put_u32_le(0xDEAD_BEEF);
+        out.put_u16_le(0x0102);
+        assert_eq!(out, vec![0xAB, 0xEF, 0xBE, 0xAD, 0xDE, 0x02, 0x01]);
+    }
+}

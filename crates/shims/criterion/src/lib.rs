@@ -1,0 +1,217 @@
+//! In-tree, API-compatible subset of the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this shim keeps
+//! the `criterion_group!`/`criterion_main!` structure and the
+//! `Criterion`/`BenchmarkGroup`/`Bencher` types, but measures with a
+//! simple calibrated wall-clock loop instead of criterion's statistical
+//! machinery. Output is one line per benchmark:
+//!
+//! ```text
+//! group/name ... 1234 ns/iter (n = 100)
+//! ```
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Accept and honor a substring filter, mirroring `cargo bench -- <filter>`.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "--bench" && a != "--test");
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            measurement_time: Duration::from_millis(200),
+            sample_size: 20,
+        }
+    }
+}
+
+/// A named identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// An id made of a parameter only.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// A group of related benchmarks sharing settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the warm-up time (accepted for API compatibility; warm-up is
+    /// a single untimed iteration in this shim).
+    pub fn warm_up_time(&mut self, _duration: Duration) -> &mut Self {
+        self
+    }
+
+    /// Sets the measurement time budget per benchmark.
+    pub fn measurement_time(&mut self, duration: Duration) -> &mut Self {
+        // Cap the budget so `cargo bench` over the full suite stays quick.
+        self.measurement_time = duration.min(Duration::from_millis(500));
+        self
+    }
+
+    /// Sets the target number of timed samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the throughput annotation (accepted and ignored).
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.id);
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut bencher = Bencher {
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            result: None,
+        };
+        f(&mut bencher);
+        bencher.report(&full);
+        self
+    }
+
+    /// Runs one benchmark parameterized by an input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Finishes the group.
+    pub fn finish(self) {}
+}
+
+/// Throughput annotation (accepted and ignored by this shim).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Times a closure over many iterations.
+#[derive(Debug)]
+pub struct Bencher {
+    measurement_time: Duration,
+    sample_size: usize,
+    // Filled in by `iter`.
+    result: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly, recording total time and iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One untimed warm-up iteration.
+        black_box(f());
+        let start = Instant::now();
+        let mut iters = 0u64;
+        let deadline = start + self.measurement_time;
+        loop {
+            black_box(f());
+            iters += 1;
+            if iters >= self.sample_size as u64 && Instant::now() >= deadline {
+                break;
+            }
+            if iters >= 1_000_000 {
+                break;
+            }
+        }
+        self.result = Some((start.elapsed(), iters));
+    }
+
+    fn report(&self, name: &str) {
+        match self.result {
+            Some((elapsed, iters)) if iters > 0 => {
+                let per_iter = elapsed.as_nanos() / iters as u128;
+                println!("{name} ... {per_iter} ns/iter (n = {iters})");
+            }
+            _ => println!("{name} ... no measurement"),
+        }
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,103 @@
+//! The [`any`] entry point and the [`Arbitrary`] trait behind it.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng as _;
+use std::marker::PhantomData;
+
+/// A type with a canonical "anything goes" strategy.
+pub trait Arbitrary: Sized {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Returns the canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any(PhantomData)
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($ty:ty),*) => {
+        $(
+            impl Arbitrary for $ty {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.gen::<$ty>()
+                }
+            }
+        )*
+    };
+}
+
+impl_arbitrary_int!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, u128, i128);
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Arbitrary bit patterns: exercises infinities, NaNs, subnormals.
+        f32::from_bits(rng.gen::<u32>())
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        f64::from_bits(rng.gen::<u64>())
+    }
+}
+
+/// Generates an arbitrary Unicode scalar value.
+pub(crate) fn arbitrary_scalar(rng: &mut TestRng) -> char {
+    loop {
+        let raw = rng.gen_range(0u32..=0x10_FFFF);
+        if let Some(c) = char::from_u32(raw) {
+            return c;
+        }
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        arbitrary_scalar(rng)
+    }
+}
+
+impl Arbitrary for String {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        let len = rng.gen_range(0usize..32);
+        (0..len).map(|_| arbitrary_scalar(rng)).collect()
+    }
+}
+
+macro_rules! impl_arbitrary_tuple {
+    ($($name:ident),+) => {
+        impl<$($name: Arbitrary),+> Arbitrary for ($($name,)+) {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                ($($name::arbitrary(rng),)+)
+            }
+        }
+    };
+}
+
+impl_arbitrary_tuple!(A);
+impl_arbitrary_tuple!(A, B);
+impl_arbitrary_tuple!(A, B, C);
+impl_arbitrary_tuple!(A, B, C, D);
+impl_arbitrary_tuple!(A, B, C, D, E);
+impl_arbitrary_tuple!(A, B, C, D, E, F);
+impl_arbitrary_tuple!(A, B, C, D, E, F, G);
+impl_arbitrary_tuple!(A, B, C, D, E, F, G, H);

@@ -1,0 +1,203 @@
+//! The [`Strategy`] trait and core combinators.
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+/// A recipe for generating values of one type.
+///
+/// Unlike the real crate there is no value tree / shrinking: a strategy
+/// is simply a function from randomness to a value.
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a recursive strategy: `self` generates leaves, and `f`
+    /// wraps an inner strategy into a branch, up to `depth` levels.
+    ///
+    /// The `desired_size` and `expected_branch_size` tuning knobs of the
+    /// real crate are accepted and ignored.
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        S2: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2,
+    {
+        let leaf = self.boxed();
+        let mut current = leaf.clone();
+        for _ in 0..depth {
+            let branch = crate::boxed_from(f(current));
+            current = BoxedStrategy {
+                inner: {
+                    let leaf = leaf.clone();
+                    Rc::new(move |rng: &mut TestRng| {
+                        use rand::Rng as _;
+                        // Lean toward leaves so sizes stay bounded.
+                        if rng.gen_bool(0.5) {
+                            leaf.generate(rng)
+                        } else {
+                            branch.generate(rng)
+                        }
+                    })
+                },
+            };
+        }
+        current
+    }
+
+    /// Erases the strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        crate::boxed_from(self)
+    }
+}
+
+/// A clonable, type-erased strategy.
+pub struct BoxedStrategy<T> {
+    pub(crate) inner: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy { inner: Rc::clone(&self.inner) }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.inner)(rng)
+    }
+}
+
+/// Always generates a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Chooses uniformly among several strategies of the same value type
+/// (the engine behind `prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union over `options`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! requires at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        use rand::Rng as _;
+        let idx = rng.gen_range(0..self.options.len());
+        self.options[idx].generate(rng)
+    }
+}
+
+/// Chooses uniformly among the given strategies (all generating the
+/// same type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Ranges as strategies.
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_range_strategy {
+    ($($ty:ty),*) => {
+        $(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    use rand::Rng as _;
+                    rng.gen_range(self.clone())
+                }
+            }
+
+            impl Strategy for RangeInclusive<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    use rand::Rng as _;
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*
+    };
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+// ---------------------------------------------------------------------------
+// Tuples of strategies are strategies.
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident . $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A.0);
+impl_tuple_strategy!(A.0, B.1);
+impl_tuple_strategy!(A.0, B.1, C.2);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7);

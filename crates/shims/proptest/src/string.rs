@@ -1,0 +1,42 @@
+//! `&str` patterns as string strategies.
+//!
+//! The real crate interprets a `&str` strategy as a full regex. This
+//! shim supports the patterns the workspace uses — `.{a,b}` (between
+//! `a` and `b` arbitrary characters) — and falls back to "0 to 32
+//! arbitrary characters" for anything else it cannot parse.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng as _;
+
+/// A small pool mixing ASCII with multi-byte scalars so UTF-8 handling
+/// gets exercised.
+const CHAR_POOL: &[char] = &[
+    'a', 'b', 'c', 'x', 'y', 'z', 'A', 'Z', '0', '9', ' ', '-', '_', '.', ',', '!', 'é', 'ß', 'λ',
+    'Ω', '中', '🦀',
+];
+
+fn arbitrary_char(rng: &mut TestRng) -> char {
+    if rng.gen_bool(0.8) {
+        CHAR_POOL[rng.gen_range(0..CHAR_POOL.len())]
+    } else {
+        crate::arbitrary::arbitrary_scalar(rng)
+    }
+}
+
+/// Parses `.{a,b}` into `(a, b)`.
+fn parse_dot_repeat(pattern: &str) -> Option<(usize, usize)> {
+    let rest = pattern.strip_prefix(".{")?.strip_suffix('}')?;
+    let (lo, hi) = rest.split_once(',')?;
+    Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (lo, hi) = parse_dot_repeat(self).unwrap_or((0, 32));
+        let len = rng.gen_range(lo..=hi);
+        (0..len).map(|_| arbitrary_char(rng)).collect()
+    }
+}

@@ -1,0 +1,16 @@
+//! Helpers the derive macros expand to. Not public API.
+
+use crate::de::{Deserialize, Error, SeqAccess};
+
+/// Pulls the next element out of a sequence, converting "too short" into
+/// an error naming the field index.
+pub fn next_element<'de, A, T>(seq: &mut A, index: usize) -> Result<T, A::Error>
+where
+    A: SeqAccess<'de>,
+    T: Deserialize<'de>,
+{
+    match seq.next_element()? {
+        Some(value) => Ok(value),
+        None => Err(Error::invalid_length(index, &"more fields")),
+    }
+}

@@ -1,0 +1,697 @@
+//! The deserialization half of the data model.
+
+use std::fmt::{self, Display};
+use std::marker::PhantomData;
+
+pub mod value;
+
+/// Error bound for deserializers.
+pub trait Error: Sized + std::error::Error {
+    /// Builds an error from an arbitrary message.
+    fn custom<T: Display>(msg: T) -> Self;
+
+    /// A value had the right shape but wrong content.
+    fn invalid_value(got: &dyn Display, expected: &dyn Display) -> Self {
+        Error::custom(format_args!("invalid value {got}, expected {expected}"))
+    }
+
+    /// A compound had the wrong number of elements.
+    fn invalid_length(len: usize, expected: &dyn Display) -> Self {
+        Error::custom(format_args!("invalid length {len}, expected {expected}"))
+    }
+
+    /// An enum carried an unknown variant tag.
+    fn unknown_variant(variant: &dyn Display, expected: &'static [&'static str]) -> Self {
+        Error::custom(format_args!("unknown variant {variant}, expected one of {expected:?}"))
+    }
+}
+
+/// A type constructible from the serde data model, borrowing from the
+/// input with lifetime `'de`.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes `Self` from `deserializer`.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A type deserializable without borrowing from the input.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// A stateful deserialization target; the stateless case is
+/// `PhantomData<T>`, which simply deserializes a `T`.
+pub trait DeserializeSeed<'de>: Sized {
+    /// The value produced.
+    type Value;
+    /// Deserializes the value from `deserializer`.
+    fn deserialize<D: Deserializer<'de>>(self, deserializer: D) -> Result<Self::Value, D::Error>;
+}
+
+impl<'de, T: Deserialize<'de>> DeserializeSeed<'de> for PhantomData<T> {
+    type Value = T;
+    fn deserialize<D: Deserializer<'de>>(self, deserializer: D) -> Result<T, D::Error> {
+        T::deserialize(deserializer)
+    }
+}
+
+/// A format backend producing the serde data model.
+pub trait Deserializer<'de>: Sized {
+    /// Error produced on failure.
+    type Error: Error;
+
+    /// Deserializes a value of unknown shape (self-describing formats only).
+    fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes a `bool`.
+    fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes an `i8`.
+    fn deserialize_i8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes an `i16`.
+    fn deserialize_i16<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes an `i32`.
+    fn deserialize_i32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes an `i64`.
+    fn deserialize_i64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes an `i128`.
+    fn deserialize_i128<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes a `u8`.
+    fn deserialize_u8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes a `u16`.
+    fn deserialize_u16<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes a `u32`.
+    fn deserialize_u32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes a `u64`.
+    fn deserialize_u64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes a `u128`.
+    fn deserialize_u128<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes an `f32`.
+    fn deserialize_f32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes an `f64`.
+    fn deserialize_f64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes a `char`.
+    fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes a string slice.
+    fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes an owned string.
+    fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes a byte slice.
+    fn deserialize_bytes<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes an owned byte buffer.
+    fn deserialize_byte_buf<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes an `Option`.
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes `()`.
+    fn deserialize_unit<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes a unit struct.
+    fn deserialize_unit_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Deserializes a single-field tuple struct.
+    fn deserialize_newtype_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Deserializes a variable-length sequence.
+    fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes a fixed-length heterogeneous sequence.
+    fn deserialize_tuple<V: Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Deserializes a tuple struct.
+    fn deserialize_tuple_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Deserializes a map.
+    fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes a struct.
+    fn deserialize_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Deserializes an enum.
+    fn deserialize_enum<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        variants: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Deserializes a field or variant identifier.
+    fn deserialize_identifier<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Skips over a value (self-describing formats only).
+    fn deserialize_ignored_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+
+    /// Whether this format is human readable. Defaults to `true`.
+    fn is_human_readable(&self) -> bool {
+        true
+    }
+}
+
+macro_rules! visitor_default {
+    ($($method:ident : $ty:ty,)*) => {
+        $(
+            /// Visits one value of the corresponding primitive type.
+            fn $method<E: Error>(self, v: $ty) -> Result<Self::Value, E> {
+                let _ = v;
+                Err(Error::custom(format_args!(
+                    concat!("unexpected ", stringify!($method), ", expected {}"),
+                    Expecting(&self)
+                )))
+            }
+        )*
+    };
+}
+
+/// Receives the values a [`Deserializer`] produces.
+pub trait Visitor<'de>: Sized {
+    /// The value built by this visitor.
+    type Value;
+
+    /// Describes what this visitor expects, for error messages.
+    fn expecting(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result;
+
+    visitor_default! {
+        visit_bool: bool,
+        visit_i8: i8,
+        visit_i16: i16,
+        visit_i32: i32,
+        visit_i64: i64,
+        visit_i128: i128,
+        visit_u8: u8,
+        visit_u16: u16,
+        visit_u32: u32,
+        visit_u64: u64,
+        visit_u128: u128,
+        visit_f32: f32,
+        visit_f64: f64,
+        visit_char: char,
+    }
+
+    /// Visits a borrowed string with the transient lifetime.
+    fn visit_str<E: Error>(self, v: &str) -> Result<Self::Value, E> {
+        let _ = v;
+        Err(Error::custom(format_args!("unexpected string, expected {}", Expecting(&self))))
+    }
+
+    /// Visits a string borrowed from the input itself.
+    fn visit_borrowed_str<E: Error>(self, v: &'de str) -> Result<Self::Value, E> {
+        self.visit_str(v)
+    }
+
+    /// Visits an owned string.
+    fn visit_string<E: Error>(self, v: String) -> Result<Self::Value, E> {
+        self.visit_str(&v)
+    }
+
+    /// Visits transient bytes.
+    fn visit_bytes<E: Error>(self, v: &[u8]) -> Result<Self::Value, E> {
+        let _ = v;
+        Err(Error::custom(format_args!("unexpected bytes, expected {}", Expecting(&self))))
+    }
+
+    /// Visits bytes borrowed from the input itself.
+    fn visit_borrowed_bytes<E: Error>(self, v: &'de [u8]) -> Result<Self::Value, E> {
+        self.visit_bytes(v)
+    }
+
+    /// Visits an owned byte buffer.
+    fn visit_byte_buf<E: Error>(self, v: Vec<u8>) -> Result<Self::Value, E> {
+        self.visit_bytes(&v)
+    }
+
+    /// Visits an absent optional.
+    fn visit_none<E: Error>(self) -> Result<Self::Value, E> {
+        Err(Error::custom(format_args!("unexpected None, expected {}", Expecting(&self))))
+    }
+
+    /// Visits a present optional.
+    fn visit_some<D: Deserializer<'de>>(self, deserializer: D) -> Result<Self::Value, D::Error> {
+        let _ = deserializer;
+        Err(Error::custom(format_args!("unexpected Some, expected {}", Expecting(&self))))
+    }
+
+    /// Visits a unit value.
+    fn visit_unit<E: Error>(self) -> Result<Self::Value, E> {
+        Err(Error::custom(format_args!("unexpected unit, expected {}", Expecting(&self))))
+    }
+
+    /// Visits a newtype struct's contents.
+    fn visit_newtype_struct<D: Deserializer<'de>>(
+        self,
+        deserializer: D,
+    ) -> Result<Self::Value, D::Error> {
+        let _ = deserializer;
+        Err(Error::custom(format_args!("unexpected newtype struct, expected {}", Expecting(&self))))
+    }
+
+    /// Visits a sequence.
+    fn visit_seq<A: SeqAccess<'de>>(self, seq: A) -> Result<Self::Value, A::Error> {
+        let _ = seq;
+        Err(Error::custom(format_args!("unexpected sequence, expected {}", Expecting(&self))))
+    }
+
+    /// Visits a map.
+    fn visit_map<A: MapAccess<'de>>(self, map: A) -> Result<Self::Value, A::Error> {
+        let _ = map;
+        Err(Error::custom(format_args!("unexpected map, expected {}", Expecting(&self))))
+    }
+
+    /// Visits an enum.
+    fn visit_enum<A: EnumAccess<'de>>(self, data: A) -> Result<Self::Value, A::Error> {
+        let _ = data;
+        Err(Error::custom(format_args!("unexpected enum, expected {}", Expecting(&self))))
+    }
+}
+
+/// Adapter that renders a visitor's `expecting` output with `Display`.
+struct Expecting<'a, V>(&'a V);
+
+impl<'de, V: Visitor<'de>> Display for Expecting<'_, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.expecting(f)
+    }
+}
+
+/// Element-by-element access to a sequence.
+pub trait SeqAccess<'de> {
+    /// Error produced on failure.
+    type Error: Error;
+
+    /// Deserializes the next element through `seed`, or reports the end.
+    fn next_element_seed<T: DeserializeSeed<'de>>(
+        &mut self,
+        seed: T,
+    ) -> Result<Option<T::Value>, Self::Error>;
+
+    /// Deserializes the next element, or reports the end.
+    fn next_element<T: Deserialize<'de>>(&mut self) -> Result<Option<T>, Self::Error> {
+        self.next_element_seed(PhantomData)
+    }
+
+    /// The number of remaining elements, if known.
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Entry-by-entry access to a map.
+pub trait MapAccess<'de> {
+    /// Error produced on failure.
+    type Error: Error;
+
+    /// Deserializes the next key through `seed`, or reports the end.
+    fn next_key_seed<K: DeserializeSeed<'de>>(
+        &mut self,
+        seed: K,
+    ) -> Result<Option<K::Value>, Self::Error>;
+
+    /// Deserializes the value paired with the most recent key.
+    fn next_value_seed<V: DeserializeSeed<'de>>(
+        &mut self,
+        seed: V,
+    ) -> Result<V::Value, Self::Error>;
+
+    /// Deserializes the next key, or reports the end.
+    fn next_key<K: Deserialize<'de>>(&mut self) -> Result<Option<K>, Self::Error> {
+        self.next_key_seed(PhantomData)
+    }
+
+    /// Deserializes the value paired with the most recent key.
+    fn next_value<V: Deserialize<'de>>(&mut self) -> Result<V, Self::Error> {
+        self.next_value_seed(PhantomData)
+    }
+
+    /// Deserializes the next entry, or reports the end.
+    fn next_entry<K: Deserialize<'de>, V: Deserialize<'de>>(
+        &mut self,
+    ) -> Result<Option<(K, V)>, Self::Error> {
+        match self.next_key()? {
+            Some(key) => Ok(Some((key, self.next_value()?))),
+            None => Ok(None),
+        }
+    }
+
+    /// The number of remaining entries, if known.
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Access to the variant tag of an enum.
+pub trait EnumAccess<'de>: Sized {
+    /// Error produced on failure.
+    type Error: Error;
+    /// Accessor for the variant's contents.
+    type Variant: VariantAccess<'de, Error = Self::Error>;
+
+    /// Deserializes the variant tag through `seed`.
+    fn variant_seed<V: DeserializeSeed<'de>>(
+        self,
+        seed: V,
+    ) -> Result<(V::Value, Self::Variant), Self::Error>;
+
+    /// Deserializes the variant tag.
+    fn variant<V: Deserialize<'de>>(self) -> Result<(V, Self::Variant), Self::Error> {
+        self.variant_seed(PhantomData)
+    }
+}
+
+/// Access to the contents of one enum variant.
+pub trait VariantAccess<'de>: Sized {
+    /// Error produced on failure.
+    type Error: Error;
+
+    /// Finishes a dataless variant.
+    fn unit_variant(self) -> Result<(), Self::Error>;
+
+    /// Deserializes a single-field variant through `seed`.
+    fn newtype_variant_seed<T: DeserializeSeed<'de>>(
+        self,
+        seed: T,
+    ) -> Result<T::Value, Self::Error>;
+
+    /// Deserializes a single-field variant.
+    fn newtype_variant<T: Deserialize<'de>>(self) -> Result<T, Self::Error> {
+        self.newtype_variant_seed(PhantomData)
+    }
+
+    /// Deserializes a tuple variant.
+    fn tuple_variant<V: Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+
+    /// Deserializes a struct variant.
+    fn struct_variant<V: Visitor<'de>>(
+        self,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+}
+
+/// Conversion of a primitive into a little deserializer of itself (used
+/// for enum variant tags).
+pub trait IntoDeserializer<'de, E: Error = value::Error> {
+    /// The deserializer produced.
+    type Deserializer: Deserializer<'de, Error = E>;
+    /// Converts `self` into a deserializer.
+    fn into_deserializer(self) -> Self::Deserializer;
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls for std types.
+// ---------------------------------------------------------------------------
+
+macro_rules! primitive_deserialize {
+    ($($ty:ty => $method:ident, $visit:ident, $expect:literal,)*) => {
+        $(
+            impl<'de> Deserialize<'de> for $ty {
+                fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                    struct PrimitiveVisitor;
+                    impl<'de> Visitor<'de> for PrimitiveVisitor {
+                        type Value = $ty;
+                        fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                            f.write_str($expect)
+                        }
+                        fn $visit<E: Error>(self, v: $ty) -> Result<$ty, E> {
+                            Ok(v)
+                        }
+                    }
+                    deserializer.$method(PrimitiveVisitor)
+                }
+            }
+        )*
+    };
+}
+
+primitive_deserialize! {
+    bool => deserialize_bool, visit_bool, "a bool",
+    i8 => deserialize_i8, visit_i8, "an i8",
+    i16 => deserialize_i16, visit_i16, "an i16",
+    i32 => deserialize_i32, visit_i32, "an i32",
+    i64 => deserialize_i64, visit_i64, "an i64",
+    i128 => deserialize_i128, visit_i128, "an i128",
+    u8 => deserialize_u8, visit_u8, "a u8",
+    u16 => deserialize_u16, visit_u16, "a u16",
+    u32 => deserialize_u32, visit_u32, "a u32",
+    u64 => deserialize_u64, visit_u64, "a u64",
+    u128 => deserialize_u128, visit_u128, "a u128",
+    f32 => deserialize_f32, visit_f32, "an f32",
+    f64 => deserialize_f64, visit_f64, "an f64",
+    char => deserialize_char, visit_char, "a char",
+}
+
+impl<'de> Deserialize<'de> for usize {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct UsizeVisitor;
+        impl<'de> Visitor<'de> for UsizeVisitor {
+            type Value = usize;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a usize")
+            }
+            fn visit_u64<E: Error>(self, v: u64) -> Result<usize, E> {
+                usize::try_from(v).map_err(|_| Error::custom("usize out of range"))
+            }
+        }
+        deserializer.deserialize_u64(UsizeVisitor)
+    }
+}
+
+impl<'de> Deserialize<'de> for isize {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct IsizeVisitor;
+        impl<'de> Visitor<'de> for IsizeVisitor {
+            type Value = isize;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("an isize")
+            }
+            fn visit_i64<E: Error>(self, v: i64) -> Result<isize, E> {
+                isize::try_from(v).map_err(|_| Error::custom("isize out of range"))
+            }
+        }
+        deserializer.deserialize_i64(IsizeVisitor)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct StringVisitor;
+        impl<'de> Visitor<'de> for StringVisitor {
+            type Value = String;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a string")
+            }
+            fn visit_str<E: Error>(self, v: &str) -> Result<String, E> {
+                Ok(v.to_owned())
+            }
+            fn visit_string<E: Error>(self, v: String) -> Result<String, E> {
+                Ok(v)
+            }
+        }
+        deserializer.deserialize_string(StringVisitor)
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct UnitVisitor;
+        impl<'de> Visitor<'de> for UnitVisitor {
+            type Value = ();
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a unit")
+            }
+            fn visit_unit<E: Error>(self) -> Result<(), E> {
+                Ok(())
+            }
+        }
+        deserializer.deserialize_unit(UnitVisitor)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct OptionVisitor<T>(PhantomData<T>);
+        impl<'de, T: Deserialize<'de>> Visitor<'de> for OptionVisitor<T> {
+            type Value = Option<T>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("an option")
+            }
+            fn visit_none<E: Error>(self) -> Result<Self::Value, E> {
+                Ok(None)
+            }
+            fn visit_some<D: Deserializer<'de>>(
+                self,
+                deserializer: D,
+            ) -> Result<Self::Value, D::Error> {
+                T::deserialize(deserializer).map(Some)
+            }
+        }
+        deserializer.deserialize_option(OptionVisitor(PhantomData))
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        T::deserialize(deserializer).map(Box::new)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct VecVisitor<T>(PhantomData<T>);
+        impl<'de, T: Deserialize<'de>> Visitor<'de> for VecVisitor<T> {
+            type Value = Vec<T>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a sequence")
+            }
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Self::Value, A::Error> {
+                let mut out = Vec::with_capacity(seq.size_hint().unwrap_or(0).min(4096));
+                while let Some(item) = seq.next_element()? {
+                    out.push(item);
+                }
+                Ok(out)
+            }
+        }
+        deserializer.deserialize_seq(VecVisitor(PhantomData))
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct ArrayVisitor<T, const N: usize>(PhantomData<T>);
+        impl<'de, T: Deserialize<'de>, const N: usize> Visitor<'de> for ArrayVisitor<T, N> {
+            type Value = [T; N];
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "an array of length {N}")
+            }
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Self::Value, A::Error> {
+                let mut out = Vec::with_capacity(N);
+                for i in 0..N {
+                    match seq.next_element()? {
+                        Some(item) => out.push(item),
+                        None => return Err(Error::invalid_length(i, &N)),
+                    }
+                }
+                out.try_into().map_err(|_| Error::custom("array length mismatch"))
+            }
+        }
+        deserializer.deserialize_tuple(N, ArrayVisitor(PhantomData))
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for std::collections::BTreeMap<K, V>
+where
+    K: Deserialize<'de> + Ord,
+    V: Deserialize<'de>,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct BTreeMapVisitor<K, V>(PhantomData<(K, V)>);
+        impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Visitor<'de> for BTreeMapVisitor<K, V> {
+            type Value = std::collections::BTreeMap<K, V>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a map")
+            }
+            fn visit_map<A: MapAccess<'de>>(self, mut map: A) -> Result<Self::Value, A::Error> {
+                let mut out = std::collections::BTreeMap::new();
+                while let Some((k, v)) = map.next_entry()? {
+                    out.insert(k, v);
+                }
+                Ok(out)
+            }
+        }
+        deserializer.deserialize_map(BTreeMapVisitor(PhantomData))
+    }
+}
+
+impl<'de, K, V, H> Deserialize<'de> for std::collections::HashMap<K, V, H>
+where
+    K: Deserialize<'de> + std::hash::Hash + Eq,
+    V: Deserialize<'de>,
+    H: std::hash::BuildHasher + Default,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct HashMapVisitor<K, V, H>(PhantomData<(K, V, H)>);
+        impl<'de, K, V, H> Visitor<'de> for HashMapVisitor<K, V, H>
+        where
+            K: Deserialize<'de> + std::hash::Hash + Eq,
+            V: Deserialize<'de>,
+            H: std::hash::BuildHasher + Default,
+        {
+            type Value = std::collections::HashMap<K, V, H>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a map")
+            }
+            fn visit_map<A: MapAccess<'de>>(self, mut map: A) -> Result<Self::Value, A::Error> {
+                let mut out = std::collections::HashMap::with_capacity_and_hasher(0, H::default());
+                while let Some((k, v)) = map.next_entry()? {
+                    out.insert(k, v);
+                }
+                Ok(out)
+            }
+        }
+        deserializer.deserialize_map(HashMapVisitor(PhantomData))
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Ord> Deserialize<'de> for std::collections::BTreeSet<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        Ok(Vec::<T>::deserialize(deserializer)?.into_iter().collect())
+    }
+}
+
+macro_rules! tuple_deserialize {
+    ($(($len:expr => $($name:ident),+),)*) => {
+        $(
+            impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+                fn deserialize<__D: Deserializer<'de>>(deserializer: __D) -> Result<Self, __D::Error> {
+                    struct TupleVisitor<$($name),+>(PhantomData<($($name,)+)>);
+                    impl<'de, $($name: Deserialize<'de>),+> Visitor<'de>
+                        for TupleVisitor<$($name),+>
+                    {
+                        type Value = ($($name,)+);
+                        fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                            write!(f, "a tuple of length {}", $len)
+                        }
+                        #[allow(non_snake_case)]
+                        fn visit_seq<Acc: SeqAccess<'de>>(
+                            self,
+                            mut seq: Acc,
+                        ) -> Result<Self::Value, Acc::Error> {
+                            let mut __idx = 0usize;
+                            $(
+                                let $name = match seq.next_element()? {
+                                    Some(v) => v,
+                                    None => return Err(Error::invalid_length(__idx, &$len)),
+                                };
+                                __idx += 1;
+                            )+
+                            let _ = __idx;
+                            Ok(($($name,)+))
+                        }
+                    }
+                    deserializer.deserialize_tuple($len, TupleVisitor(PhantomData))
+                }
+            }
+        )*
+    };
+}
+
+tuple_deserialize! {
+    (1 => A),
+    (2 => A, B),
+    (3 => A, B, C),
+    (4 => A, B, C, D),
+    (5 => A, B, C, D, E),
+    (6 => A, B, C, D, E, F),
+    (7 => A, B, C, D, E, F, G),
+    (8 => A, B, C, D, E, F, G, H),
+}

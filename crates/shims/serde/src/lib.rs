@@ -1,0 +1,22 @@
+//! In-tree, API-compatible subset of the `serde` crate.
+//!
+//! The build environment has no access to crates.io, so this shim
+//! reimplements the slice of serde's data model that this workspace
+//! exercises: the [`ser`] and [`de`] trait hierarchies, impls for the
+//! std types that cross choreography boundaries, and the
+//! `#[derive(Serialize, Deserialize)]` macros (re-exported from the
+//! sibling `serde_derive` proc-macro crate).
+//!
+//! The data model, method names, and call protocols deliberately mirror
+//! real serde so that `chorus-wire`'s `Serializer`/`Deserializer`
+//! implementations compile unchanged against either.
+
+pub mod de;
+pub mod ser;
+
+#[doc(hidden)]
+pub mod __private;
+
+pub use de::{Deserialize, DeserializeOwned, Deserializer};
+pub use ser::{Serialize, Serializer};
+pub use serde_derive::{Deserialize, Serialize};

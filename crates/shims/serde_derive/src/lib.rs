@@ -1,0 +1,612 @@
+//! In-tree subset of `serde_derive`.
+//!
+//! The build environment has no access to crates.io (so no `syn`/`quote`
+//! either); this crate parses the item token stream by hand and emits
+//! impls as source text. It supports the shapes the workspace actually
+//! derives on:
+//!
+//! * structs with named fields, tuple structs (including newtypes), and
+//!   unit structs — optionally with const-generic or simple type
+//!   parameters;
+//! * enums (non-generic) with unit, newtype, tuple, and struct variants.
+//!
+//! Unsupported shapes produce a `compile_error!` naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Unit,
+    /// Tuple fields; the payload is the field count.
+    Tuple(usize),
+    /// Named fields, in declaration order.
+    Named(Vec<String>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Body {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Input {
+    name: String,
+    /// Generic parameter declarations, verbatim (e.g. `const P: u64`).
+    generics_decl: String,
+    /// Generic arguments for use sites (e.g. `P`).
+    generics_use: String,
+    /// Names of plain type parameters (need `Serialize`/`Deserialize` bounds).
+    type_params: Vec<String>,
+    body: Body,
+}
+
+// ---------------------------------------------------------------------------
+// Token-level parsing.
+// ---------------------------------------------------------------------------
+
+fn is_punct(tt: &TokenTree, c: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn is_ident(tt: &TokenTree, s: &str) -> bool {
+    matches!(tt, TokenTree::Ident(i) if i.to_string() == s)
+}
+
+/// Advances past any `#[...]` attributes (including doc comments).
+fn skip_attributes(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len()
+        && is_punct(&tokens[i], '#')
+        && matches!(&tokens[i + 1], TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket)
+    {
+        i += 2;
+    }
+    i
+}
+
+/// Advances past `pub`, `pub(...)`, etc.
+fn skip_visibility(tokens: &[TokenTree], mut i: usize) -> usize {
+    if i < tokens.len() && is_ident(&tokens[i], "pub") {
+        i += 1;
+        if i < tokens.len()
+            && matches!(&tokens[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Splits a token slice on top-level commas, tracking `<`/`>` depth so
+/// commas inside generic argument lists do not split.
+fn split_top_level(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0i32;
+    for tt in tokens {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    out.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(tt.clone());
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+fn tokens_to_string(tokens: &[TokenTree]) -> String {
+    tokens.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(" ")
+}
+
+/// Parses one generic parameter chunk into (decl, use, type-param name).
+fn parse_generic_param(tokens: &[TokenTree]) -> (String, String, Option<String>) {
+    let decl = tokens_to_string(tokens);
+    if tokens.is_empty() {
+        return (decl, String::new(), None);
+    }
+    if is_ident(&tokens[0], "const") {
+        if let Some(TokenTree::Ident(name)) = tokens.get(1) {
+            return (decl, name.to_string(), None);
+        }
+    }
+    if is_punct(&tokens[0], '\'') {
+        if let Some(TokenTree::Ident(name)) = tokens.get(1) {
+            return (decl, format!("'{name}"), None);
+        }
+    }
+    if let TokenTree::Ident(name) = &tokens[0] {
+        return (decl, name.to_string(), Some(name.to_string()));
+    }
+    (decl, String::new(), None)
+}
+
+fn parse_fields_named(group_tokens: &[TokenTree]) -> Vec<String> {
+    split_top_level(group_tokens)
+        .into_iter()
+        .filter_map(|chunk| {
+            if chunk.is_empty() {
+                return None;
+            }
+            let mut i = skip_attributes(&chunk, 0);
+            i = skip_visibility(&chunk, i);
+            match chunk.get(i) {
+                Some(TokenTree::Ident(name)) => Some(name.to_string()),
+                _ => None,
+            }
+        })
+        .collect()
+}
+
+fn parse_fields_tuple(group_tokens: &[TokenTree]) -> usize {
+    split_top_level(group_tokens).into_iter().filter(|c| !c.is_empty()).count()
+}
+
+fn parse_variants(group_tokens: &[TokenTree]) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    for chunk in split_top_level(group_tokens) {
+        if chunk.is_empty() {
+            continue;
+        }
+        let i = skip_attributes(&chunk, 0);
+        let name = match chunk.get(i) {
+            Some(TokenTree::Ident(name)) => name.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        let fields = match chunk.get(i + 1) {
+            None => Fields::Unit,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Fields::Tuple(parse_fields_tuple(&inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Fields::Named(parse_fields_named(&inner))
+            }
+            Some(other) => return Err(format!("unsupported tokens after variant {name}: {other}")),
+        };
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attributes(&tokens, 0);
+    i = skip_visibility(&tokens, i);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" || id.to_string() == "enum" => {
+            let k = id.to_string();
+            i += 1;
+            k
+        }
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => {
+            i += 1;
+            id.to_string()
+        }
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+
+    // Generics: collect tokens between the outermost < >.
+    let mut generic_tokens = Vec::new();
+    if tokens.get(i).is_some_and(|t| is_punct(t, '<')) {
+        i += 1;
+        let mut depth = 1i32;
+        while i < tokens.len() {
+            if is_punct(&tokens[i], '<') {
+                depth += 1;
+            } else if is_punct(&tokens[i], '>') {
+                depth -= 1;
+                if depth == 0 {
+                    i += 1;
+                    break;
+                }
+            }
+            generic_tokens.push(tokens[i].clone());
+            i += 1;
+        }
+    }
+    let mut decls = Vec::new();
+    let mut uses = Vec::new();
+    let mut type_params = Vec::new();
+    for chunk in split_top_level(&generic_tokens) {
+        let (decl, usage, type_param) = parse_generic_param(&chunk);
+        decls.push(decl);
+        uses.push(usage);
+        if let Some(tp) = type_param {
+            type_params.push(tp);
+        }
+    }
+
+    // An explicit `where` clause before the body is not supported.
+    if tokens.get(i).is_some_and(|t| is_ident(t, "where")) {
+        return Err("where clauses are not supported by the vendored serde_derive".into());
+    }
+
+    let body = match (kind.as_str(), tokens.get(i)) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            Body::Struct(Fields::Named(parse_fields_named(&inner)))
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            Body::Struct(Fields::Tuple(parse_fields_tuple(&inner)))
+        }
+        ("struct", Some(tt)) if is_punct(tt, ';') => Body::Struct(Fields::Unit),
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            if !type_params.is_empty() || !generic_tokens.is_empty() {
+                return Err("generic enums are not supported by the vendored serde_derive".into());
+            }
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            Body::Enum(parse_variants(&inner)?)
+        }
+        (_, other) => return Err(format!("unsupported item body: {other:?}")),
+    };
+
+    Ok(Input {
+        name,
+        generics_decl: decls.join(", "),
+        generics_use: uses.join(", "),
+        type_params,
+        body,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Code generation.
+// ---------------------------------------------------------------------------
+
+impl Input {
+    /// `Name` or `Name<P>`.
+    fn self_ty(&self) -> String {
+        if self.generics_use.is_empty() {
+            self.name.clone()
+        } else {
+            format!("{}<{}>", self.name, self.generics_use)
+        }
+    }
+
+    /// Generic declarations for an impl header, with `extra` prepended.
+    fn impl_generics(&self, extra: &str) -> String {
+        match (extra.is_empty(), self.generics_decl.is_empty()) {
+            (true, true) => String::new(),
+            (false, true) => format!("<{extra}>"),
+            (true, false) => format!("<{}>", self.generics_decl),
+            (false, false) => format!("<{extra}, {}>", self.generics_decl),
+        }
+    }
+
+    fn where_clause(&self, bound: &str) -> String {
+        if self.type_params.is_empty() {
+            String::new()
+        } else {
+            let bounds: Vec<String> =
+                self.type_params.iter().map(|p| format!("{p}: {bound}")).collect();
+            format!("where {}", bounds.join(", "))
+        }
+    }
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let self_ty = input.self_ty();
+    let body = match &input.body {
+        Body::Struct(Fields::Unit) => {
+            format!("__serializer.serialize_unit_struct(\"{name}\")")
+        }
+        Body::Struct(Fields::Tuple(1)) => {
+            format!("__serializer.serialize_newtype_struct(\"{name}\", &self.0)")
+        }
+        Body::Struct(Fields::Tuple(n)) => {
+            let mut s = format!(
+                "let mut __st = ::serde::Serializer::serialize_tuple_struct(__serializer, \"{name}\", {n})?;\n"
+            );
+            for i in 0..*n {
+                s.push_str(&format!(
+                    "::serde::ser::SerializeTupleStruct::serialize_field(&mut __st, &self.{i})?;\n"
+                ));
+            }
+            s.push_str("::serde::ser::SerializeTupleStruct::end(__st)");
+            s
+        }
+        Body::Struct(Fields::Named(fields)) => {
+            let mut s = format!(
+                "let mut __st = ::serde::Serializer::serialize_struct(__serializer, \"{name}\", {})?;\n",
+                fields.len()
+            );
+            for f in fields {
+                s.push_str(&format!(
+                    "::serde::ser::SerializeStruct::serialize_field(&mut __st, \"{f}\", &self.{f})?;\n"
+                ));
+            }
+            s.push_str("::serde::ser::SerializeStruct::end(__st)");
+            s
+        }
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for (idx, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => __serializer.serialize_unit_variant(\"{name}\", {idx}u32, \"{vname}\"),\n"
+                    )),
+                    Fields::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vname}(__f0) => __serializer.serialize_newtype_variant(\"{name}\", {idx}u32, \"{vname}\", __f0),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let mut arm = format!(
+                            "{name}::{vname}({}) => {{\nlet mut __st = ::serde::Serializer::serialize_tuple_variant(__serializer, \"{name}\", {idx}u32, \"{vname}\", {n})?;\n",
+                            binders.join(", ")
+                        );
+                        for b in &binders {
+                            arm.push_str(&format!(
+                                "::serde::ser::SerializeTupleVariant::serialize_field(&mut __st, {b})?;\n"
+                            ));
+                        }
+                        arm.push_str("::serde::ser::SerializeTupleVariant::end(__st)\n},\n");
+                        arms.push_str(&arm);
+                    }
+                    Fields::Named(fields) => {
+                        let mut arm = format!(
+                            "{name}::{vname} {{ {} }} => {{\nlet mut __st = ::serde::Serializer::serialize_struct_variant(__serializer, \"{name}\", {idx}u32, \"{vname}\", {})?;\n",
+                            fields.join(", "),
+                            fields.len()
+                        );
+                        for f in fields {
+                            arm.push_str(&format!(
+                                "::serde::ser::SerializeStructVariant::serialize_field(&mut __st, \"{f}\", {f})?;\n"
+                            ));
+                        }
+                        arm.push_str("::serde::ser::SerializeStructVariant::end(__st)\n},\n");
+                        arms.push_str(&arm);
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+
+    format!(
+        "#[automatically_derived]\n\
+         impl{generics} ::serde::Serialize for {self_ty} {where_clause} {{\n\
+             fn serialize<__S: ::serde::Serializer>(&self, __serializer: __S) \
+                 -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}",
+        generics = input.impl_generics(""),
+        where_clause = input.where_clause("::serde::Serialize"),
+    )
+}
+
+/// Emits a `visit_seq` body constructing `ctor` from `n` positional
+/// elements (for tuples) or from `fields` (for named fields).
+fn visit_seq_body(ctor: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => format!("::core::result::Result::Ok({ctor})"),
+        Fields::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::__private::next_element(&mut __seq, {i})?"))
+                .collect();
+            format!("::core::result::Result::Ok({ctor}({}))", elems.join(", "))
+        }
+        Fields::Named(names) => {
+            let elems: Vec<String> = names
+                .iter()
+                .enumerate()
+                .map(|(i, f)| format!("{f}: ::serde::__private::next_element(&mut __seq, {i})?"))
+                .collect();
+            format!("::core::result::Result::Ok({ctor} {{ {} }})", elems.join(", "))
+        }
+    }
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let self_ty = input.self_ty();
+    let phantom_tys = if input.type_params.is_empty() {
+        "()".to_string()
+    } else {
+        format!("({},)", input.type_params.join(", "))
+    };
+    let visitor_decl = format!(
+        "struct __Visitor{generics}(::core::marker::PhantomData<fn() -> {phantom_tys}>);",
+        generics = input.impl_generics(""),
+    );
+    let visitor_use = if input.generics_use.is_empty() {
+        "__Visitor(::core::marker::PhantomData)".to_string()
+    } else {
+        format!("__Visitor::<{}>(::core::marker::PhantomData)", input.generics_use)
+    };
+
+    let (visit_methods, entry) = match &input.body {
+        Body::Struct(Fields::Unit) => (
+            format!(
+                "fn visit_unit<__E: ::serde::de::Error>(self) -> ::core::result::Result<Self::Value, __E> {{\n\
+                     ::core::result::Result::Ok({name})\n\
+                 }}"
+            ),
+            format!("__deserializer.deserialize_unit_struct(\"{name}\", {visitor_use})"),
+        ),
+        Body::Struct(Fields::Tuple(1)) => (
+            format!(
+                "fn visit_newtype_struct<__D2: ::serde::Deserializer<'de>>(self, __d: __D2) \
+                     -> ::core::result::Result<Self::Value, __D2::Error> {{\n\
+                     ::core::result::Result::Ok({name}(::serde::Deserialize::deserialize(__d)?))\n\
+                 }}\n\
+                 fn visit_seq<__A: ::serde::de::SeqAccess<'de>>(self, mut __seq: __A) \
+                     -> ::core::result::Result<Self::Value, __A::Error> {{\n\
+                     {seq_body}\n\
+                 }}",
+                seq_body = visit_seq_body(name, &Fields::Tuple(1)),
+            ),
+            format!("__deserializer.deserialize_newtype_struct(\"{name}\", {visitor_use})"),
+        ),
+        Body::Struct(fields @ Fields::Tuple(n)) => (
+            format!(
+                "fn visit_seq<__A: ::serde::de::SeqAccess<'de>>(self, mut __seq: __A) \
+                     -> ::core::result::Result<Self::Value, __A::Error> {{\n\
+                     {seq_body}\n\
+                 }}",
+                seq_body = visit_seq_body(name, fields),
+            ),
+            format!("__deserializer.deserialize_tuple_struct(\"{name}\", {n}, {visitor_use})"),
+        ),
+        Body::Struct(fields @ Fields::Named(names)) => {
+            let field_names: Vec<String> = names.iter().map(|f| format!("\"{f}\"")).collect();
+            (
+                format!(
+                    "fn visit_seq<__A: ::serde::de::SeqAccess<'de>>(self, mut __seq: __A) \
+                         -> ::core::result::Result<Self::Value, __A::Error> {{\n\
+                         {seq_body}\n\
+                     }}",
+                    seq_body = visit_seq_body(name, fields),
+                ),
+                format!(
+                    "__deserializer.deserialize_struct(\"{name}\", &[{}], {visitor_use})",
+                    field_names.join(", ")
+                ),
+            )
+        }
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for (idx, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                let ctor = format!("{name}::{vname}");
+                match &v.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{idx}u32 => {{ ::serde::de::VariantAccess::unit_variant(__variant)?; \
+                         ::core::result::Result::Ok({ctor}) }},\n"
+                    )),
+                    Fields::Tuple(1) => arms.push_str(&format!(
+                        "{idx}u32 => ::core::result::Result::Ok({ctor}(\
+                         ::serde::de::VariantAccess::newtype_variant(__variant)?)),\n"
+                    )),
+                    fields => {
+                        let seq_body = visit_seq_body(&ctor, fields);
+                        let call = match fields {
+                            Fields::Tuple(n) => format!(
+                                "::serde::de::VariantAccess::tuple_variant(__variant, {n}, __V{idx})"
+                            ),
+                            Fields::Named(names) => {
+                                let fns: Vec<String> =
+                                    names.iter().map(|f| format!("\"{f}\"")).collect();
+                                format!(
+                                    "::serde::de::VariantAccess::struct_variant(__variant, &[{}], __V{idx})",
+                                    fns.join(", ")
+                                )
+                            }
+                            Fields::Unit => unreachable!(),
+                        };
+                        arms.push_str(&format!(
+                            "{idx}u32 => {{\n\
+                             struct __V{idx};\n\
+                             impl<'de> ::serde::de::Visitor<'de> for __V{idx} {{\n\
+                                 type Value = {name};\n\
+                                 fn expecting(&self, __f: &mut ::core::fmt::Formatter<'_>) -> ::core::fmt::Result {{\n\
+                                     __f.write_str(\"variant {vname} of {name}\")\n\
+                                 }}\n\
+                                 fn visit_seq<__A: ::serde::de::SeqAccess<'de>>(self, mut __seq: __A) \
+                                     -> ::core::result::Result<Self::Value, __A::Error> {{\n\
+                                     {seq_body}\n\
+                                 }}\n\
+                             }}\n\
+                             {call}\n\
+                             }},\n"
+                        ));
+                    }
+                }
+            }
+            let variant_names: Vec<String> =
+                variants.iter().map(|v| format!("\"{}\"", v.name)).collect();
+            (
+                format!(
+                    "fn visit_enum<__A: ::serde::de::EnumAccess<'de>>(self, __data: __A) \
+                         -> ::core::result::Result<Self::Value, __A::Error> {{\n\
+                         let (__idx, __variant) = ::serde::de::EnumAccess::variant::<u32>(__data)?;\n\
+                         match __idx {{\n\
+                             {arms}\
+                             __other => ::core::result::Result::Err(::serde::de::Error::custom(\
+                                 format_args!(\"unknown variant index {{}} for {name}\", __other))),\n\
+                         }}\n\
+                     }}"
+                ),
+                format!(
+                    "__deserializer.deserialize_enum(\"{name}\", &[{}], {visitor_use})",
+                    variant_names.join(", ")
+                ),
+            )
+        }
+    };
+
+    format!(
+        "#[automatically_derived]\n\
+         impl{generics} ::serde::Deserialize<'de> for {self_ty} {where_clause} {{\n\
+             fn deserialize<__D: ::serde::Deserializer<'de>>(__deserializer: __D) \
+                 -> ::core::result::Result<Self, __D::Error> {{\n\
+                 {visitor_decl}\n\
+                 impl{visitor_generics} ::serde::de::Visitor<'de> for __Visitor{visitor_ty_args} {where_clause} {{\n\
+                     type Value = {self_ty};\n\
+                     fn expecting(&self, __f: &mut ::core::fmt::Formatter<'_>) -> ::core::fmt::Result {{\n\
+                         __f.write_str(\"{name}\")\n\
+                     }}\n\
+                     {visit_methods}\n\
+                 }}\n\
+                 {entry}\n\
+             }}\n\
+         }}",
+        generics = input.impl_generics("'de"),
+        visitor_generics = input.impl_generics("'de"),
+        visitor_ty_args = if input.generics_use.is_empty() {
+            String::new()
+        } else {
+            format!("<{}>", input.generics_use)
+        },
+        where_clause = input.where_clause("::serde::Deserialize<'de>"),
+    )
+}
+
+fn expand(input: TokenStream, gen: fn(&Input) -> String) -> TokenStream {
+    match parse_input(input) {
+        Ok(parsed) => gen(&parsed)
+            .parse()
+            .unwrap_or_else(|e| error_tokens(&format!("serde_derive shim emitted bad code: {e}"))),
+        Err(msg) => error_tokens(&msg),
+    }
+}
+
+fn error_tokens(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().expect("compile_error literal")
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}

@@ -1,21 +1,28 @@
 //! Transports for choreographic programs.
 //!
 //! The paper's libraries execute one choreography over interchangeable
-//! transports (§2.1): threads in one process, or sockets between machines.
-//! This crate provides:
+//! transports (§2.1): threads in one process, or sockets between
+//! machines. This crate provides the session-native transports and the
+//! layers that observe them:
 //!
-//! * [`LocalTransport`] — in-process, channel-based; each participant runs
-//!   on its own thread.
-//! * [`TcpTransport`] — length-prefixed frames over TCP sockets, for
-//!   multi-process execution on one or more hosts.
-//! * [`InstrumentedTransport`] — a wrapper that counts messages and bytes
-//!   per edge; every communication-efficiency experiment in the benchmark
-//!   harness uses it.
+//! * [`LocalTransport`] — in-process, queue-based; each participant runs
+//!   on its own thread. One shared fabric carries any number of
+//!   concurrent sessions.
+//! * [`TcpTransport`] — length-prefixed envelope frames over TCP
+//!   sockets, for multi-process execution on one or more hosts, with
+//!   per-(session, sender) demultiplexing.
+//! * [`TransportMetrics`] — a [`chorus_core::Layer`] counting messages
+//!   and bytes per edge; every communication-efficiency experiment in
+//!   the benchmark harness uses it.
+//! * [`Trace`] — a layer recording an ordered, session-tagged log of
+//!   every send and receive.
 
 mod local;
 mod metrics;
 mod tcp;
+mod trace;
 
 pub use local::{LocalTransport, LocalTransportChannel};
-pub use metrics::{EdgeMetrics, InstrumentedTransport, MetricsSnapshot, TransportMetrics};
+pub use metrics::{EdgeMetrics, MetricsSnapshot, TransportMetrics};
 pub use tcp::{free_local_addrs, TcpConfig, TcpConfigBuilder, TcpTransport};
+pub use trace::{Direction, Trace, TraceEvent};

@@ -1,17 +1,60 @@
-//! In-process transport: participants are threads, links are channels.
+//! In-process transport: participants are threads, links are in-memory
+//! queues, and every link demultiplexes concurrent sessions.
 
-use chorus_core::{ChoreographyLocation, LocationSet, Transport, TransportError};
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use std::collections::HashMap;
+use chorus_core::{
+    ChoreographyLocation, LocationSet, SequenceTracker, SessionId, SessionTransport, Transport,
+    TransportError, RAW_SESSION,
+};
+use chorus_wire::Envelope;
+use std::collections::{HashMap, VecDeque};
 use std::marker::PhantomData;
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 
-type Link = (Sender<Vec<u8>>, Receiver<Vec<u8>>);
+/// One directed link's state: encoded frames in transit plus the
+/// per-session mailboxes they are demultiplexed into.
+#[derive(Default)]
+struct LinkState {
+    inner: Mutex<LinkInner>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+struct LinkInner {
+    /// Encoded envelopes, in send order, not yet demultiplexed.
+    raw: VecDeque<Vec<u8>>,
+    /// Per-session FIFO mailboxes.
+    mailboxes: HashMap<SessionId, VecDeque<Envelope>>,
+    /// Per-session sequence validation.
+    sequences: SequenceTracker,
+    /// A protocol violation that poisoned the whole link. Every current
+    /// and future receiver sees it, not just the session whose thread
+    /// happened to demultiplex the bad frame.
+    dead: Option<String>,
+}
+
+impl LinkInner {
+    /// Moves the oldest in-transit frame into its session mailbox; on a
+    /// malformed or out-of-order frame, marks the link dead.
+    fn demux_one(&mut self, from: &str) {
+        if let Some(bytes) = self.raw.pop_front() {
+            match Envelope::decode(&bytes).map_err(TransportError::from).and_then(|envelope| {
+                self.sequences.check(envelope.session, from, envelope.seq)?;
+                Ok(envelope)
+            }) {
+                Ok(envelope) => {
+                    self.mailboxes.entry(envelope.session).or_default().push_back(envelope);
+                }
+                Err(e) => self.dead = Some(e.to_string()),
+            }
+        }
+    }
+}
 
 /// The shared fabric connecting every pair of locations in `L`.
 ///
 /// Create one channel, clone it into each participant's thread, and wrap
-/// each clone in a [`LocalTransport`].
+/// each clone in a [`LocalTransport`]. One fabric carries any number of
+/// concurrent sessions.
 ///
 /// # Examples
 ///
@@ -27,7 +70,7 @@ type Link = (Sender<Vec<u8>>, Receiver<Vec<u8>>);
 /// # let _ = (for_alice, for_bob);
 /// ```
 pub struct LocalTransportChannel<L: LocationSet> {
-    links: Arc<HashMap<(&'static str, &'static str), Link>>,
+    links: Arc<HashMap<(&'static str, &'static str), LinkState>>,
     system: PhantomData<L>,
 }
 
@@ -46,7 +89,7 @@ impl<L: LocationSet> LocalTransportChannel<L> {
         for from in &names {
             for to in &names {
                 if from != to {
-                    links.insert((*from, *to), unbounded());
+                    links.insert((*from, *to), LinkState::default());
                 }
             }
         }
@@ -63,6 +106,8 @@ impl<L: LocationSet> Default for LocalTransportChannel<L> {
 /// One participant's endpoint of a [`LocalTransportChannel`].
 pub struct LocalTransport<L: LocationSet, Target: ChoreographyLocation> {
     channel: LocalTransportChannel<L>,
+    /// Sequence counters for the raw (sessionless) compatibility path.
+    raw_seqs: Mutex<HashMap<&'static str, u64>>,
     target: PhantomData<Target>,
 }
 
@@ -70,7 +115,59 @@ impl<L: LocationSet, Target: ChoreographyLocation> LocalTransport<L, Target> {
     /// Creates `target`'s endpoint over the shared fabric.
     pub fn new(target: Target, channel: LocalTransportChannel<L>) -> Self {
         let _ = target;
-        LocalTransport { channel, target: PhantomData }
+        LocalTransport { channel, raw_seqs: Mutex::new(HashMap::new()), target: PhantomData }
+    }
+
+    fn link(&self, from: &str, to: &str) -> Result<&LinkState, TransportError> {
+        let key_from = L::names()
+            .into_iter()
+            .find(|n| *n == from)
+            .ok_or_else(|| TransportError::UnknownLocation(from.to_string()))?;
+        let key_to = L::names()
+            .into_iter()
+            .find(|n| *n == to)
+            .ok_or_else(|| TransportError::UnknownLocation(to.to_string()))?;
+        self.channel.links.get(&(key_from, key_to)).ok_or_else(|| {
+            TransportError::UnknownLocation(if from == Target::NAME {
+                to.to_string()
+            } else {
+                from.to_string()
+            })
+        })
+    }
+}
+
+impl<L: LocationSet, Target: ChoreographyLocation> SessionTransport<L, Target>
+    for LocalTransport<L, Target>
+{
+    fn send_frame(&self, to: &str, frame: Envelope) -> Result<(), TransportError> {
+        let link = self.link(Target::NAME, to)?;
+        let mut inner = link.inner.lock().expect("local link poisoned");
+        inner.raw.push_back(frame.encode());
+        link.cv.notify_all();
+        Ok(())
+    }
+
+    fn receive_frame(&self, session: SessionId, from: &str) -> Result<Envelope, TransportError> {
+        let link = self.link(from, Target::NAME)?;
+        let mut inner = link.inner.lock().expect("local link poisoned");
+        loop {
+            if let Some(envelope) = inner.mailboxes.get_mut(&session).and_then(VecDeque::pop_front)
+            {
+                return Ok(envelope);
+            }
+            if let Some(reason) = &inner.dead {
+                link.cv.notify_all();
+                return Err(TransportError::Protocol(format!(
+                    "link from {from} is down: {reason}"
+                )));
+            }
+            if !inner.raw.is_empty() {
+                inner.demux_one(from);
+                continue;
+            }
+            inner = link.cv.wait(inner).expect("local link poisoned");
+        }
     }
 }
 
@@ -78,32 +175,28 @@ impl<L: LocationSet, Target: ChoreographyLocation> Transport<L, Target>
     for LocalTransport<L, Target>
 {
     fn send(&self, to: &str, data: &[u8]) -> Result<(), TransportError> {
-        let link = self
-            .channel
-            .links
-            .get(&(Target::NAME, to))
-            .ok_or_else(|| TransportError::UnknownLocation(to.to_string()))?;
-        link.0
-            .send(data.to_vec())
-            .map_err(|_| TransportError::ConnectionClosed { peer: to.to_string() })
+        let seq = {
+            let to_static = L::names()
+                .into_iter()
+                .find(|n| *n == to)
+                .ok_or_else(|| TransportError::UnknownLocation(to.to_string()))?;
+            let mut seqs = self.raw_seqs.lock().expect("raw sequence counters poisoned");
+            let counter = seqs.entry(to_static).or_insert(0);
+            let seq = *counter;
+            *counter += 1;
+            seq
+        };
+        self.send_frame(to, Envelope::new(RAW_SESSION, seq, data.to_vec()))
     }
 
     fn receive(&self, from: &str) -> Result<Vec<u8>, TransportError> {
-        let link = self
-            .channel
-            .links
-            .get(&(from, Target::NAME))
-            .ok_or_else(|| TransportError::UnknownLocation(from.to_string()))?;
-        link.1
-            .recv()
-            .map_err(|_| TransportError::ConnectionClosed { peer: from.to_string() })
+        self.receive_frame(RAW_SESSION, from).map(|envelope| envelope.payload)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use chorus_core::Transport as _;
 
     chorus_core::locations! { Alice, Bob }
     type System = chorus_core::LocationSet!(Alice, Bob);
@@ -123,21 +216,16 @@ mod tests {
     fn unknown_locations_are_rejected() {
         let channel = LocalTransportChannel::<System>::new();
         let alice = LocalTransport::new(Alice, channel);
-        assert!(matches!(
-            alice.send("Nobody", b"x"),
-            Err(TransportError::UnknownLocation(_))
-        ));
-        assert!(matches!(
-            alice.receive("Nobody"),
-            Err(TransportError::UnknownLocation(_))
-        ));
+        assert!(matches!(alice.send("Nobody", b"x"), Err(TransportError::UnknownLocation(_))));
+        assert!(matches!(alice.receive("Nobody"), Err(TransportError::UnknownLocation(_))));
     }
 
     #[test]
     fn locations_lists_the_census() {
         let channel = LocalTransportChannel::<System>::new();
         let alice = LocalTransport::new(Alice, channel);
-        assert_eq!(alice.locations(), vec!["Alice", "Bob"]);
+        assert_eq!(chorus_core::Transport::locations(&alice), vec!["Alice", "Bob"]);
+        assert_eq!(chorus_core::SessionTransport::locations(&alice), vec!["Alice", "Bob"]);
     }
 
     #[test]
@@ -150,5 +238,31 @@ mod tests {
         bob.send("Alice", b"pong").unwrap();
         assert_eq!(bob.receive("Alice").unwrap(), b"ping");
         assert_eq!(alice.receive("Bob").unwrap(), b"pong");
+    }
+
+    #[test]
+    fn sessions_demultiplex_on_one_link() {
+        let channel = LocalTransportChannel::<System>::new();
+        let alice = LocalTransport::new(Alice, channel.clone());
+        let bob = LocalTransport::new(Bob, channel);
+        // Interleave two sessions on the same directed link.
+        alice.send_frame("Bob", Envelope::new(1, 0, b"s1-first".to_vec())).unwrap();
+        alice.send_frame("Bob", Envelope::new(2, 0, b"s2-first".to_vec())).unwrap();
+        alice.send_frame("Bob", Envelope::new(1, 1, b"s1-second".to_vec())).unwrap();
+        // Reading session 2 first must not disturb session 1's order.
+        assert_eq!(bob.receive_frame(2, "Alice").unwrap().payload, b"s2-first");
+        assert_eq!(bob.receive_frame(1, "Alice").unwrap().payload, b"s1-first");
+        assert_eq!(bob.receive_frame(1, "Alice").unwrap().payload, b"s1-second");
+    }
+
+    #[test]
+    fn out_of_order_frames_are_rejected() {
+        let channel = LocalTransportChannel::<System>::new();
+        let alice = LocalTransport::new(Alice, channel.clone());
+        let bob = LocalTransport::new(Bob, channel);
+        alice.send_frame("Bob", Envelope::new(1, 0, b"ok".to_vec())).unwrap();
+        alice.send_frame("Bob", Envelope::new(1, 2, b"gap".to_vec())).unwrap();
+        assert_eq!(bob.receive_frame(1, "Alice").unwrap().payload, b"ok");
+        assert!(matches!(bob.receive_frame(1, "Alice"), Err(TransportError::Protocol(_))));
     }
 }

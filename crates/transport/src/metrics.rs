@@ -1,11 +1,19 @@
 //! Message accounting: the measurement substrate for every
 //! communication-efficiency experiment.
+//!
+//! [`TransportMetrics`] is a [`Layer`]: install it on an
+//! [`Endpoint`](chorus_core::Endpoint) at build time and it counts every
+//! message and byte each session sends, per directed edge. It replaces
+//! the old `InstrumentedTransport` wrapper — same counters, but
+//! composable with other layers and shared by all sessions of an
+//! endpoint.
+//!
+//! Only *sends* are recorded, so sharing one `TransportMetrics` across
+//! all endpoints counts each message exactly once.
 
-use chorus_core::{ChoreographyLocation, LocationSet, Transport, TransportError};
+use chorus_core::{Layer, MessageCtx};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
-use std::marker::PhantomData;
-use std::sync::Arc;
 
 /// Counters for one directed edge of the system.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -16,11 +24,16 @@ pub struct EdgeMetrics {
     pub bytes: u64,
 }
 
-/// Shared counters, typically one [`Arc`] cloned into every participant's
-/// [`InstrumentedTransport`].
+/// Shared counters, typically one `Arc` installed as a layer on every
+/// participant's endpoint:
 ///
-/// Only *sends* are recorded, so sharing one `TransportMetrics` across all
-/// endpoints counts each message exactly once.
+/// ```ignore
+/// let metrics = Arc::new(TransportMetrics::new());
+/// let endpoint = Endpoint::builder(Alice)
+///     .transport(transport)
+///     .layer(Arc::clone(&metrics))
+///     .build();
+/// ```
 #[derive(Debug, Default)]
 pub struct TransportMetrics {
     edges: Mutex<BTreeMap<(String, String), EdgeMetrics>>,
@@ -83,53 +96,9 @@ impl TransportMetrics {
     }
 }
 
-/// Wraps any transport, recording each send into a shared
-/// [`TransportMetrics`].
-pub struct InstrumentedTransport<L: LocationSet, Target: ChoreographyLocation, T> {
-    inner: T,
-    metrics: Arc<TransportMetrics>,
-    phantom: PhantomData<fn() -> (L, Target)>,
-}
-
-impl<L, Target, T> InstrumentedTransport<L, Target, T>
-where
-    L: LocationSet,
-    Target: ChoreographyLocation,
-    T: Transport<L, Target>,
-{
-    /// Wraps `inner`, recording sends into `metrics`.
-    pub fn new(inner: T, metrics: Arc<TransportMetrics>) -> Self {
-        InstrumentedTransport { inner, metrics, phantom: PhantomData }
-    }
-
-    /// Returns the shared counters.
-    pub fn metrics(&self) -> Arc<TransportMetrics> {
-        Arc::clone(&self.metrics)
-    }
-
-    /// Unwraps the inner transport.
-    pub fn into_inner(self) -> T {
-        self.inner
-    }
-}
-
-impl<L, Target, T> Transport<L, Target> for InstrumentedTransport<L, Target, T>
-where
-    L: LocationSet,
-    Target: ChoreographyLocation,
-    T: Transport<L, Target>,
-{
-    fn locations(&self) -> Vec<&'static str> {
-        self.inner.locations()
-    }
-
-    fn send(&self, to: &str, data: &[u8]) -> Result<(), TransportError> {
-        self.metrics.record_send(Target::NAME, to, data.len());
-        self.inner.send(to, data)
-    }
-
-    fn receive(&self, from: &str) -> Result<Vec<u8>, TransportError> {
-        self.inner.receive(from)
+impl Layer for TransportMetrics {
+    fn on_send(&self, ctx: &MessageCtx<'_>, payload: &[u8]) {
+        self.record_send(ctx.from, ctx.to, payload.len());
     }
 }
 
@@ -137,34 +106,38 @@ where
 mod tests {
     use super::*;
     use crate::{LocalTransport, LocalTransportChannel};
+    use chorus_core::Endpoint;
+    use std::sync::Arc;
 
     chorus_core::locations! { Alice, Bob, Carol }
     type System = chorus_core::LocationSet!(Alice, Bob, Carol);
 
     fn setup() -> (
-        InstrumentedTransport<System, Alice, LocalTransport<System, Alice>>,
-        InstrumentedTransport<System, Bob, LocalTransport<System, Bob>>,
+        Endpoint<System, Alice, LocalTransport<System, Alice>>,
+        Endpoint<System, Bob, LocalTransport<System, Bob>>,
         Arc<TransportMetrics>,
     ) {
         let channel = LocalTransportChannel::<System>::new();
         let metrics = Arc::new(TransportMetrics::new());
-        let alice = InstrumentedTransport::new(
-            LocalTransport::new(Alice, channel.clone()),
-            Arc::clone(&metrics),
-        );
-        let bob = InstrumentedTransport::new(
-            LocalTransport::new(Bob, channel),
-            Arc::clone(&metrics),
-        );
+        let alice = Endpoint::builder(Alice)
+            .transport(LocalTransport::new(Alice, channel.clone()))
+            .layer(Arc::clone(&metrics))
+            .build();
+        let bob = Endpoint::builder(Bob)
+            .transport(LocalTransport::new(Bob, channel))
+            .layer(Arc::clone(&metrics))
+            .build();
         (alice, bob, metrics)
     }
 
     #[test]
     fn sends_are_counted_once_per_message() {
         let (alice, bob, metrics) = setup();
-        alice.send("Bob", b"abcd").unwrap();
-        alice.send("Carol", b"xy").unwrap();
-        bob.receive("Alice").unwrap();
+        let alice_session = alice.session_with_id(9);
+        let bob_session = bob.session_with_id(9);
+        alice_session.send_bytes("Bob", b"abcd").unwrap();
+        alice_session.send_bytes("Carol", b"xy").unwrap();
+        bob_session.receive_bytes("Alice").unwrap();
         assert_eq!(metrics.total_messages(), 2);
         assert_eq!(metrics.total_bytes(), 6);
         assert_eq!(metrics.messages_from("Alice"), 2);
@@ -176,8 +149,9 @@ mod tests {
     #[test]
     fn snapshot_reports_per_edge_counters() {
         let (alice, _bob, metrics) = setup();
-        alice.send("Bob", b"123").unwrap();
-        alice.send("Bob", b"45").unwrap();
+        let session = alice.session();
+        session.send_bytes("Bob", b"123").unwrap();
+        session.send_bytes("Bob", b"45").unwrap();
         let snap = metrics.snapshot();
         let edge = snap[&("Alice".to_string(), "Bob".to_string())];
         assert_eq!(edge, EdgeMetrics { messages: 2, bytes: 5 });
@@ -186,9 +160,21 @@ mod tests {
     #[test]
     fn reset_zeroes_counters() {
         let (alice, _bob, metrics) = setup();
-        alice.send("Bob", b"123").unwrap();
+        alice.session().send_bytes("Bob", b"123").unwrap();
         metrics.reset();
         assert_eq!(metrics.total_messages(), 0);
         assert_eq!(metrics.total_bytes(), 0);
+    }
+
+    #[test]
+    fn concurrent_sessions_share_the_counters() {
+        let (alice, _bob, metrics) = setup();
+        let s1 = alice.session();
+        let s2 = alice.session();
+        s1.send_bytes("Bob", b"a").unwrap();
+        s2.send_bytes("Bob", b"bc").unwrap();
+        let snap = metrics.snapshot();
+        let edge = snap[&("Alice".to_string(), "Bob".to_string())];
+        assert_eq!(edge, EdgeMetrics { messages: 2, bytes: 3 });
     }
 }

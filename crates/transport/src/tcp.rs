@@ -1,21 +1,29 @@
-//! TCP transport: length-prefixed frames over sockets.
+//! TCP transport: length-prefixed envelope frames over sockets.
 //!
 //! Each endpoint binds a listener at its configured address. Outgoing
-//! links are opened lazily (with retry, so start-up order does not matter)
-//! and begin with a handshake frame carrying the sender's location name;
-//! after that, every frame is `u32` little-endian length + payload.
-//! A reader thread per peer pushes frames into a per-sender FIFO, giving
-//! the per-sender ordering guarantee the λN model assumes.
+//! links are opened lazily (with retry, so start-up order does not
+//! matter) and begin with a handshake frame carrying the sender's
+//! location name; after that, every frame is a `u32` little-endian
+//! length followed by a [`chorus_wire::Envelope`] (session id, per-edge
+//! sequence number, payload).
+//!
+//! A reader thread per peer decodes each envelope and routes
+//! it into a per-(session, sender) FIFO mailbox, giving the per-sender
+//! ordering guarantee the λN model assumes *within* each session while
+//! letting sessions interleave freely on the socket.
 
-use chorus_core::{ChoreographyLocation, LocationSet, Transport, TransportError};
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use chorus_core::{
+    ChoreographyLocation, LocationSet, SequenceTracker, SessionId, SessionTransport, Transport,
+    TransportError, RAW_SESSION,
+};
+use chorus_wire::Envelope;
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::io::{Read, Write};
 use std::marker::PhantomData;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::time::Duration;
 
 /// Address book for a TCP system: one socket address per location in `L`.
@@ -89,11 +97,90 @@ fn read_frame(stream: &mut TcpStream) -> std::io::Result<Vec<u8>> {
     Ok(payload)
 }
 
+/// The demultiplexed receive side shared by all reader threads.
+#[derive(Default)]
+struct Inbox {
+    inner: StdMutex<InboxInner>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+struct InboxInner {
+    /// Per-(sender, session) FIFO mailboxes.
+    mailboxes: HashMap<(String, SessionId), VecDeque<Envelope>>,
+    /// Per-(session, sender) sequence validation.
+    sequences: SequenceTracker,
+    /// Senders whose connection has ended (with an optional error).
+    closed: HashMap<String, Option<String>>,
+}
+
+impl Inbox {
+    /// Routes one decoded envelope from `sender` into its mailbox.
+    fn deposit(&self, sender: &str, envelope: Envelope) {
+        let mut inner = self.inner.lock().expect("tcp inbox poisoned");
+        match inner.sequences.check(envelope.session, sender, envelope.seq) {
+            Ok(()) => {
+                inner
+                    .mailboxes
+                    .entry((sender.to_string(), envelope.session))
+                    .or_default()
+                    .push_back(envelope);
+            }
+            Err(e) => {
+                inner.closed.insert(sender.to_string(), Some(e.to_string()));
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    /// Marks `sender`'s connection as ended.
+    fn close(&self, sender: &str, error: Option<String>) {
+        let mut inner = self.inner.lock().expect("tcp inbox poisoned");
+        inner.closed.entry(sender.to_string()).or_insert(error);
+        self.cv.notify_all();
+    }
+
+    /// Clears `sender`'s closed state when it establishes a fresh
+    /// connection, so a reconnecting peer resumes feeding its mailboxes
+    /// instead of being treated as permanently gone. A sequence
+    /// violation is kept: the stream state is unrecoverable.
+    fn reopen(&self, sender: &str) {
+        let mut inner = self.inner.lock().expect("tcp inbox poisoned");
+        if matches!(inner.closed.get(sender), Some(None)) {
+            inner.closed.remove(sender);
+        }
+    }
+
+    /// Blocks until a frame of `session` from `sender` arrives.
+    fn take(&self, session: SessionId, sender: &str) -> Result<Envelope, TransportError> {
+        let mut inner = self.inner.lock().expect("tcp inbox poisoned");
+        loop {
+            let key = (sender.to_string(), session);
+            if let Some(envelope) = inner.mailboxes.get_mut(&key).and_then(VecDeque::pop_front) {
+                return Ok(envelope);
+            }
+            if let Some(error) = inner.closed.get(sender) {
+                return Err(match error {
+                    Some(message) => TransportError::Protocol(message.clone()),
+                    None => TransportError::ConnectionClosed { peer: sender.to_string() },
+                });
+            }
+            inner = self.cv.wait(inner).expect("tcp inbox poisoned");
+        }
+    }
+}
+
 /// One endpoint of a TCP-connected choreography.
 pub struct TcpTransport<L: LocationSet, Target: ChoreographyLocation> {
     config: TcpConfig<L>,
-    outgoing: Mutex<HashMap<&'static str, TcpStream>>,
-    incoming: HashMap<&'static str, Receiver<Vec<u8>>>,
+    /// Per-peer outgoing links. The outer lock is held only to look up
+    /// or create an entry; connecting (which retries with backoff) and
+    /// writing happen under the per-peer lock, so one slow or dead peer
+    /// never stalls sends to the others.
+    outgoing: Mutex<HashMap<&'static str, Arc<Mutex<Option<TcpStream>>>>>,
+    inbox: Arc<Inbox>,
+    /// Sequence counters for the raw (sessionless) compatibility path.
+    raw_seqs: Mutex<HashMap<&'static str, u64>>,
     stop: Arc<AtomicBool>,
     target: PhantomData<Target>,
 }
@@ -114,26 +201,22 @@ impl<L: LocationSet, Target: ChoreographyLocation> TcpTransport<L, Target> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
 
-        let mut senders: HashMap<&'static str, Sender<Vec<u8>>> = HashMap::new();
-        let mut incoming = HashMap::new();
-        for name in L::names() {
-            if name != Target::NAME {
-                let (tx, rx) = unbounded();
-                senders.insert(name, tx);
-                incoming.insert(name, rx);
-            }
-        }
-
+        let peers: HashSet<&'static str> =
+            L::names().into_iter().filter(|n| *n != Target::NAME).collect();
+        let inbox = Arc::new(Inbox::default());
         let stop = Arc::new(AtomicBool::new(false));
+
+        let acceptor_inbox = Arc::clone(&inbox);
         let acceptor_stop = Arc::clone(&stop);
         std::thread::spawn(move || {
-            accept_loop(listener, senders, acceptor_stop);
+            accept_loop(listener, peers, acceptor_inbox, acceptor_stop);
         });
 
         Ok(TcpTransport {
             config,
             outgoing: Mutex::new(HashMap::new()),
-            incoming,
+            inbox,
+            raw_seqs: Mutex::new(HashMap::new()),
             stop,
             target: PhantomData,
         })
@@ -171,30 +254,42 @@ impl<L: LocationSet, Target: ChoreographyLocation> TcpTransport<L, Target> {
 
 fn accept_loop(
     listener: TcpListener,
-    senders: HashMap<&'static str, Sender<Vec<u8>>>,
+    peers: HashSet<&'static str>,
+    inbox: Arc<Inbox>,
     stop: Arc<AtomicBool>,
 ) {
-    let senders = Arc::new(senders);
     while !stop.load(Ordering::Relaxed) {
         match listener.accept() {
             Ok((mut stream, _)) => {
-                let senders = Arc::clone(&senders);
+                let inbox = Arc::clone(&inbox);
                 let stop = Arc::clone(&stop);
+                let peers = peers.clone();
                 std::thread::spawn(move || {
                     stream.set_nonblocking(false).ok();
                     stream.set_nodelay(true).ok();
                     // Handshake frame identifies the peer.
                     let Ok(name_bytes) = read_frame(&mut stream) else { return };
                     let Ok(name) = String::from_utf8(name_bytes) else { return };
-                    let Some(queue) = senders.get(name.as_str()) else { return };
+                    if !peers.contains(name.as_str()) {
+                        return;
+                    }
+                    // A fresh connection from a peer whose previous one
+                    // hung up resumes feeding its mailboxes.
+                    inbox.reopen(&name);
                     while !stop.load(Ordering::Relaxed) {
                         match read_frame(&mut stream) {
-                            Ok(payload) => {
-                                if queue.send(payload).is_err() {
+                            Ok(bytes) => match Envelope::decode(&bytes) {
+                                Ok(envelope) => inbox.deposit(&name, envelope),
+                                Err(e) => {
+                                    inbox.close(&name, Some(format!("bad frame: {e}")));
                                     return;
                                 }
+                            },
+                            Err(_) => {
+                                // Peer hung up.
+                                inbox.close(&name, None);
+                                return;
                             }
-                            Err(_) => return, // peer hung up
                         }
                     }
                 });
@@ -213,35 +308,58 @@ impl<L: LocationSet, Target: ChoreographyLocation> Drop for TcpTransport<L, Targ
     }
 }
 
-impl<L: LocationSet, Target: ChoreographyLocation> Transport<L, Target>
+impl<L: LocationSet, Target: ChoreographyLocation> SessionTransport<L, Target>
     for TcpTransport<L, Target>
 {
-    fn send(&self, to: &str, data: &[u8]) -> Result<(), TransportError> {
+    fn send_frame(&self, to: &str, frame: Envelope) -> Result<(), TransportError> {
         let to_static = L::names()
             .into_iter()
             .find(|n| *n == to)
             .ok_or_else(|| TransportError::UnknownLocation(to.to_string()))?;
-        let mut outgoing = self.outgoing.lock();
-        if !outgoing.contains_key(to_static) {
-            let stream = self.connect(to_static)?;
-            outgoing.insert(to_static, stream);
+        let link = {
+            let mut outgoing = self.outgoing.lock();
+            Arc::clone(outgoing.entry(to_static).or_default())
+        };
+        let mut stream_slot = link.lock();
+        if stream_slot.is_none() {
+            *stream_slot = Some(self.connect(to_static)?);
         }
-        let stream = outgoing.get_mut(to_static).expect("just inserted");
-        write_frame(stream, data).map_err(|e| {
-            // A dead link is not recoverable within one choreography.
-            outgoing.remove(to_static);
+        let stream = stream_slot.as_mut().expect("just connected");
+        write_frame(stream, &frame.encode()).map_err(|e| {
+            // Drop the dead stream; the next send reconnects lazily.
+            *stream_slot = None;
             TransportError::Io(e)
         })
     }
 
+    fn receive_frame(&self, session: SessionId, from: &str) -> Result<Envelope, TransportError> {
+        if !L::names().contains(&from) || from == Target::NAME {
+            return Err(TransportError::UnknownLocation(from.to_string()));
+        }
+        self.inbox.take(session, from)
+    }
+}
+
+impl<L: LocationSet, Target: ChoreographyLocation> Transport<L, Target>
+    for TcpTransport<L, Target>
+{
+    fn send(&self, to: &str, data: &[u8]) -> Result<(), TransportError> {
+        let seq = {
+            let to_static = L::names()
+                .into_iter()
+                .find(|n| *n == to)
+                .ok_or_else(|| TransportError::UnknownLocation(to.to_string()))?;
+            let mut seqs = self.raw_seqs.lock();
+            let counter = seqs.entry(to_static).or_insert(0);
+            let seq = *counter;
+            *counter += 1;
+            seq
+        };
+        self.send_frame(to, Envelope::new(RAW_SESSION, seq, data.to_vec()))
+    }
+
     fn receive(&self, from: &str) -> Result<Vec<u8>, TransportError> {
-        let queue = self
-            .incoming
-            .get(from)
-            .ok_or_else(|| TransportError::UnknownLocation(from.to_string()))?;
-        queue
-            .recv()
-            .map_err(|_| TransportError::ConnectionClosed { peer: from.to_string() })
+        self.receive_frame(RAW_SESSION, from).map(|envelope| envelope.payload)
     }
 }
 
@@ -317,5 +435,28 @@ mod tests {
         let alice = TcpTransport::bind(Alice, a_cfg).unwrap();
         alice.send("Bob", b"").unwrap();
         assert_eq!(bob.join().unwrap(), b"");
+    }
+
+    #[test]
+    fn sessions_demultiplex_on_one_socket() {
+        let config = config();
+        let a_cfg = config.clone();
+        let b_cfg = config;
+        let bob = std::thread::spawn(move || {
+            let t = TcpTransport::bind(Bob, b_cfg).unwrap();
+            // Read the later session first; the earlier one must be intact.
+            let s2 = t.receive_frame(2, "Alice").unwrap();
+            let s1a = t.receive_frame(1, "Alice").unwrap();
+            let s1b = t.receive_frame(1, "Alice").unwrap();
+            (s2.payload, s1a.payload, s1b.payload)
+        });
+        let alice = TcpTransport::bind(Alice, a_cfg).unwrap();
+        alice.send_frame("Bob", Envelope::new(1, 0, b"s1-first".to_vec())).unwrap();
+        alice.send_frame("Bob", Envelope::new(1, 1, b"s1-second".to_vec())).unwrap();
+        alice.send_frame("Bob", Envelope::new(2, 0, b"s2-only".to_vec())).unwrap();
+        let (s2, s1a, s1b) = bob.join().unwrap();
+        assert_eq!(s2, b"s2-only");
+        assert_eq!(s1a, b"s1-first");
+        assert_eq!(s1b, b"s1-second");
     }
 }

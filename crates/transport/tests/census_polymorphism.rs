@@ -3,12 +3,10 @@
 //! confirming the n-messages-to-recipient shape.
 
 use chorus_core::{
-    ChoreoOp, Choreography, Located, LocationSet, LocationSetFoldable, Member,
-    MultiplyLocated, Projector, Quire, Subset,
+    ChoreoOp, Choreography, Endpoint, Located, LocationSet, LocationSetFoldable, Member,
+    MultiplyLocated, Quire, Subset,
 };
-use chorus_transport::{
-    InstrumentedTransport, LocalTransport, LocalTransportChannel, TransportMetrics,
-};
+use chorus_transport::{LocalTransport, LocalTransportChannel, TransportMetrics};
 use std::marker::PhantomData;
 use std::sync::Arc;
 
@@ -57,12 +55,13 @@ where
             let c = channel.clone();
             let m = Arc::clone(&metrics);
             handles.push(std::thread::spawn(move || {
-                let transport =
-                    InstrumentedTransport::new(LocalTransport::new(<$ty>::default(), c), m);
-                let projector = Projector::new(<$ty>::default(), &transport);
-                let _ = projector.epp_and_run(Tally::<Workers, WSub, WFold, BossIdx> {
-                    phantom: PhantomData,
-                });
+                let endpoint = Endpoint::builder(<$ty>::default())
+                    .transport(LocalTransport::new(<$ty>::default(), c))
+                    .layer(m)
+                    .build();
+                let session = endpoint.session();
+                let _ = session
+                    .epp_and_run(Tally::<Workers, WSub, WFold, BossIdx> { phantom: PhantomData });
             }));
         }};
     }
@@ -70,15 +69,16 @@ where
     worker!(W2);
     worker!(W3);
 
-    let transport =
-        InstrumentedTransport::new(LocalTransport::new(Boss, channel), Arc::clone(&metrics));
-    let projector = Projector::new(Boss, &transport);
-    let out = projector
-        .epp_and_run(Tally::<Workers, WSub, WFold, BossIdx> { phantom: PhantomData });
+    let endpoint = Endpoint::builder(Boss)
+        .transport(LocalTransport::new(Boss, channel))
+        .layer(Arc::clone(&metrics))
+        .build();
+    let session = endpoint.session();
+    let out = session.epp_and_run(Tally::<Workers, WSub, WFold, BossIdx> { phantom: PhantomData });
     for h in handles {
         h.join().unwrap();
     }
-    let sum = projector.unwrap::<u32, chorus_core::LocationSet!(Boss), chorus_core::Here>(out);
+    let sum = session.unwrap::<u32, chorus_core::LocationSet!(Boss), chorus_core::Here>(out);
     (sum, metrics)
 }
 

@@ -3,12 +3,11 @@
 //! results — the paper's portability claim (§2.1).
 
 use chorus_core::{
-    ChoreoOp, Choreography, Faceted, Located, LocationSet, MultiplyLocated, Projector, Quire,
-    Runner,
+    ChoreoOp, Choreography, Endpoint, Faceted, Located, LocationSet, MultiplyLocated, Quire, Runner,
 };
 use chorus_transport::{
-    free_local_addrs, InstrumentedTransport, LocalTransport, LocalTransportChannel,
-    TcpConfigBuilder, TcpTransport, TransportMetrics,
+    free_local_addrs, LocalTransport, LocalTransportChannel, TcpConfigBuilder, TcpTransport,
+    TransportMetrics,
 };
 use std::sync::Arc;
 
@@ -33,8 +32,7 @@ impl Choreography<Located<u64, Client>> for Replicate {
         let doubled: MultiplyLocated<u64, Servers> = op.conclave(Double { shared }).flatten();
         // Redistribute the replicated value as facets so `gather` has
         // per-party data to collect.
-        let facets: Faceted<u64, Servers> =
-            op.conclave(AsFacets { value: doubled }).flatten();
+        let facets: Faceted<u64, Servers> = op.conclave(AsFacets { value: doubled }).flatten();
         let gathered: MultiplyLocated<Quire<u64, Servers>, chorus_core::LocationSet!(Client)> =
             op.gather(Servers::new(), <chorus_core::LocationSet!(Client)>::new(), &facets);
         op.locally(Client, |un| un.unwrap_ref(&gathered).values().sum())
@@ -82,6 +80,75 @@ fn local_transport_projection_agrees_with_runner() {
 
     let c = channel.clone();
     let client = std::thread::spawn(move || {
+        let endpoint = Endpoint::new(LocalTransport::new(Client, c));
+        let session = endpoint.session();
+        let out = session.epp_and_run(Replicate { input: session.local(INPUT) });
+        session.unwrap(out)
+    });
+    let c = channel.clone();
+    let primary = std::thread::spawn(move || {
+        let endpoint = Endpoint::new(LocalTransport::new(Primary, c));
+        let session = endpoint.session();
+        session.epp_and_run(Replicate { input: session.remote(Client) });
+    });
+    let c = channel;
+    let backup = std::thread::spawn(move || {
+        let endpoint = Endpoint::new(LocalTransport::new(Backup, c));
+        let session = endpoint.session();
+        session.epp_and_run(Replicate { input: session.remote(Client) });
+    });
+
+    assert_eq!(client.join().unwrap(), EXPECTED);
+    primary.join().unwrap();
+    backup.join().unwrap();
+}
+
+#[test]
+fn tcp_transport_projection_agrees_with_runner() {
+    let addrs = free_local_addrs(3).unwrap();
+    let config = TcpConfigBuilder::new()
+        .location(Client, addrs[0])
+        .location(Primary, addrs[1])
+        .location(Backup, addrs[2])
+        .build::<Census>()
+        .unwrap();
+
+    let cfg = config.clone();
+    let client = std::thread::spawn(move || {
+        let endpoint = Endpoint::new(TcpTransport::bind(Client, cfg).unwrap());
+        let session = endpoint.session();
+        let out = session.epp_and_run(Replicate { input: session.local(INPUT) });
+        session.unwrap(out)
+    });
+    let cfg = config.clone();
+    let primary = std::thread::spawn(move || {
+        let endpoint = Endpoint::new(TcpTransport::bind(Primary, cfg).unwrap());
+        let session = endpoint.session();
+        session.epp_and_run(Replicate { input: session.remote(Client) });
+    });
+    let cfg = config;
+    let backup = std::thread::spawn(move || {
+        let endpoint = Endpoint::new(TcpTransport::bind(Backup, cfg).unwrap());
+        let session = endpoint.session();
+        session.epp_and_run(Replicate { input: session.remote(Client) });
+    });
+
+    assert_eq!(client.join().unwrap(), EXPECTED);
+    primary.join().unwrap();
+    backup.join().unwrap();
+}
+
+/// The deprecated `Projector` shim must keep old call sites compiling
+/// and producing the same results, now as a single-session endpoint.
+#[test]
+#[allow(deprecated)]
+fn deprecated_projector_shim_still_projects() {
+    use chorus_core::Projector;
+
+    let channel = LocalTransportChannel::<Census>::new();
+
+    let c = channel.clone();
+    let client = std::thread::spawn(move || {
         let transport = LocalTransport::new(Client, c);
         let projector = Projector::new(Client, &transport);
         let out = projector.epp_and_run(Replicate { input: projector.local(INPUT) });
@@ -106,41 +173,6 @@ fn local_transport_projection_agrees_with_runner() {
 }
 
 #[test]
-fn tcp_transport_projection_agrees_with_runner() {
-    let addrs = free_local_addrs(3).unwrap();
-    let config = TcpConfigBuilder::new()
-        .location(Client, addrs[0])
-        .location(Primary, addrs[1])
-        .location(Backup, addrs[2])
-        .build::<Census>()
-        .unwrap();
-
-    let cfg = config.clone();
-    let client = std::thread::spawn(move || {
-        let transport = TcpTransport::bind(Client, cfg).unwrap();
-        let projector = Projector::new(Client, &transport);
-        let out = projector.epp_and_run(Replicate { input: projector.local(INPUT) });
-        projector.unwrap(out)
-    });
-    let cfg = config.clone();
-    let primary = std::thread::spawn(move || {
-        let transport = TcpTransport::bind(Primary, cfg).unwrap();
-        let projector = Projector::new(Primary, &transport);
-        projector.epp_and_run(Replicate { input: projector.remote(Client) });
-    });
-    let cfg = config;
-    let backup = std::thread::spawn(move || {
-        let transport = TcpTransport::bind(Backup, cfg).unwrap();
-        let projector = Projector::new(Backup, &transport);
-        projector.epp_and_run(Replicate { input: projector.remote(Client) });
-    });
-
-    assert_eq!(client.join().unwrap(), EXPECTED);
-    primary.join().unwrap();
-    backup.join().unwrap();
-}
-
-#[test]
 fn conclaves_send_nothing_to_outsiders() {
     // The paper's headline efficiency claim (§3.2): the client receives no
     // traffic from the servers' internal conclave work.
@@ -152,28 +184,37 @@ fn conclaves_send_nothing_to_outsiders() {
         let c = channel.clone();
         let m = Arc::clone(&metrics);
         handles.push(std::thread::spawn(move || {
-            let transport = InstrumentedTransport::new(LocalTransport::new(Client, c), m);
-            let projector = Projector::new(Client, &transport);
-            let out = projector.epp_and_run(Replicate { input: projector.local(INPUT) });
-            assert_eq!(projector.unwrap(out), EXPECTED);
+            let endpoint = Endpoint::builder(Client)
+                .transport(LocalTransport::new(Client, c))
+                .layer(m)
+                .build();
+            let session = endpoint.session();
+            let out = session.epp_and_run(Replicate { input: session.local(INPUT) });
+            assert_eq!(session.unwrap(out), EXPECTED);
         }));
     }
     {
         let c = channel.clone();
         let m = Arc::clone(&metrics);
         handles.push(std::thread::spawn(move || {
-            let transport = InstrumentedTransport::new(LocalTransport::new(Primary, c), m);
-            let projector = Projector::new(Primary, &transport);
-            projector.epp_and_run(Replicate { input: projector.remote(Client) });
+            let endpoint = Endpoint::builder(Primary)
+                .transport(LocalTransport::new(Primary, c))
+                .layer(m)
+                .build();
+            let session = endpoint.session();
+            session.epp_and_run(Replicate { input: session.remote(Client) });
         }));
     }
     {
         let c = channel;
         let m = Arc::clone(&metrics);
         handles.push(std::thread::spawn(move || {
-            let transport = InstrumentedTransport::new(LocalTransport::new(Backup, c), m);
-            let projector = Projector::new(Backup, &transport);
-            projector.epp_and_run(Replicate { input: projector.remote(Client) });
+            let endpoint = Endpoint::builder(Backup)
+                .transport(LocalTransport::new(Backup, c))
+                .layer(m)
+                .build();
+            let session = endpoint.session();
+            session.epp_and_run(Replicate { input: session.remote(Client) });
         }));
     }
     for h in handles {

@@ -168,9 +168,7 @@ impl<'de> de::Deserializer<'de> for &mut Deserializer<'de> {
     type Error = WireError;
 
     fn deserialize_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value> {
-        Err(WireError::Unsupported(
-            "deserialize_any: the wire format is not self-describing",
-        ))
+        Err(WireError::Unsupported("deserialize_any: the wire format is not self-describing"))
     }
 
     fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {

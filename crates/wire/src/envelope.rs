@@ -1,0 +1,107 @@
+//! The session envelope: the frame format that lets one transport carry
+//! many concurrent choreography sessions.
+//!
+//! Every message a choreography session sends is wrapped in an envelope
+//! before it reaches the wire:
+//!
+//! ```text
+//! +---------------+---------------+---------------+=============+
+//! | session (u64) |   seq (u64)   | len (u32, LE) |   payload   |
+//! +---------------+---------------+---------------+=============+
+//! ```
+//!
+//! * `session` identifies the choreography run the message belongs to,
+//!   so concurrent sessions can interleave freely on a shared link and
+//!   be demultiplexed at the receiver;
+//! * `seq` is the per-(session, sender → receiver) sequence number,
+//!   starting at zero, preserving the per-sender FIFO guarantee the λN
+//!   model assumes (§4.1) *within* each session;
+//! * `payload` is the chorus-wire encoding of the value being sent.
+//!
+//! All integers are little-endian, matching the rest of the wire format.
+
+use crate::WireError;
+
+/// Byte length of the fixed envelope header.
+pub const ENVELOPE_HEADER_LEN: usize = 8 + 8 + 4;
+
+/// One framed message: session id, per-edge sequence number, payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope {
+    /// The session this message belongs to.
+    pub session: u64,
+    /// Position of this message in its (session, sender) stream.
+    pub seq: u64,
+    /// The encoded value being carried.
+    pub payload: Vec<u8>,
+}
+
+impl Envelope {
+    /// Wraps a payload in an envelope.
+    pub fn new(session: u64, seq: u64, payload: Vec<u8>) -> Self {
+        Envelope { session, seq, payload }
+    }
+
+    /// Encodes the envelope into a fresh byte vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload exceeds `u32::MAX` bytes (no transport in
+    /// this workspace produces frames that large).
+    pub fn encode(&self) -> Vec<u8> {
+        let len =
+            u32::try_from(self.payload.len()).expect("envelope payload exceeds u32::MAX bytes");
+        let mut out = Vec::with_capacity(ENVELOPE_HEADER_LEN + self.payload.len());
+        out.extend_from_slice(&self.session.to_le_bytes());
+        out.extend_from_slice(&self.seq.to_le_bytes());
+        out.extend_from_slice(&len.to_le_bytes());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Decodes an envelope from `bytes`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::UnexpectedEof`] if the header or payload is
+    /// truncated, and [`WireError::TrailingBytes`] if bytes remain after
+    /// the declared payload length — an envelope is always exactly one
+    /// frame.
+    pub fn decode(bytes: &[u8]) -> Result<Self, WireError> {
+        if bytes.len() < ENVELOPE_HEADER_LEN {
+            return Err(WireError::UnexpectedEof);
+        }
+        let session = u64::from_le_bytes(bytes[0..8].try_into().expect("8 bytes"));
+        let seq = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+        let len = u32::from_le_bytes(bytes[16..20].try_into().expect("4 bytes")) as usize;
+        let body = &bytes[ENVELOPE_HEADER_LEN..];
+        match body.len() {
+            n if n < len => Err(WireError::UnexpectedEof),
+            n if n > len => Err(WireError::TrailingBytes(n - len)),
+            _ => Ok(Envelope { session, seq, payload: body.to_vec() }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_a_frame() {
+        let env = Envelope::new(7, 42, b"hello".to_vec());
+        let back = Envelope::decode(&env.encode()).unwrap();
+        assert_eq!(back, env);
+    }
+
+    #[test]
+    fn header_layout_is_stable() {
+        let env = Envelope::new(1, 2, vec![0xAA]);
+        let bytes = env.encode();
+        assert_eq!(bytes.len(), ENVELOPE_HEADER_LEN + 1);
+        assert_eq!(&bytes[0..8], &1u64.to_le_bytes());
+        assert_eq!(&bytes[8..16], &2u64.to_le_bytes());
+        assert_eq!(&bytes[16..20], &1u32.to_le_bytes());
+        assert_eq!(bytes[20], 0xAA);
+    }
+}

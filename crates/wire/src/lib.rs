@@ -26,10 +26,12 @@
 //! ```
 
 mod de;
+mod envelope;
 mod error;
 mod ser;
 
 pub use de::{from_bytes, Deserializer};
+pub use envelope::{Envelope, ENVELOPE_HEADER_LEN};
 pub use error::WireError;
 pub use ser::{to_bytes, Serializer};
 
@@ -67,8 +69,8 @@ mod tests {
 
     #[test]
     fn primitives_round_trip() {
-        assert_eq!(round_trip(&true), true);
-        assert_eq!(round_trip(&false), false);
+        assert!(round_trip(&true));
+        assert!(!round_trip(&false));
         assert_eq!(round_trip(&0u8), 0u8);
         assert_eq!(round_trip(&255u8), 255u8);
         assert_eq!(round_trip(&-1i8), -1i8);

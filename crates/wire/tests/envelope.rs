@@ -1,0 +1,80 @@
+//! Satellite coverage for the session envelope: round trips (session
+//! id, sequence, payload) including the edge cases the frame format
+//! must get right — zero-length payloads, `u32::MAX`-and-beyond session
+//! ids — and rejection of truncated or padded frames.
+
+use chorus_wire::{Envelope, WireError, ENVELOPE_HEADER_LEN};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+#[test]
+fn round_trips_session_seq_and_payload() {
+    for (session, seq, payload) in [
+        (0u64, 0u64, b"".to_vec()),
+        (1, 2, b"hello".to_vec()),
+        (42, u64::MAX, vec![0u8; 1024]),
+        (u32::MAX as u64, 7, b"max-u32 session id".to_vec()),
+        (u64::MAX, u64::MAX, b"max everything".to_vec()),
+    ] {
+        let envelope = Envelope::new(session, seq, payload.clone());
+        let bytes = envelope.encode();
+        assert_eq!(bytes.len(), ENVELOPE_HEADER_LEN + payload.len());
+        let back = Envelope::decode(&bytes).unwrap();
+        assert_eq!(back.session, session);
+        assert_eq!(back.seq, seq);
+        assert_eq!(back.payload, payload);
+    }
+}
+
+#[test]
+fn zero_length_payloads_round_trip() {
+    let envelope = Envelope::new(9, 3, Vec::new());
+    let bytes = envelope.encode();
+    assert_eq!(bytes.len(), ENVELOPE_HEADER_LEN);
+    assert_eq!(Envelope::decode(&bytes).unwrap(), envelope);
+}
+
+#[test]
+fn truncated_frames_are_rejected() {
+    let bytes = Envelope::new(5, 6, b"payload".to_vec()).encode();
+    // Every strict prefix must fail to decode — header or payload cut.
+    for cut in 0..bytes.len() {
+        assert!(
+            matches!(Envelope::decode(&bytes[..cut]), Err(WireError::UnexpectedEof)),
+            "prefix of length {cut} must be rejected"
+        );
+    }
+}
+
+#[test]
+fn padded_frames_are_rejected() {
+    let mut bytes = Envelope::new(5, 6, b"payload".to_vec()).encode();
+    bytes.push(0xFF);
+    assert!(matches!(Envelope::decode(&bytes), Err(WireError::TrailingBytes(1))));
+}
+
+#[test]
+fn header_is_little_endian_and_fixed_width() {
+    let bytes = Envelope::new(0x0102_0304_0506_0708, 0x1112_1314_1516_1718, vec![0xAB]).encode();
+    assert_eq!(&bytes[..8], &0x0102_0304_0506_0708u64.to_le_bytes());
+    assert_eq!(&bytes[8..16], &0x1112_1314_1516_1718u64.to_le_bytes());
+    assert_eq!(&bytes[16..20], &1u32.to_le_bytes());
+}
+
+proptest! {
+    #[test]
+    fn arbitrary_envelopes_round_trip(
+        session: u64,
+        seq: u64,
+        payload in vec(any::<u8>(), 0..512),
+    ) {
+        let envelope = Envelope::new(session, seq, payload);
+        prop_assert_eq!(Envelope::decode(&envelope.encode()).unwrap(), envelope);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage(bytes in vec(any::<u8>(), 0..64)) {
+        // Any outcome but a panic.
+        let _ = Envelope::decode(&bytes);
+    }
+}

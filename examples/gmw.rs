@@ -5,7 +5,7 @@
 //! Run with: `cargo run --example gmw -- 1 0 1`
 //! (arguments are the three parties' private votes; default `1 0 1`)
 
-use chorus_repro::core::{ChoreographyLocation as _, Projector};
+use chorus_repro::core::{ChoreographyLocation as _, Endpoint};
 use chorus_repro::mpc::Circuit;
 use chorus_repro::protocols::gmw::Gmw;
 use chorus_repro::protocols::roles::{P1, P2, P3};
@@ -23,12 +23,8 @@ fn majority_circuit() -> Circuit {
 }
 
 fn main() {
-    let votes: Vec<bool> = std::env::args()
-        .skip(1)
-        .map(|s| s != "0")
-        .chain([true, false, true])
-        .take(3)
-        .collect();
+    let votes: Vec<bool> =
+        std::env::args().skip(1).map(|s| s != "0").chain([true, false, true]).take(3).collect();
     println!("private votes: P1={} P2={} P3={}", votes[0], votes[1], votes[2]);
 
     let channel = LocalTransportChannel::<Parties>::new();
@@ -41,11 +37,13 @@ fn main() {
             let circuit = std::sync::Arc::clone(&circuit);
             let vote: bool = $vote;
             handles.push(std::thread::spawn(move || {
-                let transport = LocalTransport::new(<$ty>::new(), c);
-                let projector = Projector::new(<$ty>::new(), &transport);
-                let result = projector.epp_and_run(Gmw::<Parties, _, _> {
+                let endpoint = Endpoint::builder(<$ty>::new())
+                    .transport(LocalTransport::new(<$ty>::new(), c))
+                    .build();
+                let session = endpoint.session();
+                let result = session.epp_and_run(Gmw::<Parties, _, _> {
                     circuit: &circuit,
-                    inputs: &projector.local_faceted(vec![vote]),
+                    inputs: &session.local_faceted(vec![vote]),
                     phantom: PhantomData,
                 });
                 println!("[{}] learned the majority: {result}", <$ty>::NAME);

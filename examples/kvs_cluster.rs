@@ -5,7 +5,7 @@
 //!
 //! Run with: `cargo run --example kvs_cluster`
 
-use chorus_repro::core::{ChoreographyLocation as _, LocationSet as _, Projector};
+use chorus_repro::core::{ChoreographyLocation as _, Endpoint, LocationSet as _};
 use chorus_repro::protocols::kvs_backup::{KvsCensus, ReplicatedKvs, Servers};
 use chorus_repro::protocols::roles::{Backup1, Backup2, Client, Primary};
 use chorus_repro::protocols::store::{Request, SharedStore};
@@ -34,18 +34,20 @@ fn main() {
         ($loc:expr, $ty:ty, $corrupt:expr) => {{
             let cfg = config.clone();
             handles.push(std::thread::spawn(move || {
-                let transport = TcpTransport::bind(<$ty>::new(), cfg).expect("bind");
-                let projector = Projector::new(<$ty>::new(), &transport);
+                let endpoint = Endpoint::builder(<$ty>::new())
+                    .transport(TcpTransport::bind(<$ty>::new(), cfg).expect("bind"))
+                    .build();
+                let session = endpoint.session();
                 let store = SharedStore::new();
                 if $corrupt {
                     store.corrupt_next_put();
                 }
-                let outcome = projector.epp_and_run(ReplicatedKvs::<Backups, _, _, _> {
-                    request: projector.remote(Client),
-                    states: projector.local_faceted(store.clone()),
+                let outcome = session.epp_and_run(ReplicatedKvs::<Backups, _, _, _> {
+                    request: session.remote(Client),
+                    states: session.local_faceted(store.clone()),
                     phantom: PhantomData,
                 });
-                let resynched = projector.unwrap(outcome.resynched);
+                let resynched = session.unwrap(outcome.resynched);
                 println!(
                     "[{}] done; resynched={resynched}; store={:?}",
                     <$ty>::NAME,
@@ -62,23 +64,22 @@ fn main() {
 
     let cfg = config;
     let client = std::thread::spawn(move || {
-        let transport = TcpTransport::bind(Client, cfg).expect("bind client");
-        let projector = Projector::new(Client, &transport);
-        let outcome = projector.epp_and_run(ReplicatedKvs::<Backups, _, _, _> {
-            request: projector.local(Request::Put("paper".into(), "pldi-2025".into())),
-            states: projector.remote_faceted(<Servers<Backups>>::new()),
+        let endpoint = Endpoint::builder(Client)
+            .transport(TcpTransport::bind(Client, cfg).expect("bind client"))
+            .build();
+        let session = endpoint.session();
+        let outcome = session.epp_and_run(ReplicatedKvs::<Backups, _, _, _> {
+            request: session.local(Request::Put("paper".into(), "pldi-2025".into())),
+            states: session.remote_faceted(<Servers<Backups>>::new()),
             phantom: PhantomData,
         });
-        let response = projector.unwrap(outcome.response);
+        let response = session.unwrap(outcome.response);
         println!("[Client]  response: {response:?} (client knows nothing of the resynch)");
     });
 
     client.join().unwrap();
     let resynched: Vec<bool> =
         handles.into_iter().map(|h| h.join().expect("server thread")).collect();
-    assert!(
-        resynched.iter().all(|r| *r),
-        "all servers should agree the resynch happened"
-    );
+    assert!(resynched.iter().all(|r| *r), "all servers should agree the resynch happened");
     println!("the corrupted replica was repaired behind the client's back.");
 }

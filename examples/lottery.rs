@@ -6,7 +6,7 @@
 //!
 //! Run with: `cargo run --example lottery [-- --cheat]`
 
-use chorus_repro::core::{LocationSet as _, Projector};
+use chorus_repro::core::{Endpoint, LocationSet as _};
 use chorus_repro::mpc::field::FLOTTERY;
 use chorus_repro::protocols::lottery::Lottery;
 use chorus_repro::protocols::roles::{Analyst, C1, C2, C3, S1, S2};
@@ -32,16 +32,17 @@ fn main() {
         ($ty:ty, $secret:expr) => {{
             let c = channel.clone();
             handles.push(std::thread::spawn(move || {
-                let transport = LocalTransport::new(<$ty>::default(), c);
-                let projector = Projector::new(<$ty>::default(), &transport);
-                let _ = projector.epp_and_run(
-                    Lottery::<Clients, Servers, Census, _, _, _, _, _, _, _> {
-                        secrets: &projector.local_faceted(FLOTTERY::new($secret)),
+                let endpoint = Endpoint::builder(<$ty>::default())
+                    .transport(LocalTransport::new(<$ty>::default(), c))
+                    .build();
+                let session = endpoint.session();
+                let _ =
+                    session.epp_and_run(Lottery::<Clients, Servers, Census, _, _, _, _, _, _, _> {
+                        secrets: &session.local_faceted(FLOTTERY::new($secret)),
                         tau: 300,
-                        cheaters: &projector.remote_faceted(Servers::new()),
+                        cheaters: &session.remote_faceted(Servers::new()),
                         phantom: PhantomData,
-                    },
-                );
+                    });
             }));
         }};
     }
@@ -51,16 +52,17 @@ fn main() {
             let c = channel.clone();
             let cheats: bool = $cheats;
             handles.push(std::thread::spawn(move || {
-                let transport = LocalTransport::new(<$ty>::default(), c);
-                let projector = Projector::new(<$ty>::default(), &transport);
-                let _ = projector.epp_and_run(
-                    Lottery::<Clients, Servers, Census, _, _, _, _, _, _, _> {
-                        secrets: &projector.remote_faceted(Clients::new()),
+                let endpoint = Endpoint::builder(<$ty>::default())
+                    .transport(LocalTransport::new(<$ty>::default(), c))
+                    .build();
+                let session = endpoint.session();
+                let _ =
+                    session.epp_and_run(Lottery::<Clients, Servers, Census, _, _, _, _, _, _, _> {
+                        secrets: &session.remote_faceted(Clients::new()),
                         tau: 300,
-                        cheaters: &projector.local_faceted(cheats),
+                        cheaters: &session.local_faceted(cheats),
                         phantom: PhantomData,
-                    },
-                );
+                    });
             }));
         }};
     }
@@ -72,12 +74,13 @@ fn main() {
     server!(S2, cheat);
 
     // The analyst.
-    let transport = LocalTransport::new(Analyst, channel);
-    let projector = Projector::new(Analyst, &transport);
-    let out = projector.epp_and_run(Lottery::<Clients, Servers, Census, _, _, _, _, _, _, _> {
-        secrets: &projector.remote_faceted(Clients::new()),
+    let endpoint =
+        Endpoint::builder(Analyst).transport(LocalTransport::new(Analyst, channel)).build();
+    let session = endpoint.session();
+    let out = session.epp_and_run(Lottery::<Clients, Servers, Census, _, _, _, _, _, _, _> {
+        secrets: &session.remote_faceted(Clients::new()),
         tau: 300,
-        cheaters: &projector.remote_faceted(Servers::new()),
+        cheaters: &session.remote_faceted(Servers::new()),
         phantom: PhantomData,
     });
 
@@ -85,7 +88,7 @@ fn main() {
         h.join().expect("endpoint thread");
     }
 
-    match projector.unwrap(out) {
+    match session.unwrap(out) {
         Ok(value) => {
             println!("[Analyst] reconstructed {value} (one of the secrets, sender unknown)");
             assert!(secrets.iter().any(|(_, v)| *v == value));

@@ -1,10 +1,12 @@
 //! Quickstart: the paper's Fig. 1 — a client/server key-value store —
 //! written once and executed three ways: centralized, over in-process
-//! channels, and over TCP sockets.
+//! channels, and over TCP sockets. The distributed runs use the
+//! session-multiplexed endpoint API: build an `Endpoint` once per
+//! process, open a `Session` per choreography run.
 //!
 //! Run with: `cargo run --example quickstart`
 
-use chorus_repro::core::{Projector, Runner};
+use chorus_repro::core::{Endpoint, Runner};
 use chorus_repro::protocols::kvs_simple::{SimpleKvs, SimpleKvsCensus};
 use chorus_repro::protocols::roles::{Client, Primary};
 use chorus_repro::protocols::store::{Request, Response, SharedStore};
@@ -24,26 +26,28 @@ fn main() {
     println!("[centralized] put -> {response:?}");
 
     // 2. Projected over in-process channels: each participant is a
-    //    thread; endpoint projection happens at run time.
+    //    thread with a long-lived endpoint; each run is a session.
     let channel = LocalTransportChannel::<SimpleKvsCensus>::new();
     let ch = channel.clone();
     let store_for_server = store.clone();
     let server = std::thread::spawn(move || {
-        let transport = LocalTransport::new(Primary, ch);
-        let projector = Projector::new(Primary, &transport);
-        projector.epp_and_run(SimpleKvs {
-            request: projector.remote(Client),
-            state: projector.local(store_for_server),
+        let endpoint =
+            Endpoint::builder(Primary).transport(LocalTransport::new(Primary, ch)).build();
+        let session = endpoint.session();
+        session.epp_and_run(SimpleKvs {
+            request: session.remote(Client),
+            state: session.local(store_for_server),
         });
     });
-    let transport = LocalTransport::new(Client, channel);
-    let projector = Projector::new(Client, &transport);
-    let out = projector.epp_and_run(SimpleKvs {
-        request: projector.local(Request::Get("title".into())),
-        state: projector.remote(Primary),
+    let endpoint =
+        Endpoint::builder(Client).transport(LocalTransport::new(Client, channel)).build();
+    let session = endpoint.session();
+    let out = session.epp_and_run(SimpleKvs {
+        request: session.local(Request::Get("title".into())),
+        state: session.remote(Primary),
     });
     server.join().unwrap();
-    let answer = projector.unwrap(out);
+    let answer = session.unwrap(out);
     println!("[channels]    get -> {answer:?}");
     assert_eq!(answer, Response::Found("choreographies".into()));
 
@@ -60,21 +64,25 @@ fn main() {
     let cfg = config.clone();
     let store_for_server = store.clone();
     let server = std::thread::spawn(move || {
-        let transport = TcpTransport::bind(Primary, cfg).expect("bind server");
-        let projector = Projector::new(Primary, &transport);
-        projector.epp_and_run(SimpleKvs {
-            request: projector.remote(Client),
-            state: projector.local(store_for_server),
+        let endpoint = Endpoint::builder(Primary)
+            .transport(TcpTransport::bind(Primary, cfg).expect("bind server"))
+            .build();
+        let session = endpoint.session();
+        session.epp_and_run(SimpleKvs {
+            request: session.remote(Client),
+            state: session.local(store_for_server),
         });
     });
-    let transport = TcpTransport::bind(Client, config).expect("bind client");
-    let projector = Projector::new(Client, &transport);
-    let out = projector.epp_and_run(SimpleKvs {
-        request: projector.local(Request::Get("title".into())),
-        state: projector.remote(Primary),
+    let endpoint = Endpoint::builder(Client)
+        .transport(TcpTransport::bind(Client, config).expect("bind client"))
+        .build();
+    let session = endpoint.session();
+    let out = session.epp_and_run(SimpleKvs {
+        request: session.local(Request::Get("title".into())),
+        state: session.remote(Primary),
     });
     server.join().unwrap();
-    let answer = projector.unwrap(out);
+    let answer = session.unwrap(out);
     println!("[tcp]         get -> {answer:?}");
     assert_eq!(answer, Response::Found("choreographies".into()));
 

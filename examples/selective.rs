@@ -17,11 +17,9 @@
 //! Run with: `cargo run --example selective`
 
 use chorus_repro::core::{
-    ChoreoOp, Choreography, Located, LocationSet as _, MultiplyLocated, Projector,
+    ChoreoOp, Choreography, Endpoint, Located, LocationSet as _, MultiplyLocated,
 };
-use chorus_repro::transport::{
-    InstrumentedTransport, LocalTransport, LocalTransportChannel, TransportMetrics,
-};
+use chorus_repro::transport::{LocalTransport, LocalTransportChannel, TransportMetrics};
 use std::sync::Arc;
 
 chorus_repro::core::locations! { Buyer, Seller, Shipper }
@@ -46,8 +44,7 @@ impl Choreography<Located<Option<u64>, Buyer>> for Negotiate {
         // SETUP: the conditional runs among the negotiators only and
         // "ends where the select was", returning the selected flag as an
         // MLV — this is the decision a select would have communicated.
-        let decision: MultiplyLocated<bool, Negotiators> =
-            op.conclave(Setup { offer }).flatten();
+        let decision: MultiplyLocated<bool, Negotiators> = op.conclave(Setup { offer }).flatten();
 
         // IN BETWEEN: the controlling party (the seller) multicasts the
         // chosen flag to the continuation's participants. This is the
@@ -123,15 +120,16 @@ fn run_offer(offer: u32) -> (Option<u64>, Arc<TransportMetrics>) {
     let mut handles = Vec::new();
 
     macro_rules! endpoint {
-        ($ty:ty, $body:expr) => {{
+        ($ty:ty) => {{
             let c = channel.clone();
             let m = Arc::clone(&metrics);
             handles.push(std::thread::spawn(move || {
-                let transport =
-                    InstrumentedTransport::new(LocalTransport::new(<$ty>::default(), c), m);
-                let projector = Projector::new(<$ty>::default(), &transport);
-                #[allow(clippy::redundant_closure_call)]
-                ($body)(projector)
+                let endpoint = Endpoint::builder(<$ty>::default())
+                    .transport(LocalTransport::new(<$ty>::default(), c))
+                    .layer(m)
+                    .build();
+                let session = endpoint.session();
+                session.epp_and_run(Negotiate { offer: session.remote(Buyer) });
             }));
         }};
     }
@@ -139,19 +137,16 @@ fn run_offer(offer: u32) -> (Option<u64>, Arc<TransportMetrics>) {
     let buyer_channel = channel.clone();
     let buyer_metrics = Arc::clone(&metrics);
     let buyer = std::thread::spawn(move || {
-        let transport =
-            InstrumentedTransport::new(LocalTransport::new(Buyer, buyer_channel), buyer_metrics);
-        let projector = Projector::new(Buyer, &transport);
-        let out = projector
-            .epp_and_run(Negotiate { offer: projector.local(offer) });
-        projector.unwrap(out)
+        let endpoint = Endpoint::builder(Buyer)
+            .transport(LocalTransport::new(Buyer, buyer_channel))
+            .layer(buyer_metrics)
+            .build();
+        let session = endpoint.session();
+        let out = session.epp_and_run(Negotiate { offer: session.local(offer) });
+        session.unwrap(out)
     });
-    endpoint!(Seller, |p: Projector<Census, Seller, _, _>| {
-        p.epp_and_run(Negotiate { offer: p.remote(Buyer) });
-    });
-    endpoint!(Shipper, |p: Projector<Census, Shipper, _, _>| {
-        p.epp_and_run(Negotiate { offer: p.remote(Buyer) });
-    });
+    endpoint!(Seller);
+    endpoint!(Shipper);
 
     let result = buyer.join().expect("buyer");
     for h in handles {

@@ -2,7 +2,7 @@
 //! executed as real distributed systems (threads + TCP sockets or
 //! channels), exercised through the facade crate.
 
-use chorus_repro::core::{ChoreographyLocation as _, LocationSet as _, Projector};
+use chorus_repro::core::{ChoreographyLocation as _, Endpoint, LocationSet as _};
 use chorus_repro::mpc::Circuit;
 use chorus_repro::protocols::gmw::Gmw;
 use chorus_repro::protocols::kvs_backup::{KvsCensus, ReplicatedKvs, Servers};
@@ -32,18 +32,18 @@ fn replicated_kvs_over_tcp_with_fault_injection() {
         ($ty:ty, $corrupt:expr) => {{
             let cfg = config.clone();
             servers.push(std::thread::spawn(move || {
-                let transport = TcpTransport::bind(<$ty>::new(), cfg).unwrap();
-                let projector = Projector::new(<$ty>::new(), &transport);
+                let endpoint = Endpoint::new(TcpTransport::bind(<$ty>::new(), cfg).unwrap());
+                let session = endpoint.session();
                 let store = SharedStore::new();
                 if $corrupt {
                     store.corrupt_next_put();
                 }
-                let outcome = projector.epp_and_run(ReplicatedKvs::<Backups, _, _, _> {
-                    request: projector.remote(Client),
-                    states: projector.local_faceted(store.clone()),
+                let outcome = session.epp_and_run(ReplicatedKvs::<Backups, _, _, _> {
+                    request: session.remote(Client),
+                    states: session.local_faceted(store.clone()),
                     phantom: PhantomData,
                 });
-                (projector.unwrap(outcome.resynched), store.snapshot())
+                (session.unwrap(outcome.resynched), store.snapshot())
             }));
         }};
     }
@@ -53,14 +53,14 @@ fn replicated_kvs_over_tcp_with_fault_injection() {
 
     let cfg = config;
     let client = std::thread::spawn(move || {
-        let transport = TcpTransport::bind(Client, cfg).unwrap();
-        let projector = Projector::new(Client, &transport);
-        let outcome = projector.epp_and_run(ReplicatedKvs::<Backups, _, _, _> {
-            request: projector.local(Request::Put("k".into(), "v".into())),
-            states: projector.remote_faceted(<Servers<Backups>>::new()),
+        let endpoint = Endpoint::new(TcpTransport::bind(Client, cfg).unwrap());
+        let session = endpoint.session();
+        let outcome = session.epp_and_run(ReplicatedKvs::<Backups, _, _, _> {
+            request: session.local(Request::Put("k".into(), "v".into())),
+            states: session.remote_faceted(<Servers<Backups>>::new()),
             phantom: PhantomData,
         });
-        projector.unwrap(outcome.response)
+        session.unwrap(outcome.response)
     });
 
     assert_eq!(client.join().unwrap(), Response::NotFound);
@@ -97,11 +97,11 @@ fn gmw_three_parties_over_tcp() {
             let cfg = config.clone();
             let circuit = std::sync::Arc::clone(&circuit);
             handles.push(std::thread::spawn(move || {
-                let transport = TcpTransport::bind(<$ty>::new(), cfg).unwrap();
-                let projector = Projector::new(<$ty>::new(), &transport);
-                projector.epp_and_run(Gmw::<Parties, _, _> {
+                let endpoint = Endpoint::new(TcpTransport::bind(<$ty>::new(), cfg).unwrap());
+                let session = endpoint.session();
+                session.epp_and_run(Gmw::<Parties, _, _> {
                     circuit: &circuit,
-                    inputs: &projector.local_faceted(vec![$input]),
+                    inputs: &session.local_faceted(vec![$input]),
                     phantom: PhantomData,
                 })
             }));
@@ -117,7 +117,7 @@ fn gmw_three_parties_over_tcp() {
 
 #[test]
 fn kvs_gather_choreography_over_channels() {
-    use chorus_repro::protocols::kvs_gather::{Kvs, KvsCensus, Request, ServerSet, Store};
+    use chorus_repro::protocols::kvs_gather::{Kvs, KvsCensus, Request, Store};
 
     type GatherCensus = KvsCensus<Backups>;
     let channel = LocalTransportChannel::<GatherCensus>::new();
@@ -127,13 +127,13 @@ fn kvs_gather_choreography_over_channels() {
         ($ty:ty) => {{
             let c = channel.clone();
             handles.push(std::thread::spawn(move || {
-                let transport = LocalTransport::new(<$ty>::new(), c);
-                let projector = Projector::new(<$ty>::new(), &transport);
+                let endpoint = Endpoint::new(LocalTransport::new(<$ty>::new(), c));
+                let session = endpoint.session();
                 let store = Store::default();
-                let _ = projector.epp_and_run(Kvs::<Backups, _, _, _, _> {
-                    request: projector.remote(Client),
-                    backup_stores: &projector.local_faceted::<Store, Backups, _>(store.clone()),
-                    server_store: &projector.remote(Primary),
+                let _ = session.epp_and_run(Kvs::<Backups, _, _, _, _> {
+                    request: session.remote(Client),
+                    backup_stores: &session.local_faceted::<Store, Backups, _>(store.clone()),
+                    server_store: &session.remote(Primary),
                     phantom: PhantomData,
                 });
                 let value = store.lock().get("x").copied();
@@ -147,28 +147,28 @@ fn kvs_gather_choreography_over_channels() {
     // The primary (cannot use the macro: it owns `server_store`).
     let c = channel.clone();
     let primary = std::thread::spawn(move || {
-        let transport = LocalTransport::new(Primary, c);
-        let projector = Projector::new(Primary, &transport);
+        let endpoint = Endpoint::new(LocalTransport::new(Primary, c));
+        let session = endpoint.session();
         let store = Store::default();
-        let _ = projector.epp_and_run(Kvs::<Backups, _, _, _, _> {
-            request: projector.remote(Client),
-            backup_stores: &projector.remote_faceted(Backups::new()),
-            server_store: &projector.local(store.clone()),
+        let _ = session.epp_and_run(Kvs::<Backups, _, _, _, _> {
+            request: session.remote(Client),
+            backup_stores: &session.remote_faceted(Backups::new()),
+            server_store: &session.local(store.clone()),
             phantom: PhantomData,
         });
         let value = store.lock().get("x").copied();
         value
     });
 
-    let transport = LocalTransport::new(Client, channel);
-    let projector = Projector::new(Client, &transport);
-    let out = projector.epp_and_run(Kvs::<Backups, _, _, _, _> {
-        request: projector.local(Request::Put("x".into(), 9)),
-        backup_stores: &projector.remote_faceted(Backups::new()),
-        server_store: &projector.remote(Primary),
+    let endpoint = Endpoint::new(LocalTransport::new(Client, channel));
+    let session = endpoint.session();
+    let out = session.epp_and_run(Kvs::<Backups, _, _, _, _> {
+        request: session.local(Request::Put("x".into(), 9)),
+        backup_stores: &session.remote_faceted(Backups::new()),
+        server_store: &session.remote(Primary),
         phantom: PhantomData,
     });
-    assert_eq!(projector.unwrap(out), 0, "put succeeds");
+    assert_eq!(session.unwrap(out), 0, "put succeeds");
 
     assert_eq!(primary.join().unwrap(), Some(9));
     for h in handles {

@@ -3,7 +3,9 @@
 //! a multicast followed by a conclaved branch — is expressed in both and
 //! must agree on who ends up knowing what.
 
-use chorus_repro::core::{ChoreoOp, Choreography, Located, LocationSet as _, MultiplyLocated, Runner};
+use chorus_repro::core::{
+    ChoreoOp, Choreography, Located, LocationSet as _, MultiplyLocated, Runner,
+};
 use chorus_repro::lambda::local::LValue;
 use chorus_repro::lambda::network::{Network, Outcome};
 use chorus_repro::lambda::parties;
@@ -50,11 +52,8 @@ impl Choreography<MultiplyLocated<u8, Pair>> for Branch {
 /// visible in the final values (and both branches share one type, as
 /// TCase requires).
 fn lambda_version(flag: bool) -> Expr {
-    let flag_value = if flag {
-        Value::bool_true(parties![0])
-    } else {
-        Value::bool_false(parties![0])
-    };
+    let flag_value =
+        if flag { Value::bool_true(parties![0]) } else { Value::bool_false(parties![0]) };
     let multicast = Expr::app(
         Expr::val(Value::Com { from: Party(0), to: parties![1, 2] }),
         Expr::val(flag_value),
@@ -74,8 +73,7 @@ fn library_and_model_agree_on_knowledge_of_choice() {
     for flag in [true, false] {
         // Library.
         let runner: Runner<Census> = Runner::new();
-        let label =
-            runner.unwrap_located(runner.run(LibraryVersion { flag: runner.local(flag) }));
+        let label = runner.unwrap_located(runner.run(LibraryVersion { flag: runner.local(flag) }));
         assert_eq!(label, u8::from(flag));
 
         // Model: type-check, evaluate centrally, then run the projected
@@ -90,11 +88,7 @@ fn library_and_model_agree_on_knowledge_of_choice() {
             panic!("model network did not finish for flag={flag}");
         };
         // B and C take the branch that matches the library's label.
-        let expected = if flag {
-            LValue::inl(LValue::Unit)
-        } else {
-            LValue::inr(LValue::Unit)
-        };
+        let expected = if flag { LValue::inl(LValue::Unit) } else { LValue::inr(LValue::Unit) };
         assert_eq!(values[&Party(1)], expected);
         assert_eq!(values[&Party(2)], expected);
         // A does not participate in the branch: its residual is ⊥,
