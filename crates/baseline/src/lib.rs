@@ -207,17 +207,15 @@ where
     T: SessionTransport<TL, Target>,
 {
     fn send_to<V: Portable>(&self, to: &str, value: &V) {
-        let bytes = chorus_wire::to_bytes(value)
-            .unwrap_or_else(|e| panic!("failed to encode message for {to}: {e}"));
         self.session
-            .send_bytes(to, &bytes)
+            .send_value(to, value)
             .unwrap_or_else(|e| panic!("failed to send to {to}: {e}"));
     }
 
     fn receive_from<V: Portable>(&self, from: &str) -> V {
         let bytes = self
             .session
-            .receive_bytes(from)
+            .receive_payload(from)
             .unwrap_or_else(|e| panic!("failed to receive from {from}: {e}"));
         chorus_wire::from_bytes(&bytes)
             .unwrap_or_else(|e| panic!("failed to decode message from {from}: {e}"))

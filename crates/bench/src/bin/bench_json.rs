@@ -1,0 +1,281 @@
+//! Bench-trajectory emitter: runs the headline microbenchmarks with a
+//! simple calibrated wall-clock loop and writes `BENCH_results.json`
+//! (bench name → ns/iter + per-iteration message/byte counts), so the
+//! perf trajectory of the wire path is recorded per PR and diffable in
+//! CI.
+//!
+//! Run with: `cargo run --release -p chorus-bench --bin bench_json`
+//!
+//! Flags:
+//! * `--quick`  — 1 warm-up + short measurement; the CI smoke mode that
+//!   keeps the bins from rotting without burning minutes.
+//! * `--out <path>` — where to write the JSON (default
+//!   `BENCH_results.json` in the current directory).
+
+use chorus_core::{Endpoint, Runner};
+use chorus_protocols::kvs_simple::{SimpleKvs, SimpleKvsCensus};
+use chorus_protocols::roles::{Client, Primary};
+use chorus_protocols::store::{Request, Response, SharedStore};
+use chorus_transport::{LocalTransport, LocalTransportChannel, TransportMetrics};
+use chorus_wire::{Bytes, BytesMut, Envelope};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One emitted measurement.
+struct BenchResult {
+    name: &'static str,
+    ns_per_iter: u128,
+    iters: u64,
+    /// Messages one iteration puts on the wire (0 for in-memory-only
+    /// benches).
+    messages: u64,
+    /// Payload bytes one iteration puts on the wire.
+    bytes: u64,
+}
+
+/// Times `f` over a warm-up plus a budgeted measurement loop.
+fn measure<F: FnMut()>(quick: bool, mut f: F) -> (u128, u64) {
+    let (warmup, budget, min_iters) = if quick {
+        (1u32, Duration::from_millis(30), 3u64)
+    } else {
+        (10, Duration::from_millis(500), 30)
+    };
+    for _ in 0..warmup {
+        f();
+    }
+    let start = Instant::now();
+    let deadline = start + budget;
+    let mut iters = 0u64;
+    loop {
+        f();
+        iters += 1;
+        if (iters >= min_iters && Instant::now() >= deadline) || iters >= 1_000_000 {
+            break;
+        }
+    }
+    (start.elapsed().as_nanos() / iters as u128, iters)
+}
+
+/// One kvs get over the session shape with a metrics layer, to count
+/// the per-iteration wire traffic.
+fn count_kvs_traffic() -> (u64, u64) {
+    let channel = LocalTransportChannel::<SimpleKvsCensus>::new();
+    let metrics = Arc::new(TransportMetrics::new());
+    let ch = channel.clone();
+    let m = Arc::clone(&metrics);
+    let server = std::thread::spawn(move || {
+        let endpoint =
+            Endpoint::builder(Primary).transport(LocalTransport::new(Primary, ch)).layer(m).build();
+        let session = endpoint.session_with_id(0);
+        let store = SharedStore::new();
+        store.put("k", "v");
+        session.epp_and_run(SimpleKvs {
+            request: session.remote(Client),
+            state: session.local(store),
+        });
+    });
+    let endpoint = Endpoint::builder(Client)
+        .transport(LocalTransport::new(Client, channel))
+        .layer(Arc::clone(&metrics))
+        .build();
+    let session = endpoint.session_with_id(0);
+    let out = session.epp_and_run(SimpleKvs {
+        request: session.local(Request::Get("k".into())),
+        state: session.remote(Primary),
+    });
+    server.join().unwrap();
+    assert_eq!(session.unwrap(out), Response::Found("v".into()));
+    (metrics.total_messages(), metrics.total_bytes())
+}
+
+/// The headline number: one long-lived endpoint pair, one session per
+/// run (mirrors `benches/kvs_simple.rs` `get_round_trip_shared_endpoint`).
+fn bench_shared_endpoint(quick: bool) -> BenchResult {
+    let (messages, bytes) = count_kvs_traffic();
+    let channel = LocalTransportChannel::<SimpleKvsCensus>::new();
+    let (id_tx, id_rx) = std::sync::mpsc::channel::<u64>();
+    let ch = channel.clone();
+    let server = std::thread::spawn(move || {
+        let endpoint = Endpoint::new(LocalTransport::new(Primary, ch));
+        let store = SharedStore::new();
+        store.put("k", "v");
+        for id in id_rx {
+            let session = endpoint.session_with_id(id);
+            session.epp_and_run(SimpleKvs {
+                request: session.remote(Client),
+                state: session.local(store.clone()),
+            });
+        }
+    });
+    let endpoint = Endpoint::new(LocalTransport::new(Client, channel));
+    let mut next_id = 0u64;
+    let (ns_per_iter, iters) = measure(quick, || {
+        let id = next_id;
+        next_id += 1;
+        id_tx.send(id).expect("server thread alive");
+        let session = endpoint.session_with_id(id);
+        let out = session.epp_and_run(SimpleKvs {
+            request: session.local(Request::Get("k".into())),
+            state: session.remote(Primary),
+        });
+        assert_eq!(session.unwrap(out), Response::Found("v".into()));
+    });
+    drop(id_tx);
+    server.join().unwrap();
+    BenchResult {
+        name: "kvs_simple/get_round_trip_shared_endpoint",
+        ns_per_iter,
+        iters,
+        messages,
+        bytes,
+    }
+}
+
+/// The legacy shape: fresh fabric, endpoints, and server thread per run.
+fn bench_fresh_endpoint(quick: bool) -> BenchResult {
+    let (messages, bytes) = count_kvs_traffic();
+    let (ns_per_iter, iters) = measure(quick, || {
+        let channel = LocalTransportChannel::<SimpleKvsCensus>::new();
+        let ch = channel.clone();
+        let server = std::thread::spawn(move || {
+            let endpoint = Endpoint::new(LocalTransport::new(Primary, ch));
+            let session = endpoint.session();
+            let store = SharedStore::new();
+            store.put("k", "v");
+            session.epp_and_run(SimpleKvs {
+                request: session.remote(Client),
+                state: session.local(store),
+            });
+        });
+        let endpoint = Endpoint::new(LocalTransport::new(Client, channel));
+        let session = endpoint.session();
+        let out = session.epp_and_run(SimpleKvs {
+            request: session.local(Request::Get("k".into())),
+            state: session.remote(Primary),
+        });
+        server.join().unwrap();
+        assert_eq!(session.unwrap(out), Response::Found("v".into()));
+    });
+    BenchResult {
+        name: "kvs_simple/get_round_trip_fresh_endpoint",
+        ns_per_iter,
+        iters,
+        messages,
+        bytes,
+    }
+}
+
+/// Centralized (no transport) baseline.
+fn bench_centralized(quick: bool) -> BenchResult {
+    let runner: Runner<SimpleKvsCensus> = Runner::new();
+    let store = SharedStore::new();
+    store.put("k", "v");
+    let (ns_per_iter, iters) = measure(quick, || {
+        let out = runner.run(SimpleKvs {
+            request: runner.local(Request::Get("k".into())),
+            state: runner.local(store.clone()),
+        });
+        black_box(runner.unwrap_located(out));
+    });
+    BenchResult { name: "kvs_simple/centralized_get", ns_per_iter, iters, messages: 0, bytes: 0 }
+}
+
+/// Encode-once fan-out: one multicast of a 1 KiB value from A to three
+/// peers over one fabric, all endpoints on this thread (receives are
+/// drained inside the iteration so mailboxes stay bounded).
+fn bench_multicast_fanout(quick: bool) -> BenchResult {
+    chorus_core::locations! { A, B, C, D }
+    type Census = chorus_core::LocationSet!(A, B, C, D);
+
+    let channel = LocalTransportChannel::<Census>::new();
+    let a = Endpoint::new(LocalTransport::new(A, channel.clone()));
+    let b = Endpoint::new(LocalTransport::new(B, channel.clone()));
+    let c = Endpoint::new(LocalTransport::new(C, channel.clone()));
+    let d = Endpoint::new(LocalTransport::new(D, channel));
+    let sa = a.session_with_id(1);
+    let sb = b.session_with_id(1);
+    let sc = c.session_with_id(1);
+    let sd = d.session_with_id(1);
+    let value = "x".repeat(1024);
+    let payload_len = chorus_wire::to_bytes(&value).unwrap().len() as u64;
+    let (ns_per_iter, iters) = measure(quick, || {
+        sa.multicast_value(["B", "C", "D"], &value).unwrap();
+        black_box(sb.receive_payload("A").unwrap());
+        black_box(sc.receive_payload("A").unwrap());
+        black_box(sd.receive_payload("A").unwrap());
+    });
+    BenchResult {
+        name: "fanout/multicast_1k_to_3",
+        ns_per_iter,
+        iters,
+        messages: 3,
+        bytes: 3 * payload_len,
+    }
+}
+
+/// Frame codec micro: encode into a reused buffer and decode by
+/// slicing shared storage, for a 1 KiB payload.
+fn bench_envelope_codec(quick: bool) -> BenchResult {
+    let payload = Bytes::copy_from_slice(&vec![0xA5u8; 1024]);
+    let envelope = Envelope::new(7, 42, payload);
+    let frame = Bytes::from(envelope.encode());
+    let mut buf = BytesMut::with_capacity(envelope.encoded_len());
+    let (ns_per_iter, iters) = measure(quick, || {
+        buf.clear();
+        envelope.encode_into(&mut buf);
+        black_box(buf.len());
+        black_box(Envelope::decode_shared(&frame).unwrap());
+    });
+    BenchResult {
+        name: "wire/envelope_encode_into_plus_decode_shared_1k",
+        ns_per_iter,
+        iters,
+        messages: 1,
+        bytes: 1024,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_results.json".to_string());
+
+    let results = vec![
+        bench_shared_endpoint(quick),
+        bench_fresh_endpoint(quick),
+        bench_centralized(quick),
+        bench_multicast_fanout(quick),
+        bench_envelope_codec(quick),
+    ];
+
+    let mut json = String::from("{\n  \"schema\": 1,\n");
+    json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"ns_per_iter\": {}, \"iters\": {}, \
+             \"messages\": {}, \"bytes\": {}}}{}\n",
+            r.name,
+            r.ns_per_iter,
+            r.iters,
+            r.messages,
+            r.bytes,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    for r in &results {
+        println!(
+            "{:<48} {:>10} ns/iter (n = {:>6})  {} msgs  {} bytes",
+            r.name, r.ns_per_iter, r.iters, r.messages, r.bytes
+        );
+    }
+    std::fs::write(&out_path, &json).expect("write BENCH_results.json");
+    println!("\nwrote {out_path}");
+}

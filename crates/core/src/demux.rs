@@ -12,8 +12,10 @@
 //! their frame has not arrived yet.
 
 use crate::location::{ChoreographyLocation, LocationSet};
-use crate::transport::{SequenceTracker, SessionId, SessionTransport, Transport, TransportError};
-use chorus_wire::Envelope;
+use crate::transport::{
+    InternedNames, SequenceTracker, SessionId, SessionTransport, Transport, TransportError,
+};
+use chorus_wire::{Bytes, Envelope};
 use std::collections::{HashMap, VecDeque};
 use std::marker::PhantomData;
 use std::sync::{Arc, Condvar, Mutex};
@@ -26,7 +28,10 @@ where
     T: Transport<L, Target>,
 {
     inner: T,
-    senders: Mutex<HashMap<String, Arc<SenderState>>>,
+    /// The census, resolved once so per-message sender lookups use
+    /// interned names and allocate nothing.
+    names: InternedNames,
+    senders: Mutex<HashMap<&'static str, Arc<SenderState>>>,
     phantom: PhantomData<fn() -> (L, Target)>,
 }
 
@@ -52,7 +57,12 @@ where
 {
     /// Wraps `inner`.
     pub fn new(inner: T) -> Self {
-        Demux { inner, senders: Mutex::new(HashMap::new()), phantom: PhantomData }
+        Demux {
+            inner,
+            names: InternedNames::of::<L>(),
+            senders: Mutex::new(HashMap::new()),
+            phantom: PhantomData,
+        }
     }
 
     /// Unwraps the raw transport.
@@ -60,9 +70,9 @@ where
         self.inner
     }
 
-    fn sender_state(&self, from: &str) -> Arc<SenderState> {
+    fn sender_state(&self, from: &'static str) -> Arc<SenderState> {
         let mut senders = self.senders.lock().expect("demux sender map poisoned");
-        Arc::clone(senders.entry(from.to_string()).or_default())
+        Arc::clone(senders.entry(from).or_default())
     }
 }
 
@@ -82,9 +92,7 @@ where
 
     fn receive_frame(&self, session: SessionId, from: &str) -> Result<Envelope, TransportError> {
         // Unknown senders fail fast instead of blocking forever.
-        if !L::names().contains(&from) {
-            return Err(TransportError::UnknownLocation(from.to_string()));
-        }
+        let from = self.names.resolve(from)?;
         let state = self.sender_state(from);
         let mut inner = state.inner.lock().expect("demux sender state poisoned");
         loop {
@@ -110,7 +118,9 @@ where
             let received = self.inner.receive(from);
             inner = state.inner.lock().expect("demux sender state poisoned");
             inner.pumping = false;
-            match received.and_then(|bytes| Ok(Envelope::decode(&bytes)?)) {
+            // The raw receive hands over an owned buffer; adopting it as
+            // shared storage lets the payload be sliced out copy-free.
+            match received.and_then(|bytes| Ok(Envelope::decode_shared(&Bytes::from(bytes))?)) {
                 Ok(envelope) => {
                     if let Err(e) = inner.sequences.check(envelope.session, from, envelope.seq) {
                         inner.dead = Some(e.to_string());

@@ -87,5 +87,6 @@ pub use quire::Quire;
 pub use runner::Runner;
 pub use session::Session;
 pub use transport::{
-    SequenceTracker, SessionId, SessionTransport, Transport, TransportError, RAW_SESSION,
+    InternedNames, SequenceTracker, SessionId, SessionTransport, Transport, TransportError,
+    RAW_SESSION,
 };

@@ -12,8 +12,8 @@ use crate::endpoint::{Endpoint, MessageCtx};
 use crate::located::{Located, MultiplyLocated, Unwrapper};
 use crate::location::{ChoreographyLocation, LocationSet};
 use crate::member::{Member, Subset};
-use crate::transport::{SessionId, SessionTransport, TransportError};
-use chorus_wire::Envelope;
+use crate::transport::{InternedNames, SessionId, SessionTransport, TransportError};
+use chorus_wire::{Bytes, Envelope};
 use std::collections::HashMap;
 use std::marker::PhantomData;
 use std::sync::Mutex;
@@ -35,6 +35,13 @@ where
     endpoint: &'e Endpoint<TL, Target, T>,
     id: SessionId,
     seqs: Mutex<HashMap<&'static str, u64>>,
+    /// The census names, resolved once at session creation so the send
+    /// path validates destinations without allocating per message.
+    names: InternedNames,
+    /// Reusable per-session encode buffer: values serialize into this
+    /// scratch space, then the bytes are copied once into the shared
+    /// payload buffer that travels in the frame.
+    scratch: Mutex<Vec<u8>>,
 }
 
 impl<'e, TL, Target, T> Session<'e, TL, Target, T>
@@ -44,7 +51,39 @@ where
     T: SessionTransport<TL, Target>,
 {
     pub(crate) fn new(endpoint: &'e Endpoint<TL, Target, T>, id: SessionId) -> Self {
-        Session { endpoint, id, seqs: Mutex::new(HashMap::new()) }
+        Session {
+            endpoint,
+            id,
+            seqs: Mutex::new(HashMap::new()),
+            names: InternedNames::of::<TL>(),
+            scratch: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Serializes `value` once into the reusable scratch buffer and
+    /// returns it as a shared, cheaply-cloneable payload.
+    fn encode_payload<V: Portable>(&self, value: &V) -> Result<Bytes, TransportError> {
+        let mut scratch = self.scratch.lock().expect("session scratch buffer poisoned");
+        scratch.clear();
+        chorus_wire::to_bytes_into(value, &mut scratch)?;
+        Ok(Bytes::copy_from_slice(&scratch))
+    }
+
+    /// Stamps the next sequence number for `to` and puts `payload` on
+    /// the wire, passing it through the layer stack.
+    fn send_payload(&self, to: &'static str, payload: Bytes) -> Result<(), TransportError> {
+        // Hold the counter lock across the transport send: a session is
+        // one sequential run, but `Session` is `Sync`, and a session
+        // shared across threads must still put frames on the wire in
+        // sequence order or the receiver's tracker poisons the link for
+        // every session behind that sender.
+        let mut seqs = self.seqs.lock().expect("session sequence counters poisoned");
+        let counter = seqs.entry(to).or_insert(0);
+        let seq = *counter;
+        *counter += 1;
+        let ctx = MessageCtx { session: self.id, seq, from: Target::NAME, to };
+        self.endpoint.notify_send(&ctx, &payload);
+        self.endpoint.transport().send_frame(to, Envelope::new(self.id, seq, payload))
     }
 
     /// This session's id.
@@ -139,39 +178,85 @@ where
     ///
     /// Returns an error if `to` is unknown or the link fails.
     pub fn send_bytes(&self, to: &str, payload: &[u8]) -> Result<(), TransportError> {
-        let to_static = TL::names()
-            .into_iter()
-            .find(|name| *name == to)
-            .ok_or_else(|| TransportError::UnknownLocation(to.to_string()))?;
-        // Hold the counter lock across the transport send: a session is
-        // one sequential run, but `Session` is `Sync`, and a session
-        // shared across threads must still put frames on the wire in
-        // sequence order or the receiver's tracker poisons the link for
-        // every session behind that sender.
-        let mut seqs = self.seqs.lock().expect("session sequence counters poisoned");
-        let counter = seqs.entry(to_static).or_insert(0);
-        let seq = *counter;
-        *counter += 1;
-        let ctx = MessageCtx { session: self.id, seq, from: Target::NAME, to: to_static };
-        self.endpoint.notify_send(&ctx, payload);
-        self.endpoint
-            .transport()
-            .send_frame(to_static, Envelope::new(self.id, seq, payload.to_vec()))
+        let to = self.names.resolve(to)?;
+        self.send_payload(to, Bytes::copy_from_slice(payload))
+    }
+
+    /// Serializes `value` and sends it to the location named `to`
+    /// within this session — the allocation-lean path `epp_and_run`'s
+    /// communication operators use: one serialization into the
+    /// session's reusable scratch buffer, one shared payload buffer,
+    /// no further copies on in-process transports.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `to` is unknown, the value fails to encode,
+    /// or the link fails.
+    pub fn send_value<V: Portable>(&self, to: &str, value: &V) -> Result<(), TransportError> {
+        let to = self.names.resolve(to)?;
+        let payload = self.encode_payload(value)?;
+        self.send_payload(to, payload)
+    }
+
+    /// Serializes `value` **exactly once** and sends cheap clones of
+    /// the same shared payload buffer to every destination in `dests`,
+    /// in order. Returns the encoded payload so a sender that is also a
+    /// recipient can decode its keep-copy from the very same bytes —
+    /// a fan-out over N parties costs one serialization total,
+    /// regardless of N.
+    ///
+    /// Each destination still gets its own sequence number and its own
+    /// pass through the layer stack (layers observe payload-only bytes,
+    /// once per destination, exactly as if the sends were separate).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any destination is unknown, the value fails
+    /// to encode, or a link fails. Destinations before the failing one
+    /// will already have been sent to.
+    pub fn multicast_value<'n, V: Portable>(
+        &self,
+        dests: impl IntoIterator<Item = &'n str>,
+        value: &V,
+    ) -> Result<Bytes, TransportError> {
+        let payload = self.encode_payload(value)?;
+        for dest in dests {
+            let to = self.names.resolve(dest)?;
+            self.send_payload(to, payload.clone())?;
+        }
+        Ok(payload)
     }
 
     /// Blocks until payload bytes from the location named `from` arrive
     /// in this session's mailbox, passing them through the endpoint's
     /// layer stack.
     ///
+    /// The returned [`Bytes`] shares the frame's payload buffer — on
+    /// in-process transports these are the very bytes the sender
+    /// serialized, never copied in between.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `from` is unknown or the link fails before a
+    /// frame arrives.
+    pub fn receive_payload(&self, from: &str) -> Result<Bytes, TransportError> {
+        let envelope = self.endpoint.transport().receive_frame(self.id, from)?;
+        let ctx = MessageCtx { session: self.id, seq: envelope.seq, from, to: Target::NAME };
+        self.endpoint.notify_receive(&ctx, &envelope.payload);
+        Ok(envelope.payload)
+    }
+
+    /// Like [`receive_payload`](Session::receive_payload), but copies
+    /// the payload into an owned `Vec<u8>`. Kept for callers that need
+    /// ownership of plain bytes; hot paths should prefer the shared
+    /// buffer.
+    ///
     /// # Errors
     ///
     /// Returns an error if `from` is unknown or the link fails before a
     /// frame arrives.
     pub fn receive_bytes(&self, from: &str) -> Result<Vec<u8>, TransportError> {
-        let envelope = self.endpoint.transport().receive_frame(self.id, from)?;
-        let ctx = MessageCtx { session: self.id, seq: envelope.seq, from, to: Target::NAME };
-        self.endpoint.notify_receive(&ctx, &envelope.payload);
-        Ok(envelope.payload)
+        self.receive_payload(from).map(|payload| payload.to_vec())
     }
 }
 
@@ -195,18 +280,10 @@ where
     Target: ChoreographyLocation,
     T: SessionTransport<TL, Target>,
 {
-    fn send_to<V: Portable>(&self, to: &str, value: &V) {
-        let bytes = chorus_wire::to_bytes(value)
-            .unwrap_or_else(|e| panic!("failed to encode message for {to}: {e}"));
-        self.session
-            .send_bytes(to, &bytes)
-            .unwrap_or_else(|e| panic!("failed to send to {to}: {e}"));
-    }
-
     fn receive_from<V: Portable>(&self, from: &str) -> V {
         let bytes = self
             .session
-            .receive_bytes(from)
+            .receive_payload(from)
             .unwrap_or_else(|e| panic!("failed to receive from {from}: {e}"));
         chorus_wire::from_bytes(&bytes)
             .unwrap_or_else(|e| panic!("failed to decode message from {from}: {e}"))
@@ -249,19 +326,22 @@ where
         if Sender::NAME == Target::NAME {
             let value =
                 data.as_inner_option().expect("multicast: sender must hold the value it sends");
-            for dest in &destinations {
-                if *dest != Sender::NAME {
-                    self.send_to(dest, value);
-                }
-            }
+            // One serialization, however many destinations: every remote
+            // recipient gets a cheap clone of the same payload buffer.
+            let payload = self
+                .session
+                .multicast_value(
+                    destinations.iter().copied().filter(|dest| *dest != Sender::NAME),
+                    value,
+                )
+                .unwrap_or_else(|e| panic!("failed to multicast: {e}"));
             if destinations.contains(&Sender::NAME) {
-                // The sender keeps its copy via an in-memory round trip so
+                // The sender keeps its copy via an in-memory round trip
+                // over the *same* encoded bytes the recipients got, so
                 // that `V` needs no `Clone` bound and serialization bugs
                 // surface identically at every owner.
-                let bytes = chorus_wire::to_bytes(value)
-                    .unwrap_or_else(|e| panic!("failed to encode multicast payload: {e}"));
                 MultiplyLocated::local(
-                    chorus_wire::from_bytes(&bytes).unwrap_or_else(|e| {
+                    chorus_wire::from_bytes(&payload).unwrap_or_else(|e| {
                         panic!("failed to decode multicast payload locally: {e}")
                     }),
                 )
@@ -286,11 +366,14 @@ where
         if Sender::NAME == Target::NAME {
             let value =
                 data.into_inner_option().expect("broadcast: sender must hold the value it sends");
-            for dest in ChoreoLS::names() {
-                if dest != Sender::NAME {
-                    self.send_to(dest, &value);
-                }
-            }
+            // Encode once; every other location receives a clone of the
+            // same payload buffer.
+            self.session
+                .multicast_value(
+                    ChoreoLS::names().into_iter().filter(|dest| *dest != Sender::NAME),
+                    &value,
+                )
+                .unwrap_or_else(|e| panic!("failed to broadcast: {e}"));
             value
         } else {
             self.receive_from(Sender::NAME)

@@ -172,6 +172,37 @@ where
     }
 }
 
+/// A census's names, resolved once so hot paths can validate and
+/// intern location names without allocating or re-materializing
+/// `L::names()` (a fresh `Vec`) per message.
+///
+/// Sessions and every transport in the workspace keep one of these;
+/// the `&'static str` it hands back is the key used for sequence
+/// tracking and mailbox routing.
+#[derive(Debug, Clone)]
+pub struct InternedNames(Vec<&'static str>);
+
+impl InternedNames {
+    /// Resolves the census `L` once.
+    pub fn of<L: LocationSet>() -> Self {
+        InternedNames(L::names())
+    }
+
+    /// Resolves `name` to its interned census entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError::UnknownLocation`] if `name` is not in
+    /// the census.
+    pub fn resolve(&self, name: &str) -> Result<&'static str, TransportError> {
+        self.0
+            .iter()
+            .copied()
+            .find(|n| *n == name)
+            .ok_or_else(|| TransportError::UnknownLocation(name.to_string()))
+    }
+}
+
 /// Tracks per-(session, sender) expected sequence numbers and rejects
 /// regressions.
 ///
@@ -182,7 +213,7 @@ where
 /// consecutive `epp_and_run` calls.
 #[derive(Debug, Default)]
 pub struct SequenceTracker {
-    next: std::collections::HashMap<(SessionId, String), u64>,
+    next: std::collections::HashMap<(SessionId, &'static str), u64>,
 }
 
 impl SequenceTracker {
@@ -193,6 +224,10 @@ impl SequenceTracker {
 
     /// Validates `seq` as the next frame of `(session, from)`.
     ///
+    /// `from` is the *interned* location name (the `&'static str` a
+    /// transport resolved once from its census), so the per-message
+    /// bookkeeping allocates nothing.
+    ///
     /// # Errors
     ///
     /// Returns [`TransportError::Protocol`] if `seq` is neither the
@@ -200,10 +235,10 @@ impl SequenceTracker {
     pub fn check(
         &mut self,
         session: SessionId,
-        from: &str,
+        from: &'static str,
         seq: u64,
     ) -> Result<(), TransportError> {
-        let expected = self.next.entry((session, from.to_string())).or_insert(0);
+        let expected = self.next.entry((session, from)).or_insert(0);
         if seq == *expected || seq == 0 {
             *expected = seq + 1;
             Ok(())

@@ -2,7 +2,15 @@
 //!
 //! The build environment has no access to crates.io, so this shim
 //! provides exactly the surface the workspace uses: the [`BufMut`]
-//! little-endian put methods on `Vec<u8>`.
+//! little-endian put methods, a cheaply-cloneable shared byte buffer
+//! ([`Bytes`]) and a growable builder that freezes into one
+//! ([`BytesMut`]).
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Bound, Deref, RangeBounds};
+use std::sync::Arc;
 
 /// A growable buffer that integers and floats can be appended to.
 pub trait BufMut {
@@ -76,6 +84,310 @@ impl BufMut for Vec<u8> {
     }
 }
 
+/// The backing storage of a [`Bytes`].
+///
+/// Two variants so both construction paths stay single-allocation:
+/// `Slice` packs refcounts and data into one block (built by copying a
+/// slice), `Vec` adopts an existing `Vec<u8>` without copying it (one
+/// allocation for the shared header only).
+#[derive(Debug, Clone)]
+enum Storage {
+    Slice(Arc<[u8]>),
+    Vec(Arc<Vec<u8>>),
+}
+
+impl Storage {
+    fn as_slice(&self) -> &[u8] {
+        match self {
+            Storage::Slice(data) => data,
+            Storage::Vec(data) => data,
+        }
+    }
+}
+
+/// A cheaply-cloneable, immutable, reference-counted byte buffer.
+///
+/// Cloning and [slicing](Bytes::slice) never copy or allocate: every
+/// clone and sub-slice shares the same backing storage. This is what
+/// lets one encoded payload fan out to many destinations — and be kept
+/// by the sender — for free.
+#[derive(Clone)]
+pub struct Bytes {
+    data: Storage,
+    offset: usize,
+    len: usize,
+}
+
+impl Bytes {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Bytes { data: Storage::Slice(Arc::from(&[][..])), offset: 0, len: 0 }
+    }
+
+    /// Copies `src` into a freshly allocated shared buffer.
+    ///
+    /// Exactly one allocation: the refcount header and the data live in
+    /// a single block.
+    pub fn copy_from_slice(src: &[u8]) -> Self {
+        Bytes { data: Storage::Slice(Arc::from(src)), offset: 0, len: src.len() }
+    }
+
+    /// Number of bytes in the buffer.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns a view of the bytes as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data.as_slice()[self.offset..self.offset + self.len]
+    }
+
+    /// Returns a sub-slice sharing this buffer's storage — no copy, no
+    /// allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or inverted.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Self {
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len,
+        };
+        assert!(start <= end, "slice start {start} past end {end}");
+        assert!(end <= self.len, "slice end {end} past buffer length {}", self.len);
+        Bytes { data: self.data.clone(), offset: self.offset + start, len: end - start }
+    }
+
+    /// Copies the bytes into a new `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self.as_slice(), f)
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl<const N: usize> PartialEq<[u8; N]> for Bytes {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl<const N: usize> PartialEq<&[u8; N]> for Bytes {
+    fn eq(&self, other: &&[u8; N]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<Bytes> for Vec<u8> {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    /// Adopts `vec` without copying its contents (one allocation for
+    /// the shared refcount header).
+    fn from(vec: Vec<u8>) -> Self {
+        let len = vec.len();
+        Bytes { data: Storage::Vec(Arc::new(vec)), offset: 0, len }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(src: &[u8]) -> Self {
+        Bytes::copy_from_slice(src)
+    }
+}
+
+impl<const N: usize> From<&[u8; N]> for Bytes {
+    fn from(src: &[u8; N]) -> Self {
+        Bytes::copy_from_slice(src)
+    }
+}
+
+impl From<BytesMut> for Bytes {
+    fn from(buf: BytesMut) -> Self {
+        buf.freeze()
+    }
+}
+
+impl FromIterator<u8> for Bytes {
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Self {
+        Bytes::from(iter.into_iter().collect::<Vec<u8>>())
+    }
+}
+
+/// A growable, uniquely-owned byte buffer that can be frozen into a
+/// shared [`Bytes`] without copying the data.
+///
+/// Used as the reusable scratch/send buffer on encode paths: build the
+/// frame with the [`BufMut`] methods, hand the result off with
+/// [`freeze`](BytesMut::freeze) or write it out and [`clear`] for the
+/// next frame.
+///
+/// [`clear`]: BytesMut::clear
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct BytesMut {
+    vec: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty buffer with room for `capacity` bytes.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut { vec: Vec::with_capacity(capacity) }
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.vec.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.vec.is_empty()
+    }
+
+    /// Total capacity of the underlying storage.
+    pub fn capacity(&self) -> usize {
+        self.vec.capacity()
+    }
+
+    /// Ensures room for `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.vec.reserve(additional);
+    }
+
+    /// Clears the contents, keeping the capacity for reuse.
+    pub fn clear(&mut self) {
+        self.vec.clear();
+    }
+
+    /// Appends raw bytes.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.vec.extend_from_slice(src);
+    }
+
+    /// Returns a view of the bytes as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.vec
+    }
+
+    /// Converts into a shared [`Bytes`] without copying the data (one
+    /// allocation for the shared refcount header).
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.vec)
+    }
+
+    /// Consumes the buffer and returns the underlying `Vec<u8>`.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.vec
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.vec.extend_from_slice(src);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.vec
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.vec
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(vec: Vec<u8>) -> Self {
+        BytesMut { vec }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -87,5 +399,59 @@ mod tests {
         out.put_u32_le(0xDEAD_BEEF);
         out.put_u16_le(0x0102);
         assert_eq!(out, vec![0xAB, 0xEF, 0xBE, 0xAD, 0xDE, 0x02, 0x01]);
+    }
+
+    #[test]
+    fn bytes_clone_and_slice_share_storage() {
+        let bytes = Bytes::copy_from_slice(b"hello world");
+        let clone = bytes.clone();
+        let hello = bytes.slice(0..5);
+        let world = bytes.slice(6..);
+        assert_eq!(clone, b"hello world");
+        assert_eq!(hello, b"hello");
+        assert_eq!(world, b"world");
+        // Sub-slices of sub-slices stay consistent.
+        assert_eq!(world.slice(1..3), b"or");
+    }
+
+    #[test]
+    fn bytes_from_vec_does_not_copy_semantics() {
+        let bytes = Bytes::from(vec![1u8, 2, 3]);
+        assert_eq!(bytes.len(), 3);
+        assert_eq!(bytes, vec![1u8, 2, 3]);
+        assert_eq!(bytes.to_vec(), vec![1u8, 2, 3]);
+    }
+
+    #[test]
+    fn empty_bytes_behave() {
+        let empty = Bytes::new();
+        assert!(empty.is_empty());
+        assert_eq!(empty.slice(..), empty);
+        assert_eq!(Bytes::default(), empty);
+    }
+
+    #[test]
+    #[should_panic(expected = "past buffer length")]
+    fn out_of_bounds_slice_panics() {
+        let _ = Bytes::copy_from_slice(b"ab").slice(0..3);
+    }
+
+    #[test]
+    fn bytes_mut_builds_and_freezes() {
+        let mut buf = BytesMut::with_capacity(16);
+        buf.put_u32_le(7);
+        buf.extend_from_slice(b"xy");
+        assert_eq!(buf.len(), 6);
+        let frozen = buf.freeze();
+        assert_eq!(frozen, [7u8, 0, 0, 0, b'x', b'y']);
+    }
+
+    #[test]
+    fn bytes_mut_clear_keeps_capacity() {
+        let mut buf = BytesMut::with_capacity(64);
+        buf.extend_from_slice(&[0u8; 48]);
+        buf.clear();
+        assert!(buf.is_empty());
+        assert!(buf.capacity() >= 64);
     }
 }

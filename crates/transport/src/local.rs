@@ -1,17 +1,37 @@
 //! In-process transport: participants are threads, links are in-memory
 //! queues, and every link demultiplexes concurrent sessions.
+//!
+//! Frames stay *structured* end to end: a sent [`Envelope`] is
+//! sequence-checked and deposited directly into its per-session
+//! mailbox — no encode-to-bytes / decode-from-bytes round trip ever
+//! happens in-process, and the payload the receiver observes is the
+//! very buffer the sender serialized (shared, not copied).
 
 use chorus_core::{
-    ChoreographyLocation, LocationSet, SequenceTracker, SessionId, SessionTransport, Transport,
-    TransportError, RAW_SESSION,
+    ChoreographyLocation, InternedNames, LocationSet, SequenceTracker, SessionId, SessionTransport,
+    Transport, TransportError, RAW_SESSION,
 };
 use chorus_wire::Envelope;
 use std::collections::{HashMap, VecDeque};
 use std::marker::PhantomData;
 use std::sync::{Arc, Condvar, Mutex};
 
-/// One directed link's state: encoded frames in transit plus the
-/// per-session mailboxes they are demultiplexed into.
+/// How many lock-and-look retries a receiver burns before escalating.
+/// In-process peers usually answer within a microsecond; polling
+/// briefly skips the cross-thread park/wake round trip that otherwise
+/// dominates the latency of small messages. Only used when more than
+/// one core is available — on a single core, spinning just steals the
+/// sender's CPU.
+const RECV_SPIN_LIMIT: u32 = 128;
+
+/// After spinning, how many `yield_now` retries before parking on the
+/// condvar. A yield immediately hands the core to a runnable sender —
+/// the cheap path on oversubscribed or single-core machines — while a
+/// park/wake costs two futex transitions.
+const RECV_YIELD_LIMIT: u32 = 32;
+
+/// One directed link's state: per-session FIFO mailboxes of structured
+/// frames.
 #[derive(Default)]
 struct LinkState {
     inner: Mutex<LinkInner>,
@@ -20,34 +40,15 @@ struct LinkState {
 
 #[derive(Default)]
 struct LinkInner {
-    /// Encoded envelopes, in send order, not yet demultiplexed.
-    raw: VecDeque<Vec<u8>>,
-    /// Per-session FIFO mailboxes.
+    /// Per-session FIFO mailboxes. Senders deposit directly (after
+    /// sequence validation); receivers only ever pop.
     mailboxes: HashMap<SessionId, VecDeque<Envelope>>,
     /// Per-session sequence validation.
     sequences: SequenceTracker,
     /// A protocol violation that poisoned the whole link. Every current
-    /// and future receiver sees it, not just the session whose thread
-    /// happened to demultiplex the bad frame.
+    /// and future receiver sees it, not just the session whose frame
+    /// was bad.
     dead: Option<String>,
-}
-
-impl LinkInner {
-    /// Moves the oldest in-transit frame into its session mailbox; on a
-    /// malformed or out-of-order frame, marks the link dead.
-    fn demux_one(&mut self, from: &str) {
-        if let Some(bytes) = self.raw.pop_front() {
-            match Envelope::decode(&bytes).map_err(TransportError::from).and_then(|envelope| {
-                self.sequences.check(envelope.session, from, envelope.seq)?;
-                Ok(envelope)
-            }) {
-                Ok(envelope) => {
-                    self.mailboxes.entry(envelope.session).or_default().push_back(envelope);
-                }
-                Err(e) => self.dead = Some(e.to_string()),
-            }
-        }
-    }
 }
 
 /// The shared fabric connecting every pair of locations in `L`.
@@ -106,6 +107,12 @@ impl<L: LocationSet> Default for LocalTransportChannel<L> {
 /// One participant's endpoint of a [`LocalTransportChannel`].
 pub struct LocalTransport<L: LocationSet, Target: ChoreographyLocation> {
     channel: LocalTransportChannel<L>,
+    /// The census, resolved once so per-message destination/sender
+    /// validation works over interned names without allocating.
+    names: InternedNames,
+    /// Spin budget for receives, resolved once from the machine's
+    /// parallelism: zero on a single core, [`RECV_SPIN_LIMIT`] otherwise.
+    spin_limit: u32,
     /// Sequence counters for the raw (sessionless) compatibility path.
     raw_seqs: Mutex<HashMap<&'static str, u64>>,
     target: PhantomData<Target>,
@@ -115,19 +122,20 @@ impl<L: LocationSet, Target: ChoreographyLocation> LocalTransport<L, Target> {
     /// Creates `target`'s endpoint over the shared fabric.
     pub fn new(target: Target, channel: LocalTransportChannel<L>) -> Self {
         let _ = target;
-        LocalTransport { channel, raw_seqs: Mutex::new(HashMap::new()), target: PhantomData }
+        static PARALLELISM: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+        let parallel = *PARALLELISM
+            .get_or_init(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+        LocalTransport {
+            channel,
+            names: InternedNames::of::<L>(),
+            spin_limit: if parallel > 1 { RECV_SPIN_LIMIT } else { 0 },
+            raw_seqs: Mutex::new(HashMap::new()),
+            target: PhantomData,
+        }
     }
 
-    fn link(&self, from: &str, to: &str) -> Result<&LinkState, TransportError> {
-        let key_from = L::names()
-            .into_iter()
-            .find(|n| *n == from)
-            .ok_or_else(|| TransportError::UnknownLocation(from.to_string()))?;
-        let key_to = L::names()
-            .into_iter()
-            .find(|n| *n == to)
-            .ok_or_else(|| TransportError::UnknownLocation(to.to_string()))?;
-        self.channel.links.get(&(key_from, key_to)).ok_or_else(|| {
+    fn link(&self, from: &'static str, to: &'static str) -> Result<&LinkState, TransportError> {
+        self.channel.links.get(&(from, to)).ok_or_else(|| {
             TransportError::UnknownLocation(if from == Target::NAME {
                 to.to_string()
             } else {
@@ -141,15 +149,34 @@ impl<L: LocationSet, Target: ChoreographyLocation> SessionTransport<L, Target>
     for LocalTransport<L, Target>
 {
     fn send_frame(&self, to: &str, frame: Envelope) -> Result<(), TransportError> {
+        let to = self.names.resolve(to)?;
         let link = self.link(Target::NAME, to)?;
         let mut inner = link.inner.lock().expect("local link poisoned");
-        inner.raw.push_back(frame.encode());
+        // Sequence-check and demultiplex at the sender, under the link
+        // lock: frames land in their session mailbox fully structured,
+        // sharing the sender's payload buffer. A violation poisons the
+        // link for every receiver, and frames sent after the poison are
+        // withheld — every session on the link sees the error, exactly
+        // as when demultiplexing stopped at the first bad frame. (The
+        // send itself still reports `Ok`; the error surfaces at the
+        // receivers.)
+        if inner.dead.is_none() {
+            match inner.sequences.check(frame.session, Target::NAME, frame.seq) {
+                Ok(()) => {
+                    inner.mailboxes.entry(frame.session).or_default().push_back(frame);
+                }
+                Err(e) => inner.dead = Some(e.to_string()),
+            }
+        }
+        drop(inner);
         link.cv.notify_all();
         Ok(())
     }
 
     fn receive_frame(&self, session: SessionId, from: &str) -> Result<Envelope, TransportError> {
+        let from = self.names.resolve(from)?;
         let link = self.link(from, Target::NAME)?;
+        let mut spins = 0u32;
         let mut inner = link.inner.lock().expect("local link poisoned");
         loop {
             if let Some(envelope) = inner.mailboxes.get_mut(&session).and_then(VecDeque::pop_front)
@@ -162,11 +189,23 @@ impl<L: LocationSet, Target: ChoreographyLocation> SessionTransport<L, Target>
                     "link from {from} is down: {reason}"
                 )));
             }
-            if !inner.raw.is_empty() {
-                inner.demux_one(from);
-                continue;
+            if spins < self.spin_limit {
+                // Briefly poll before escalating: drop the lock so the
+                // sender can deposit, give the core a breather, retry.
+                spins += 1;
+                drop(inner);
+                std::hint::spin_loop();
+                inner = link.inner.lock().expect("local link poisoned");
+            } else if spins < self.spin_limit + RECV_YIELD_LIMIT {
+                // Hand the core to a runnable sender; far cheaper than a
+                // park/wake when the reply is about to arrive.
+                spins += 1;
+                drop(inner);
+                std::thread::yield_now();
+                inner = link.inner.lock().expect("local link poisoned");
+            } else {
+                inner = link.cv.wait(inner).expect("local link poisoned");
             }
-            inner = link.cv.wait(inner).expect("local link poisoned");
         }
     }
 }
@@ -176,21 +215,18 @@ impl<L: LocationSet, Target: ChoreographyLocation> Transport<L, Target>
 {
     fn send(&self, to: &str, data: &[u8]) -> Result<(), TransportError> {
         let seq = {
-            let to_static = L::names()
-                .into_iter()
-                .find(|n| *n == to)
-                .ok_or_else(|| TransportError::UnknownLocation(to.to_string()))?;
+            let to_static = self.names.resolve(to)?;
             let mut seqs = self.raw_seqs.lock().expect("raw sequence counters poisoned");
             let counter = seqs.entry(to_static).or_insert(0);
             let seq = *counter;
             *counter += 1;
             seq
         };
-        self.send_frame(to, Envelope::new(RAW_SESSION, seq, data.to_vec()))
+        self.send_frame(to, Envelope::new(RAW_SESSION, seq, data))
     }
 
     fn receive(&self, from: &str) -> Result<Vec<u8>, TransportError> {
-        self.receive_frame(RAW_SESSION, from).map(|envelope| envelope.payload)
+        self.receive_frame(RAW_SESSION, from).map(|envelope| envelope.payload.to_vec())
     }
 }
 
@@ -264,5 +300,20 @@ mod tests {
         alice.send_frame("Bob", Envelope::new(1, 2, b"gap".to_vec())).unwrap();
         assert_eq!(bob.receive_frame(1, "Alice").unwrap().payload, b"ok");
         assert!(matches!(bob.receive_frame(1, "Alice"), Err(TransportError::Protocol(_))));
+    }
+
+    #[test]
+    fn frames_sent_after_a_poison_are_withheld() {
+        let channel = LocalTransportChannel::<System>::new();
+        let alice = LocalTransport::new(Alice, channel.clone());
+        let bob = LocalTransport::new(Bob, channel);
+        alice.send_frame("Bob", Envelope::new(1, 0, b"ok".to_vec())).unwrap();
+        // Poison the link with a sequence gap in session 1...
+        alice.send_frame("Bob", Envelope::new(1, 2, b"gap".to_vec())).unwrap();
+        // ...then send a perfectly valid frame in session 2: it must be
+        // withheld, so *every* session on the link observes the error.
+        alice.send_frame("Bob", Envelope::new(2, 0, b"late".to_vec())).unwrap();
+        assert_eq!(bob.receive_frame(1, "Alice").unwrap().payload, b"ok");
+        assert!(matches!(bob.receive_frame(2, "Alice"), Err(TransportError::Protocol(_))));
     }
 }

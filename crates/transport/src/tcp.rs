@@ -11,12 +11,18 @@
 //! it into a per-(session, sender) FIFO mailbox, giving the per-sender
 //! ordering guarantee the λN model assumes *within* each session while
 //! letting sessions interleave freely on the socket.
+//!
+//! The data plane is allocation-lean: sends assemble small frames in a
+//! reused per-link buffer (one `write` syscall) and put large payloads
+//! on the wire as a second slice without copying them; reads pull each
+//! frame into a pooled per-peer buffer and slice the payload out into
+//! exactly-sized shared storage (one allocation per message).
 
 use chorus_core::{
-    ChoreographyLocation, LocationSet, SequenceTracker, SessionId, SessionTransport, Transport,
-    TransportError, RAW_SESSION,
+    ChoreographyLocation, InternedNames, LocationSet, SequenceTracker, SessionId, SessionTransport,
+    Transport, TransportError, RAW_SESSION,
 };
-use chorus_wire::Envelope;
+use chorus_wire::{Envelope, ENVELOPE_HEADER_LEN};
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::io::{Read, Write};
@@ -97,6 +103,63 @@ fn read_frame(stream: &mut TcpStream) -> std::io::Result<Vec<u8>> {
     Ok(payload)
 }
 
+/// Payloads up to this size are coalesced with their headers into the
+/// reused send buffer and hit the socket as a single `write`; larger
+/// payloads go out as their own slice, uncopied.
+const COALESCE_LIMIT: usize = 16 * 1024;
+
+/// Writes one envelope: `u32` outer length, envelope header, payload —
+/// assembled in `buf` (whose capacity is reused across frames) or, for
+/// large payloads, written as two slices so the payload is never
+/// copied.
+fn write_envelope(
+    stream: &mut TcpStream,
+    buf: &mut Vec<u8>,
+    frame: &Envelope,
+) -> std::io::Result<()> {
+    let inner_len = frame.encoded_len();
+    let outer_len = u32::try_from(inner_len)
+        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidInput, "frame too large"))?;
+    buf.clear();
+    buf.extend_from_slice(&outer_len.to_le_bytes());
+    buf.extend_from_slice(&frame.header());
+    if frame.payload.len() <= COALESCE_LIMIT {
+        buf.extend_from_slice(&frame.payload);
+        stream.write_all(buf)?;
+    } else {
+        stream.write_all(buf)?;
+        stream.write_all(&frame.payload)?;
+    }
+    stream.flush()
+}
+
+/// Why reading one envelope off a socket failed.
+enum ReadFrameError {
+    /// The connection ended (peer hung up or I/O error).
+    Disconnected,
+    /// The stream delivered bytes that are not a valid envelope.
+    Malformed(String),
+}
+
+/// Reads one envelope into the pooled `scratch` buffer (capacity reused
+/// across frames) and decodes it, copying only the payload out into
+/// exactly-sized shared storage.
+fn read_envelope(
+    stream: &mut TcpStream,
+    scratch: &mut Vec<u8>,
+) -> Result<Envelope, ReadFrameError> {
+    let mut len_bytes = [0u8; 4];
+    stream.read_exact(&mut len_bytes).map_err(|_| ReadFrameError::Disconnected)?;
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len < ENVELOPE_HEADER_LEN {
+        return Err(ReadFrameError::Malformed("frame shorter than an envelope header".into()));
+    }
+    scratch.clear();
+    scratch.resize(len, 0);
+    stream.read_exact(scratch).map_err(|_| ReadFrameError::Disconnected)?;
+    Envelope::decode(scratch).map_err(|e| ReadFrameError::Malformed(e.to_string()))
+}
+
 /// The demultiplexed receive side shared by all reader threads.
 #[derive(Default)]
 struct Inbox {
@@ -106,37 +169,41 @@ struct Inbox {
 
 #[derive(Default)]
 struct InboxInner {
-    /// Per-(sender, session) FIFO mailboxes.
-    mailboxes: HashMap<(String, SessionId), VecDeque<Envelope>>,
+    /// Per-(sender, session) FIFO mailboxes, keyed by interned sender
+    /// names so per-frame routing allocates nothing.
+    mailboxes: HashMap<(&'static str, SessionId), VecDeque<Envelope>>,
     /// Per-(session, sender) sequence validation.
     sequences: SequenceTracker,
     /// Senders whose connection has ended (with an optional error).
-    closed: HashMap<String, Option<String>>,
+    closed: HashMap<&'static str, Option<String>>,
 }
 
 impl Inbox {
     /// Routes one decoded envelope from `sender` into its mailbox.
-    fn deposit(&self, sender: &str, envelope: Envelope) {
+    fn deposit(&self, sender: &'static str, envelope: Envelope) {
         let mut inner = self.inner.lock().expect("tcp inbox poisoned");
+        // A sender that violated its sequence is unrecoverable (see
+        // `reopen`): withhold everything it sends afterwards so every
+        // session behind it observes the protocol error instead of a
+        // silently resumed stream.
+        if matches!(inner.closed.get(sender), Some(Some(_))) {
+            return;
+        }
         match inner.sequences.check(envelope.session, sender, envelope.seq) {
             Ok(()) => {
-                inner
-                    .mailboxes
-                    .entry((sender.to_string(), envelope.session))
-                    .or_default()
-                    .push_back(envelope);
+                inner.mailboxes.entry((sender, envelope.session)).or_default().push_back(envelope);
             }
             Err(e) => {
-                inner.closed.insert(sender.to_string(), Some(e.to_string()));
+                inner.closed.insert(sender, Some(e.to_string()));
             }
         }
         self.cv.notify_all();
     }
 
     /// Marks `sender`'s connection as ended.
-    fn close(&self, sender: &str, error: Option<String>) {
+    fn close(&self, sender: &'static str, error: Option<String>) {
         let mut inner = self.inner.lock().expect("tcp inbox poisoned");
-        inner.closed.entry(sender.to_string()).or_insert(error);
+        inner.closed.entry(sender).or_insert(error);
         self.cv.notify_all();
     }
 
@@ -144,7 +211,7 @@ impl Inbox {
     /// connection, so a reconnecting peer resumes feeding its mailboxes
     /// instead of being treated as permanently gone. A sequence
     /// violation is kept: the stream state is unrecoverable.
-    fn reopen(&self, sender: &str) {
+    fn reopen(&self, sender: &'static str) {
         let mut inner = self.inner.lock().expect("tcp inbox poisoned");
         if matches!(inner.closed.get(sender), Some(None)) {
             inner.closed.remove(sender);
@@ -152,11 +219,12 @@ impl Inbox {
     }
 
     /// Blocks until a frame of `session` from `sender` arrives.
-    fn take(&self, session: SessionId, sender: &str) -> Result<Envelope, TransportError> {
+    fn take(&self, session: SessionId, sender: &'static str) -> Result<Envelope, TransportError> {
         let mut inner = self.inner.lock().expect("tcp inbox poisoned");
         loop {
-            let key = (sender.to_string(), session);
-            if let Some(envelope) = inner.mailboxes.get_mut(&key).and_then(VecDeque::pop_front) {
+            if let Some(envelope) =
+                inner.mailboxes.get_mut(&(sender, session)).and_then(VecDeque::pop_front)
+            {
                 return Ok(envelope);
             }
             if let Some(error) = inner.closed.get(sender) {
@@ -170,14 +238,25 @@ impl Inbox {
     }
 }
 
+/// One outgoing link: the lazily-opened stream plus a reused frame
+/// assembly buffer, so steady-state sends allocate nothing.
+#[derive(Default)]
+struct SendLink {
+    stream: Option<TcpStream>,
+    buf: Vec<u8>,
+}
+
 /// One endpoint of a TCP-connected choreography.
 pub struct TcpTransport<L: LocationSet, Target: ChoreographyLocation> {
     config: TcpConfig<L>,
+    /// The census, resolved once so per-message destination/sender
+    /// validation works over interned names.
+    names: InternedNames,
     /// Per-peer outgoing links. The outer lock is held only to look up
     /// or create an entry; connecting (which retries with backoff) and
     /// writing happen under the per-peer lock, so one slow or dead peer
     /// never stalls sends to the others.
-    outgoing: Mutex<HashMap<&'static str, Arc<Mutex<Option<TcpStream>>>>>,
+    outgoing: Mutex<HashMap<&'static str, Arc<Mutex<SendLink>>>>,
     inbox: Arc<Inbox>,
     /// Sequence counters for the raw (sessionless) compatibility path.
     raw_seqs: Mutex<HashMap<&'static str, u64>>,
@@ -214,6 +293,7 @@ impl<L: LocationSet, Target: ChoreographyLocation> TcpTransport<L, Target> {
 
         Ok(TcpTransport {
             config,
+            names: InternedNames::of::<L>(),
             outgoing: Mutex::new(HashMap::new()),
             inbox,
             raw_seqs: Mutex::new(HashMap::new()),
@@ -267,27 +347,30 @@ fn accept_loop(
                 std::thread::spawn(move || {
                     stream.set_nonblocking(false).ok();
                     stream.set_nodelay(true).ok();
-                    // Handshake frame identifies the peer.
+                    // Handshake frame identifies the peer; resolve it to
+                    // the interned census name once, so every subsequent
+                    // frame routes without allocating.
                     let Ok(name_bytes) = read_frame(&mut stream) else { return };
                     let Ok(name) = String::from_utf8(name_bytes) else { return };
-                    if !peers.contains(name.as_str()) {
+                    let Some(name) = peers.get(name.as_str()).copied() else {
                         return;
-                    }
+                    };
                     // A fresh connection from a peer whose previous one
                     // hung up resumes feeding its mailboxes.
-                    inbox.reopen(&name);
+                    inbox.reopen(name);
+                    // Pooled read buffer: frames are pulled into this
+                    // scratch space and payloads sliced out of it.
+                    let mut scratch = Vec::new();
                     while !stop.load(Ordering::Relaxed) {
-                        match read_frame(&mut stream) {
-                            Ok(bytes) => match Envelope::decode(&bytes) {
-                                Ok(envelope) => inbox.deposit(&name, envelope),
-                                Err(e) => {
-                                    inbox.close(&name, Some(format!("bad frame: {e}")));
-                                    return;
-                                }
-                            },
-                            Err(_) => {
+                        match read_envelope(&mut stream, &mut scratch) {
+                            Ok(envelope) => inbox.deposit(name, envelope),
+                            Err(ReadFrameError::Malformed(e)) => {
+                                inbox.close(name, Some(format!("bad frame: {e}")));
+                                return;
+                            }
+                            Err(ReadFrameError::Disconnected) => {
                                 // Peer hung up.
-                                inbox.close(&name, None);
+                                inbox.close(name, None);
                                 return;
                             }
                         }
@@ -312,28 +395,27 @@ impl<L: LocationSet, Target: ChoreographyLocation> SessionTransport<L, Target>
     for TcpTransport<L, Target>
 {
     fn send_frame(&self, to: &str, frame: Envelope) -> Result<(), TransportError> {
-        let to_static = L::names()
-            .into_iter()
-            .find(|n| *n == to)
-            .ok_or_else(|| TransportError::UnknownLocation(to.to_string()))?;
+        let to_static = self.names.resolve(to)?;
         let link = {
             let mut outgoing = self.outgoing.lock();
             Arc::clone(outgoing.entry(to_static).or_default())
         };
-        let mut stream_slot = link.lock();
-        if stream_slot.is_none() {
-            *stream_slot = Some(self.connect(to_static)?);
+        let mut link = link.lock();
+        if link.stream.is_none() {
+            link.stream = Some(self.connect(to_static)?);
         }
-        let stream = stream_slot.as_mut().expect("just connected");
-        write_frame(stream, &frame.encode()).map_err(|e| {
+        let SendLink { stream, buf } = &mut *link;
+        let stream = stream.as_mut().expect("just connected");
+        write_envelope(stream, buf, &frame).map_err(|e| {
             // Drop the dead stream; the next send reconnects lazily.
-            *stream_slot = None;
+            link.stream = None;
             TransportError::Io(e)
         })
     }
 
     fn receive_frame(&self, session: SessionId, from: &str) -> Result<Envelope, TransportError> {
-        if !L::names().contains(&from) || from == Target::NAME {
+        let from = self.names.resolve(from)?;
+        if from == Target::NAME {
             return Err(TransportError::UnknownLocation(from.to_string()));
         }
         self.inbox.take(session, from)
@@ -345,21 +427,18 @@ impl<L: LocationSet, Target: ChoreographyLocation> Transport<L, Target>
 {
     fn send(&self, to: &str, data: &[u8]) -> Result<(), TransportError> {
         let seq = {
-            let to_static = L::names()
-                .into_iter()
-                .find(|n| *n == to)
-                .ok_or_else(|| TransportError::UnknownLocation(to.to_string()))?;
+            let to_static = self.names.resolve(to)?;
             let mut seqs = self.raw_seqs.lock();
             let counter = seqs.entry(to_static).or_insert(0);
             let seq = *counter;
             *counter += 1;
             seq
         };
-        self.send_frame(to, Envelope::new(RAW_SESSION, seq, data.to_vec()))
+        self.send_frame(to, Envelope::new(RAW_SESSION, seq, data))
     }
 
     fn receive(&self, from: &str) -> Result<Vec<u8>, TransportError> {
-        self.receive_frame(RAW_SESSION, from).map(|envelope| envelope.payload)
+        self.receive_frame(RAW_SESSION, from).map(|envelope| envelope.payload.to_vec())
     }
 }
 

@@ -1,0 +1,118 @@
+//! Pins the encode-once fan-out property: a multicast (and a broadcast)
+//! serializes its value **exactly once**, no matter how many
+//! destinations receive it — every recipient, including the sender's
+//! own keep-copy, observes the same encoded bytes.
+//!
+//! The probes are values whose `Serialize` impls count their
+//! invocations (one counter per test, so the tests can run on the
+//! harness's concurrent threads without interfering).
+
+use chorus_core::{ChoreoOp, Choreography, Endpoint, Located, LocationSet as _, MultiplyLocated};
+use chorus_transport::{LocalTransport, LocalTransportChannel};
+use serde::de::Deserializer;
+use serde::ser::Serializer;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+macro_rules! counted_probe {
+    ($name:ident, $counter:ident) => {
+        static $counter: AtomicUsize = AtomicUsize::new(0);
+
+        #[derive(Debug, Clone, PartialEq, Eq)]
+        struct $name(u64);
+
+        impl Serialize for $name {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                $counter.fetch_add(1, Ordering::SeqCst);
+                self.0.serialize(serializer)
+            }
+        }
+
+        impl<'de> Deserialize<'de> for $name {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                u64::deserialize(deserializer).map($name)
+            }
+        }
+    };
+}
+
+counted_probe!(MulticastProbe, MULTICAST_SERIALIZATIONS);
+counted_probe!(BroadcastProbe, BROADCAST_SERIALIZATIONS);
+
+chorus_core::locations! { A, B, C, D }
+type Census = chorus_core::LocationSet!(A, B, C, D);
+
+/// A multicasts to the whole census (itself included) and everyone
+/// returns the value they observed.
+#[derive(Clone)]
+struct FanOut;
+
+impl Choreography<u64> for FanOut {
+    type L = Census;
+
+    fn run(self, op: &impl ChoreoOp<Self::L>) -> u64 {
+        let at_a: Located<MulticastProbe, A> = op.locally(A, |_| MulticastProbe(41));
+        let shared: MultiplyLocated<MulticastProbe, Census> = op.multicast(A, Census::new(), &at_a);
+        op.naked(shared).0
+    }
+}
+
+/// A broadcasts; every location returns what it heard.
+#[derive(Clone)]
+struct Shout;
+
+impl Choreography<u64> for Shout {
+    type L = Census;
+
+    fn run(self, op: &impl ChoreoOp<Self::L>) -> u64 {
+        let at_a: Located<BroadcastProbe, A> = op.locally(A, |_| BroadcastProbe(17));
+        op.broadcast(A, at_a).0
+    }
+}
+
+fn run_everywhere<C: Choreography<u64, L = Census> + Clone + Send + 'static>(
+    choreo: C,
+) -> Vec<u64> {
+    let channel = LocalTransportChannel::<Census>::new();
+    let mut handles = Vec::new();
+    macro_rules! spawn_at {
+        ($loc:ident) => {{
+            let ch = channel.clone();
+            let c = choreo.clone();
+            handles.push(std::thread::spawn(move || {
+                let endpoint = Endpoint::new(LocalTransport::new($loc, ch));
+                endpoint.session_with_id(7).epp_and_run(c)
+            }));
+        }};
+    }
+    spawn_at!(A);
+    spawn_at!(B);
+    spawn_at!(C);
+    spawn_at!(D);
+    handles.into_iter().map(|h| h.join().expect("participant")).collect()
+}
+
+#[test]
+fn multicast_serializes_exactly_once_regardless_of_census_size() {
+    let results = run_everywhere(FanOut);
+    assert_eq!(results, vec![41, 41, 41, 41]);
+    // One fan-out to 3 remote destinations plus the sender's keep-copy:
+    // one serialization total. (The counter also proves the keep-copy
+    // decodes the shared bytes instead of re-encoding.)
+    assert_eq!(
+        MULTICAST_SERIALIZATIONS.load(Ordering::SeqCst),
+        1,
+        "multicast must serialize once, not once per destination"
+    );
+}
+
+#[test]
+fn broadcast_serializes_exactly_once() {
+    let results = run_everywhere(Shout);
+    assert_eq!(results, vec![17, 17, 17, 17]);
+    assert_eq!(
+        BROADCAST_SERIALIZATIONS.load(Ordering::SeqCst),
+        1,
+        "broadcast must serialize once, not once per listener"
+    );
+}

@@ -16,50 +16,115 @@
 //! * `seq` is the per-(session, sender → receiver) sequence number,
 //!   starting at zero, preserving the per-sender FIFO guarantee the λN
 //!   model assumes (§4.1) *within* each session;
-//! * `payload` is the chorus-wire encoding of the value being sent.
+//! * `payload` is the chorus-wire encoding of the value being sent,
+//!   held as a shared [`Bytes`] so an envelope clone (multicast fan-out,
+//!   the sender's keep-copy, in-process delivery) never copies it.
 //!
 //! All integers are little-endian, matching the rest of the wire format.
+//!
+//! The encode/decode surface comes in two flavors per direction: the
+//! allocating convenience pair ([`encode`](Envelope::encode) /
+//! [`decode`](Envelope::decode)) and the buffer-reusing, zero-copy pair
+//! ([`encode_into`](Envelope::encode_into) /
+//! [`decode_shared`](Envelope::decode_shared)). The convenience pair is
+//! defined in terms of the other, so the two can never disagree on the
+//! format.
 
 use crate::WireError;
+use bytes::{BufMut, Bytes, BytesMut};
 
 /// Byte length of the fixed envelope header.
 pub const ENVELOPE_HEADER_LEN: usize = 8 + 8 + 4;
 
 /// One framed message: session id, per-edge sequence number, payload.
+///
+/// Cloning an envelope is cheap: the payload is a shared [`Bytes`], so
+/// clones reference the same buffer.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Envelope {
     /// The session this message belongs to.
     pub session: u64,
     /// Position of this message in its (session, sender) stream.
     pub seq: u64,
-    /// The encoded value being carried.
-    pub payload: Vec<u8>,
+    /// The encoded value being carried, shared and immutable.
+    pub payload: Bytes,
 }
 
 impl Envelope {
     /// Wraps a payload in an envelope.
-    pub fn new(session: u64, seq: u64, payload: Vec<u8>) -> Self {
-        Envelope { session, seq, payload }
+    pub fn new(session: u64, seq: u64, payload: impl Into<Bytes>) -> Self {
+        Envelope { session, seq, payload: payload.into() }
+    }
+
+    /// Total encoded size of this envelope: header plus payload.
+    pub fn encoded_len(&self) -> usize {
+        ENVELOPE_HEADER_LEN + self.payload.len()
+    }
+
+    /// Writes the fixed-size header (session, seq, payload length) into
+    /// a stack array, so transports can put header and payload on the
+    /// wire as two slices without assembling a contiguous frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload exceeds `u32::MAX` bytes (no transport in
+    /// this workspace produces frames that large).
+    pub fn header(&self) -> [u8; ENVELOPE_HEADER_LEN] {
+        let len =
+            u32::try_from(self.payload.len()).expect("envelope payload exceeds u32::MAX bytes");
+        let mut header = [0u8; ENVELOPE_HEADER_LEN];
+        header[0..8].copy_from_slice(&self.session.to_le_bytes());
+        header[8..16].copy_from_slice(&self.seq.to_le_bytes());
+        header[16..20].copy_from_slice(&len.to_le_bytes());
+        header
+    }
+
+    /// Appends the encoded envelope to `out`, reusing its capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload exceeds `u32::MAX` bytes.
+    pub fn encode_into(&self, out: &mut BytesMut) {
+        out.reserve(self.encoded_len());
+        out.put_slice(&self.header());
+        out.put_slice(&self.payload);
     }
 
     /// Encodes the envelope into a fresh byte vector.
+    ///
+    /// Convenience wrapper over [`encode_into`](Envelope::encode_into);
+    /// hot paths should reuse a buffer instead.
     ///
     /// # Panics
     ///
     /// Panics if the payload exceeds `u32::MAX` bytes (no transport in
     /// this workspace produces frames that large).
     pub fn encode(&self) -> Vec<u8> {
-        let len =
-            u32::try_from(self.payload.len()).expect("envelope payload exceeds u32::MAX bytes");
-        let mut out = Vec::with_capacity(ENVELOPE_HEADER_LEN + self.payload.len());
-        out.extend_from_slice(&self.session.to_le_bytes());
-        out.extend_from_slice(&self.seq.to_le_bytes());
-        out.extend_from_slice(&len.to_le_bytes());
-        out.extend_from_slice(&self.payload);
-        out
+        let mut out = BytesMut::with_capacity(self.encoded_len());
+        self.encode_into(&mut out);
+        out.into_vec()
     }
 
-    /// Decodes an envelope from `bytes`.
+    /// Validates the frame layout of `bytes` and returns the payload
+    /// range, without touching the payload itself.
+    fn parse_header(bytes: &[u8]) -> Result<(u64, u64, usize), WireError> {
+        if bytes.len() < ENVELOPE_HEADER_LEN {
+            return Err(WireError::UnexpectedEof);
+        }
+        let session = u64::from_le_bytes(bytes[0..8].try_into().expect("8 bytes"));
+        let seq = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+        let len = u32::from_le_bytes(bytes[16..20].try_into().expect("4 bytes")) as usize;
+        let body = bytes.len() - ENVELOPE_HEADER_LEN;
+        match body {
+            n if n < len => Err(WireError::UnexpectedEof),
+            n if n > len => Err(WireError::TrailingBytes(n - len)),
+            _ => Ok((session, seq, len)),
+        }
+    }
+
+    /// Decodes an envelope by *slicing* the payload out of a shared
+    /// buffer: the returned envelope references `bytes`' storage and no
+    /// payload bytes are copied.
     ///
     /// # Errors
     ///
@@ -67,19 +132,34 @@ impl Envelope {
     /// truncated, and [`WireError::TrailingBytes`] if bytes remain after
     /// the declared payload length — an envelope is always exactly one
     /// frame.
+    pub fn decode_shared(bytes: &Bytes) -> Result<Self, WireError> {
+        let (session, seq, len) = Self::parse_header(bytes)?;
+        Ok(Envelope {
+            session,
+            seq,
+            payload: bytes.slice(ENVELOPE_HEADER_LEN..ENVELOPE_HEADER_LEN + len),
+        })
+    }
+
+    /// Decodes an envelope from a plain byte slice, copying the payload
+    /// into fresh shared storage.
+    ///
+    /// Layout validation is identical to
+    /// [`decode_shared`](Envelope::decode_shared); use that when the
+    /// input is already a [`Bytes`] to skip the copy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::UnexpectedEof`] if the header or payload is
+    /// truncated, and [`WireError::TrailingBytes`] if bytes remain after
+    /// the declared payload length.
     pub fn decode(bytes: &[u8]) -> Result<Self, WireError> {
-        if bytes.len() < ENVELOPE_HEADER_LEN {
-            return Err(WireError::UnexpectedEof);
-        }
-        let session = u64::from_le_bytes(bytes[0..8].try_into().expect("8 bytes"));
-        let seq = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
-        let len = u32::from_le_bytes(bytes[16..20].try_into().expect("4 bytes")) as usize;
-        let body = &bytes[ENVELOPE_HEADER_LEN..];
-        match body.len() {
-            n if n < len => Err(WireError::UnexpectedEof),
-            n if n > len => Err(WireError::TrailingBytes(n - len)),
-            _ => Ok(Envelope { session, seq, payload: body.to_vec() }),
-        }
+        let (session, seq, len) = Self::parse_header(bytes)?;
+        Ok(Envelope {
+            session,
+            seq,
+            payload: Bytes::copy_from_slice(&bytes[ENVELOPE_HEADER_LEN..ENVELOPE_HEADER_LEN + len]),
+        })
     }
 }
 
@@ -103,5 +183,32 @@ mod tests {
         assert_eq!(&bytes[8..16], &2u64.to_le_bytes());
         assert_eq!(&bytes[16..20], &1u32.to_le_bytes());
         assert_eq!(bytes[20], 0xAA);
+    }
+
+    #[test]
+    fn encode_into_appends_and_reuses_capacity() {
+        let env = Envelope::new(3, 4, b"abc".to_vec());
+        let mut buf = BytesMut::with_capacity(64);
+        buf.put_u8(0xEE); // pre-existing content survives
+        env.encode_into(&mut buf);
+        assert_eq!(buf[0], 0xEE);
+        assert_eq!(&buf[1..], env.encode().as_slice());
+    }
+
+    #[test]
+    fn decode_shared_slices_without_copying() {
+        let env = Envelope::new(9, 1, b"shared-payload".to_vec());
+        let frame = Bytes::from(env.encode());
+        let back = Envelope::decode_shared(&frame).unwrap();
+        assert_eq!(back, env);
+        // The payload is a view into the frame buffer.
+        assert_eq!(back.payload, frame.slice(ENVELOPE_HEADER_LEN..));
+    }
+
+    #[test]
+    fn header_matches_encoding_prefix() {
+        let env = Envelope::new(11, 12, b"xyz".to_vec());
+        assert_eq!(env.header(), env.encode()[..ENVELOPE_HEADER_LEN]);
+        assert_eq!(env.encoded_len(), env.encode().len());
     }
 }

@@ -33,7 +33,11 @@ mod ser;
 pub use de::{from_bytes, Deserializer};
 pub use envelope::{Envelope, ENVELOPE_HEADER_LEN};
 pub use error::WireError;
-pub use ser::{to_bytes, Serializer};
+pub use ser::{to_bytes, to_bytes_into, Serializer};
+
+// Re-exported so every crate in the workspace shares one buffer type
+// for payloads without depending on the `bytes` shim directly.
+pub use bytes::{BufMut, Bytes, BytesMut};
 
 /// Result alias used throughout this crate.
 pub type Result<T> = std::result::Result<T, WireError>;

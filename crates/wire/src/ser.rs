@@ -28,6 +28,27 @@ pub fn to_bytes<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
     Ok(serializer.out)
 }
 
+/// Serializes `value` by *appending* to `out`, reusing its capacity.
+///
+/// This is the hot-path twin of [`to_bytes`]: a session serializing
+/// many messages keeps one scratch buffer and clears it between
+/// messages, so steady-state encoding performs no allocations at all.
+///
+/// On error, `out` may contain a partially written value; callers that
+/// reuse the buffer should treat its contents as garbage after a
+/// failure (clearing before the next use, as the append semantics
+/// require anyway).
+///
+/// # Errors
+///
+/// Same conditions as [`to_bytes`].
+pub fn to_bytes_into<T: Serialize + ?Sized>(value: &T, out: &mut Vec<u8>) -> Result<()> {
+    let mut serializer = Serializer { out: std::mem::take(out) };
+    let result = value.serialize(&mut serializer);
+    *out = serializer.out;
+    result
+}
+
 /// A streaming serializer writing the wire format into a `Vec<u8>`.
 ///
 /// Most users want [`to_bytes`]; the type is public so callers can reuse a

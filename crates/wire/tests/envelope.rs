@@ -3,7 +3,7 @@
 //! must get right — zero-length payloads, `u32::MAX`-and-beyond session
 //! ids — and rejection of truncated or padded frames.
 
-use chorus_wire::{Envelope, WireError, ENVELOPE_HEADER_LEN};
+use chorus_wire::{Bytes, BytesMut, Envelope, WireError, ENVELOPE_HEADER_LEN};
 use proptest::collection::vec;
 use proptest::prelude::*;
 
@@ -76,5 +76,87 @@ proptest! {
     fn decoder_never_panics_on_garbage(bytes in vec(any::<u8>(), 0..64)) {
         // Any outcome but a panic.
         let _ = Envelope::decode(&bytes);
+    }
+
+    // The zero-copy surface (`encode_into` / `decode_shared`) must be
+    // byte- and error-identical to the allocating one (`encode` /
+    // `decode`): same frames out, same envelopes (or errors) back.
+
+    #[test]
+    fn encode_into_matches_encode(
+        session: u64,
+        seq: u64,
+        payload in vec(any::<u8>(), 0..512),
+        prefix in vec(any::<u8>(), 0..16),
+    ) {
+        let envelope = Envelope::new(session, seq, payload);
+        // `encode_into` appends after existing content and reuses the
+        // buffer's capacity; the appended bytes must equal `encode`.
+        let mut buf = BytesMut::with_capacity(1024);
+        buf.extend_from_slice(&prefix);
+        envelope.encode_into(&mut buf);
+        prop_assert_eq!(&buf[..prefix.len()], prefix.as_slice());
+        let reference = envelope.encode();
+        prop_assert_eq!(&buf[prefix.len()..], reference.as_slice());
+        prop_assert_eq!(buf.len() - prefix.len(), envelope.encoded_len());
+    }
+
+    #[test]
+    fn decode_shared_round_trips_and_shares_storage(
+        session: u64,
+        seq: u64,
+        payload in vec(any::<u8>(), 0..512),
+    ) {
+        let envelope = Envelope::new(session, seq, payload);
+        let frame = Bytes::from(envelope.encode());
+        let back = Envelope::decode_shared(&frame).unwrap();
+        prop_assert_eq!(&back, &envelope);
+        // Zero-copy: the payload is literally a slice of the frame.
+        prop_assert_eq!(&back.payload, &frame.slice(ENVELOPE_HEADER_LEN..));
+    }
+
+    #[test]
+    fn decode_shared_rejects_truncation_like_decode(
+        session: u64,
+        seq: u64,
+        payload in vec(any::<u8>(), 1..128),
+        cut_back in 1usize..64,
+    ) {
+        let bytes = Envelope::new(session, seq, payload).encode();
+        let cut = bytes.len() - cut_back.min(bytes.len());
+        let truncated = &bytes[..cut];
+        let via_slice = Envelope::decode(truncated);
+        let via_shared = Envelope::decode_shared(&Bytes::copy_from_slice(truncated));
+        prop_assert!(matches!(via_slice, Err(WireError::UnexpectedEof)));
+        prop_assert!(matches!(via_shared, Err(WireError::UnexpectedEof)));
+    }
+
+    #[test]
+    fn decode_shared_rejects_trailing_bytes_like_decode(
+        session: u64,
+        seq: u64,
+        payload in vec(any::<u8>(), 0..128),
+        extra in vec(any::<u8>(), 1..32),
+    ) {
+        let mut bytes = Envelope::new(session, seq, payload).encode();
+        bytes.extend_from_slice(&extra);
+        let n = extra.len();
+        let via_slice = Envelope::decode(&bytes);
+        let via_shared = Envelope::decode_shared(&Bytes::from(bytes));
+        prop_assert!(matches!(via_slice, Err(WireError::TrailingBytes(m)) if m == n));
+        prop_assert!(matches!(via_shared, Err(WireError::TrailingBytes(m)) if m == n));
+    }
+
+    #[test]
+    fn decode_shared_never_panics_on_garbage(bytes in vec(any::<u8>(), 0..64)) {
+        // Same layout validation as `decode`: identical verdicts on
+        // arbitrary input, and never a panic.
+        let via_slice = Envelope::decode(&bytes);
+        let via_shared = Envelope::decode_shared(&Bytes::from(bytes));
+        match (via_slice, via_shared) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+            (Err(_), Err(_)) => {}
+            (a, b) => prop_assert!(false, "verdicts diverge: {a:?} vs {b:?}"),
+        }
     }
 }
