@@ -9,6 +9,9 @@
 //! Flags:
 //! * `--quick`  — 1 warm-up + short measurement; the CI smoke mode that
 //!   keeps the bins from rotting without burning minutes.
+//! * `--sim`    — also run the simulated-network benches, reporting
+//!   wall time *and* virtual-time throughput (messages per virtual
+//!   tick) under a seeded hostile schedule.
 //! * `--out <path>` — where to write the JSON (default
 //!   `BENCH_results.json` in the current directory).
 
@@ -16,7 +19,9 @@ use chorus_core::{Endpoint, Runner};
 use chorus_protocols::kvs_simple::{SimpleKvs, SimpleKvsCensus};
 use chorus_protocols::roles::{Client, Primary};
 use chorus_protocols::store::{Request, Response, SharedStore};
-use chorus_transport::{LocalTransport, LocalTransportChannel, TransportMetrics};
+use chorus_transport::{
+    FaultPlan, LocalTransport, LocalTransportChannel, SimNet, SimTransport, TransportMetrics,
+};
 use chorus_wire::{Bytes, BytesMut, Envelope};
 use std::hint::black_box;
 use std::sync::Arc;
@@ -32,6 +37,9 @@ struct BenchResult {
     messages: u64,
     /// Payload bytes one iteration puts on the wire.
     bytes: u64,
+    /// Simulated-network benches only: total frames delivered and the
+    /// final virtual tick, for a wall-clock-free throughput figure.
+    sim: Option<(u64, u64)>,
 }
 
 /// Times `f` over a warm-up plus a budgeted measurement loop.
@@ -129,6 +137,7 @@ fn bench_shared_endpoint(quick: bool) -> BenchResult {
         iters,
         messages,
         bytes,
+        sim: None,
     }
 }
 
@@ -163,6 +172,7 @@ fn bench_fresh_endpoint(quick: bool) -> BenchResult {
         iters,
         messages,
         bytes,
+        sim: None,
     }
 }
 
@@ -178,7 +188,14 @@ fn bench_centralized(quick: bool) -> BenchResult {
         });
         black_box(runner.unwrap_located(out));
     });
-    BenchResult { name: "kvs_simple/centralized_get", ns_per_iter, iters, messages: 0, bytes: 0 }
+    BenchResult {
+        name: "kvs_simple/centralized_get",
+        ns_per_iter,
+        iters,
+        messages: 0,
+        bytes: 0,
+        sim: None,
+    }
 }
 
 /// Encode-once fan-out: one multicast of a 1 KiB value from A to three
@@ -211,6 +228,7 @@ fn bench_multicast_fanout(quick: bool) -> BenchResult {
         iters,
         messages: 3,
         bytes: 3 * payload_len,
+        sim: None,
     }
 }
 
@@ -233,48 +251,118 @@ fn bench_envelope_codec(quick: bool) -> BenchResult {
         iters,
         messages: 1,
         bytes: 1024,
+        sim: None,
+    }
+}
+
+/// Simulated-network mode: the kvs round trip over [`SimTransport`]
+/// under a seeded hostile schedule (jitter, drops with retransmission,
+/// duplicates). Wall time measures simulator overhead; the virtual
+/// figure — messages per virtual tick — measures protocol efficiency
+/// against the modeled network, independent of the host's clock, so it
+/// is comparable across machines and CI runners.
+fn bench_sim_chaos_kvs(quick: bool) -> BenchResult {
+    let (messages, bytes) = count_kvs_traffic();
+    let plan = FaultPlan::ideal().with_seed(7).with_jitter(8).with_drop(0.15).with_duplicate(0.1);
+    let net = SimNet::<SimpleKvsCensus>::new(plan);
+    let (id_tx, id_rx) = std::sync::mpsc::channel::<u64>();
+    let server_net = net.clone();
+    let server = std::thread::spawn(move || {
+        let endpoint = Endpoint::new(SimTransport::new(Primary, server_net));
+        let store = SharedStore::new();
+        store.put("k", "v");
+        for id in id_rx {
+            let session = endpoint.session_with_id(id);
+            session.epp_and_run(SimpleKvs {
+                request: session.remote(Client),
+                state: session.local(store.clone()),
+            });
+        }
+    });
+    let endpoint = Endpoint::new(SimTransport::new(Client, net.clone()));
+    let mut next_id = 0u64;
+    let (ns_per_iter, iters) = measure(quick, || {
+        let id = next_id;
+        next_id += 1;
+        id_tx.send(id).expect("server thread alive");
+        let session = endpoint.session_with_id(id);
+        let out = session.epp_and_run(SimpleKvs {
+            request: session.local(Request::Get("k".into())),
+            state: session.remote(Primary),
+        });
+        assert_eq!(session.unwrap(out), Response::Found("v".into()));
+    });
+    drop(id_tx);
+    server.join().unwrap();
+    BenchResult {
+        name: "sim/kvs_simple_chaos_round_trip",
+        ns_per_iter,
+        iters,
+        messages,
+        bytes,
+        sim: Some((net.messages_received(), net.virtual_now())),
     }
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let sim = args.iter().any(|a| a == "--sim");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
         .unwrap_or_else(|| "BENCH_results.json".to_string());
 
-    let results = vec![
+    let mut results = vec![
         bench_shared_endpoint(quick),
         bench_fresh_endpoint(quick),
         bench_centralized(quick),
         bench_multicast_fanout(quick),
         bench_envelope_codec(quick),
     ];
+    if sim {
+        results.push(bench_sim_chaos_kvs(quick));
+    }
 
     let mut json = String::from("{\n  \"schema\": 1,\n");
     json.push_str(&format!("  \"quick\": {quick},\n"));
     json.push_str("  \"results\": [\n");
     for (i, r) in results.iter().enumerate() {
+        let sim_fields = match r.sim {
+            Some((delivered, ticks)) => format!(
+                ", \"sim_messages\": {delivered}, \"sim_virtual_ticks\": {ticks}, \
+                 \"sim_messages_per_tick\": {:.4}",
+                delivered as f64 / ticks.max(1) as f64
+            ),
+            None => String::new(),
+        };
         json.push_str(&format!(
             "    {{\"name\": \"{}\", \"ns_per_iter\": {}, \"iters\": {}, \
-             \"messages\": {}, \"bytes\": {}}}{}\n",
+             \"messages\": {}, \"bytes\": {}{}}}{}\n",
             r.name,
             r.ns_per_iter,
             r.iters,
             r.messages,
             r.bytes,
+            sim_fields,
             if i + 1 < results.len() { "," } else { "" }
         ));
     }
     json.push_str("  ]\n}\n");
 
     for r in &results {
-        println!(
+        print!(
             "{:<48} {:>10} ns/iter (n = {:>6})  {} msgs  {} bytes",
             r.name, r.ns_per_iter, r.iters, r.messages, r.bytes
         );
+        if let Some((delivered, ticks)) = r.sim {
+            print!(
+                "  [sim: {delivered} frames / {ticks} vticks = {:.4} msgs/vtick]",
+                delivered as f64 / ticks.max(1) as f64
+            );
+        }
+        println!();
     }
     std::fs::write(&out_path, &json).expect("write BENCH_results.json");
     println!("\nwrote {out_path}");

@@ -66,6 +66,7 @@ mod located;
 mod location;
 mod member;
 pub mod ops;
+pub mod park;
 mod projector;
 mod quire;
 mod runner;

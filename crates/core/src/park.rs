@@ -1,0 +1,141 @@
+//! The park/wake shim transports block on.
+//!
+//! Every blocking receive in the workspace reduces to the same shape:
+//! take a lock, check a predicate over the guarded state, and if it does
+//! not hold yet, park until a producer changes the state and wakes the
+//! sleepers. [`WaitQueue`] packages that shape — a mutex fused with its
+//! condvar — so transports cannot accidentally wait on a condvar that
+//! guards different state, and so the simulation transport can bound
+//! every park with a watchdog deadline instead of hanging a test run
+//! forever.
+//!
+//! Determinism note: a `WaitQueue` adds no scheduling decisions of its
+//! own. Wakes are broadcast (`notify_all`) and every woken receiver
+//! re-checks its predicate under the single lock, so *which* receiver
+//! proceeds is decided by the guarded state, never by wake order. That
+//! is what lets `SimTransport` promise bit-for-bit reproducible delivery
+//! schedules while its receivers are ordinary blocked threads.
+
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::Instant;
+
+/// A mutex fused with the condvar that announces changes to its state.
+///
+/// ```
+/// use chorus_core::park::WaitQueue;
+///
+/// let queue = WaitQueue::new(Vec::<u32>::new());
+/// let mut guard = queue.lock();
+/// guard.push(7);
+/// drop(guard);
+/// queue.notify_all();
+/// assert_eq!(queue.lock().pop(), Some(7));
+/// ```
+#[derive(Debug, Default)]
+pub struct WaitQueue<T> {
+    state: Mutex<T>,
+    cv: Condvar,
+}
+
+impl<T> WaitQueue<T> {
+    /// Wraps `state` in a queue.
+    pub fn new(state: T) -> Self {
+        WaitQueue { state: Mutex::new(state), cv: Condvar::new() }
+    }
+
+    /// Locks the guarded state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous holder of the lock panicked (the state may
+    /// be torn; transports treat this as unrecoverable).
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.state.lock().expect("wait queue poisoned")
+    }
+
+    /// Parks until another thread calls [`notify_all`](Self::notify_all)
+    /// (or a spurious wake occurs — callers re-check their predicate in
+    /// a loop).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lock is poisoned.
+    pub fn wait<'a>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        self.cv.wait(guard).expect("wait queue poisoned")
+    }
+
+    /// Parks like [`wait`](Self::wait), but never past `deadline`.
+    ///
+    /// Returns the re-acquired guard and whether the deadline elapsed
+    /// while parked. Callers use the flag as a *watchdog*: a `true`
+    /// result after the predicate re-check still fails means the system
+    /// has stalled, and the caller should surface an error instead of
+    /// parking again.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lock is poisoned.
+    pub fn wait_deadline<'a>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        deadline: Instant,
+    ) -> (MutexGuard<'a, T>, bool) {
+        let now = Instant::now();
+        if now >= deadline {
+            return (guard, true);
+        }
+        let (guard, result) =
+            self.cv.wait_timeout(guard, deadline - now).expect("wait queue poisoned");
+        (guard, result.timed_out())
+    }
+
+    /// Wakes every parked thread; each re-checks its predicate under the
+    /// lock.
+    pub fn notify_all(&self) {
+        self.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn producer_wakes_parked_consumer() {
+        let queue = Arc::new(WaitQueue::new(Option::<u32>::None));
+        let consumer = {
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || {
+                let mut guard = queue.lock();
+                loop {
+                    if let Some(v) = guard.take() {
+                        return v;
+                    }
+                    guard = queue.wait(guard);
+                }
+            })
+        };
+        *queue.lock() = Some(99);
+        queue.notify_all();
+        assert_eq!(consumer.join().unwrap(), 99);
+    }
+
+    #[test]
+    fn wait_deadline_reports_timeout() {
+        let queue = WaitQueue::new(());
+        let guard = queue.lock();
+        let (_guard, timed_out) =
+            queue.wait_deadline(guard, Instant::now() + Duration::from_millis(10));
+        assert!(timed_out, "nobody notifies, so the watchdog must fire");
+    }
+
+    #[test]
+    fn expired_deadline_returns_immediately() {
+        let queue = WaitQueue::new(());
+        let guard = queue.lock();
+        let (_guard, timed_out) = queue.wait_deadline(guard, Instant::now());
+        assert!(timed_out);
+    }
+}

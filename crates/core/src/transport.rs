@@ -250,3 +250,85 @@ impl SequenceTracker {
         }
     }
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    crate::locations! { Alpha, Beta }
+    type Census = crate::LocationSet!(Alpha, Beta);
+
+    #[test]
+    fn tracker_accepts_an_in_order_stream() {
+        let mut tracker = SequenceTracker::new();
+        for seq in 0..5 {
+            tracker.check(1, "Alpha", seq).expect("in-order frames are fine");
+        }
+    }
+
+    #[test]
+    fn tracker_rejects_a_duplicate() {
+        let mut tracker = SequenceTracker::new();
+        tracker.check(1, "Alpha", 0).unwrap();
+        tracker.check(1, "Alpha", 1).unwrap();
+        // Replaying seq 1 is neither the expected 2 nor a restart at 0.
+        let err = tracker.check(1, "Alpha", 1).unwrap_err();
+        assert!(matches!(err, TransportError::Protocol(_)));
+        assert!(err.to_string().contains("expected seq 2, got 1"), "got: {err}");
+    }
+
+    #[test]
+    fn tracker_rejects_a_gap() {
+        let mut tracker = SequenceTracker::new();
+        tracker.check(7, "Beta", 0).unwrap();
+        let err = tracker.check(7, "Beta", 2).unwrap_err();
+        assert!(matches!(err, TransportError::Protocol(_)));
+        assert!(err.to_string().contains("expected seq 1, got 2"), "got: {err}");
+    }
+
+    #[test]
+    fn tracker_keeps_interleaved_sessions_independent() {
+        let mut tracker = SequenceTracker::new();
+        // Two sessions and two senders interleave on one tracker; each
+        // (session, sender) stream keeps its own expectation.
+        tracker.check(1, "Alpha", 0).unwrap();
+        tracker.check(2, "Alpha", 0).unwrap();
+        tracker.check(1, "Beta", 0).unwrap();
+        tracker.check(1, "Alpha", 1).unwrap();
+        tracker.check(2, "Alpha", 1).unwrap();
+        tracker.check(1, "Beta", 1).unwrap();
+        // A violation in session 2 does not disturb session 1.
+        assert!(tracker.check(2, "Alpha", 5).is_err());
+        tracker.check(1, "Alpha", 2).unwrap();
+    }
+
+    #[test]
+    fn tracker_accepts_a_restart_at_zero() {
+        let mut tracker = SequenceTracker::new();
+        tracker.check(1, "Alpha", 0).unwrap();
+        tracker.check(1, "Alpha", 1).unwrap();
+        // A fresh run reusing the session id restarts at zero.
+        tracker.check(1, "Alpha", 0).unwrap();
+        tracker.check(1, "Alpha", 1).unwrap();
+    }
+
+    #[test]
+    fn interned_names_resolve_census_members() {
+        let names = InternedNames::of::<Census>();
+        assert_eq!(names.resolve("Alpha").unwrap(), "Alpha");
+        assert_eq!(names.resolve("Beta").unwrap(), "Beta");
+    }
+
+    #[test]
+    fn interned_names_reject_unknown_names_usefully() {
+        let names = InternedNames::of::<Census>();
+        let err = names.resolve("Mallory").unwrap_err();
+        match &err {
+            TransportError::UnknownLocation(name) => assert_eq!(name, "Mallory"),
+            other => panic!("expected UnknownLocation, got {other:?}"),
+        }
+        // The display names the offending census name, so a typo in a
+        // choreography points straight at itself.
+        assert!(err.to_string().contains("unknown location Mallory"), "got: {err}");
+    }
+}

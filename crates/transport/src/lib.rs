@@ -11,6 +11,10 @@
 //! * [`TcpTransport`] — length-prefixed envelope frames over TCP
 //!   sockets, for multi-process execution on one or more hosts, with
 //!   per-(session, sender) demultiplexing.
+//! * [`SimTransport`] — a deterministic discrete-event simulation of a
+//!   hostile network (seeded latency, drops, duplication, reordering,
+//!   partitions, link poison) with virtual time and reproducible,
+//!   dumpable delivery schedules.
 //! * [`TransportMetrics`] — a [`chorus_core::Layer`] counting messages
 //!   and bytes per edge; every communication-efficiency experiment in
 //!   the benchmark harness uses it.
@@ -19,10 +23,12 @@
 
 mod local;
 mod metrics;
+mod sim;
 mod tcp;
 mod trace;
 
 pub use local::{LocalTransport, LocalTransportChannel};
 pub use metrics::{EdgeMetrics, MetricsSnapshot, TransportMetrics};
+pub use sim::{FaultPlan, Partition, Poison, SimEvent, SimEventKind, SimNet, SimTransport};
 pub use tcp::{free_local_addrs, TcpConfig, TcpConfigBuilder, TcpTransport};
 pub use trace::{Direction, Trace, TraceEvent};

@@ -7,6 +7,7 @@
 //! happens in-process, and the payload the receiver observes is the
 //! very buffer the sender serialized (shared, not copied).
 
+use chorus_core::park::WaitQueue;
 use chorus_core::{
     ChoreographyLocation, InternedNames, LocationSet, SequenceTracker, SessionId, SessionTransport,
     Transport, TransportError, RAW_SESSION,
@@ -14,7 +15,7 @@ use chorus_core::{
 use chorus_wire::Envelope;
 use std::collections::{HashMap, VecDeque};
 use std::marker::PhantomData;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Mutex};
 
 /// How many lock-and-look retries a receiver burns before escalating.
 /// In-process peers usually answer within a microsecond; polling
@@ -31,12 +32,8 @@ const RECV_SPIN_LIMIT: u32 = 128;
 const RECV_YIELD_LIMIT: u32 = 32;
 
 /// One directed link's state: per-session FIFO mailboxes of structured
-/// frames.
-#[derive(Default)]
-struct LinkState {
-    inner: Mutex<LinkInner>,
-    cv: Condvar,
-}
+/// frames, parked on via the core park/wake shim.
+type LinkState = WaitQueue<LinkInner>;
 
 #[derive(Default)]
 struct LinkInner {
@@ -151,7 +148,7 @@ impl<L: LocationSet, Target: ChoreographyLocation> SessionTransport<L, Target>
     fn send_frame(&self, to: &str, frame: Envelope) -> Result<(), TransportError> {
         let to = self.names.resolve(to)?;
         let link = self.link(Target::NAME, to)?;
-        let mut inner = link.inner.lock().expect("local link poisoned");
+        let mut inner = link.lock();
         // Sequence-check and demultiplex at the sender, under the link
         // lock: frames land in their session mailbox fully structured,
         // sharing the sender's payload buffer. A violation poisons the
@@ -169,7 +166,7 @@ impl<L: LocationSet, Target: ChoreographyLocation> SessionTransport<L, Target>
             }
         }
         drop(inner);
-        link.cv.notify_all();
+        link.notify_all();
         Ok(())
     }
 
@@ -177,14 +174,14 @@ impl<L: LocationSet, Target: ChoreographyLocation> SessionTransport<L, Target>
         let from = self.names.resolve(from)?;
         let link = self.link(from, Target::NAME)?;
         let mut spins = 0u32;
-        let mut inner = link.inner.lock().expect("local link poisoned");
+        let mut inner = link.lock();
         loop {
             if let Some(envelope) = inner.mailboxes.get_mut(&session).and_then(VecDeque::pop_front)
             {
                 return Ok(envelope);
             }
             if let Some(reason) = &inner.dead {
-                link.cv.notify_all();
+                link.notify_all();
                 return Err(TransportError::Protocol(format!(
                     "link from {from} is down: {reason}"
                 )));
@@ -195,16 +192,16 @@ impl<L: LocationSet, Target: ChoreographyLocation> SessionTransport<L, Target>
                 spins += 1;
                 drop(inner);
                 std::hint::spin_loop();
-                inner = link.inner.lock().expect("local link poisoned");
+                inner = link.lock();
             } else if spins < self.spin_limit + RECV_YIELD_LIMIT {
                 // Hand the core to a runnable sender; far cheaper than a
                 // park/wake when the reply is about to arrive.
                 spins += 1;
                 drop(inner);
                 std::thread::yield_now();
-                inner = link.inner.lock().expect("local link poisoned");
+                inner = link.lock();
             } else {
-                inner = link.cv.wait(inner).expect("local link poisoned");
+                inner = link.wait(inner);
             }
         }
     }

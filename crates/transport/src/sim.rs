@@ -1,0 +1,968 @@
+//! Deterministic simulation transport: virtual time, seeded faults,
+//! reproducible delivery schedules.
+//!
+//! [`SimTransport`] is a [`SessionTransport`] whose links run over a
+//! discrete-event model of a hostile network instead of queues or
+//! sockets. Every frame a sender offers is assigned a delivery schedule
+//! — latency, drops (with retransmission), duplication, partition
+//! holds — computed *statelessly* from the [`FaultPlan`] seed, the link
+//! identity, and the frame's index on that link. Two runs with the same
+//! seed and the same per-link send order therefore produce bit-for-bit
+//! identical schedules, no matter how the OS schedules the participant
+//! threads: the randomness is keyed by *what* is sent, never by *when*
+//! a thread happens to run.
+//!
+//! The model in one paragraph: time is virtual and per-link — offering
+//! the `k`-th frame on a link happens at tick `k`, and the frame's
+//! arrival tick is `k + latency + drops·rto`, pushed past any partition
+//! window that covers tick `k`. Arrived frames pass through a per-session
+//! reorder stage that re-establishes the per-(session, sender) FIFO
+//! order the [`SessionTransport`] contract promises (exactly as TCP
+//! re-establishes a reliable stream over a lossy, reordering packet
+//! layer), discarding duplicates. Receivers are ordinary blocked
+//! threads parked on a [`chorus_core::park::WaitQueue`]; a receiver that
+//! would block first *advances virtual time* by draining the link's
+//! in-flight set, so delivery never waits on a wall clock. A watchdog
+//! deadline bounds every park, so a genuinely stuck schedule surfaces
+//! as an error instead of hanging CI.
+//!
+//! Failure modes are injected, never emergent: a sender-side sequence
+//! violation kills the link for every session behind it (mirroring
+//! [`LocalTransport`](crate::LocalTransport)), and a
+//! [`Poison`] plan withholds every frame from step `N` on, so tests can
+//! pin down how choreographies observe a dead link.
+//!
+//! On failure, [`SimNet::schedule_dump`] renders the full per-link
+//! schedule — sends with their computed arrivals, then deliveries in
+//! release order — as text; CI jobs attach it as an artifact so a
+//! failing seed replays locally with nothing but the seed.
+
+use chorus_core::park::WaitQueue;
+use chorus_core::{
+    ChoreographyLocation, InternedNames, LocationSet, SequenceTracker, SessionId, SessionTransport,
+    Transport, TransportError, RAW_SESSION,
+};
+use chorus_wire::Envelope;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::marker::PhantomData;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// A frame is retransmitted at most this many times; past that the
+/// "network" relents and delivers. Keeps arrival ticks finite even with
+/// extreme drop probabilities.
+const MAX_RETRANSMITS: u64 = 12;
+
+/// One partition window: frames offered on a matching link while
+/// `start <= tick < heal` are held and arrive only after the partition
+/// heals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// Sender the window applies to; `None` matches every sender.
+    pub from: Option<&'static str>,
+    /// Receiver the window applies to; `None` matches every receiver.
+    pub to: Option<&'static str>,
+    /// First link tick the partition covers.
+    pub start: u64,
+    /// First link tick after the heal; must be `> start` for the window
+    /// to have any effect.
+    pub heal: u64,
+}
+
+impl Partition {
+    /// A window cutting every link.
+    pub fn everywhere(start: u64, heal: u64) -> Self {
+        Partition { from: None, to: None, start, heal }
+    }
+
+    /// A window cutting one directed link.
+    pub fn link(from: &'static str, to: &'static str, start: u64, heal: u64) -> Self {
+        Partition { from: Some(from), to: Some(to), start, heal }
+    }
+
+    fn matches(&self, from: &'static str, to: &'static str) -> bool {
+        self.from.is_none_or(|f| f == from) && self.to.is_none_or(|t| t == to)
+    }
+}
+
+/// Kills a link after `after` frames: every frame from step `after` on
+/// is withheld, and receivers of the link observe a protocol error once
+/// the earlier frames are drained.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Poison {
+    /// Sender the poison applies to; `None` matches every sender.
+    pub from: Option<&'static str>,
+    /// Receiver the poison applies to; `None` matches every receiver.
+    pub to: Option<&'static str>,
+    /// Frame index at which the link dies.
+    pub after: u64,
+}
+
+impl Poison {
+    /// Poisons one directed link after `after` frames.
+    pub fn link(from: &'static str, to: &'static str, after: u64) -> Self {
+        Poison { from: Some(from), to: Some(to), after }
+    }
+
+    fn matches(&self, from: &'static str, to: &'static str) -> bool {
+        self.from.is_none_or(|f| f == from) && self.to.is_none_or(|t| t == to)
+    }
+}
+
+/// The seeded description of how the simulated network misbehaves.
+///
+/// All probabilities are per *transmission attempt*; a dropped frame is
+/// retransmitted after [`rto`](FaultPlan::rto) ticks until it gets
+/// through (the sim is a reliable transport over a lossy network, like
+/// TCP over IP), so drops delay but never lose messages — the paper's
+/// guarantees assume reliable communication (§4.1), and the point of
+/// the sim is to stress *schedules*, not to break the contract the
+/// choreography was compiled against.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Seed every per-frame decision derives from.
+    pub seed: u64,
+    /// Minimum per-hop latency in ticks (clamped to ≥ 1).
+    pub base_latency: u64,
+    /// Extra uniform latency in `[0, jitter]` ticks; nonzero jitter is
+    /// what reorders frames relative to each other.
+    pub jitter: u64,
+    /// Per-attempt drop probability in `[0, 1]`.
+    pub drop: f64,
+    /// Probability a delivered frame arrives a second time.
+    pub duplicate: f64,
+    /// Retransmission timeout in ticks charged per drop.
+    pub rto: u64,
+    /// Partition windows.
+    pub partitions: Vec<Partition>,
+    /// Optional link kill-switch.
+    pub poison: Option<Poison>,
+    /// Real-time bound on any single blocked receive; a stalled
+    /// schedule surfaces as [`TransportError::Protocol`] instead of a
+    /// hang.
+    pub watchdog: Duration,
+}
+
+impl FaultPlan {
+    /// A perfectly behaved network: unit latency, no faults.
+    pub fn ideal() -> Self {
+        FaultPlan {
+            seed: 0,
+            base_latency: 1,
+            jitter: 0,
+            drop: 0.0,
+            duplicate: 0.0,
+            rto: 4,
+            partitions: Vec::new(),
+            poison: None,
+            watchdog: Duration::from_secs(30),
+        }
+    }
+
+    /// A hostile network whose parameters (latency spread, drop and
+    /// duplication rates, an optional early partition) are themselves
+    /// derived from `seed`, so a seed *matrix* sweeps qualitatively
+    /// different schedules, not just different dice rolls of one
+    /// schedule shape.
+    pub fn chaos(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x5EED);
+        let partitions = if rng.gen_bool(0.5) {
+            let start = rng.gen_range(0u64..32);
+            let len = 1 + rng.gen_range(0u64..32);
+            vec![Partition::everywhere(start, start + len)]
+        } else {
+            Vec::new()
+        };
+        FaultPlan {
+            seed,
+            base_latency: 1 + rng.gen_range(0u64..3),
+            jitter: rng.gen_range(0u64..12),
+            drop: rng.gen_range(0u64..30) as f64 / 100.0,
+            duplicate: rng.gen_range(0u64..20) as f64 / 100.0,
+            rto: 2 + rng.gen_range(0u64..8),
+            partitions,
+            poison: None,
+            watchdog: Duration::from_secs(30),
+        }
+    }
+
+    /// Replaces the seed, keeping the other knobs.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the per-attempt drop probability.
+    pub fn with_drop(mut self, drop: f64) -> Self {
+        self.drop = drop;
+        self
+    }
+
+    /// Sets the duplication probability.
+    pub fn with_duplicate(mut self, duplicate: f64) -> Self {
+        self.duplicate = duplicate;
+        self
+    }
+
+    /// Sets the latency jitter in ticks.
+    pub fn with_jitter(mut self, jitter: u64) -> Self {
+        self.jitter = jitter;
+        self
+    }
+
+    /// Adds a partition window.
+    pub fn with_partition(mut self, partition: Partition) -> Self {
+        self.partitions.push(partition);
+        self
+    }
+
+    /// Installs a link kill-switch.
+    pub fn with_poison(mut self, poison: Poison) -> Self {
+        self.poison = Some(poison);
+        self
+    }
+
+    /// Sets the receive watchdog.
+    pub fn with_watchdog(mut self, watchdog: Duration) -> Self {
+        self.watchdog = watchdog;
+        self
+    }
+
+    /// The deterministic schedule for frame `k` on `from → to`:
+    /// `(arrival tick, drops, held by a partition, duplicate arrival)`.
+    ///
+    /// Pure in everything but the plan: repeated calls agree, and no
+    /// call depends on any other frame's schedule.
+    fn schedule(&self, from: &'static str, to: &'static str, k: u64) -> FrameSchedule {
+        let mut rng = StdRng::seed_from_u64(frame_seed(self.seed, from, to, k));
+        let mut drops = 0u64;
+        while drops < MAX_RETRANSMITS && self.drop > 0.0 && rng.gen_bool(self.drop) {
+            drops += 1;
+        }
+        let jit = if self.jitter > 0 { rng.gen_range(0..=self.jitter) } else { 0 };
+        let mut arrival = k + self.base_latency.max(1) + jit + drops * self.rto.max(1);
+        let mut held = false;
+        for partition in &self.partitions {
+            if partition.matches(from, to) && partition.start <= k && k < partition.heal {
+                held = true;
+                arrival = arrival.max(partition.heal + self.base_latency.max(1));
+            }
+        }
+        let duplicate = if self.duplicate > 0.0 && rng.gen_bool(self.duplicate) {
+            let extra = if self.jitter > 0 { rng.gen_range(0..=self.jitter) } else { 0 };
+            Some(arrival + 1 + extra)
+        } else {
+            None
+        };
+        FrameSchedule { arrival, drops, held, duplicate }
+    }
+}
+
+struct FrameSchedule {
+    arrival: u64,
+    drops: u64,
+    held: bool,
+    duplicate: Option<u64>,
+}
+
+/// FNV-1a over the link identity and frame index, folded with the plan
+/// seed: the stateless key all per-frame randomness derives from.
+fn frame_seed(seed: u64, from: &str, to: &str, k: u64) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    fn eat(mut h: u64, bytes: &[u8]) -> u64 {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+        h
+    }
+    let mut h = eat(OFFSET, &seed.to_le_bytes());
+    h = eat(h, from.as_bytes());
+    h = eat(h, &[0xFF]);
+    h = eat(h, to.as_bytes());
+    h = eat(h, &[0xFF]);
+    eat(h, &k.to_le_bytes())
+}
+
+/// What happened to one frame, as recorded in the schedule log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimEventKind {
+    /// The frame was offered and scheduled.
+    Sent {
+        /// Transmission attempts lost before the one that arrived.
+        drops: u64,
+        /// Whether a partition window held the frame.
+        held: bool,
+        /// Whether a duplicate arrival was scheduled.
+        duplicated: bool,
+    },
+    /// The frame was withheld (dead or poisoned link) and will never
+    /// arrive.
+    Withheld,
+    /// The frame was released to its session mailbox, in FIFO order.
+    Delivered,
+    /// A duplicate arrival was discarded by the reorder stage.
+    DuplicateDropped,
+}
+
+/// One entry of a link's schedule log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimEvent {
+    /// Sending location.
+    pub from: &'static str,
+    /// Receiving location.
+    pub to: &'static str,
+    /// The frame's index on its link (also its send tick).
+    pub frame: u64,
+    /// Session the frame belongs to.
+    pub session: SessionId,
+    /// Per-(session, sender) sequence number.
+    pub seq: u64,
+    /// Scheduled arrival tick (0 for withheld frames).
+    pub arrival: u64,
+    /// What happened.
+    pub kind: SimEventKind,
+}
+
+/// One scheduled arrival waiting in a link's in-flight set, ordered by
+/// `(arrival, uid)` so draining is a deterministic total order.
+struct Flight {
+    arrival: u64,
+    uid: u64,
+    frame: u64,
+    env: Envelope,
+}
+
+impl PartialEq for Flight {
+    fn eq(&self, other: &Self) -> bool {
+        (self.arrival, self.uid) == (other.arrival, other.uid)
+    }
+}
+impl Eq for Flight {}
+impl PartialOrd for Flight {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Flight {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.arrival, self.uid).cmp(&(other.arrival, other.uid))
+    }
+}
+
+/// Per-session reorder state: re-establishes the FIFO stream out of the
+/// arrival order.
+#[derive(Default)]
+struct SessionStream {
+    next_seq: u64,
+    /// Out-of-order arrivals by seq: `(frame index, arrival tick, frame)`.
+    pending: BTreeMap<u64, (u64, u64, Envelope)>,
+    ready: VecDeque<Envelope>,
+}
+
+/// One directed link's whole state.
+#[derive(Default)]
+struct SimLink {
+    /// Frames offered so far; the next frame's index and send tick.
+    sent: u64,
+    /// Monotonic tie-break for equal arrival ticks.
+    next_uid: u64,
+    /// Scheduled arrivals not yet drained.
+    in_flight: std::collections::BinaryHeap<Reverse<Flight>>,
+    /// Link-local virtual time: the latest arrival tick drained.
+    now: u64,
+    /// Frame indices already admitted once (duplicate filter).
+    seen: HashSet<u64>,
+    /// Per-session reorder stages.
+    streams: HashMap<SessionId, SessionStream>,
+    /// Sender-side stream validation; a violation kills the link.
+    sequences: SequenceTracker,
+    /// Set when a sequence violation killed the link.
+    dead: Option<String>,
+    /// Set when the poison plan fired, to the poison step.
+    poisoned: Option<u64>,
+    /// Send-side schedule log, in frame order.
+    sends: Vec<SimEvent>,
+    /// Delivery log, in raw drain order. Drains race sends in real
+    /// time, so this order is timing-dependent; [`SimNet::events`] and
+    /// [`SimNet::schedule_dump`] re-sort it into the deterministic
+    /// virtual-time order `(arrival, frame)` before exposing it.
+    deliveries: Vec<SimEvent>,
+}
+
+impl SimLink {
+    /// Drains the earliest in-flight arrival into its reorder stage,
+    /// advancing link-virtual time and logging the outcome.
+    fn advance(&mut self, from: &'static str, to: &'static str) {
+        let Some(Reverse(flight)) = self.in_flight.pop() else { return };
+        self.now = self.now.max(flight.arrival);
+        let session = flight.env.session;
+        let seq = flight.env.seq;
+        if !self.seen.insert(flight.frame) {
+            self.deliveries.push(SimEvent {
+                from,
+                to,
+                frame: flight.frame,
+                session,
+                seq,
+                arrival: flight.arrival,
+                kind: SimEventKind::DuplicateDropped,
+            });
+            return;
+        }
+        let stream = self.streams.entry(session).or_default();
+        stream.pending.insert(seq, (flight.frame, flight.arrival, flight.env));
+        loop {
+            if let Some((frame, arrival, env)) = stream.pending.remove(&stream.next_seq) {
+                self.deliveries.push(SimEvent {
+                    from,
+                    to,
+                    frame,
+                    session,
+                    seq: env.seq,
+                    arrival,
+                    kind: SimEventKind::Delivered,
+                });
+                stream.ready.push_back(env);
+                stream.next_seq += 1;
+                continue;
+            }
+            // A buffered seq 0 while expecting a later one marks a fresh
+            // run reusing the session id (sequence restart, the same
+            // convention `SequenceTracker` accepts). Sequential runs
+            // never overlap, so this can only be a restart.
+            if stream.next_seq > 0 && stream.pending.first_key_value().is_some_and(|(s, _)| *s == 0)
+            {
+                stream.next_seq = 0;
+                continue;
+            }
+            break;
+        }
+    }
+}
+
+struct SimShared {
+    plan: FaultPlan,
+    links: HashMap<(&'static str, &'static str), WaitQueue<SimLink>>,
+    /// Frames handed to receivers, across all links.
+    received: Mutex<u64>,
+}
+
+/// The shared simulated network connecting every ordered pair of
+/// locations in `L`. Clone it into each participant and wrap each clone
+/// in a [`SimTransport`], exactly like
+/// [`LocalTransportChannel`](crate::LocalTransportChannel).
+pub struct SimNet<L: LocationSet> {
+    shared: Arc<SimShared>,
+    system: PhantomData<L>,
+}
+
+impl<L: LocationSet> Clone for SimNet<L> {
+    fn clone(&self) -> Self {
+        SimNet { shared: Arc::clone(&self.shared), system: PhantomData }
+    }
+}
+
+impl<L: LocationSet> SimNet<L> {
+    /// Creates the simulated fabric for census `L` under `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        let names = L::names();
+        let mut links = HashMap::new();
+        for from in &names {
+            for to in &names {
+                if from != to {
+                    links.insert((*from, *to), WaitQueue::new(SimLink::default()));
+                }
+            }
+        }
+        SimNet {
+            shared: Arc::new(SimShared { plan, links, received: Mutex::new(0) }),
+            system: PhantomData,
+        }
+    }
+
+    /// The plan this net runs under.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.shared.plan
+    }
+
+    /// The current virtual time: the maximum arrival tick any link has
+    /// drained.
+    pub fn virtual_now(&self) -> u64 {
+        self.sorted_links().map(|(_, wq)| wq.lock().now).max().unwrap_or(0)
+    }
+
+    /// Frames handed to receivers so far, across all links.
+    pub fn messages_received(&self) -> u64 {
+        *self.shared.received.lock().expect("sim counters poisoned")
+    }
+
+    /// The full schedule log, link by link in name order: each link's
+    /// sends in frame order, then its deliveries in **virtual-time
+    /// order** `(arrival, frame)`. Deliveries are recorded as receivers
+    /// drain the in-flight set, and drains race sends in real time — so
+    /// the raw recording order is timing-dependent, but the sorted
+    /// view depends only on the (deterministic) per-frame schedule.
+    /// Every entry is therefore bit-for-bit reproducible for a fixed
+    /// seed and per-link send order.
+    ///
+    /// Reading the log **finalizes** each link: arrivals still in
+    /// flight (scheduled but not yet demanded by any receiver — e.g. a
+    /// trailing duplicate) are drained first, so the log covers every
+    /// scheduled flight exactly once no matter where receivers happened
+    /// to stop. Call it after the run completes.
+    pub fn events(&self) -> Vec<SimEvent> {
+        let mut out = Vec::new();
+        for (key, wq) in self.sorted_links() {
+            let mut link = wq.lock();
+            while !link.in_flight.is_empty() {
+                link.advance(key.0, key.1);
+            }
+            out.extend(link.sends.iter().cloned());
+            let mut deliveries = link.deliveries.clone();
+            // A frame's Delivered always precedes its DuplicateDropped
+            // (the duplicate is scheduled strictly later), so
+            // (arrival, frame) is a total order over a link's
+            // deliveries.
+            deliveries.sort_by_key(|e| (e.arrival, e.frame));
+            out.extend(deliveries);
+        }
+        out
+    }
+
+    /// Renders [`events`](Self::events) as replayable text — the
+    /// artifact a failing CI seed dumps so the schedule can be eyeballed
+    /// and diffed locally.
+    pub fn schedule_dump(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "# sim schedule (seed {})", self.shared.plan.seed);
+        for (key, wq) in self.sorted_links() {
+            let mut link = wq.lock();
+            // Finalize, exactly as `events` does.
+            while !link.in_flight.is_empty() {
+                link.advance(key.0, key.1);
+            }
+            if link.sends.is_empty() && link.deliveries.is_empty() {
+                continue;
+            }
+            let _ = writeln!(out, "== {} -> {}", key.0, key.1);
+            // Same ordering rule as `events`: sends in frame order,
+            // deliveries in deterministic virtual-time order.
+            let mut deliveries = link.deliveries.clone();
+            deliveries.sort_by_key(|e| (e.arrival, e.frame));
+            for e in link.sends.iter().chain(deliveries.iter()) {
+                let kind = match e.kind {
+                    SimEventKind::Sent { drops, held, duplicated } => format!(
+                        "sent     arrival={} drops={drops} held={held} dup={duplicated}",
+                        e.arrival
+                    ),
+                    SimEventKind::Withheld => "withheld".to_string(),
+                    SimEventKind::Delivered => format!("deliver  arrival={}", e.arrival),
+                    SimEventKind::DuplicateDropped => format!("dupdrop  arrival={}", e.arrival),
+                };
+                let _ = writeln!(
+                    out,
+                    "frame={:<5} session={:<4} seq={:<5} {kind}",
+                    e.frame, e.session, e.seq
+                );
+            }
+        }
+        out
+    }
+
+    /// The delivery half of the log as [`TraceEvent`](crate::TraceEvent)s
+    /// (sends as `Direction::Send`, deliveries as `Direction::Receive`),
+    /// so the sim's schedule plugs into the same assertions the
+    /// [`Trace`](crate::Trace) layer supports.
+    pub fn trace_events(&self) -> Vec<crate::TraceEvent> {
+        self.events()
+            .into_iter()
+            .filter_map(|e| {
+                let direction = match e.kind {
+                    SimEventKind::Sent { .. } => crate::Direction::Send,
+                    SimEventKind::Delivered => crate::Direction::Receive,
+                    SimEventKind::Withheld | SimEventKind::DuplicateDropped => return None,
+                };
+                Some(crate::TraceEvent {
+                    direction,
+                    session: e.session,
+                    seq: e.seq,
+                    from: e.from.to_string(),
+                    to: e.to.to_string(),
+                    bytes: 0,
+                })
+            })
+            .collect()
+    }
+
+    fn sorted_links(
+        &self,
+    ) -> impl Iterator<Item = (&(&'static str, &'static str), &WaitQueue<SimLink>)> + '_ {
+        let mut keys: Vec<_> = self.shared.links.iter().collect();
+        keys.sort_by_key(|(k, _)| **k);
+        keys.into_iter()
+    }
+}
+
+/// One participant's endpoint of a [`SimNet`].
+pub struct SimTransport<L: LocationSet, Target: ChoreographyLocation> {
+    net: SimNet<L>,
+    /// The census, resolved once so per-message validation works over
+    /// interned names without allocating.
+    names: InternedNames,
+    /// Sequence counters for the raw (sessionless) compatibility path.
+    raw_seqs: Mutex<HashMap<&'static str, u64>>,
+    target: PhantomData<Target>,
+}
+
+impl<L: LocationSet, Target: ChoreographyLocation> SimTransport<L, Target> {
+    /// Creates `target`'s endpoint over the simulated fabric.
+    pub fn new(target: Target, net: SimNet<L>) -> Self {
+        let _ = target;
+        SimTransport {
+            net,
+            names: InternedNames::of::<L>(),
+            raw_seqs: Mutex::new(HashMap::new()),
+            target: PhantomData,
+        }
+    }
+
+    /// The shared net, for schedule inspection.
+    pub fn net(&self) -> &SimNet<L> {
+        &self.net
+    }
+
+    fn link(
+        &self,
+        from: &'static str,
+        to: &'static str,
+    ) -> Result<&WaitQueue<SimLink>, TransportError> {
+        self.net.shared.links.get(&(from, to)).ok_or_else(|| {
+            TransportError::UnknownLocation(if from == Target::NAME {
+                to.to_string()
+            } else {
+                from.to_string()
+            })
+        })
+    }
+}
+
+impl<L: LocationSet, Target: ChoreographyLocation> SessionTransport<L, Target>
+    for SimTransport<L, Target>
+{
+    fn send_frame(&self, to: &str, frame: Envelope) -> Result<(), TransportError> {
+        let to = self.names.resolve(to)?;
+        let from = Target::NAME;
+        let wq = self.link(from, to)?;
+        let plan = &self.net.shared.plan;
+        let mut link = wq.lock();
+        let k = link.sent;
+        link.sent += 1;
+
+        let withheld = |link: &mut SimLink| {
+            link.sends.push(SimEvent {
+                from,
+                to,
+                frame: k,
+                session: frame.session,
+                seq: frame.seq,
+                arrival: 0,
+                kind: SimEventKind::Withheld,
+            });
+        };
+
+        // A link that already died (sequence violation) or got poisoned
+        // withholds everything; as with `LocalTransport`, the send
+        // itself reports `Ok` and the error surfaces at the receivers.
+        if link.dead.is_some() || link.poisoned.is_some() {
+            withheld(&mut link);
+            return Ok(());
+        }
+        if let Err(e) = link.sequences.check(frame.session, from, frame.seq) {
+            link.dead = Some(e.to_string());
+            withheld(&mut link);
+            drop(link);
+            wq.notify_all();
+            return Ok(());
+        }
+        if let Some(poison) = &plan.poison {
+            if poison.matches(from, to) && k >= poison.after {
+                link.poisoned = Some(poison.after);
+                withheld(&mut link);
+                drop(link);
+                wq.notify_all();
+                return Ok(());
+            }
+        }
+
+        let schedule = plan.schedule(from, to, k);
+        link.sends.push(SimEvent {
+            from,
+            to,
+            frame: k,
+            session: frame.session,
+            seq: frame.seq,
+            arrival: schedule.arrival,
+            kind: SimEventKind::Sent {
+                drops: schedule.drops,
+                held: schedule.held,
+                duplicated: schedule.duplicate.is_some(),
+            },
+        });
+        if let Some(dup_arrival) = schedule.duplicate {
+            let uid = link.next_uid;
+            link.next_uid += 1;
+            link.in_flight.push(Reverse(Flight {
+                arrival: dup_arrival,
+                uid,
+                frame: k,
+                env: frame.clone(),
+            }));
+        }
+        let uid = link.next_uid;
+        link.next_uid += 1;
+        link.in_flight.push(Reverse(Flight {
+            arrival: schedule.arrival,
+            uid,
+            frame: k,
+            env: frame,
+        }));
+        drop(link);
+        wq.notify_all();
+        Ok(())
+    }
+
+    fn receive_frame(&self, session: SessionId, from: &str) -> Result<Envelope, TransportError> {
+        let from = self.names.resolve(from)?;
+        let to = Target::NAME;
+        let wq = self.link(from, to)?;
+        let deadline = Instant::now() + self.net.shared.plan.watchdog;
+        let mut link = wq.lock();
+        loop {
+            if let Some(env) = link.streams.get_mut(&session).and_then(|s| s.ready.pop_front()) {
+                drop(link);
+                *self.net.shared.received.lock().expect("sim counters poisoned") += 1;
+                // Other receivers of this link may be waiting on frames
+                // this thread drained into their mailboxes.
+                wq.notify_all();
+                return Ok(env);
+            }
+            if !link.in_flight.is_empty() {
+                // Nothing ready: advance virtual time by draining the
+                // earliest scheduled arrival, then re-check.
+                link.advance(from, to);
+                continue;
+            }
+            if let Some(reason) = &link.dead {
+                return Err(TransportError::Protocol(format!(
+                    "link from {from} is down: {reason}"
+                )));
+            }
+            if let Some(step) = link.poisoned {
+                return Err(TransportError::Protocol(format!(
+                    "link from {from} poisoned at frame {step}: subsequent frames withheld"
+                )));
+            }
+            let (guard, timed_out) = wq.wait_deadline(link, deadline);
+            link = guard;
+            if timed_out
+                && link.in_flight.is_empty()
+                && link.streams.get(&session).is_none_or(|s| s.ready.is_empty())
+            {
+                return Err(TransportError::Protocol(format!(
+                    "sim watchdog: no frame of session {session} from {from} after {:?} \
+                     (schedule stalled or sender never sent)",
+                    self.net.shared.plan.watchdog
+                )));
+            }
+        }
+    }
+}
+
+impl<L: LocationSet, Target: ChoreographyLocation> Transport<L, Target>
+    for SimTransport<L, Target>
+{
+    fn send(&self, to: &str, data: &[u8]) -> Result<(), TransportError> {
+        let seq = {
+            let to_static = self.names.resolve(to)?;
+            let mut seqs = self.raw_seqs.lock().expect("raw sequence counters poisoned");
+            let counter = seqs.entry(to_static).or_insert(0);
+            let seq = *counter;
+            *counter += 1;
+            seq
+        };
+        self.send_frame(to, Envelope::new(RAW_SESSION, seq, data))
+    }
+
+    fn receive(&self, from: &str) -> Result<Vec<u8>, TransportError> {
+        self.receive_frame(RAW_SESSION, from).map(|envelope| envelope.payload.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    chorus_core::locations! { Alice, Bob }
+    type System = chorus_core::LocationSet!(Alice, Bob);
+
+    fn pair(
+        plan: FaultPlan,
+    ) -> (SimTransport<System, Alice>, SimTransport<System, Bob>, SimNet<System>) {
+        let net = SimNet::<System>::new(plan);
+        (SimTransport::new(Alice, net.clone()), SimTransport::new(Bob, net.clone()), net)
+    }
+
+    #[test]
+    fn ideal_network_preserves_fifo() {
+        let (alice, bob, _) = pair(FaultPlan::ideal());
+        alice.send("Bob", b"one").unwrap();
+        alice.send("Bob", b"two").unwrap();
+        assert_eq!(bob.receive("Alice").unwrap(), b"one");
+        assert_eq!(bob.receive("Alice").unwrap(), b"two");
+    }
+
+    #[test]
+    fn chaos_reorders_packets_but_not_the_stream() {
+        // High jitter, drops, and duplicates: the stream the receiver
+        // observes must still be the exact FIFO the sender offered.
+        let plan =
+            FaultPlan::ideal().with_seed(42).with_jitter(20).with_drop(0.3).with_duplicate(0.3);
+        let (alice, bob, net) = pair(plan);
+        for i in 0..50u32 {
+            alice.send("Bob", &i.to_le_bytes()).unwrap();
+        }
+        for i in 0..50u32 {
+            assert_eq!(bob.receive("Alice").unwrap(), i.to_le_bytes());
+        }
+        assert!(net.virtual_now() > 0, "virtual time advanced");
+        assert_eq!(net.messages_received(), 50);
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let run = || {
+            let plan =
+                FaultPlan::ideal().with_seed(7).with_jitter(9).with_drop(0.25).with_duplicate(0.25);
+            let (alice, bob, net) = pair(plan);
+            for i in 0..32u32 {
+                alice.send("Bob", &i.to_le_bytes()).unwrap();
+                bob.send("Alice", &i.to_le_bytes()).unwrap();
+            }
+            for i in 0..32u32 {
+                assert_eq!(bob.receive("Alice").unwrap(), i.to_le_bytes());
+                assert_eq!(alice.receive("Bob").unwrap(), i.to_le_bytes());
+            }
+            net.schedule_dump()
+        };
+        let first = run();
+        let second = run();
+        assert_eq!(first, second, "one seed, one schedule — bit for bit");
+        assert!(first.contains("== Alice -> Bob"));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let run = |seed| {
+            let (alice, bob, net) =
+                pair(FaultPlan::ideal().with_seed(seed).with_jitter(16).with_drop(0.3));
+            for i in 0..16u32 {
+                alice.send("Bob", &i.to_le_bytes()).unwrap();
+            }
+            for i in 0..16u32 {
+                assert_eq!(bob.receive("Alice").unwrap(), i.to_le_bytes());
+            }
+            net.schedule_dump()
+        };
+        assert_ne!(run(1), run(2), "distinct seeds should explore distinct schedules");
+    }
+
+    #[test]
+    fn partition_holds_frames_until_heal() {
+        let plan = FaultPlan::ideal().with_partition(Partition::everywhere(0, 100));
+        let (alice, bob, net) = pair(plan);
+        alice.send("Bob", b"through-the-partition").unwrap();
+        assert_eq!(bob.receive("Alice").unwrap(), b"through-the-partition");
+        assert!(net.virtual_now() > 100, "delivery waited for the heal, got {}", net.virtual_now());
+    }
+
+    #[test]
+    fn poisoned_link_withholds_later_frames() {
+        let plan = FaultPlan::ideal().with_poison(Poison::link("Alice", "Bob", 2));
+        let (alice, bob, _) = pair(plan);
+        alice.send("Bob", b"zero").unwrap();
+        alice.send("Bob", b"one").unwrap();
+        alice.send("Bob", b"two-withheld").unwrap();
+        assert_eq!(bob.receive("Alice").unwrap(), b"zero");
+        assert_eq!(bob.receive("Alice").unwrap(), b"one");
+        let err = bob.receive("Alice").unwrap_err();
+        assert!(matches!(err, TransportError::Protocol(_)));
+        assert!(err.to_string().contains("poisoned at frame 2"), "got: {err}");
+    }
+
+    #[test]
+    fn sequence_gaps_kill_the_link_for_every_session() {
+        let (alice, bob, _) = pair(FaultPlan::ideal());
+        alice.send_frame("Bob", Envelope::new(1, 0, b"ok".to_vec())).unwrap();
+        alice.send_frame("Bob", Envelope::new(1, 2, b"gap".to_vec())).unwrap();
+        alice.send_frame("Bob", Envelope::new(2, 0, b"other-session".to_vec())).unwrap();
+        assert_eq!(bob.receive_frame(1, "Alice").unwrap().payload, b"ok");
+        assert!(matches!(bob.receive_frame(2, "Alice"), Err(TransportError::Protocol(_))));
+    }
+
+    #[test]
+    fn watchdog_fires_instead_of_hanging() {
+        let plan = FaultPlan::ideal().with_watchdog(Duration::from_millis(50));
+        let (_alice, bob, _) = pair(plan);
+        let err = bob.receive("Alice").unwrap_err();
+        assert!(err.to_string().contains("watchdog"), "got: {err}");
+    }
+
+    #[test]
+    fn unknown_locations_are_rejected() {
+        let (alice, _, _) = pair(FaultPlan::ideal());
+        assert!(matches!(alice.send("Nobody", b"x"), Err(TransportError::UnknownLocation(_))));
+        assert!(matches!(alice.receive("Nobody"), Err(TransportError::UnknownLocation(_))));
+    }
+
+    #[test]
+    fn sessions_demultiplex_on_one_link() {
+        let (alice, bob, _) = pair(FaultPlan::ideal().with_seed(3).with_jitter(6));
+        alice.send_frame("Bob", Envelope::new(1, 0, b"s1-first".to_vec())).unwrap();
+        alice.send_frame("Bob", Envelope::new(2, 0, b"s2-first".to_vec())).unwrap();
+        alice.send_frame("Bob", Envelope::new(1, 1, b"s1-second".to_vec())).unwrap();
+        assert_eq!(bob.receive_frame(2, "Alice").unwrap().payload, b"s2-first");
+        assert_eq!(bob.receive_frame(1, "Alice").unwrap().payload, b"s1-first");
+        assert_eq!(bob.receive_frame(1, "Alice").unwrap().payload, b"s1-second");
+    }
+
+    #[test]
+    fn sequential_session_reuse_restarts_the_stream() {
+        let (alice, bob, _) = pair(FaultPlan::ideal());
+        // Run 1 of session 5.
+        alice.send_frame("Bob", Envelope::new(5, 0, b"r1-a".to_vec())).unwrap();
+        alice.send_frame("Bob", Envelope::new(5, 1, b"r1-b".to_vec())).unwrap();
+        assert_eq!(bob.receive_frame(5, "Alice").unwrap().payload, b"r1-a");
+        assert_eq!(bob.receive_frame(5, "Alice").unwrap().payload, b"r1-b");
+        // Run 2 reuses the id; its seq restarts at zero.
+        alice.send_frame("Bob", Envelope::new(5, 0, b"r2-a".to_vec())).unwrap();
+        assert_eq!(bob.receive_frame(5, "Alice").unwrap().payload, b"r2-a");
+    }
+
+    #[test]
+    fn trace_events_mirror_the_delivery_log() {
+        let (alice, bob, net) = pair(FaultPlan::ideal());
+        alice.send("Bob", b"x").unwrap();
+        bob.receive("Alice").unwrap();
+        let events = net.trace_events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].direction, crate::Direction::Send);
+        assert_eq!(events[1].direction, crate::Direction::Receive);
+        assert_eq!(events[0].from, "Alice");
+        assert_eq!(events[0].to, "Bob");
+    }
+}

@@ -320,6 +320,8 @@ impl<L: LocationSet, Target: ChoreographyLocation> TcpTransport<L, Target> {
                     return Ok(stream);
                 }
                 Err(e) => {
+                    #[cfg(test)]
+                    tests::FAILED_CONNECT_ATTEMPTS.fetch_add(1, Ordering::Relaxed);
                     last_err = Some(e);
                     std::thread::sleep(delay);
                     delay = (delay * 2).min(Duration::from_millis(200));
@@ -445,6 +447,12 @@ impl<L: LocationSet, Target: ChoreographyLocation> Transport<L, Target>
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    /// Counts connect attempts that failed and went into the retry
+    /// loop, so `connect_retries_until_peer_binds` can *force* the
+    /// retry path instead of hoping a race exercises it.
+    pub(super) static FAILED_CONNECT_ATTEMPTS: AtomicU64 = AtomicU64::new(0);
 
     chorus_core::locations! { Alice, Bob }
     type System = chorus_core::LocationSet!(Alice, Bob);
@@ -491,12 +499,21 @@ mod tests {
         let config = config();
         let a_cfg = config.clone();
         let b_cfg = config;
-        // Alice sends before Bob has bound its listener.
+        // Alice starts sending before Bob has bound its listener, and
+        // Bob binds only after observing at least one *failed* connect
+        // attempt — so the retry path is exercised deterministically,
+        // with no wall-clock sleep. (The counter is global across this
+        // test binary, so a concurrent test's failed connect could in
+        // principle satisfy the gate early; the test then degrades to
+        // racing the bind, never to flaking.)
+        let before = FAILED_CONNECT_ATTEMPTS.load(Ordering::Relaxed);
         let alice = std::thread::spawn(move || {
             let t = TcpTransport::bind(Alice, a_cfg).unwrap();
             t.send("Bob", b"early").unwrap();
         });
-        std::thread::sleep(Duration::from_millis(50));
+        while FAILED_CONNECT_ATTEMPTS.load(Ordering::Relaxed) == before {
+            std::thread::yield_now();
+        }
         let bob = TcpTransport::bind(Bob, b_cfg).unwrap();
         assert_eq!(bob.receive("Alice").unwrap(), b"early");
         alice.join().unwrap();

@@ -1,0 +1,164 @@
+//! The transport conformance battery: generic test bodies asserting the
+//! [`SessionTransport`] contract, instantiated per transport by the
+//! `conformance_suite!` macro in `main.rs`.
+//!
+//! Every body is **event-driven** — no sleeps, no spin thresholds — so
+//! the suite behaves identically on a 1-core CI runner and a laptop:
+//! sends are buffered by the transport under test, and receives block
+//! until the transport delivers or reports an error.
+
+use chorus_core::{Endpoint, SessionTransport, TransportError};
+use chorus_transport::TransportMetrics;
+use chorus_wire::Envelope;
+use std::sync::Arc;
+
+chorus_core::locations! { Alice, Bob }
+
+/// The two-party census every conformance instance runs over.
+pub type System = chorus_core::LocationSet!(Alice, Bob);
+
+/// Shorthand for the bounds a conformance transport pair must satisfy.
+pub trait AliceTransport: SessionTransport<System, Alice> + Send + Sync + 'static {}
+impl<T: SessionTransport<System, Alice> + Send + Sync + 'static> AliceTransport for T {}
+/// Bob's half of the pair.
+pub trait BobTransport: SessionTransport<System, Bob> + Send + Sync + 'static {}
+impl<T: SessionTransport<System, Bob> + Send + Sync + 'static> BobTransport for T {}
+
+fn frame(session: u64, seq: u64, payload: &[u8]) -> Envelope {
+    Envelope::new(session, seq, payload.to_vec())
+}
+
+/// Within one session, frames from one sender arrive in exactly the
+/// order they were offered — the λN FIFO guarantee (§4.1).
+pub fn per_sender_fifo(alice: impl AliceTransport, bob: impl BobTransport) {
+    for i in 0..24u64 {
+        alice.send_frame("Bob", frame(9, i, &i.to_le_bytes())).unwrap();
+    }
+    // The opposite direction shares no state with the first.
+    for i in 0..24u64 {
+        bob.send_frame("Alice", frame(9, i, &(1000 + i).to_le_bytes())).unwrap();
+    }
+    for i in 0..24u64 {
+        assert_eq!(
+            bob.receive_frame(9, "Alice").unwrap().payload,
+            i.to_le_bytes().as_slice(),
+            "frame {i} out of order at Bob"
+        );
+        assert_eq!(
+            alice.receive_frame(9, "Bob").unwrap().payload,
+            (1000 + i).to_le_bytes().as_slice(),
+            "frame {i} out of order at Alice"
+        );
+    }
+}
+
+/// Sessions multiplexed on one link deliver independently: draining one
+/// session's mailbox out of arrival order never disturbs another's
+/// FIFO.
+pub fn cross_session_interleaving(alice: impl AliceTransport, bob: impl BobTransport) {
+    const SESSIONS: u64 = 4;
+    const FRAMES: u64 = 6;
+    // Interleave the sessions frame-by-frame on the wire.
+    for seq in 0..FRAMES {
+        for session in 0..SESSIONS {
+            let tag = format!("s{session}-f{seq}");
+            alice.send_frame("Bob", frame(session, seq, tag.as_bytes())).unwrap();
+        }
+    }
+    // Read the sessions in reverse, each to completion: every stream
+    // must be intact regardless of drain order.
+    for session in (0..SESSIONS).rev() {
+        for seq in 0..FRAMES {
+            let got = bob.receive_frame(session, "Alice").unwrap();
+            assert_eq!(got.seq, seq);
+            assert_eq!(
+                got.payload,
+                format!("s{session}-f{seq}").as_bytes(),
+                "session {session} corrupted by its neighbors"
+            );
+        }
+    }
+}
+
+/// A sequence gap within a session is a protocol violation the receiver
+/// must detect and report, not silently reorder around.
+pub fn sequence_gap_detected(alice: impl AliceTransport, bob: impl BobTransport) {
+    alice.send_frame("Bob", frame(1, 0, b"ok")).unwrap();
+    alice.send_frame("Bob", frame(1, 2, b"gap")).unwrap();
+    assert_eq!(bob.receive_frame(1, "Alice").unwrap().payload, b"ok");
+    let err = bob.receive_frame(1, "Alice").unwrap_err();
+    assert!(
+        matches!(err, TransportError::Protocol(_)),
+        "a sequence gap must surface as a protocol error, got {err:?}"
+    );
+}
+
+/// Once a link is poisoned by a violation, *valid* frames sent
+/// afterwards — in any session — are withheld, so every session behind
+/// the link observes the failure instead of a silently resumed stream.
+pub fn poisoned_link_withholds(alice: impl AliceTransport, bob: impl BobTransport) {
+    alice.send_frame("Bob", frame(1, 0, b"ok")).unwrap();
+    // Poison the link with a sequence gap in session 1...
+    alice.send_frame("Bob", frame(1, 2, b"gap")).unwrap();
+    // ...then send a perfectly valid frame in session 2.
+    alice.send_frame("Bob", frame(2, 0, b"late")).unwrap();
+    assert_eq!(bob.receive_frame(1, "Alice").unwrap().payload, b"ok");
+    let err = bob.receive_frame(2, "Alice").unwrap_err();
+    assert!(
+        matches!(err, TransportError::Protocol(_)),
+        "a frame sent after the poison must be withheld, got {err:?}"
+    );
+}
+
+/// N sessions over one shared pair produce exactly N× the per-edge
+/// metrics of a single session — sessions share links but never
+/// double- or under-count.
+pub fn multi_session_metrics_parity<TA: AliceTransport, TB: BobTransport>(
+    make: impl Fn() -> (TA, TB),
+) {
+    const SESSIONS: u64 = 6;
+
+    // Count one session's traffic on a fresh pair.
+    let run = |sessions: u64, pair: (TA, TB)| -> chorus_transport::MetricsSnapshot {
+        let metrics = Arc::new(TransportMetrics::new());
+        let alice = Endpoint::builder(Alice).transport(pair.0).layer(Arc::clone(&metrics)).build();
+        let bob = Endpoint::builder(Bob).transport(pair.1).layer(Arc::clone(&metrics)).build();
+        for id in 0..sessions {
+            let sa = alice.session_with_id(id);
+            sa.send_bytes("Bob", format!("ping-{id}").as_bytes()).unwrap();
+        }
+        for id in 0..sessions {
+            let sb = bob.session_with_id(id);
+            let got = sb.receive_bytes("Alice").unwrap();
+            assert_eq!(got, format!("ping-{id}").into_bytes());
+            sb.send_bytes("Alice", format!("pong-{id}").as_bytes()).unwrap();
+        }
+        for id in 0..sessions {
+            let sa = alice.session_with_id(id);
+            assert_eq!(sa.receive_bytes("Bob").unwrap(), format!("pong-{id}").into_bytes());
+        }
+        metrics.snapshot()
+    };
+
+    let baseline = run(1, make());
+    let multi = run(SESSIONS, make());
+
+    assert_eq!(
+        multi.keys().collect::<Vec<_>>(),
+        baseline.keys().collect::<Vec<_>>(),
+        "same edges in both runs"
+    );
+    for (edge, base) in &baseline {
+        let got = multi[edge];
+        assert_eq!(
+            got.messages,
+            base.messages * SESSIONS,
+            "edge {edge:?}: {SESSIONS} sessions must count {SESSIONS}× the messages"
+        );
+        assert_eq!(
+            got.bytes,
+            base.bytes * SESSIONS,
+            "edge {edge:?}: {SESSIONS} sessions must count {SESSIONS}× the bytes"
+        );
+    }
+}

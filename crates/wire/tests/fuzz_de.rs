@@ -1,0 +1,169 @@
+//! Mutation fuzzing for the deserializer half of the wire format.
+//!
+//! The property under test: for *any* byte mutation of a valid
+//! encoding, `chorus_wire::de` either returns `Err` or returns a value
+//! that re-encodes canonically — it never panics, and the
+//! length-prefix paths (`get_len` in `de.rs`, the envelope header in
+//! `envelope.rs`) never turn a corrupted length into an unbounded
+//! allocation.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use serde::{Deserialize, Serialize};
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Message {
+    Ping,
+    Text(String),
+    Batch(Vec<u64>),
+    Pairs(Vec<(String, u32)>),
+    Tagged { id: u32, body: Option<Box<Message>> },
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    let leaf = prop_oneof![
+        Just(Message::Ping),
+        ".{0,24}".prop_map(Message::Text),
+        vec(any::<u64>(), 0..8).prop_map(Message::Batch),
+        vec((".{0,6}", any::<u32>()), 0..6).prop_map(Message::Pairs),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        (any::<u32>(), proptest::option::of(inner))
+            .prop_map(|(id, body)| Message::Tagged { id, body: body.map(Box::new) })
+    })
+}
+
+/// If a mutated buffer still decodes, the decoded value must be a
+/// first-class citizen: it re-encodes, and its encoding round-trips to
+/// an equal value. Anything else — short of a panic — is a decoder bug
+/// laundering garbage into the type system.
+fn assert_canonical_or_err<T>(bytes: &[u8])
+where
+    T: serde::de::DeserializeOwned + Serialize + PartialEq + std::fmt::Debug,
+{
+    if let Ok(value) = chorus_wire::from_bytes::<T>(bytes) {
+        let reencoded = chorus_wire::to_bytes(&value).expect("decoded values must re-encode");
+        let again: T = chorus_wire::from_bytes(&reencoded)
+            .expect("the re-encoding of a decoded value must decode");
+        assert_eq!(again, value, "re-encoding must be canonical");
+    }
+}
+
+proptest! {
+    /// Single-byte corruption anywhere in a valid encoding.
+    #[test]
+    fn mutated_encodings_err_or_reencode_canonically(
+        msg in arb_message(),
+        index: usize,
+        flip in 1u8..=255,
+    ) {
+        let mut bytes = chorus_wire::to_bytes(&msg).unwrap();
+        if bytes.is_empty() {
+            return Ok(());
+        }
+        let i = index % bytes.len();
+        bytes[i] ^= flip; // flip != 0, so the buffer genuinely changed
+        assert_canonical_or_err::<Message>(&bytes);
+        assert_canonical_or_err::<Vec<u64>>(&bytes);
+        assert_canonical_or_err::<(String, Vec<u8>)>(&bytes);
+    }
+
+    /// Multi-byte corruption: splice a random window over the encoding.
+    #[test]
+    fn spliced_encodings_err_or_reencode_canonically(
+        msg in arb_message(),
+        start: usize,
+        splice in vec(any::<u8>(), 1..16),
+    ) {
+        let mut bytes = chorus_wire::to_bytes(&msg).unwrap();
+        if bytes.is_empty() {
+            return Ok(());
+        }
+        let start = start % bytes.len();
+        for (offset, b) in splice.iter().enumerate() {
+            if let Some(slot) = bytes.get_mut(start + offset) {
+                *slot = *b;
+            }
+        }
+        assert_canonical_or_err::<Message>(&bytes);
+    }
+
+    /// Every strict prefix of a valid encoding is rejected, not
+    /// misread: truncation hits the length-prefix / fixed-width read
+    /// paths in `de.rs`.
+    #[test]
+    fn truncated_encodings_are_rejected(msg in arb_message(), cut: usize) {
+        let bytes = chorus_wire::to_bytes(&msg).unwrap();
+        if bytes.is_empty() {
+            return Ok(());
+        }
+        let cut = cut % bytes.len(); // strict prefix
+        prop_assert!(
+            chorus_wire::from_bytes::<Message>(&bytes[..cut]).is_err(),
+            "a strict prefix must not decode"
+        );
+    }
+
+    /// Mutating envelope frames: the frame header's length prefix is
+    /// validated against the buffer, so corruption yields `Err`, never
+    /// a panic or a bogus slice.
+    #[test]
+    fn mutated_envelopes_err_or_reencode_identically(
+        session: u64,
+        seq: u64,
+        payload in vec(any::<u8>(), 0..64),
+        index: usize,
+        flip in 1u8..=255,
+    ) {
+        let envelope = chorus_wire::Envelope::new(session, seq, payload);
+        let mut bytes = envelope.encode();
+        let i = index % bytes.len(); // never empty: the header alone is 20 bytes
+        bytes[i] ^= flip;
+        if let Ok(decoded) = chorus_wire::Envelope::decode(&bytes) {
+            let reencoded = decoded.encode();
+            let again = chorus_wire::Envelope::decode(&reencoded).expect("canonical re-encoding");
+            prop_assert_eq!(again, decoded);
+        }
+    }
+
+    /// Every strict prefix of an envelope frame is rejected.
+    #[test]
+    fn truncated_envelopes_are_rejected(
+        session: u64,
+        seq: u64,
+        payload in vec(any::<u8>(), 0..64),
+        cut: usize,
+    ) {
+        let bytes = chorus_wire::Envelope::new(session, seq, payload).encode();
+        let cut = cut % bytes.len();
+        prop_assert!(chorus_wire::Envelope::decode(&bytes[..cut]).is_err());
+    }
+}
+
+/// The length-prefix allocation-bomb guard, pinned deterministically: a
+/// corrupted length far beyond the buffer must be rejected up front
+/// (`LengthOverflow` / `UnexpectedEof`), not trusted by an allocator.
+#[test]
+fn corrupted_length_prefixes_cannot_demand_unbounded_memory() {
+    // A bare u32::MAX length with no elements behind it.
+    let huge = u32::MAX.to_le_bytes();
+    assert!(chorus_wire::from_bytes::<Vec<u64>>(&huge).is_err());
+    assert!(chorus_wire::from_bytes::<String>(&huge).is_err());
+    assert!(chorus_wire::from_bytes::<Vec<u8>>(&huge).is_err());
+
+    // A plausible-but-false length (beyond the guard threshold) ahead
+    // of a tiny body.
+    let mut sneaky = (2_000_000u32).to_le_bytes().to_vec();
+    sneaky.extend_from_slice(&[0u8; 16]);
+    assert!(chorus_wire::from_bytes::<Vec<u64>>(&sneaky).is_err());
+    assert!(chorus_wire::from_bytes::<String>(&sneaky).is_err());
+
+    // An envelope whose header promises a payload the buffer lacks.
+    let envelope = chorus_wire::Envelope::new(1, 2, vec![0xAB; 8]);
+    let mut frame = envelope.encode();
+    frame[16..20].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert!(matches!(
+        chorus_wire::Envelope::decode(&frame),
+        Err(chorus_wire::WireError::UnexpectedEof)
+    ));
+}

@@ -1,0 +1,319 @@
+//! The chaos matrix: the paper's case-study choreographies executed
+//! end-to-end over [`SimTransport`] under a matrix of hostile seeded
+//! schedules — latency jitter, drops (with retransmission),
+//! duplication, and partitions — asserting that every run completes
+//! with the *same* result a quiet network produces. This is the
+//! portability claim (§2.1) under test: deadlock-freedom and
+//! knowledge-of-choice must survive adverse networks, not just
+//! well-behaved ones.
+//!
+//! Seeds are taken from `CHORUS_SIM_SEED_BASE` (decimal, default
+//! `49374`), so the nightly CI job can sweep fresh schedules while PR
+//! runs stay reproducible. When a seed fails, the full per-link
+//! delivery schedule is written to `target/sim-traces/` and the panic
+//! names the seed: re-run locally with
+//! `CHORUS_SIM_SEED_BASE=<base> cargo test --test sim_chaos` to replay
+//! bit-for-bit.
+
+use chorus_repro::core::{ChoreographyLocation as _, Endpoint, LocationSet};
+use chorus_repro::mpc::field::FLOTTERY;
+use chorus_repro::mpc::Circuit;
+use chorus_repro::protocols::gmw::Gmw;
+use chorus_repro::protocols::kvs_backup::{KvsCensus, ReplicatedKvs, Servers};
+use chorus_repro::protocols::lottery::Lottery;
+use chorus_repro::protocols::roles::{
+    Analyst, Backup1, Backup2, Client, Primary, C1, C2, C3, P1, P2, P3, S1, S2,
+};
+use chorus_repro::protocols::store::{Request, Response, SharedStore};
+use chorus_repro::transport::{FaultPlan, SimNet, SimTransport};
+use std::marker::PhantomData;
+use std::panic::AssertUnwindSafe;
+
+/// Distinct seeds per protocol; the three matrices are disjoint, so one
+/// full run covers `3 × PER_PROTOCOL ≥ 100` distinct fault plans.
+const PER_PROTOCOL: u64 = 48;
+
+fn seed_base() -> u64 {
+    std::env::var("CHORUS_SIM_SEED_BASE").ok().and_then(|s| s.parse().ok()).unwrap_or(49374)
+}
+
+/// Runs `body` and, if it panics, writes the net's full schedule to
+/// `target/sim-traces/<protocol>-seed-<seed>.log` before re-panicking
+/// with the seed in the message — everything CI needs for a local
+/// replay.
+fn with_schedule_dump<L: LocationSet>(
+    protocol: &str,
+    seed: u64,
+    net: &SimNet<L>,
+    body: impl FnOnce(),
+) {
+    if let Err(payload) = std::panic::catch_unwind(AssertUnwindSafe(body)) {
+        let message = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        let dir = std::path::Path::new("target").join("sim-traces");
+        std::fs::create_dir_all(&dir).ok();
+        let path = dir.join(format!("{protocol}-seed-{seed}.log"));
+        std::fs::write(&path, net.schedule_dump()).ok();
+        // The per-protocol matrices are offset from the base, so name
+        // the exact env value that replays this seed locally.
+        let base = seed - seed_offset(protocol);
+        panic!(
+            "{protocol} failed under fault-plan seed {seed}: {message}\n\
+             schedule dumped to {} — replay with \
+             CHORUS_SIM_SEED_BASE={base} cargo test --test sim_chaos",
+            path.display()
+        );
+    }
+}
+
+/// Where each protocol's matrix starts relative to the seed base; keep
+/// in sync with the `*_survives_the_seed_matrix` tests so the replay
+/// instructions in failure messages stay accurate.
+fn seed_offset(protocol: &str) -> u64 {
+    match protocol {
+        "gmw" => 1_000,
+        "lottery" => 2_000,
+        _ => 0,
+    }
+}
+
+// ---------------------------------------------------------------------
+// kvs_backup: client + primary + two backups, with state-corruption
+// fault injection *inside* the choreography on top of the network
+// faults underneath it.
+// ---------------------------------------------------------------------
+
+type Backups = chorus_repro::core::LocationSet!(Backup1, Backup2);
+type KvsSystem = KvsCensus<Backups>;
+
+fn run_kvs_backup(net: &SimNet<KvsSystem>) {
+    let mut servers = Vec::new();
+    macro_rules! server {
+        ($ty:ty, $corrupt:expr) => {{
+            let net = net.clone();
+            servers.push(std::thread::spawn(move || {
+                let endpoint = Endpoint::new(SimTransport::new(<$ty>::new(), net));
+                let session = endpoint.session();
+                let store = SharedStore::new();
+                if $corrupt {
+                    store.corrupt_next_put();
+                }
+                let outcome = session.epp_and_run(ReplicatedKvs::<Backups, _, _, _> {
+                    request: session.remote(Client),
+                    states: session.local_faceted(store.clone()),
+                    phantom: PhantomData,
+                });
+                (session.unwrap(outcome.resynched), store.snapshot())
+            }));
+        }};
+    }
+    server!(Primary, false);
+    server!(Backup1, true);
+    server!(Backup2, false);
+
+    let client_net = net.clone();
+    let client = std::thread::spawn(move || {
+        let endpoint = Endpoint::new(SimTransport::new(Client, client_net));
+        let session = endpoint.session();
+        let outcome = session.epp_and_run(ReplicatedKvs::<Backups, _, _, _> {
+            request: session.local(Request::Put("k".into(), "v".into())),
+            states: session.remote_faceted(<Servers<Backups>>::new()),
+            phantom: PhantomData,
+        });
+        session.unwrap(outcome.response)
+    });
+
+    assert_eq!(client.join().unwrap(), Response::NotFound);
+    let results: Vec<_> = servers.into_iter().map(|h| h.join().unwrap()).collect();
+    assert!(results.iter().all(|(resynched, _)| *resynched), "every server saw the resynch");
+    let reference = &results[0].1;
+    assert!(results.iter().all(|(_, snapshot)| snapshot == reference), "replicas converged");
+    assert_eq!(reference.get("k").map(String::as_str), Some("v"));
+}
+
+#[test]
+fn kvs_backup_survives_the_seed_matrix() {
+    let base = seed_base();
+    for seed in base..base + PER_PROTOCOL {
+        let net = SimNet::<KvsSystem>::new(FaultPlan::chaos(seed));
+        with_schedule_dump("kvs_backup", seed, &net, || run_kvs_backup(&net));
+    }
+}
+
+/// The schedule of a full multi-threaded protocol run is reproducible:
+/// each link has a single sending thread, so per-link frame order — and
+/// with it every seeded fault decision — is independent of OS
+/// scheduling.
+#[test]
+fn kvs_backup_schedule_is_deterministic_across_runs() {
+    let seed = seed_base() ^ 0xD57;
+    let dump = |_: u32| {
+        let net = SimNet::<KvsSystem>::new(FaultPlan::chaos(seed));
+        run_kvs_backup(&net);
+        net.schedule_dump()
+    };
+    assert_eq!(dump(0), dump(1), "same seed, same multi-threaded run, same schedule");
+}
+
+// ---------------------------------------------------------------------
+// gmw: three-party secure computation of majority(a, b, c).
+// ---------------------------------------------------------------------
+
+type Parties = chorus_repro::core::LocationSet!(P1, P2, P3);
+
+fn run_gmw(net: &SimNet<Parties>) {
+    let circuit = std::sync::Arc::new(
+        Circuit::input("P1", 0)
+            .and(Circuit::input("P2", 0))
+            .xor(Circuit::input("P1", 0).and(Circuit::input("P3", 0)))
+            .xor(Circuit::input("P2", 0).and(Circuit::input("P3", 0))),
+    );
+    let mut handles = Vec::new();
+    macro_rules! party {
+        ($ty:ty, $input:expr) => {{
+            let net = net.clone();
+            let circuit = std::sync::Arc::clone(&circuit);
+            handles.push(std::thread::spawn(move || {
+                let endpoint = Endpoint::new(SimTransport::new(<$ty>::new(), net));
+                let session = endpoint.session();
+                session.epp_and_run(Gmw::<Parties, _, _> {
+                    circuit: &circuit,
+                    inputs: &session.local_faceted(vec![$input]),
+                    phantom: PhantomData,
+                })
+            }));
+        }};
+    }
+    party!(P1, true);
+    party!(P2, true);
+    party!(P3, false);
+    let results: Vec<bool> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    assert_eq!(results, vec![true, true, true], "majority(t, t, f) = t at every party");
+}
+
+#[test]
+fn gmw_survives_the_seed_matrix() {
+    let base = seed_base() + 1_000;
+    for seed in base..base + PER_PROTOCOL {
+        let net = SimNet::<Parties>::new(FaultPlan::chaos(seed));
+        with_schedule_dump("gmw", seed, &net, || run_gmw(&net));
+    }
+}
+
+// ---------------------------------------------------------------------
+// lottery: three clients, two servers, one analyst; commit-then-open
+// fairness on top of a network that reorders the opens.
+// ---------------------------------------------------------------------
+
+type Clients = chorus_repro::core::LocationSet!(C1, C2, C3);
+type LotteryServers = chorus_repro::core::LocationSet!(S1, S2);
+type LotteryCensus = chorus_repro::core::LocationSet!(Analyst, C1, C2, C3, S1, S2);
+
+fn run_lottery(net: &SimNet<LotteryCensus>) {
+    const SECRETS: [u64; 3] = [1001, 2002, 3003];
+    let mut handles = Vec::new();
+
+    macro_rules! client {
+        ($ty:ty, $secret:expr) => {{
+            let net = net.clone();
+            handles.push(std::thread::spawn(move || {
+                let endpoint = Endpoint::new(SimTransport::new(<$ty>::default(), net));
+                let session = endpoint.session();
+                let _ = session.epp_and_run(Lottery::<
+                    Clients,
+                    LotteryServers,
+                    LotteryCensus,
+                    _,
+                    _,
+                    _,
+                    _,
+                    _,
+                    _,
+                    _,
+                > {
+                    secrets: &session.local_faceted(FLOTTERY::new($secret)),
+                    tau: 300,
+                    cheaters: &session.remote_faceted(LotteryServers::new()),
+                    phantom: PhantomData,
+                });
+            }));
+        }};
+    }
+    macro_rules! server {
+        ($ty:ty) => {{
+            let net = net.clone();
+            handles.push(std::thread::spawn(move || {
+                let endpoint = Endpoint::new(SimTransport::new(<$ty>::default(), net));
+                let session = endpoint.session();
+                let _ = session.epp_and_run(Lottery::<
+                    Clients,
+                    LotteryServers,
+                    LotteryCensus,
+                    _,
+                    _,
+                    _,
+                    _,
+                    _,
+                    _,
+                    _,
+                > {
+                    secrets: &session.remote_faceted(Clients::new()),
+                    tau: 300,
+                    cheaters: &session.local_faceted(false),
+                    phantom: PhantomData,
+                });
+            }));
+        }};
+    }
+
+    client!(C1, SECRETS[0]);
+    client!(C2, SECRETS[1]);
+    client!(C3, SECRETS[2]);
+    server!(S1);
+    server!(S2);
+
+    let analyst_net = net.clone();
+    let analyst = std::thread::spawn(move || {
+        let endpoint = Endpoint::new(SimTransport::new(Analyst, analyst_net));
+        let session = endpoint.session();
+        let out = session.epp_and_run(Lottery::<
+            Clients,
+            LotteryServers,
+            LotteryCensus,
+            _,
+            _,
+            _,
+            _,
+            _,
+            _,
+            _,
+        > {
+            secrets: &session.remote_faceted(Clients::new()),
+            tau: 300,
+            cheaters: &session.remote_faceted(LotteryServers::new()),
+            phantom: PhantomData,
+        });
+        session.unwrap(out)
+    });
+
+    for h in handles {
+        h.join().unwrap();
+    }
+    let value = analyst.join().unwrap().expect("honest servers, so the lottery must not abort");
+    assert!(
+        SECRETS.contains(&value),
+        "the analyst must reconstruct one of the client secrets, got {value}"
+    );
+}
+
+#[test]
+fn lottery_survives_the_seed_matrix() {
+    let base = seed_base() + 2_000;
+    for seed in base..base + PER_PROTOCOL {
+        let net = SimNet::<LotteryCensus>::new(FaultPlan::chaos(seed));
+        with_schedule_dump("lottery", seed, &net, || run_lottery(&net));
+    }
+}
