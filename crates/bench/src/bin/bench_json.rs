@@ -15,8 +15,8 @@
 //! * `--out <path>` — where to write the JSON (default
 //!   `BENCH_results.json` in the current directory).
 
-use chorus_core::{Endpoint, Runner};
-use chorus_protocols::kvs_simple::{SimpleKvs, SimpleKvsCensus};
+use chorus_core::{Endpoint, RoleProgram, Runner, SessionCx, SessionRuntime, Step, TransportError};
+use chorus_protocols::kvs_simple::{PooledKvsClient, PooledKvsServer, SimpleKvs, SimpleKvsCensus};
 use chorus_protocols::roles::{Client, Primary};
 use chorus_protocols::store::{Request, Response, SharedStore};
 use chorus_transport::{
@@ -24,7 +24,7 @@ use chorus_transport::{
 };
 use chorus_wire::{Bytes, BytesMut, Envelope};
 use std::hint::black_box;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// One emitted measurement.
@@ -304,6 +304,167 @@ fn bench_sim_chaos_kvs(quick: bool) -> BenchResult {
     }
 }
 
+/// One concurrency-scenario measurement: `n_sessions` complete KVS
+/// round trips driven to completion, with per-session latency from
+/// spawn to the client observing the response.
+struct ConcurrencyResult {
+    name: &'static str,
+    n_sessions: u64,
+    /// OS threads dedicated to session execution: the worker-pool size
+    /// for the pooled runtime, `2 × n_sessions` for thread-per-role.
+    pool_size: usize,
+    host_cores: usize,
+    elapsed_ms: f64,
+    sessions_per_sec: f64,
+    msgs_per_sec: f64,
+    p50_us: u128,
+    p99_us: u128,
+}
+
+/// Messages per KVS session: one request, one response.
+const MSGS_PER_SESSION: u64 = 2;
+
+fn host_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+fn percentile_us(sorted: &[Duration], p: f64) -> u128 {
+    match sorted.len() {
+        0 => 0,
+        len => sorted[(((len - 1) as f64) * p).round() as usize].as_micros(),
+    }
+}
+
+/// Wraps a role program to stamp elapsed-since-spawn when it resolves,
+/// giving per-session completion latency without touching the handles.
+struct Timed<P: RoleProgram> {
+    inner: P,
+    started: Instant,
+    latency: Arc<OnceLock<Duration>>,
+}
+
+impl<P: RoleProgram> RoleProgram for Timed<P> {
+    type Output = P::Output;
+
+    fn resume(&mut self, cx: &mut SessionCx<'_>) -> Result<Step<Self::Output>, TransportError> {
+        match self.inner.resume(cx)? {
+            Step::Done(value) => {
+                let _ = self.latency.set(self.started.elapsed());
+                Ok(Step::Done(value))
+            }
+            Step::Pending => Ok(Step::Pending),
+        }
+    }
+}
+
+/// `n` concurrent KVS sessions (client and server roles both pooled) on
+/// a worker pool sized to the host.
+fn bench_pooled_sessions(n: u64) -> ConcurrencyResult {
+    let pool = host_cores();
+    let runtime = SessionRuntime::new(pool);
+    let channel = LocalTransportChannel::<SimpleKvsCensus>::new();
+    let client = Arc::new(Endpoint::new(LocalTransport::new(Client, channel.clone())));
+    let server = Arc::new(Endpoint::new(LocalTransport::new(Primary, channel)));
+    let store = SharedStore::new();
+    store.put("k", "v");
+
+    let mut latencies = Vec::with_capacity(n as usize);
+    let mut servers = Vec::with_capacity(n as usize);
+    let mut clients = Vec::with_capacity(n as usize);
+    let start = Instant::now();
+    for id in 0..n {
+        let latency = Arc::new(OnceLock::new());
+        latencies.push(Arc::clone(&latency));
+        servers.push(runtime.spawn(&server, id, PooledKvsServer::new(store.clone())));
+        let timed = Timed {
+            inner: PooledKvsClient::new(Request::Get("k".into())),
+            started: Instant::now(),
+            latency,
+        };
+        clients.push(runtime.spawn(&client, id, timed));
+    }
+    for handle in clients {
+        assert_eq!(handle.join().unwrap(), Response::Found("v".into()));
+    }
+    for handle in servers {
+        handle.join().unwrap();
+    }
+    let elapsed = start.elapsed();
+
+    let mut sorted: Vec<Duration> =
+        latencies.iter().map(|slot| *slot.get().expect("client resolved")).collect();
+    sorted.sort_unstable();
+    let secs = elapsed.as_secs_f64().max(f64::EPSILON);
+    ConcurrencyResult {
+        name: "concurrency/pooled_kvs",
+        n_sessions: n,
+        pool_size: pool,
+        host_cores: host_cores(),
+        elapsed_ms: elapsed.as_secs_f64() * 1e3,
+        sessions_per_sec: n as f64 / secs,
+        msgs_per_sec: (n * MSGS_PER_SESSION) as f64 / secs,
+        p50_us: percentile_us(&sorted, 0.50),
+        p99_us: percentile_us(&sorted, 0.99),
+    }
+}
+
+/// The pre-pool execution model at the same session count: one OS
+/// thread per role (2n threads), each running the blocking
+/// `Session::epp_and_run` path.
+fn bench_thread_per_role_sessions(n: u64) -> ConcurrencyResult {
+    let channel = LocalTransportChannel::<SimpleKvsCensus>::new();
+    let client = Arc::new(Endpoint::new(LocalTransport::new(Client, channel.clone())));
+    let server = Arc::new(Endpoint::new(LocalTransport::new(Primary, channel)));
+    let store = SharedStore::new();
+    store.put("k", "v");
+
+    let latencies = Arc::new(Mutex::new(Vec::with_capacity(n as usize)));
+    let mut threads = Vec::with_capacity(2 * n as usize);
+    let start = Instant::now();
+    for id in 0..n {
+        let server = Arc::clone(&server);
+        let store = store.clone();
+        threads.push(std::thread::spawn(move || {
+            let session = server.session_with_id(id);
+            session.epp_and_run(SimpleKvs {
+                request: session.remote(Client),
+                state: session.local(store),
+            });
+        }));
+        let client = Arc::clone(&client);
+        let latencies = Arc::clone(&latencies);
+        threads.push(std::thread::spawn(move || {
+            let started = Instant::now();
+            let session = client.session_with_id(id);
+            let out = session.epp_and_run(SimpleKvs {
+                request: session.local(Request::Get("k".into())),
+                state: session.remote(Primary),
+            });
+            assert_eq!(session.unwrap(out), Response::Found("v".into()));
+            latencies.lock().unwrap().push(started.elapsed());
+        }));
+    }
+    for thread in threads {
+        thread.join().unwrap();
+    }
+    let elapsed = start.elapsed();
+
+    let mut sorted = std::mem::take(&mut *latencies.lock().unwrap());
+    sorted.sort_unstable();
+    let secs = elapsed.as_secs_f64().max(f64::EPSILON);
+    ConcurrencyResult {
+        name: "concurrency/thread_per_role_kvs",
+        n_sessions: n,
+        pool_size: 2 * n as usize,
+        host_cores: host_cores(),
+        elapsed_ms: elapsed.as_secs_f64() * 1e3,
+        sessions_per_sec: n as f64 / secs,
+        msgs_per_sec: (n * MSGS_PER_SESSION) as f64 / secs,
+        p50_us: percentile_us(&sorted, 0.50),
+        p99_us: percentile_us(&sorted, 0.99),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -324,6 +485,15 @@ fn main() {
     if sim {
         results.push(bench_sim_chaos_kvs(quick));
     }
+
+    // The pooled-runtime concurrency scenarios: N sessions to
+    // completion on a fixed pool, against the thread-per-role blocking
+    // model at N=1k. Quick mode (the CI scale smoke) trims the 10k
+    // point to keep the job inside its time box.
+    let pooled_ns: &[u64] = if quick { &[100, 1_000] } else { &[100, 1_000, 10_000] };
+    let mut concurrency: Vec<ConcurrencyResult> =
+        pooled_ns.iter().map(|&n| bench_pooled_sessions(n)).collect();
+    concurrency.push(bench_thread_per_role_sessions(1_000));
 
     let mut json = String::from("{\n  \"schema\": 1,\n");
     json.push_str(&format!("  \"quick\": {quick},\n"));
@@ -349,6 +519,24 @@ fn main() {
             if i + 1 < results.len() { "," } else { "" }
         ));
     }
+    json.push_str("  ],\n  \"concurrency\": [\n");
+    for (i, c) in concurrency.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"n_sessions\": {}, \"pool_size\": {}, \
+             \"host_cores\": {}, \"elapsed_ms\": {:.3}, \"sessions_per_sec\": {:.1}, \
+             \"msgs_per_sec\": {:.1}, \"p50_us\": {}, \"p99_us\": {}}}{}\n",
+            c.name,
+            c.n_sessions,
+            c.pool_size,
+            c.host_cores,
+            c.elapsed_ms,
+            c.sessions_per_sec,
+            c.msgs_per_sec,
+            c.p50_us,
+            c.p99_us,
+            if i + 1 < concurrency.len() { "," } else { "" }
+        ));
+    }
     json.push_str("  ]\n}\n");
 
     for r in &results {
@@ -363,6 +551,20 @@ fn main() {
             );
         }
         println!();
+    }
+    for c in &concurrency {
+        println!(
+            "{:<48} N={:<6} threads={:<5} cores={}  {:>9.1} sessions/s  {:>9.1} msgs/s  \
+             p50={}us p99={}us",
+            c.name,
+            c.n_sessions,
+            c.pool_size,
+            c.host_cores,
+            c.sessions_per_sec,
+            c.msgs_per_sec,
+            c.p50_us,
+            c.p99_us
+        );
     }
     std::fs::write(&out_path, &json).expect("write BENCH_results.json");
     println!("\nwrote {out_path}");

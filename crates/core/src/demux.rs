@@ -13,7 +13,8 @@
 
 use crate::location::{ChoreographyLocation, LocationSet};
 use crate::transport::{
-    InternedNames, SequenceTracker, SessionId, SessionTransport, Transport, TransportError,
+    InternedNames, MailboxWaker, SequenceTracker, SessionId, SessionTransport, Transport,
+    TransportError,
 };
 use chorus_wire::{Bytes, Envelope};
 use std::collections::{HashMap, VecDeque};
@@ -47,6 +48,13 @@ struct SenderInner {
     sequences: SequenceTracker,
     pumping: bool,
     dead: Option<String>,
+    /// Readiness wakers parked on empty mailboxes, fired when the pump
+    /// deposits a frame for their session (or the link dies). The pump
+    /// is driven by *blocking* receivers: a purely non-blocking consumer
+    /// of a `Demux` needs at least one concurrent blocking receive in
+    /// flight on the sender (or a session-native transport, which is
+    /// what the pooled runtime is intended to run over).
+    wakers: HashMap<SessionId, MailboxWaker>,
 }
 
 impl<L, Target, T> Demux<L, Target, T>
@@ -120,19 +128,71 @@ where
             inner.pumping = false;
             // The raw receive hands over an owned buffer; adopting it as
             // shared storage lets the payload be sliced out copy-free.
+            let mut fired = None;
+            let mut all_fired = Vec::new();
             match received.and_then(|bytes| Ok(Envelope::decode_shared(&Bytes::from(bytes))?)) {
                 Ok(envelope) => {
                     if let Err(e) = inner.sequences.check(envelope.session, from, envelope.seq) {
                         inner.dead = Some(e.to_string());
+                        all_fired.extend(inner.wakers.drain().map(|(_, w)| w));
                     } else {
+                        fired = inner.wakers.remove(&envelope.session);
                         inner.mailboxes.entry(envelope.session).or_default().push_back(envelope);
                     }
                 }
                 Err(e) => {
                     inner.dead = Some(e.to_string());
+                    all_fired.extend(inner.wakers.drain().map(|(_, w)| w));
                 }
             }
             state.cv.notify_all();
+            // Fire readiness wakers outside the sender lock: a waker
+            // re-enqueues its session into a scheduler queue, and
+            // holding the mailbox lock across that invites ordering
+            // deadlocks.
+            drop(inner);
+            if let Some(waker) = fired {
+                waker();
+            }
+            for waker in all_fired {
+                waker();
+            }
+            inner = state.inner.lock().expect("demux sender state poisoned");
         }
+    }
+
+    fn try_receive_frame(
+        &self,
+        session: SessionId,
+        from: &str,
+    ) -> Result<Option<Envelope>, TransportError> {
+        let from = self.names.resolve(from)?;
+        let state = self.sender_state(from);
+        let mut inner = state.inner.lock().expect("demux sender state poisoned");
+        if let Some(envelope) = inner.mailboxes.get_mut(&session).and_then(VecDeque::pop_front) {
+            return Ok(Some(envelope));
+        }
+        if let Some(reason) = &inner.dead {
+            return Err(TransportError::Protocol(format!("link from {from} is down: {reason}")));
+        }
+        Ok(None)
+    }
+
+    fn register_waker(
+        &self,
+        session: SessionId,
+        from: &str,
+        waker: MailboxWaker,
+    ) -> Result<bool, TransportError> {
+        let from = self.names.resolve(from)?;
+        let state = self.sender_state(from);
+        let mut inner = state.inner.lock().expect("demux sender state poisoned");
+        let ready = inner.dead.is_some()
+            || inner.mailboxes.get(&session).is_some_and(|mailbox| !mailbox.is_empty());
+        if ready {
+            return Ok(true);
+        }
+        inner.wakers.insert(session, waker);
+        Ok(false)
     }
 }

@@ -70,6 +70,7 @@ pub mod park;
 mod projector;
 mod quire;
 mod runner;
+mod runtime;
 mod session;
 mod transport;
 
@@ -86,8 +87,9 @@ pub use projector::Projector;
 pub use projector::PROJECTOR_SESSION;
 pub use quire::Quire;
 pub use runner::Runner;
+pub use runtime::{RoleProgram, SessionCx, SessionHandle, SessionRuntime, Step};
 pub use session::Session;
 pub use transport::{
-    InternedNames, SequenceTracker, SessionId, SessionTransport, Transport, TransportError,
-    RAW_SESSION,
+    InternedNames, MailboxWaker, SequenceTracker, SessionId, SessionTransport, Transport,
+    TransportError, RAW_SESSION,
 };

@@ -17,7 +17,31 @@
 //! schedules while its receivers are ordinary blocked threads.
 
 use std::sync::{Condvar, Mutex, MutexGuard};
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// The workspace-wide default watchdog timeout for bounded parks.
+///
+/// Every watchdog in the workspace — the sim transport's receive
+/// watchdog, the pooled session runtime's stall detector — derives its
+/// default deadline from this one place instead of hard-coding an ad
+/// hoc per-call-site constant. Override it with the `CHORUS_WATCHDOG_MS`
+/// environment variable (milliseconds, read once per process); the
+/// built-in default is 30 000 ms.
+///
+/// A CI job that wants hangs to surface fast sets `CHORUS_WATCHDOG_MS`
+/// low; a debugging session that wants to poke around under a debugger
+/// sets it high. Code that needs a *specific* deadline (e.g. a test
+/// pinning watchdog behavior) still passes one explicitly.
+pub fn default_watchdog() -> Duration {
+    static MILLIS: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
+    let millis = *MILLIS.get_or_init(|| {
+        std::env::var("CHORUS_WATCHDOG_MS")
+            .ok()
+            .and_then(|raw| raw.trim().parse::<u64>().ok())
+            .unwrap_or(30_000)
+    });
+    Duration::from_millis(millis)
+}
 
 /// A mutex fused with the condvar that announces changes to its state.
 ///
@@ -129,6 +153,16 @@ mod tests {
         let (_guard, timed_out) =
             queue.wait_deadline(guard, Instant::now() + Duration::from_millis(10));
         assert!(timed_out, "nobody notifies, so the watchdog must fire");
+    }
+
+    #[test]
+    fn default_watchdog_is_a_usable_deadline() {
+        // The env override is read once per process, so this test only
+        // pins the invariants every caller relies on: the default is
+        // finite, nonzero, and stable across calls.
+        let first = default_watchdog();
+        assert!(first > Duration::ZERO);
+        assert_eq!(first, default_watchdog());
     }
 
     #[test]

@@ -1,0 +1,773 @@
+//! The pooled session runtime: many in-flight choreography sessions
+//! driven by a fixed worker pool.
+//!
+//! The blocking execution model ([`Session::epp_and_run`]) parks one OS
+//! thread per role per session on a
+//! [`WaitQueue`](crate::park::WaitQueue) whenever a receive would
+//! block. That is the right shape for a handful of long-lived runs and
+//! the wrong shape for ten thousand concurrent ones: tens of thousands
+//! of parked threads exhaust memory and scheduler capacity long before
+//! the network does. This module keeps the thread count **O(pool
+//! size)** instead of O(sessions): each role runs as a *resumable*
+//! [`RoleProgram`] that yields on a would-block receive, and a
+//! [`SessionRuntime`] — a FIFO run queue drained by a fixed pool of
+//! workers — re-enqueues exactly the sessions whose mailboxes became
+//! ready, via the [`MailboxWaker`] hook every session-native transport
+//! implements.
+//!
+//! # The yield point
+//!
+//! A [`RoleProgram`] is the explicit-state-machine rendering of one
+//! role's projected choreography (the resumable form rumpsteak-style
+//! FSM projection produces, and the form a future projection macro
+//! would emit). Its [`resume`](RoleProgram::resume) method drives the
+//! role as far as it can: sends always complete (transports buffer),
+//! and a receive is attempted with
+//! [`SessionCx::try_receive_value`], which either delivers or records
+//! the awaited edge and makes the program return [`Step::Pending`].
+//! The runtime then registers a one-shot waker on the awaited
+//! per-(session, sender) mailbox and the pool thread moves on to the
+//! next runnable session — **runnable work never waits behind a parked
+//! pool thread**.
+//!
+//! The registration protocol has no lost-wakeup window: a transport's
+//! [`register_waker`](crate::SessionTransport::register_waker) checks
+//! readiness and parks the waker under the same mailbox lock a sender
+//! deposits under, and reports `true` ("already ready — do not park")
+//! if a frame slipped in between the failed receive and the
+//! registration.
+//!
+//! # Fairness and the watchdog
+//!
+//! Woken sessions go to the *back* of the FIFO run queue, so a chatty
+//! session cannot starve its neighbors. A watchdog thread sweeps parked
+//! sessions and resolves any that has waited longer than the runtime's
+//! deadline (default [`park::default_watchdog`], env-overridable via
+//! `CHORUS_WATCHDOG_MS`) with a [`TransportError::Protocol`] — the
+//! same surface-the-stall-instead-of-hanging contract the sim
+//! transport's receive watchdog established.
+//!
+//! ```ignore
+//! let runtime = SessionRuntime::new(4);
+//! let server = runtime.spawn(&server_endpoint, 7, PooledKvsServer::new(store));
+//! let client = runtime.spawn(&client_endpoint, 7, PooledKvsClient::get("k"));
+//! assert_eq!(client.join()?, Response::Found("v".into()));
+//! server.join()?;
+//! ```
+
+use crate::choreography::Portable;
+use crate::endpoint::{Endpoint, MessageCtx};
+use crate::location::{ChoreographyLocation, LocationSet};
+use crate::park::{self, WaitQueue};
+use crate::transport::{InternedNames, MailboxWaker, SessionId, SessionTransport, TransportError};
+use chorus_wire::{Bytes, Envelope};
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, Weak};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// What one [`RoleProgram::resume`] call produced.
+#[derive(Debug)]
+pub enum Step<V> {
+    /// The role ran to completion with this output.
+    Done(V),
+    /// The role is blocked on a receive recorded in the [`SessionCx`];
+    /// the runtime parks the session and resumes it when the awaited
+    /// mailbox becomes ready.
+    Pending,
+}
+
+/// One role of one session, as a resumable state machine.
+///
+/// The contract: `resume` is called repeatedly by pool workers (never
+/// concurrently). Each call must make all progress it can — send
+/// whatever is sendable, receive whatever is receivable — and return
+/// [`Step::Pending`] only after a [`SessionCx::try_receive_value`] came
+/// up empty. State that must survive across yields (what has been sent,
+/// what is still awaited) lives in the implementor. Because a resume
+/// can be retried after any `Pending`, the program must not repeat
+/// side effects: guard sends with "already sent" state, exactly as a
+/// hand-rolled protocol FSM would.
+pub trait RoleProgram: Send + 'static {
+    /// The role's result, surfaced through [`SessionHandle::join`].
+    type Output: Send + 'static;
+
+    /// Drives the role until it completes or would block.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the transport fails or a peer violates the
+    /// protocol; the error resolves the session's handle.
+    fn resume(&mut self, cx: &mut SessionCx<'_>) -> Result<Step<Self::Output>, TransportError>;
+}
+
+/// The operations a [`RoleProgram`] performs against its session,
+/// handed to every [`resume`](RoleProgram::resume) call.
+///
+/// A `SessionCx` is the pooled counterpart of a blocking
+/// [`Session`](crate::Session): sends stamp per-edge sequence numbers
+/// and pass the layer stack exactly like [`Session::send_value`]
+/// (one serialization into a reusable per-session scratch buffer, one
+/// shared payload allocation), and receives are **non-blocking** — a
+/// miss records the awaited edge so the runtime knows which mailbox to
+/// park the session on.
+pub struct SessionCx<'a> {
+    ops: &'a mut dyn CxOps,
+    scratch: &'a mut Vec<u8>,
+    /// The edge the program is blocked on, set by a failed receive.
+    waiting: Option<&'static str>,
+}
+
+impl SessionCx<'_> {
+    /// This session's id.
+    pub fn session_id(&self) -> SessionId {
+        self.ops.session_id()
+    }
+
+    /// The location this endpoint plays.
+    pub fn target_name(&self) -> &'static str {
+        self.ops.target_name()
+    }
+
+    /// Serializes `value` and sends it to the location named `to`
+    /// within this session. Sends never block: transports buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `to` is unknown, the value fails to encode,
+    /// or the link fails.
+    pub fn send_value<V: Portable>(&mut self, to: &str, value: &V) -> Result<(), TransportError> {
+        self.scratch.clear();
+        chorus_wire::to_bytes_into(value, self.scratch)?;
+        self.ops.send_scratch(to, self.scratch)
+    }
+
+    /// Attempts to receive and decode a value from the location named
+    /// `from`, without blocking.
+    ///
+    /// On `Ok(None)` the awaited edge is recorded: the program should
+    /// return [`Step::Pending`] (after finishing any other progress it
+    /// can make) and will be resumed when the mailbox becomes ready.
+    /// Only the *most recent* miss is parked on, so a program that
+    /// polls several edges in one resume should yield on the first
+    /// miss.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `from` is unknown, the link has failed, or
+    /// the payload fails to decode.
+    pub fn try_receive_value<V: Portable>(
+        &mut self,
+        from: &str,
+    ) -> Result<Option<V>, TransportError> {
+        match self.ops.try_receive_payload(from)? {
+            Some(payload) => Ok(Some(chorus_wire::from_bytes(&payload)?)),
+            None => {
+                self.waiting = Some(self.ops.intern(from)?);
+                Ok(None)
+            }
+        }
+    }
+
+    /// Like [`try_receive_value`](Self::try_receive_value) but returns
+    /// the raw payload bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `from` is unknown or the link has failed.
+    pub fn try_receive_payload(&mut self, from: &str) -> Result<Option<Bytes>, TransportError> {
+        match self.ops.try_receive_payload(from)? {
+            Some(payload) => Ok(Some(payload)),
+            None => {
+                self.waiting = Some(self.ops.intern(from)?);
+                Ok(None)
+            }
+        }
+    }
+}
+
+/// Object-safe bridge between the untyped scheduler and one session's
+/// typed endpoint. Implemented by [`TypedOps`], which owns the per-task
+/// sequence counters — tasks are polled by one worker at a time, so no
+/// locking is needed around them.
+trait CxOps: Send {
+    fn session_id(&self) -> SessionId;
+    fn target_name(&self) -> &'static str;
+    fn intern(&self, name: &str) -> Result<&'static str, TransportError>;
+    fn send_scratch(&mut self, to: &str, payload: &[u8]) -> Result<(), TransportError>;
+    fn try_receive_payload(&mut self, from: &str) -> Result<Option<Bytes>, TransportError>;
+    fn register_waker(
+        &mut self,
+        from: &'static str,
+        waker: &MailboxWaker,
+    ) -> Result<bool, TransportError>;
+}
+
+struct TypedOps<TL, Target, T>
+where
+    TL: LocationSet,
+    Target: ChoreographyLocation,
+    T: SessionTransport<TL, Target>,
+{
+    endpoint: Arc<Endpoint<TL, Target, T>>,
+    id: SessionId,
+    names: InternedNames,
+    seqs: HashMap<&'static str, u64>,
+}
+
+impl<TL, Target, T> CxOps for TypedOps<TL, Target, T>
+where
+    TL: LocationSet + 'static,
+    Target: ChoreographyLocation + 'static,
+    T: SessionTransport<TL, Target> + Send + Sync + 'static,
+{
+    fn session_id(&self) -> SessionId {
+        self.id
+    }
+
+    fn target_name(&self) -> &'static str {
+        Target::NAME
+    }
+
+    fn intern(&self, name: &str) -> Result<&'static str, TransportError> {
+        self.names.resolve(name)
+    }
+
+    fn send_scratch(&mut self, to: &str, payload: &[u8]) -> Result<(), TransportError> {
+        let to = self.names.resolve(to)?;
+        let payload = Bytes::copy_from_slice(payload);
+        let counter = self.seqs.entry(to).or_insert(0);
+        let seq = *counter;
+        *counter += 1;
+        let ctx = MessageCtx { session: self.id, seq, from: Target::NAME, to };
+        self.endpoint.notify_send(&ctx, &payload);
+        self.endpoint.transport().send_frame(to, Envelope::new(self.id, seq, payload))
+    }
+
+    fn try_receive_payload(&mut self, from: &str) -> Result<Option<Bytes>, TransportError> {
+        let Some(envelope) = self.endpoint.transport().try_receive_frame(self.id, from)? else {
+            return Ok(None);
+        };
+        let ctx = MessageCtx { session: self.id, seq: envelope.seq, from, to: Target::NAME };
+        self.endpoint.notify_receive(&ctx, &envelope.payload);
+        Ok(Some(envelope.payload))
+    }
+
+    fn register_waker(
+        &mut self,
+        from: &'static str,
+        waker: &MailboxWaker,
+    ) -> Result<bool, TransportError> {
+        self.endpoint.transport().register_waker(self.id, from, Arc::clone(waker))
+    }
+}
+
+/// Handle to one spawned session role; resolves when the role
+/// completes, fails, panics, or trips the stall watchdog.
+pub struct SessionHandle<V> {
+    cell: Arc<WaitQueue<Option<Result<V, TransportError>>>>,
+    id: SessionId,
+}
+
+impl<V> SessionHandle<V> {
+    /// The session id this handle belongs to.
+    pub fn id(&self) -> SessionId {
+        self.id
+    }
+
+    /// Whether the session has already resolved (without consuming the
+    /// result).
+    pub fn is_finished(&self) -> bool {
+        self.cell.lock().is_some()
+    }
+
+    /// Blocks the *calling* thread until the session resolves.
+    ///
+    /// Join from outside the pool (the spawner's thread); joining from
+    /// inside a [`RoleProgram`] would park a pool worker, which is
+    /// exactly what the runtime exists to avoid.
+    ///
+    /// # Errors
+    ///
+    /// Returns the transport/protocol error that failed the session, a
+    /// `Protocol` error naming the awaited edge if the stall watchdog
+    /// fired, or a `Protocol` error if the program panicked.
+    pub fn join(self) -> Result<V, TransportError> {
+        let mut guard = self.cell.lock();
+        loop {
+            if let Some(result) = guard.take() {
+                return result;
+            }
+            guard = self.cell.wait(guard);
+        }
+    }
+}
+
+/// Task lifecycle states (see `wake_task` / the worker loop).
+///
+/// The invariant the little state machine maintains: a task is in the
+/// run queue **at most once**, and is polled by **at most one** worker
+/// at a time. A wake during a poll does not re-enter the queue — it
+/// flips RUNNING to NOTIFIED and the polling worker re-enqueues on the
+/// way out.
+const IDLE: u8 = 0;
+const QUEUED: u8 = 1;
+const RUNNING: u8 = 2;
+const NOTIFIED: u8 = 3;
+const DONE: u8 = 4;
+
+/// What one poll of a task produced, as seen by the worker loop.
+enum PollOutcome {
+    /// The task resolved (completed, failed, panicked, or timed out).
+    /// The worker frees the slab slot first and *then* runs the carried
+    /// completion thunk, so by the time `SessionHandle::join` returns
+    /// the session no longer counts as live.
+    Done(Option<Box<dyn FnOnce() + Send>>),
+    /// The task yielded but its mailbox was already ready at
+    /// registration time: re-enqueue immediately (to the back — FIFO
+    /// fairness).
+    Ready,
+    /// The task parked on `edge`; a transport waker will re-enqueue it.
+    Parked(&'static str),
+}
+
+type PollFn = Box<dyn FnMut(&TaskEntry) -> PollOutcome + Send>;
+
+struct TaskEntry {
+    /// Lifecycle state; see the constants above.
+    state: AtomicU8,
+    /// The type-erased resumable role. The mutex is uncontended (the
+    /// state machine admits one poller), it only makes the entry `Sync`.
+    poll: Mutex<PollFn>,
+    /// The one waker this task ever allocates, created at spawn and
+    /// re-registered (by cheap `Arc` clone) on every park — steady-state
+    /// scheduling never boxes anything per wakeup.
+    waker: MailboxWaker,
+    /// Set by the watchdog sweep; the next poll resolves the session
+    /// with a stall error instead of resuming the program (unless the
+    /// program can in fact complete on that final resume).
+    timed_out: AtomicBool,
+    /// While parked: when the park began and on which edge, for the
+    /// watchdog sweep.
+    parked: Mutex<Option<(Instant, &'static str)>>,
+    /// This task's slot in the slab, freed on completion.
+    index: usize,
+}
+
+#[derive(Default)]
+struct RunQueue {
+    ready: VecDeque<Arc<TaskEntry>>,
+    shutdown: bool,
+}
+
+#[derive(Default)]
+struct TaskSlab {
+    slots: Vec<Option<Arc<TaskEntry>>>,
+    free: Vec<usize>,
+}
+
+impl TaskSlab {
+    fn insert(&mut self, make: impl FnOnce(usize) -> Arc<TaskEntry>) -> Arc<TaskEntry> {
+        let index = self.free.pop().unwrap_or_else(|| {
+            self.slots.push(None);
+            self.slots.len() - 1
+        });
+        let entry = make(index);
+        self.slots[index] = Some(Arc::clone(&entry));
+        entry
+    }
+
+    fn remove(&mut self, index: usize) {
+        if self.slots[index].take().is_some() {
+            self.free.push(index);
+        }
+    }
+
+    fn live(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+}
+
+struct RuntimeShared {
+    queue: WaitQueue<RunQueue>,
+    tasks: Mutex<TaskSlab>,
+    /// Stall deadline for parked sessions.
+    watchdog: Duration,
+    /// Park/wake for the watchdog thread's sweep cadence.
+    watchdog_gate: WaitQueue<bool>,
+}
+
+/// Re-enqueues a task if (and only if) it is idle; coalesces duplicate
+/// wakes; defers wakes that land mid-poll to the polling worker.
+fn wake_task(shared: &RuntimeShared, entry: &Arc<TaskEntry>) {
+    loop {
+        match entry.state.load(Ordering::Acquire) {
+            IDLE => {
+                if entry
+                    .state
+                    .compare_exchange(IDLE, QUEUED, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    let mut queue = shared.queue.lock();
+                    queue.ready.push_back(Arc::clone(entry));
+                    drop(queue);
+                    shared.queue.notify_all();
+                    return;
+                }
+            }
+            RUNNING => {
+                if entry
+                    .state
+                    .compare_exchange(RUNNING, NOTIFIED, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    return;
+                }
+            }
+            // Already queued, already notified, or done: nothing to do.
+            _ => return,
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<RuntimeShared>) {
+    loop {
+        let entry = {
+            let mut queue = shared.queue.lock();
+            loop {
+                if let Some(entry) = queue.ready.pop_front() {
+                    break entry;
+                }
+                if queue.shutdown {
+                    return;
+                }
+                queue = shared.queue.wait(queue);
+            }
+        };
+        entry.state.store(RUNNING, Ordering::Release);
+        *entry.parked.lock().expect("task park info poisoned") = None;
+        let outcome = {
+            let mut poll = entry.poll.lock().expect("task poll closure poisoned");
+            (poll)(&entry)
+        };
+        match outcome {
+            PollOutcome::Done(finish) => {
+                entry.state.store(DONE, Ordering::Release);
+                shared.tasks.lock().expect("task slab poisoned").remove(entry.index);
+                // Resolve the handle only after the slot is reclaimed
+                // (and outside the poll lock).
+                if let Some(finish) = finish {
+                    finish();
+                }
+            }
+            PollOutcome::Ready => {
+                entry.state.store(QUEUED, Ordering::Release);
+                let mut queue = shared.queue.lock();
+                queue.ready.push_back(Arc::clone(&entry));
+                drop(queue);
+                shared.queue.notify_all();
+            }
+            PollOutcome::Parked(edge) => {
+                *entry.parked.lock().expect("task park info poisoned") =
+                    Some((Instant::now(), edge));
+                if entry
+                    .state
+                    .compare_exchange(RUNNING, IDLE, Ordering::AcqRel, Ordering::Acquire)
+                    .is_err()
+                {
+                    // A waker fired mid-poll (state became NOTIFIED):
+                    // the deposit already happened, so re-enqueue now.
+                    entry.state.store(QUEUED, Ordering::Release);
+                    let mut queue = shared.queue.lock();
+                    queue.ready.push_back(Arc::clone(&entry));
+                    drop(queue);
+                    shared.queue.notify_all();
+                }
+            }
+        }
+    }
+}
+
+fn watchdog_loop(shared: Arc<RuntimeShared>) {
+    // Sweep often enough that a stall surfaces within ~1.25 deadlines,
+    // but never busier than every 10ms.
+    let interval = (shared.watchdog / 4).clamp(Duration::from_millis(10), Duration::from_secs(1));
+    loop {
+        {
+            let guard = shared.watchdog_gate.lock();
+            if *guard {
+                return;
+            }
+            let (guard, _timed_out) =
+                shared.watchdog_gate.wait_deadline(guard, Instant::now() + interval);
+            if *guard {
+                return;
+            }
+        }
+        let stalled: Vec<Arc<TaskEntry>> = {
+            let slab = shared.tasks.lock().expect("task slab poisoned");
+            slab.slots
+                .iter()
+                .flatten()
+                .filter(|entry| {
+                    entry
+                        .parked
+                        .lock()
+                        .expect("task park info poisoned")
+                        .is_some_and(|(since, _)| since.elapsed() >= shared.watchdog)
+                })
+                .cloned()
+                .collect()
+        };
+        for entry in stalled {
+            entry.timed_out.store(true, Ordering::Release);
+            wake_task(&shared, &entry);
+        }
+    }
+}
+
+/// A fixed pool of worker threads driving any number of concurrent
+/// sessions — across any number of endpoints — as resumable
+/// [`RoleProgram`]s.
+///
+/// Total OS threads: `pool_size` workers plus one watchdog, independent
+/// of how many sessions are in flight.
+pub struct SessionRuntime {
+    shared: Arc<RuntimeShared>,
+    workers: Vec<JoinHandle<()>>,
+    watchdog: Option<JoinHandle<()>>,
+}
+
+impl SessionRuntime {
+    /// Creates a runtime with `pool_size` workers (clamped to ≥ 1) and
+    /// the workspace default stall deadline
+    /// ([`park::default_watchdog`]).
+    pub fn new(pool_size: usize) -> Self {
+        Self::with_watchdog(pool_size, park::default_watchdog())
+    }
+
+    /// Creates a runtime with an explicit stall deadline.
+    pub fn with_watchdog(pool_size: usize, watchdog: Duration) -> Self {
+        let pool_size = pool_size.max(1);
+        let shared = Arc::new(RuntimeShared {
+            queue: WaitQueue::new(RunQueue::default()),
+            tasks: Mutex::new(TaskSlab::default()),
+            watchdog,
+            watchdog_gate: WaitQueue::new(false),
+        });
+        let workers = (0..pool_size)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("chorus-pool-{i}"))
+                    .spawn(move || worker_loop(shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        let watchdog_thread = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("chorus-watchdog".into())
+                .spawn(move || watchdog_loop(shared))
+                .expect("spawn watchdog")
+        };
+        SessionRuntime { shared, workers, watchdog: Some(watchdog_thread) }
+    }
+
+    /// The process-wide default runtime, sized to
+    /// `available_parallelism` and created on first use. This is what
+    /// [`Endpoint::spawn_session`] schedules on.
+    pub fn global() -> &'static SessionRuntime {
+        static GLOBAL: OnceLock<SessionRuntime> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            SessionRuntime::new(std::thread::available_parallelism().map_or(1, |n| n.get()))
+        })
+    }
+
+    /// The number of pool workers.
+    pub fn pool_size(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Total OS threads this runtime owns: workers plus the watchdog.
+    /// Constant for the lifetime of the runtime, however many sessions
+    /// are spawned.
+    pub fn thread_count(&self) -> usize {
+        self.workers.len() + usize::from(self.watchdog.is_some())
+    }
+
+    /// Sessions spawned and not yet resolved.
+    pub fn live_sessions(&self) -> usize {
+        self.shared.tasks.lock().expect("task slab poisoned").live()
+    }
+
+    /// Spawns one role of session `id` over `endpoint` onto the pool.
+    ///
+    /// All participants of the session must agree on `id`, exactly as
+    /// with [`Endpoint::session_with_id`]; pooled and blocking roles of
+    /// one session may be mixed freely (a pooled server can serve a
+    /// blocking client). The returned handle resolves when the program
+    /// completes, errors, panics, or stalls past the watchdog deadline.
+    pub fn spawn<TL, Target, T, P>(
+        &self,
+        endpoint: &Arc<Endpoint<TL, Target, T>>,
+        id: SessionId,
+        program: P,
+    ) -> SessionHandle<P::Output>
+    where
+        TL: LocationSet + 'static,
+        Target: ChoreographyLocation + 'static,
+        T: SessionTransport<TL, Target> + Send + Sync + 'static,
+        P: RoleProgram,
+    {
+        let cell: Arc<WaitQueue<Option<Result<P::Output, TransportError>>>> =
+            Arc::new(WaitQueue::new(None));
+        let mut ops = TypedOps {
+            endpoint: Arc::clone(endpoint),
+            id,
+            names: InternedNames::of::<TL>(),
+            seqs: HashMap::new(),
+        };
+        let mut program = program;
+        let mut scratch: Vec<u8> = Vec::new();
+        let result_cell = Arc::clone(&cell);
+        let complete = move |result: Result<P::Output, TransportError>| {
+            *result_cell.lock() = Some(result);
+            result_cell.notify_all();
+        };
+        let mut complete = Some(complete);
+        let mut parked_edge: Option<&'static str> = None;
+
+        // Packages the one-shot completion as a deferred thunk; the
+        // worker runs it after reclaiming the task's slab slot.
+        fn deferred<V, F>(
+            complete: &mut Option<F>,
+            result: Result<V, TransportError>,
+        ) -> Option<Box<dyn FnOnce() + Send>>
+        where
+            V: Send + 'static,
+            F: FnOnce(Result<V, TransportError>) + Send + 'static,
+        {
+            complete.take().map(|c| Box::new(move || c(result)) as Box<dyn FnOnce() + Send>)
+        }
+
+        let poll: PollFn = Box::new(move |entry: &TaskEntry| {
+            let mut cx = SessionCx { ops: &mut ops, scratch: &mut scratch, waiting: None };
+            let resumed = catch_unwind(AssertUnwindSafe(|| program.resume(&mut cx)));
+            let waiting = cx.waiting;
+            match resumed {
+                Ok(Ok(Step::Done(value))) => PollOutcome::Done(deferred(&mut complete, Ok(value))),
+                Ok(Err(e)) => PollOutcome::Done(deferred(&mut complete, Err(e))),
+                Err(panic) => {
+                    let message = panic
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_string())
+                        .or_else(|| panic.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic payload".to_string());
+                    PollOutcome::Done(deferred(
+                        &mut complete,
+                        Err(TransportError::Protocol(format!(
+                            "session {id} role program panicked: {message}"
+                        ))),
+                    ))
+                }
+                Ok(Ok(Step::Pending)) => {
+                    // The program could not finish. If the watchdog has
+                    // already flagged the stall, this resume was its
+                    // grace attempt — resolve with the stall error.
+                    if entry.timed_out.load(Ordering::Acquire) {
+                        let edge = parked_edge.or(waiting).unwrap_or("<unknown>");
+                        return PollOutcome::Done(deferred(
+                            &mut complete,
+                            Err(TransportError::Protocol(format!(
+                                "pooled runtime watchdog: session {id} stalled waiting on \
+                                 {edge} (no frame arrived within the deadline)"
+                            ))),
+                        ));
+                    }
+                    let Some(edge) = waiting else {
+                        // Pending without a recorded receive would park
+                        // forever: surface the bug instead of hanging.
+                        return PollOutcome::Done(deferred(
+                            &mut complete,
+                            Err(TransportError::Protocol(format!(
+                                "session {id} yielded without a pending receive \
+                                 (RoleProgram returned Step::Pending but no \
+                                 try_receive_* came up empty)"
+                            ))),
+                        ));
+                    };
+                    parked_edge = Some(edge);
+                    match cxops_register(&mut ops, edge, &entry.waker) {
+                        Ok(true) => PollOutcome::Ready,
+                        Ok(false) => PollOutcome::Parked(edge),
+                        Err(e) => PollOutcome::Done(deferred(&mut complete, Err(e))),
+                    }
+                }
+            }
+        });
+
+        let entry = {
+            let mut slab = self.shared.tasks.lock().expect("task slab poisoned");
+            let shared = Arc::downgrade(&self.shared);
+            slab.insert(|index| {
+                Arc::new_cyclic(|weak_entry: &Weak<TaskEntry>| {
+                    let weak_entry = weak_entry.clone();
+                    let shared = shared.clone();
+                    TaskEntry {
+                        state: AtomicU8::new(QUEUED),
+                        poll: Mutex::new(poll),
+                        waker: Arc::new(move || {
+                            if let (Some(shared), Some(entry)) =
+                                (shared.upgrade(), weak_entry.upgrade())
+                            {
+                                wake_task(&shared, &entry);
+                            }
+                        }),
+                        timed_out: AtomicBool::new(false),
+                        parked: Mutex::new(None),
+                        index,
+                    }
+                })
+            })
+        };
+        let mut queue = self.shared.queue.lock();
+        queue.ready.push_back(entry);
+        drop(queue);
+        self.shared.queue.notify_all();
+        SessionHandle { cell, id }
+    }
+}
+
+/// Free-function shim so the poll closure can re-register through the
+/// `dyn CxOps` without naming the concrete type.
+fn cxops_register(
+    ops: &mut dyn CxOps,
+    edge: &'static str,
+    waker: &MailboxWaker,
+) -> Result<bool, TransportError> {
+    ops.register_waker(edge, waker)
+}
+
+impl Drop for SessionRuntime {
+    fn drop(&mut self) {
+        {
+            let mut queue = self.shared.queue.lock();
+            queue.shutdown = true;
+        }
+        self.shared.queue.notify_all();
+        {
+            let mut gate = self.shared.watchdog_gate.lock();
+            *gate = true;
+        }
+        self.shared.watchdog_gate.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        if let Some(watchdog) = self.watchdog.take() {
+            let _ = watchdog.join();
+        }
+    }
+}

@@ -246,6 +246,28 @@ where
         Ok(envelope.payload)
     }
 
+    /// Non-blocking variant of
+    /// [`receive_payload`](Session::receive_payload): pops the next
+    /// payload from `from`'s mailbox if one is already deliverable,
+    /// passing it through the layer stack, and returns `Ok(None)` when
+    /// the mailbox is merely empty.
+    ///
+    /// This is the receive shape the pooled session runtime is built
+    /// on: a would-block receive yields the session instead of parking
+    /// an OS thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `from` is unknown or the link has failed.
+    pub fn try_receive_payload(&self, from: &str) -> Result<Option<Bytes>, TransportError> {
+        let Some(envelope) = self.endpoint.transport().try_receive_frame(self.id, from)? else {
+            return Ok(None);
+        };
+        let ctx = MessageCtx { session: self.id, seq: envelope.seq, from, to: Target::NAME };
+        self.endpoint.notify_receive(&ctx, &envelope.payload);
+        Ok(Some(envelope.payload))
+    }
+
     /// Like [`receive_payload`](Session::receive_payload), but copies
     /// the payload into an owned `Vec<u8>`. Kept for callers that need
     /// ownership of plain bytes; hot paths should prefer the shared

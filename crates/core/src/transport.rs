@@ -101,6 +101,21 @@ pub trait Transport<L: LocationSet, Target: ChoreographyLocation> {
 /// Identifies one choreography run multiplexed over a shared transport.
 pub type SessionId = u64;
 
+/// A readiness callback registered on a per-(session, sender) mailbox.
+///
+/// The pooled session runtime parks *sessions*, not threads: when a
+/// receive would block, the runtime registers one of these on the
+/// mailbox and moves on to other runnable sessions. The transport fires
+/// the waker — at most once per registration — when the mailbox gains a
+/// frame or the link enters an error state (dead, poisoned, peer hung
+/// up), re-enqueueing exactly the session that became runnable.
+///
+/// Wakers must be cheap and non-blocking: transports may invoke them
+/// from a sender's thread with no locks held, and a *spurious* wake
+/// (the frame was consumed by the time the session runs) must be
+/// harmless to the registrant.
+pub type MailboxWaker = std::sync::Arc<dyn Fn() + Send + Sync>;
+
 /// The session id the raw [`Transport`] compatibility path uses on
 /// session-native transports.
 pub const RAW_SESSION: SessionId = SessionId::MAX;
@@ -147,6 +162,52 @@ pub trait SessionTransport<L: LocationSet, Target: ChoreographyLocation> {
         session: SessionId,
         from: &str,
     ) -> Result<chorus_wire::Envelope, TransportError>;
+
+    /// Pops the next frame of `session` from the location named `from`
+    /// if one is already deliverable, **without blocking**.
+    ///
+    /// Returns `Ok(None)` when the mailbox is merely empty. This is the
+    /// receive path the pooled session runtime drives: a session that
+    /// sees `None` yields its pool thread (after registering a
+    /// [`MailboxWaker`]) instead of parking it.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `from` is unknown or the link has failed —
+    /// exactly the cases in which [`receive_frame`](Self::receive_frame)
+    /// would return the same error instead of blocking.
+    fn try_receive_frame(
+        &self,
+        session: SessionId,
+        from: &str,
+    ) -> Result<Option<chorus_wire::Envelope>, TransportError>;
+
+    /// Registers `waker` to fire when a frame of `session` from `from`
+    /// becomes deliverable (or the link fails).
+    ///
+    /// Returns `Ok(true)` if the mailbox is *already* ready — a frame is
+    /// queued, or the link is in an error state — in which case the
+    /// waker is **not** stored and the caller should immediately retry
+    /// [`try_receive_frame`](Self::try_receive_frame). Returns
+    /// `Ok(false)` if the waker was parked on the mailbox. The
+    /// ready-check and the registration happen under the mailbox lock,
+    /// so a deposit can never slip between them (no lost wakeups).
+    ///
+    /// At most one waker is held per (session, sender) mailbox; a new
+    /// registration replaces the previous one. Registered wakers fire at
+    /// most once and are dropped after firing — re-register on every
+    /// would-block receive.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `from` is unknown or the transport cannot
+    /// provide readiness notifications.
+    fn register_waker(
+        &self,
+        session: SessionId,
+        from: &str,
+        waker: MailboxWaker,
+    ) -> Result<bool, TransportError>;
 }
 
 impl<L, Target, T> SessionTransport<L, Target> for &T
@@ -169,6 +230,23 @@ where
         from: &str,
     ) -> Result<chorus_wire::Envelope, TransportError> {
         (**self).receive_frame(session, from)
+    }
+
+    fn try_receive_frame(
+        &self,
+        session: SessionId,
+        from: &str,
+    ) -> Result<Option<chorus_wire::Envelope>, TransportError> {
+        (**self).try_receive_frame(session, from)
+    }
+
+    fn register_waker(
+        &self,
+        session: SessionId,
+        from: &str,
+        waker: MailboxWaker,
+    ) -> Result<bool, TransportError> {
+        (**self).register_waker(session, from, waker)
     }
 }
 

@@ -11,7 +11,10 @@
 
 use crate::roles::{Client, Primary};
 use crate::store::{Request, Response, SharedStore};
-use chorus_core::{ChoreoOp, Choreography, Located};
+use chorus_core::{
+    ChoreoOp, Choreography, ChoreographyLocation, Located, RoleProgram, SessionCx, Step,
+    TransportError,
+};
 
 /// The census of the simple KVS: one client, one server.
 pub type SimpleKvsCensus = chorus_core::LocationSet!(Client, Primary);
@@ -51,6 +54,69 @@ pub fn handle_request(request: &Request, state: &SharedStore) -> Response {
         Request::Put(key, value) => state.put(key, value),
         Request::Get(key) => state.get(key),
         Request::Stop => Response::Stopped,
+    }
+}
+
+/// [`SimpleKvs`] projected to [`Client`] as a resumable state machine
+/// for the pooled session runtime — the explicit-FSM form of exactly
+/// the sends and receives `Session::epp_and_run(SimpleKvs)` performs at
+/// the client, so pooled clients interoperate with blocking servers
+/// (and vice versa) frame for frame.
+///
+/// States: send the request (once), then poll for the response.
+pub struct PooledKvsClient {
+    request: Option<Request>,
+}
+
+impl PooledKvsClient {
+    /// A client that will issue `request` and resolve with the server's
+    /// response.
+    pub fn new(request: Request) -> Self {
+        PooledKvsClient { request: Some(request) }
+    }
+}
+
+impl RoleProgram for PooledKvsClient {
+    type Output = Response;
+
+    fn resume(&mut self, cx: &mut SessionCx<'_>) -> Result<Step<Self::Output>, TransportError> {
+        // Sends never block, but must happen exactly once across
+        // resumes: taking the request out of the Option is the state
+        // transition.
+        if let Some(request) = self.request.take() {
+            cx.send_value(Primary::NAME, &request)?;
+        }
+        match cx.try_receive_value::<Response>(Primary::NAME)? {
+            Some(response) => Ok(Step::Done(response)),
+            None => Ok(Step::Pending),
+        }
+    }
+}
+
+/// [`SimpleKvs`] projected to [`Primary`] as a resumable state machine
+/// for the pooled session runtime: poll for the request, handle it
+/// against the store, send the response, done.
+pub struct PooledKvsServer {
+    state: SharedStore,
+}
+
+impl PooledKvsServer {
+    /// A server answering one request against `state`.
+    pub fn new(state: SharedStore) -> Self {
+        PooledKvsServer { state }
+    }
+}
+
+impl RoleProgram for PooledKvsServer {
+    type Output = ();
+
+    fn resume(&mut self, cx: &mut SessionCx<'_>) -> Result<Step<Self::Output>, TransportError> {
+        let Some(request) = cx.try_receive_value::<Request>(Client::NAME)? else {
+            return Ok(Step::Pending);
+        };
+        let response = handle_request(&request, &self.state);
+        cx.send_value(Client::NAME, &response)?;
+        Ok(Step::Done(()))
     }
 }
 

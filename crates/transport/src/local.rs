@@ -9,8 +9,8 @@
 
 use chorus_core::park::WaitQueue;
 use chorus_core::{
-    ChoreographyLocation, InternedNames, LocationSet, SequenceTracker, SessionId, SessionTransport,
-    Transport, TransportError, RAW_SESSION,
+    ChoreographyLocation, InternedNames, LocationSet, MailboxWaker, SequenceTracker, SessionId,
+    SessionTransport, Transport, TransportError, RAW_SESSION,
 };
 use chorus_wire::Envelope;
 use std::collections::{HashMap, VecDeque};
@@ -46,6 +46,11 @@ struct LinkInner {
     /// and future receiver sees it, not just the session whose frame
     /// was bad.
     dead: Option<String>,
+    /// Readiness wakers parked on empty mailboxes by the pooled session
+    /// runtime: at most one per session, removed (and fired, outside
+    /// the lock) when a frame for that session is deposited, drained
+    /// wholesale when the link dies.
+    wakers: HashMap<SessionId, MailboxWaker>,
 }
 
 /// The shared fabric connecting every pair of locations in `L`.
@@ -157,16 +162,35 @@ impl<L: LocationSet, Target: ChoreographyLocation> SessionTransport<L, Target>
         // as when demultiplexing stopped at the first bad frame. (The
         // send itself still reports `Ok`; the error surfaces at the
         // receivers.)
+        let mut fired = None;
+        let mut all_fired = Vec::new();
         if inner.dead.is_none() {
             match inner.sequences.check(frame.session, Target::NAME, frame.seq) {
                 Ok(()) => {
-                    inner.mailboxes.entry(frame.session).or_default().push_back(frame);
+                    let session = frame.session;
+                    inner.mailboxes.entry(session).or_default().push_back(frame);
+                    // `remove` hands the parked waker out without
+                    // allocating; it is invoked outside the lock (a waker
+                    // re-enqueues into a scheduler queue, and calling it
+                    // under the mailbox lock invites ordering deadlocks).
+                    fired = inner.wakers.remove(&session);
                 }
-                Err(e) => inner.dead = Some(e.to_string()),
+                Err(e) => {
+                    inner.dead = Some(e.to_string());
+                    // The whole link is now an error state every session
+                    // observes: every parked session is ready.
+                    all_fired.extend(inner.wakers.drain().map(|(_, waker)| waker));
+                }
             }
         }
         drop(inner);
         link.notify_all();
+        if let Some(waker) = fired {
+            waker();
+        }
+        for waker in all_fired {
+            waker();
+        }
         Ok(())
     }
 
@@ -204,6 +228,43 @@ impl<L: LocationSet, Target: ChoreographyLocation> SessionTransport<L, Target>
                 inner = link.wait(inner);
             }
         }
+    }
+
+    fn try_receive_frame(
+        &self,
+        session: SessionId,
+        from: &str,
+    ) -> Result<Option<Envelope>, TransportError> {
+        let from = self.names.resolve(from)?;
+        let link = self.link(from, Target::NAME)?;
+        let mut inner = link.lock();
+        if let Some(envelope) = inner.mailboxes.get_mut(&session).and_then(VecDeque::pop_front) {
+            return Ok(Some(envelope));
+        }
+        if let Some(reason) = &inner.dead {
+            return Err(TransportError::Protocol(format!("link from {from} is down: {reason}")));
+        }
+        Ok(None)
+    }
+
+    fn register_waker(
+        &self,
+        session: SessionId,
+        from: &str,
+        waker: MailboxWaker,
+    ) -> Result<bool, TransportError> {
+        let from = self.names.resolve(from)?;
+        let link = self.link(from, Target::NAME)?;
+        let mut inner = link.lock();
+        // Ready-check and registration under the one link lock senders
+        // deposit under: a frame can never slip between them.
+        let ready = inner.dead.is_some()
+            || inner.mailboxes.get(&session).is_some_and(|mailbox| !mailbox.is_empty());
+        if ready {
+            return Ok(true);
+        }
+        inner.wakers.insert(session, waker);
+        Ok(false)
     }
 }
 

@@ -37,10 +37,10 @@
 //! release order — as text; CI jobs attach it as an artifact so a
 //! failing seed replays locally with nothing but the seed.
 
-use chorus_core::park::WaitQueue;
+use chorus_core::park::{self, WaitQueue};
 use chorus_core::{
-    ChoreographyLocation, InternedNames, LocationSet, SequenceTracker, SessionId, SessionTransport,
-    Transport, TransportError, RAW_SESSION,
+    ChoreographyLocation, InternedNames, LocationSet, MailboxWaker, SequenceTracker, SessionId,
+    SessionTransport, Transport, TransportError, RAW_SESSION,
 };
 use chorus_wire::Envelope;
 use rand::{rngs::StdRng, Rng, SeedableRng};
@@ -157,7 +157,7 @@ impl FaultPlan {
             rto: 4,
             partitions: Vec::new(),
             poison: None,
-            watchdog: Duration::from_secs(30),
+            watchdog: park::default_watchdog(),
         }
     }
 
@@ -184,7 +184,7 @@ impl FaultPlan {
             rto: 2 + rng.gen_range(0u64..8),
             partitions,
             poison: None,
-            watchdog: Duration::from_secs(30),
+            watchdog: park::default_watchdog(),
         }
     }
 
@@ -384,6 +384,13 @@ struct SimLink {
     dead: Option<String>,
     /// Set when the poison plan fired, to the poison step.
     poisoned: Option<u64>,
+    /// Readiness wakers parked by the pooled session runtime. Whether a
+    /// given session is ready is only knowable after *draining* the
+    /// in-flight set (which only a receiver may do — draining advances
+    /// virtual time in the deterministic `(arrival, uid)` order), so
+    /// every waker fires on any send or link-state change and the woken
+    /// session re-polls; spurious wakes are harmless by contract.
+    wakers: HashMap<SessionId, MailboxWaker>,
     /// Send-side schedule log, in frame order.
     sends: Vec<SimEvent>,
     /// Delivery log, in raw drain order. Drains race sends in real
@@ -685,16 +692,24 @@ impl<L: LocationSet, Target: ChoreographyLocation> SessionTransport<L, Target>
         if let Err(e) = link.sequences.check(frame.session, from, frame.seq) {
             link.dead = Some(e.to_string());
             withheld(&mut link);
+            let fired: Vec<MailboxWaker> = link.wakers.drain().map(|(_, w)| w).collect();
             drop(link);
             wq.notify_all();
+            for waker in fired {
+                waker();
+            }
             return Ok(());
         }
         if let Some(poison) = &plan.poison {
             if poison.matches(from, to) && k >= poison.after {
                 link.poisoned = Some(poison.after);
                 withheld(&mut link);
+                let fired: Vec<MailboxWaker> = link.wakers.drain().map(|(_, w)| w).collect();
                 drop(link);
                 wq.notify_all();
+                for waker in fired {
+                    waker();
+                }
                 return Ok(());
             }
         }
@@ -731,8 +746,15 @@ impl<L: LocationSet, Target: ChoreographyLocation> SessionTransport<L, Target>
             frame: k,
             env: frame,
         }));
+        // Every parked session re-polls: readiness is only knowable
+        // after draining the in-flight set, which the woken receiver
+        // does itself. Wakers fire outside the link lock.
+        let fired: Vec<MailboxWaker> = link.wakers.drain().map(|(_, w)| w).collect();
         drop(link);
         wq.notify_all();
+        for waker in fired {
+            waker();
+        }
         Ok(())
     }
 
@@ -780,6 +802,69 @@ impl<L: LocationSet, Target: ChoreographyLocation> SessionTransport<L, Target>
                 )));
             }
         }
+    }
+
+    fn try_receive_frame(
+        &self,
+        session: SessionId,
+        from: &str,
+    ) -> Result<Option<Envelope>, TransportError> {
+        let from = self.names.resolve(from)?;
+        let to = Target::NAME;
+        let wq = self.link(from, to)?;
+        let mut link = wq.lock();
+        loop {
+            if let Some(env) = link.streams.get_mut(&session).and_then(|s| s.ready.pop_front()) {
+                drop(link);
+                *self.net.shared.received.lock().expect("sim counters poisoned") += 1;
+                wq.notify_all();
+                return Ok(Some(env));
+            }
+            if !link.in_flight.is_empty() {
+                // Draining advances virtual time in the deterministic
+                // (arrival, uid) total order — the *same* order any
+                // blocking receiver would drain in, so which thread
+                // drains never changes the schedule.
+                link.advance(from, to);
+                continue;
+            }
+            if let Some(reason) = &link.dead {
+                return Err(TransportError::Protocol(format!(
+                    "link from {from} is down: {reason}"
+                )));
+            }
+            if let Some(step) = link.poisoned {
+                return Err(TransportError::Protocol(format!(
+                    "link from {from} poisoned at frame {step}: subsequent frames withheld"
+                )));
+            }
+            return Ok(None);
+        }
+    }
+
+    fn register_waker(
+        &self,
+        session: SessionId,
+        from: &str,
+        waker: MailboxWaker,
+    ) -> Result<bool, TransportError> {
+        let from = self.names.resolve(from)?;
+        let wq = self.link(from, Target::NAME)?;
+        let mut link = wq.lock();
+        // "Ready" is conservative: a non-empty in-flight set *may* hold
+        // this session's frame, and only draining (a receiver's job)
+        // can tell — so report ready and let the caller re-poll, which
+        // drains. Exactly ready states (ready frame, dead, poisoned)
+        // also refuse the registration.
+        let ready = link.dead.is_some()
+            || link.poisoned.is_some()
+            || !link.in_flight.is_empty()
+            || link.streams.get(&session).is_some_and(|s| !s.ready.is_empty());
+        if ready {
+            return Ok(true);
+        }
+        link.wakers.insert(session, waker);
+        Ok(false)
     }
 }
 

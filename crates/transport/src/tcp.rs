@@ -19,8 +19,8 @@
 //! exactly-sized shared storage (one allocation per message).
 
 use chorus_core::{
-    ChoreographyLocation, InternedNames, LocationSet, SequenceTracker, SessionId, SessionTransport,
-    Transport, TransportError, RAW_SESSION,
+    ChoreographyLocation, InternedNames, LocationSet, MailboxWaker, SequenceTracker, SessionId,
+    SessionTransport, Transport, TransportError, RAW_SESSION,
 };
 use chorus_wire::{Envelope, ENVELOPE_HEADER_LEN};
 use parking_lot::Mutex;
@@ -176,6 +176,11 @@ struct InboxInner {
     sequences: SequenceTracker,
     /// Senders whose connection has ended (with an optional error).
     closed: HashMap<&'static str, Option<String>>,
+    /// Readiness wakers parked on empty mailboxes by the pooled session
+    /// runtime: at most one per (sender, session) mailbox, removed and
+    /// fired (outside the lock) when that mailbox gains a frame, drained
+    /// per sender when its connection ends.
+    wakers: HashMap<(&'static str, SessionId), MailboxWaker>,
 }
 
 impl Inbox {
@@ -189,22 +194,43 @@ impl Inbox {
         if matches!(inner.closed.get(sender), Some(Some(_))) {
             return;
         }
+        let mut fired = None;
+        let mut all_fired = Vec::new();
         match inner.sequences.check(envelope.session, sender, envelope.seq) {
             Ok(()) => {
-                inner.mailboxes.entry((sender, envelope.session)).or_default().push_back(envelope);
+                let session = envelope.session;
+                inner.mailboxes.entry((sender, session)).or_default().push_back(envelope);
+                fired = inner.wakers.remove(&(sender, session));
             }
             Err(e) => {
                 inner.closed.insert(sender, Some(e.to_string()));
+                all_fired = drain_sender_wakers(&mut inner.wakers, sender);
             }
         }
         self.cv.notify_all();
+        // Wakers re-enqueue sessions into a scheduler queue; invoke them
+        // outside the inbox lock to avoid ordering deadlocks.
+        drop(inner);
+        if let Some(waker) = fired {
+            waker();
+        }
+        for waker in all_fired {
+            waker();
+        }
     }
 
     /// Marks `sender`'s connection as ended.
     fn close(&self, sender: &'static str, error: Option<String>) {
         let mut inner = self.inner.lock().expect("tcp inbox poisoned");
         inner.closed.entry(sender).or_insert(error);
+        // A closed link is an observable (error) state for every session
+        // parked on it: fire them all.
+        let fired = drain_sender_wakers(&mut inner.wakers, sender);
         self.cv.notify_all();
+        drop(inner);
+        for waker in fired {
+            waker();
+        }
     }
 
     /// Clears `sender`'s closed state when it establishes a fresh
@@ -216,6 +242,48 @@ impl Inbox {
         if matches!(inner.closed.get(sender), Some(None)) {
             inner.closed.remove(sender);
         }
+    }
+
+    /// Pops the next frame of `session` from `sender` if one is already
+    /// deliverable.
+    fn try_take(
+        &self,
+        session: SessionId,
+        sender: &'static str,
+    ) -> Result<Option<Envelope>, TransportError> {
+        let mut inner = self.inner.lock().expect("tcp inbox poisoned");
+        if let Some(envelope) =
+            inner.mailboxes.get_mut(&(sender, session)).and_then(VecDeque::pop_front)
+        {
+            return Ok(Some(envelope));
+        }
+        if let Some(error) = inner.closed.get(sender) {
+            return Err(match error {
+                Some(message) => TransportError::Protocol(message.clone()),
+                None => TransportError::ConnectionClosed { peer: sender.to_string() },
+            });
+        }
+        Ok(None)
+    }
+
+    /// Parks `waker` on the (sender, session) mailbox, or reports the
+    /// mailbox already ready. Ready-check and registration happen under
+    /// the inbox lock the reader threads deposit under — no lost
+    /// wakeups.
+    fn register(
+        &self,
+        session: SessionId,
+        sender: &'static str,
+        waker: MailboxWaker,
+    ) -> Result<bool, TransportError> {
+        let mut inner = self.inner.lock().expect("tcp inbox poisoned");
+        let ready = inner.closed.contains_key(sender)
+            || inner.mailboxes.get(&(sender, session)).is_some_and(|mailbox| !mailbox.is_empty());
+        if ready {
+            return Ok(true);
+        }
+        inner.wakers.insert((sender, session), waker);
+        Ok(false)
     }
 
     /// Blocks until a frame of `session` from `sender` arrives.
@@ -236,6 +304,18 @@ impl Inbox {
             inner = self.cv.wait(inner).expect("tcp inbox poisoned");
         }
     }
+}
+
+/// Removes every waker parked on `sender`'s mailboxes, for firing once
+/// the inbox lock is released. The map is typically tiny here (the
+/// link just died), so the linear scan is fine.
+fn drain_sender_wakers(
+    wakers: &mut HashMap<(&'static str, SessionId), MailboxWaker>,
+    sender: &'static str,
+) -> Vec<MailboxWaker> {
+    let keys: Vec<(&'static str, SessionId)> =
+        wakers.keys().filter(|(s, _)| *s == sender).copied().collect();
+    keys.into_iter().filter_map(|key| wakers.remove(&key)).collect()
 }
 
 /// One outgoing link: the lazily-opened stream plus a reused frame
@@ -421,6 +501,31 @@ impl<L: LocationSet, Target: ChoreographyLocation> SessionTransport<L, Target>
             return Err(TransportError::UnknownLocation(from.to_string()));
         }
         self.inbox.take(session, from)
+    }
+
+    fn try_receive_frame(
+        &self,
+        session: SessionId,
+        from: &str,
+    ) -> Result<Option<Envelope>, TransportError> {
+        let from = self.names.resolve(from)?;
+        if from == Target::NAME {
+            return Err(TransportError::UnknownLocation(from.to_string()));
+        }
+        self.inbox.try_take(session, from)
+    }
+
+    fn register_waker(
+        &self,
+        session: SessionId,
+        from: &str,
+        waker: MailboxWaker,
+    ) -> Result<bool, TransportError> {
+        let from = self.names.resolve(from)?;
+        if from == Target::NAME {
+            return Err(TransportError::UnknownLocation(from.to_string()));
+        }
+        self.inbox.register(session, from, waker)
     }
 }
 

@@ -7,7 +7,8 @@
 //! sends are buffered by the transport under test, and receives block
 //! until the transport delivers or reports an error.
 
-use chorus_core::{Endpoint, SessionTransport, TransportError};
+use chorus_core::park::WaitQueue;
+use chorus_core::{Endpoint, MailboxWaker, SessionTransport, TransportError};
 use chorus_transport::TransportMetrics;
 use chorus_wire::Envelope;
 use std::sync::Arc;
@@ -26,6 +27,44 @@ impl<T: SessionTransport<System, Bob> + Send + Sync + 'static> BobTransport for 
 
 fn frame(session: u64, seq: u64, payload: &[u8]) -> Envelope {
     Envelope::new(session, seq, payload.to_vec())
+}
+
+/// A waker that flips a shared flag and wakes whoever parked on it —
+/// the same shape the pooled runtime's re-enqueue waker has.
+fn gate_waker(gate: &Arc<WaitQueue<bool>>) -> MailboxWaker {
+    let gate = Arc::clone(gate);
+    Arc::new(move || {
+        *gate.lock() = true;
+        gate.notify_all();
+    })
+}
+
+/// Receives one frame through the *non-blocking* path only:
+/// `try_receive_frame` plus waker registration, parking this thread on a
+/// local gate between attempts. Event-driven — no sleeps, no spinning —
+/// so it works identically whether the transport delivers synchronously
+/// (local, sim) or after real socket latency (TCP). This is exactly the
+/// poll/register/park protocol the pooled session runtime drives.
+fn recv_eventually(
+    bob: &impl BobTransport,
+    session: u64,
+    from: &str,
+) -> Result<Envelope, TransportError> {
+    loop {
+        if let Some(envelope) = bob.try_receive_frame(session, from)? {
+            return Ok(envelope);
+        }
+        let gate = Arc::new(WaitQueue::new(false));
+        if bob.register_waker(session, from, gate_waker(&gate))? {
+            // Already ready: a frame (or an error) slipped in between
+            // the failed try and the registration — re-poll.
+            continue;
+        }
+        let mut fired = gate.lock();
+        while !*fired {
+            fired = gate.wait(fired);
+        }
+    }
 }
 
 /// Within one session, frames from one sender arrive in exactly the
@@ -108,6 +147,95 @@ pub fn poisoned_link_withholds(alice: impl AliceTransport, bob: impl BobTranspor
         matches!(err, TransportError::Protocol(_)),
         "a frame sent after the poison must be withheld, got {err:?}"
     );
+}
+
+/// An empty mailbox reports `Ok(None)` — merely-empty is not an error —
+/// and traffic in *other* sessions leaves it empty.
+pub fn try_receive_on_empty_mailbox_is_none(alice: impl AliceTransport, bob: impl BobTransport) {
+    assert!(
+        matches!(bob.try_receive_frame(1, "Alice"), Ok(None)),
+        "nothing was sent; the mailbox is merely empty"
+    );
+    // A frame in a *different* session must not surface in this one.
+    alice.send_frame("Bob", frame(2, 0, b"other-session")).unwrap();
+    assert!(matches!(bob.try_receive_frame(1, "Alice"), Ok(None)));
+    assert_eq!(recv_eventually(&bob, 2, "Alice").unwrap().payload, b"other-session");
+}
+
+/// A waker registered on an empty mailbox fires when a frame is
+/// deposited, and the frame is then deliverable through the
+/// non-blocking path.
+pub fn waker_fires_on_deposit(alice: impl AliceTransport, bob: impl BobTransport) {
+    let gate = Arc::new(WaitQueue::new(false));
+    let parked = !bob.register_waker(7, "Alice", gate_waker(&gate)).unwrap();
+    assert!(parked, "nothing was sent; the waker must park");
+    alice.send_frame("Bob", frame(7, 0, b"wake")).unwrap();
+    // Wait for the waker, not for wall-clock time.
+    let mut fired = gate.lock();
+    while !*fired {
+        fired = gate.wait(fired);
+    }
+    drop(fired);
+    // A fired waker is a readiness *hint* (spurious wakes are legal), so
+    // drain through the full poll/register protocol.
+    assert_eq!(recv_eventually(&bob, 7, "Alice").unwrap().payload, b"wake");
+}
+
+/// Registration on a mailbox that is (or becomes) ready refuses the
+/// waker — `Ok(true)` — instead of parking it, so the no-lost-wakeup
+/// handshake closes; after the mailbox is drained, registration parks
+/// again.
+pub fn registration_reports_ready_mailbox(alice: impl AliceTransport, bob: impl BobTransport) {
+    alice.send_frame("Bob", frame(3, 0, b"a")).unwrap();
+    alice.send_frame("Bob", frame(3, 1, b"b")).unwrap();
+    assert_eq!(recv_eventually(&bob, 3, "Alice").unwrap().payload, b"a");
+    // With "b" still undelivered, registration must eventually report
+    // ready rather than leave the caller parked forever.
+    loop {
+        let gate = Arc::new(WaitQueue::new(false));
+        if bob.register_waker(3, "Alice", gate_waker(&gate)).unwrap() {
+            break;
+        }
+        let mut fired = gate.lock();
+        while !*fired {
+            fired = gate.wait(fired);
+        }
+    }
+    assert_eq!(bob.try_receive_frame(3, "Alice").unwrap().unwrap().payload, b"b");
+    // Drained: a fresh registration parks.
+    let gate = Arc::new(WaitQueue::new(false));
+    assert!(
+        !bob.register_waker(3, "Alice", gate_waker(&gate)).unwrap(),
+        "the mailbox was drained; the waker must park"
+    );
+}
+
+/// A failed link surfaces through the non-blocking path exactly as it
+/// does through the blocking one: queued frames first, then the
+/// protocol error.
+pub fn try_receive_surfaces_link_failure(alice: impl AliceTransport, bob: impl BobTransport) {
+    alice.send_frame("Bob", frame(1, 0, b"ok")).unwrap();
+    // A sequence gap kills the link.
+    alice.send_frame("Bob", frame(1, 2, b"gap")).unwrap();
+    assert_eq!(recv_eventually(&bob, 1, "Alice").unwrap().payload, b"ok");
+    let err = recv_eventually(&bob, 1, "Alice").unwrap_err();
+    assert!(
+        matches!(err, TransportError::Protocol(_)),
+        "the failure must surface as a protocol error, got {err:?}"
+    );
+}
+
+/// Per-(session, sender) FIFO holds when every receive goes through the
+/// poll/register/park protocol instead of blocking receives.
+pub fn fifo_preserved_under_try_polling(alice: impl AliceTransport, bob: impl BobTransport) {
+    for i in 0..16u64 {
+        alice.send_frame("Bob", frame(5, i, &i.to_le_bytes())).unwrap();
+    }
+    for i in 0..16u64 {
+        let envelope = recv_eventually(&bob, 5, "Alice").unwrap();
+        assert_eq!(envelope.seq, i, "frame {i} out of order under try-polling");
+        assert_eq!(envelope.payload, i.to_le_bytes().as_slice());
+    }
 }
 
 /// N sessions over one shared pair produce exactly N× the per-edge

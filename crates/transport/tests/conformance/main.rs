@@ -58,6 +58,36 @@ macro_rules! conformance_suite {
             fn multi_session_metrics_parity() {
                 cases::multi_session_metrics_parity(|| $make);
             }
+
+            #[test]
+            fn try_receive_on_empty_mailbox_is_none() {
+                let (alice, bob) = $make;
+                cases::try_receive_on_empty_mailbox_is_none(alice, bob);
+            }
+
+            #[test]
+            fn waker_fires_on_deposit() {
+                let (alice, bob) = $make;
+                cases::waker_fires_on_deposit(alice, bob);
+            }
+
+            #[test]
+            fn registration_reports_ready_mailbox() {
+                let (alice, bob) = $make;
+                cases::registration_reports_ready_mailbox(alice, bob);
+            }
+
+            #[test]
+            fn try_receive_surfaces_link_failure() {
+                let (alice, bob) = $make;
+                cases::try_receive_surfaces_link_failure(alice, bob);
+            }
+
+            #[test]
+            fn fifo_preserved_under_try_polling() {
+                let (alice, bob) = $make;
+                cases::fifo_preserved_under_try_polling(alice, bob);
+            }
         }
     };
 }

@@ -1,0 +1,325 @@
+//! The pooled session runtime, end to end over real transports: ten
+//! thousand concurrent KVS sessions on a fixed worker pool, thread
+//! count bounded by the pool (never by the session count), stalls
+//! surfaced by the watchdog, panics contained, chaos schedules
+//! survived, and pooled/blocking interop.
+
+use chorus_core::park::WaitQueue;
+use chorus_core::{
+    ChoreographyLocation, Endpoint, RoleProgram, SessionCx, SessionRuntime, Step, TransportError,
+};
+use chorus_protocols::kvs_simple::{PooledKvsClient, PooledKvsServer, SimpleKvs, SimpleKvsCensus};
+use chorus_protocols::roles::{Client, Primary};
+use chorus_protocols::store::{Request, Response, SharedStore};
+use chorus_transport::{FaultPlan, LocalTransport, LocalTransportChannel, SimNet, SimTransport};
+use std::sync::Arc;
+use std::time::Duration;
+
+type ClientEndpoint = Endpoint<SimpleKvsCensus, Client, LocalTransport<SimpleKvsCensus, Client>>;
+type ServerEndpoint = Endpoint<SimpleKvsCensus, Primary, LocalTransport<SimpleKvsCensus, Primary>>;
+
+fn local_pair() -> (Arc<ClientEndpoint>, Arc<ServerEndpoint>) {
+    let channel = LocalTransportChannel::<SimpleKvsCensus>::new();
+    let client = Arc::new(Endpoint::new(LocalTransport::new(Client, channel.clone())));
+    let server = Arc::new(Endpoint::new(LocalTransport::new(Primary, channel)));
+    (client, server)
+}
+
+/// The acceptance bar: 10k concurrent sessions complete on a pool whose
+/// total OS thread count is bounded by the machine's parallelism — not
+/// by the session count. Thread-per-role would need 20 000 threads
+/// here; the runtime owns `pool + 1` (workers + watchdog), asserted
+/// against the `2 × available_parallelism` ceiling.
+#[test]
+fn ten_thousand_sessions_on_a_fixed_pool() {
+    const SESSIONS: u64 = 10_000;
+    let parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let runtime = SessionRuntime::new(parallelism);
+    assert_eq!(runtime.pool_size(), parallelism);
+    assert!(
+        runtime.thread_count() <= 2 * parallelism,
+        "runtime owns {} OS threads, over the 2×{parallelism} bound",
+        runtime.thread_count()
+    );
+
+    let (client, server) = local_pair();
+    let store = SharedStore::new();
+    let mut servers = Vec::with_capacity(SESSIONS as usize);
+    let mut clients = Vec::with_capacity(SESSIONS as usize);
+    for id in 0..SESSIONS {
+        servers.push(runtime.spawn(&server, id, PooledKvsServer::new(store.clone())));
+        clients.push(runtime.spawn(
+            &client,
+            id,
+            PooledKvsClient::new(Request::Put(format!("k{id}"), format!("v{id}"))),
+        ));
+    }
+    // Thread count is *constant*: spawning 20k roles changed nothing.
+    assert!(runtime.thread_count() <= 2 * parallelism);
+    for (id, handle) in clients.into_iter().enumerate() {
+        assert_eq!(handle.join().unwrap(), Response::NotFound, "client {id} saw a stale key");
+    }
+    for handle in servers {
+        handle.join().unwrap();
+    }
+    assert_eq!(runtime.live_sessions(), 0, "every task slot must be reclaimed");
+    assert_eq!(store.get("k0"), Response::Found("v0".into()));
+    assert_eq!(store.get("k9999"), Response::Found("v9999".into()));
+}
+
+/// A session whose peer never answers resolves with the watchdog's
+/// protocol error (naming the awaited edge) instead of hanging — and
+/// leaves the pool healthy for later sessions.
+#[test]
+fn watchdog_surfaces_a_stalled_session() {
+    let runtime = SessionRuntime::with_watchdog(2, Duration::from_millis(200));
+    let (client, server) = local_pair();
+    // No server role is spawned: the client's receive can never be
+    // satisfied.
+    let stalled = runtime.spawn(&client, 1, PooledKvsClient::new(Request::Get("k".into())));
+    let err = stalled.join().unwrap_err();
+    assert!(matches!(err, TransportError::Protocol(_)));
+    let message = err.to_string();
+    assert!(message.contains("watchdog"), "got: {message}");
+    assert!(message.contains("Primary"), "the stalled edge should be named, got: {message}");
+
+    // The pool survived: a well-formed session still completes.
+    let store = SharedStore::new();
+    let s = runtime.spawn(&server, 2, PooledKvsServer::new(store));
+    let c = runtime.spawn(&client, 2, PooledKvsClient::new(Request::Get("k".into())));
+    assert_eq!(c.join().unwrap(), Response::NotFound);
+    s.join().unwrap();
+}
+
+struct PanicsOnResume;
+
+impl RoleProgram for PanicsOnResume {
+    type Output = ();
+
+    fn resume(&mut self, _cx: &mut SessionCx<'_>) -> Result<Step<()>, TransportError> {
+        panic!("deliberate test panic");
+    }
+}
+
+/// A panicking program resolves its own handle with a protocol error;
+/// the worker that caught it keeps serving other sessions.
+#[test]
+fn panic_is_contained_to_its_session() {
+    let runtime = SessionRuntime::new(2);
+    let (client, server) = local_pair();
+    let crashed = runtime.spawn(&client, 7, PanicsOnResume);
+    let err = crashed.join().unwrap_err();
+    assert!(err.to_string().contains("panicked"), "got: {err}");
+    assert!(err.to_string().contains("deliberate test panic"), "got: {err}");
+
+    let store = SharedStore::new();
+    let s = runtime.spawn(&server, 8, PooledKvsServer::new(store));
+    let c = runtime.spawn(&client, 8, PooledKvsClient::new(Request::Get("k".into())));
+    assert_eq!(c.join().unwrap(), Response::NotFound);
+    s.join().unwrap();
+}
+
+/// Pooled sessions run over the deterministic sim under a hostile
+/// schedule (jitter, drops, duplicates): every session still completes
+/// with the right answer, because the try-receive path drains the
+/// in-flight set in the same deterministic order blocking receivers
+/// use.
+#[test]
+fn pooled_sessions_survive_sim_chaos() {
+    const SESSIONS: u64 = 64;
+    let plan = FaultPlan::ideal().with_seed(77).with_jitter(8).with_drop(0.2).with_duplicate(0.15);
+    let net = SimNet::<SimpleKvsCensus>::new(plan);
+    let client = Arc::new(Endpoint::new(SimTransport::new(Client, net.clone())));
+    let server = Arc::new(Endpoint::new(SimTransport::new(Primary, net)));
+    let runtime = SessionRuntime::new(4);
+    let store = SharedStore::new();
+    let mut handles = Vec::new();
+    for id in 0..SESSIONS {
+        handles.push(runtime.spawn(&server, id, PooledKvsServer::new(store.clone())));
+    }
+    let clients: Vec<_> = (0..SESSIONS)
+        .map(|id| {
+            runtime.spawn(
+                &client,
+                id,
+                PooledKvsClient::new(Request::Put(format!("k{id}"), format!("v{id}"))),
+            )
+        })
+        .collect();
+    for (id, handle) in clients.into_iter().enumerate() {
+        assert_eq!(handle.join().unwrap(), Response::NotFound, "client {id}");
+    }
+    for handle in handles {
+        handle.join().unwrap();
+    }
+    assert_eq!(store.get("k63"), Response::Found("v63".into()));
+}
+
+/// A pooled server answers a *blocking* client running the unchanged
+/// `Session::epp_and_run` path — the two execution models speak the
+/// same frames and mix freely within one session.
+#[test]
+fn pooled_server_answers_blocking_client() {
+    let runtime = SessionRuntime::new(2);
+    let (client, server) = local_pair();
+    let store = SharedStore::new();
+    store.put("lang", "rust");
+    let pooled = runtime.spawn(&server, 3, PooledKvsServer::new(store));
+
+    let session = client.session_with_id(3);
+    let result = session.epp_and_run(SimpleKvs {
+        request: session.local(Request::Get("lang".into())),
+        state: session.remote(Primary),
+    });
+    assert_eq!(session.unwrap(result), Response::Found("rust".into()));
+    pooled.join().unwrap();
+}
+
+/// `Endpoint::spawn_session` schedules onto the process-global runtime;
+/// the global pool is sized to the machine, created on first use.
+#[test]
+fn endpoint_spawn_session_uses_the_global_runtime() {
+    let (client, server) = local_pair();
+    let store = SharedStore::new();
+    let s = server.spawn_session(11, PooledKvsServer::new(store));
+    let c = client.spawn_session(11, PooledKvsClient::new(Request::Put("k".into(), "v".into())));
+    assert_eq!(c.join().unwrap(), Response::NotFound);
+    s.join().unwrap();
+    let parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+    assert!(SessionRuntime::global().thread_count() <= 2 * parallelism);
+}
+
+/// A program with several receives re-parks on each edge in turn; the
+/// runtime follows the *most recent* miss. This pins the multi-yield
+/// resume contract with a two-round ping/pong.
+struct TwoRoundClient {
+    sent_first: bool,
+    got_first: bool,
+    sent_second: bool,
+}
+
+impl RoleProgram for TwoRoundClient {
+    type Output = (Response, Response);
+
+    fn resume(&mut self, cx: &mut SessionCx<'_>) -> Result<Step<Self::Output>, TransportError> {
+        if !self.sent_first {
+            cx.send_value(Primary::NAME, &Request::Put("round".into(), "one".into()))?;
+            self.sent_first = true;
+        }
+        if !self.got_first {
+            match cx.try_receive_value::<Response>(Primary::NAME)? {
+                Some(_) => self.got_first = true,
+                None => return Ok(Step::Pending),
+            }
+        }
+        if !self.sent_second {
+            cx.send_value(Primary::NAME, &Request::Get("round".into()))?;
+            self.sent_second = true;
+        }
+        match cx.try_receive_value::<Response>(Primary::NAME)? {
+            Some(second) => Ok(Step::Done((Response::NotFound, second))),
+            None => Ok(Step::Pending),
+        }
+    }
+}
+
+struct TwoRoundServer {
+    store: SharedStore,
+    answered: u8,
+}
+
+impl RoleProgram for TwoRoundServer {
+    type Output = ();
+
+    fn resume(&mut self, cx: &mut SessionCx<'_>) -> Result<Step<()>, TransportError> {
+        while self.answered < 2 {
+            let Some(request) = cx.try_receive_value::<Request>(Client::NAME)? else {
+                return Ok(Step::Pending);
+            };
+            let response = chorus_protocols::kvs_simple::handle_request(&request, &self.store);
+            cx.send_value(Client::NAME, &response)?;
+            self.answered += 1;
+        }
+        Ok(Step::Done(()))
+    }
+}
+
+#[test]
+fn multi_round_programs_repark_per_edge() {
+    let runtime = SessionRuntime::new(2);
+    let (client, server) = local_pair();
+    let store = SharedStore::new();
+    let s = runtime.spawn(&server, 21, TwoRoundServer { store, answered: 0 });
+    let c = runtime.spawn(
+        &client,
+        21,
+        TwoRoundClient { sent_first: false, got_first: false, sent_second: false },
+    );
+    let (_, second) = c.join().unwrap();
+    assert_eq!(second, Response::Found("one".into()));
+    s.join().unwrap();
+}
+
+/// Fairness smoke: a session that must wait for many peers does not
+/// starve them — all sessions make progress through the FIFO run queue
+/// even when one pool worker would suffice.
+#[test]
+fn single_worker_pool_still_drives_many_sessions() {
+    const SESSIONS: u64 = 128;
+    let runtime = SessionRuntime::new(1);
+    let (client, server) = local_pair();
+    let store = SharedStore::new();
+    let handles: Vec<_> = (0..SESSIONS)
+        .flat_map(|id| {
+            let s = runtime.spawn(&server, id, PooledKvsServer::new(store.clone()));
+            let c = runtime.spawn(
+                &client,
+                id,
+                PooledKvsClient::new(Request::Put(format!("k{id}"), "v".into())),
+            );
+            [
+                Box::new(move || {
+                    s.join().unwrap();
+                }) as Box<dyn FnOnce()>,
+                Box::new(move || {
+                    assert_eq!(c.join().unwrap(), Response::NotFound);
+                }),
+            ]
+        })
+        .collect();
+    for join in handles {
+        join();
+    }
+    assert_eq!(runtime.thread_count(), 2, "one worker + one watchdog");
+}
+
+/// The handle works from any thread — a spawner can hand it off and the
+/// completion propagates through the cell's own park/wake.
+#[test]
+fn handles_join_across_threads() {
+    let runtime = Arc::new(SessionRuntime::new(2));
+    let (client, server) = local_pair();
+    let store = SharedStore::new();
+    let s = runtime.spawn(&server, 5, PooledKvsServer::new(store));
+    let c = runtime.spawn(&client, 5, PooledKvsClient::new(Request::Get("x".into())));
+    let gate = Arc::new(WaitQueue::new(Option::<Response>::None));
+    let publisher = {
+        let gate = Arc::clone(&gate);
+        std::thread::spawn(move || {
+            let response = c.join().unwrap();
+            *gate.lock() = Some(response);
+            gate.notify_all();
+        })
+    };
+    let mut guard = gate.lock();
+    loop {
+        if let Some(response) = guard.take() {
+            assert_eq!(response, Response::NotFound);
+            break;
+        }
+        guard = gate.wait(guard);
+    }
+    drop(guard);
+    publisher.join().unwrap();
+    s.join().unwrap();
+}
