@@ -304,6 +304,196 @@ fn bench_sim_chaos_kvs(quick: bool) -> BenchResult {
     }
 }
 
+/// The hardened-vs-plain overhead record for the `patterns` section:
+/// one full distributed DPrio lottery (3 clients, 3 servers, analyst,
+/// all honest) per iteration, plain and then hardened with the
+/// Byzantine-robust building blocks (preflight heartbeat, commit-reveal
+/// verdict exchange) layered on.
+struct PatternsResult {
+    plain_ns: u128,
+    plain_iters: u64,
+    plain_messages: u64,
+    hardened_ns: u128,
+    hardened_iters: u64,
+    hardened_messages: u64,
+}
+
+impl PatternsResult {
+    /// The pinned headline: wall-clock cost of the hardening, as a
+    /// ratio over the plain protocol on the same census and fabric.
+    fn ratio(&self) -> f64 {
+        self.hardened_ns as f64 / self.plain_ns.max(1) as f64
+    }
+}
+
+/// One full distributed run of the hardened lottery (3 clients, 3
+/// servers, analyst, all honest) over an in-process fabric, one thread
+/// per participant; returns whether the analyst reconstructed a client
+/// secret plus the total frames on the wire.
+fn run_hardened_lottery_once(epoch: u64) -> (bool, u64) {
+    use chorus_core::{ChoreographyLocation as _, LocationSet as _};
+    use chorus_mpc::field::FLOTTERY;
+    use chorus_protocols::hardened::HardenedLottery;
+    use chorus_protocols::roles::{Analyst, C1, C2, C3, S1, S2, S3};
+    use chorus_transport::{LocalTransport, LocalTransportChannel};
+    use std::marker::PhantomData;
+
+    type Clients = chorus_core::LocationSet!(C1, C2, C3);
+    type Servers = chorus_core::LocationSet!(S1, S2, S3);
+    type Census = chorus_core::LocationSet!(Analyst, C1, C2, C3, S1, S2, S3);
+
+    let channel = LocalTransportChannel::<Census>::new();
+    let metrics = Arc::new(TransportMetrics::new());
+    let mut handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
+
+    macro_rules! node {
+        ($role:ty, $secrets:expr, $cheaters:expr) => {{
+            let c = channel.clone();
+            let m = Arc::clone(&metrics);
+            handles.push(std::thread::spawn(move || {
+                let endpoint = Endpoint::builder(<$role>::new())
+                    .transport(LocalTransport::new(<$role>::new(), c))
+                    .layer(m)
+                    .build();
+                let session = endpoint.session();
+                let _ = session.epp_and_run(HardenedLottery::<
+                    Clients,
+                    Servers,
+                    Census,
+                    _,
+                    _,
+                    _,
+                    _,
+                    _,
+                    _,
+                    _,
+                > {
+                    secrets: &$secrets(&session),
+                    tau: 300,
+                    epoch,
+                    cheaters: &$cheaters(&session),
+                    phantom: PhantomData,
+                });
+            }));
+        }};
+    }
+    macro_rules! client {
+        ($role:ty, $secret:expr) => {
+            node!(
+                $role,
+                |s: &chorus_core::Session<_, $role, _>| s.local_faceted(FLOTTERY::new($secret)),
+                |s: &chorus_core::Session<_, $role, _>| s.remote_faceted(Servers::new())
+            )
+        };
+    }
+    macro_rules! server {
+        ($role:ty) => {
+            node!(
+                $role,
+                |s: &chorus_core::Session<_, $role, _>| s.remote_faceted(Clients::new()),
+                |s: &chorus_core::Session<_, $role, _>| s.local_faceted(false)
+            )
+        };
+    }
+
+    client!(C1, 111);
+    client!(C2, 222);
+    client!(C3, 333);
+    server!(S1);
+    server!(S2);
+    server!(S3);
+
+    let analyst = {
+        let c = channel.clone();
+        let m = Arc::clone(&metrics);
+        std::thread::spawn(move || {
+            let endpoint = Endpoint::builder(Analyst)
+                .transport(LocalTransport::new(Analyst, c))
+                .layer(m)
+                .build();
+            let session = endpoint.session();
+            let out = session.epp_and_run(HardenedLottery::<
+                Clients,
+                Servers,
+                Census,
+                _,
+                _,
+                _,
+                _,
+                _,
+                _,
+                _,
+            > {
+                secrets: &session.remote_faceted(Clients::new()),
+                tau: 300,
+                epoch,
+                cheaters: &session.remote_faceted(Servers::new()),
+                phantom: PhantomData,
+            });
+            session.unwrap(out)
+        })
+    };
+
+    for h in handles {
+        h.join().expect("hardened lottery endpoint");
+    }
+    let result = analyst.join().expect("analyst endpoint");
+    (matches!(result, Ok(v) if [111, 222, 333].contains(&v)), metrics.total_messages())
+}
+
+/// Measures the hardened-vs-plain lottery overhead on identical
+/// censuses and fabrics. Every iteration is a complete multi-threaded
+/// system run, so the ratio prices the extra protocol rounds (and their
+/// frames), not just local compute.
+fn bench_patterns_lottery(quick: bool) -> PatternsResult {
+    use chorus_protocols::roles::{C1, C2, C3, S1, S2, S3};
+    let secrets = || -> std::collections::BTreeMap<String, u64> {
+        [("C1", 111u64), ("C2", 222), ("C3", 333)]
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect()
+    };
+    let honest = || -> std::collections::BTreeMap<String, bool> {
+        ["S1", "S2", "S3"].into_iter().map(|s| (s.to_string(), false)).collect()
+    };
+
+    let run_plain = || {
+        let (result, metrics) = chorus_bench::run_lottery!(
+            clients = [C1, C2, C3],
+            servers = [S1, S2, S3],
+            secrets = secrets(),
+            tau = 300,
+            cheaters = honest()
+        );
+        assert!(matches!(result, Ok(v) if [111, 222, 333].contains(&v)));
+        metrics.total_messages()
+    };
+    let run_hardened = |epoch: u64| {
+        let (ok, messages) = run_hardened_lottery_once(epoch);
+        assert!(ok, "honest hardened lottery must pay out a client secret");
+        messages
+    };
+
+    let plain_messages = run_plain();
+    let hardened_messages = run_hardened(0);
+    let (plain_ns, plain_iters) = measure(quick, || {
+        black_box(run_plain());
+    });
+    let mut epoch = 0u64;
+    let (hardened_ns, hardened_iters) = measure(quick, || {
+        epoch += 1;
+        black_box(run_hardened(epoch));
+    });
+    PatternsResult {
+        plain_ns,
+        plain_iters,
+        plain_messages,
+        hardened_ns,
+        hardened_iters,
+        hardened_messages,
+    }
+}
+
 /// One concurrency-scenario measurement: `n_sessions` complete KVS
 /// round trips driven to completion, with per-session latency from
 /// spawn to the client observing the response.
@@ -486,6 +676,11 @@ fn main() {
         results.push(bench_sim_chaos_kvs(quick));
     }
 
+    // The Byzantine-hardening price tag: plain vs hardened lottery on
+    // identical censuses, with the overhead ratio pinned in the JSON so
+    // a pattern-layer perf regression is diffable per commit.
+    let patterns = bench_patterns_lottery(quick);
+
     // The pooled-runtime concurrency scenarios: N sessions to
     // completion on a fixed pool, against the thread-per-role blocking
     // model at N=1k. Quick mode (the CI scale smoke) trims the 10k
@@ -519,7 +714,21 @@ fn main() {
             if i + 1 < results.len() { "," } else { "" }
         ));
     }
-    json.push_str("  ],\n  \"concurrency\": [\n");
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"patterns\": {{\"plain_lottery_ns\": {}, \"plain_lottery_iters\": {}, \
+         \"plain_lottery_messages\": {}, \"hardened_lottery_ns\": {}, \
+         \"hardened_lottery_iters\": {}, \"hardened_lottery_messages\": {}, \
+         \"hardened_over_plain_ratio\": {:.3}}},\n",
+        patterns.plain_ns,
+        patterns.plain_iters,
+        patterns.plain_messages,
+        patterns.hardened_ns,
+        patterns.hardened_iters,
+        patterns.hardened_messages,
+        patterns.ratio()
+    ));
+    json.push_str("  \"concurrency\": [\n");
     for (i, c) in concurrency.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"name\": \"{}\", \"n_sessions\": {}, \"pool_size\": {}, \
@@ -552,6 +761,18 @@ fn main() {
         }
         println!();
     }
+    println!(
+        "{:<48} plain {} ns/iter (n = {}, {} msgs)  hardened {} ns/iter (n = {}, {} msgs)  \
+         ratio {:.2}x",
+        "patterns/lottery_hardening_overhead",
+        patterns.plain_ns,
+        patterns.plain_iters,
+        patterns.plain_messages,
+        patterns.hardened_ns,
+        patterns.hardened_iters,
+        patterns.hardened_messages,
+        patterns.ratio()
+    );
     for c in &concurrency {
         println!(
             "{:<48} N={:<6} threads={:<5} cores={}  {:>9.1} sessions/s  {:>9.1} msgs/s  \

@@ -16,7 +16,7 @@ use crate::location::{ChoreographyLocation, LocationSet};
 use crate::member::{Member, Subset, SubsetCons, SubsetNil};
 use crate::quire::Quire;
 use serde::de::DeserializeOwned;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::marker::PhantomData;
 
@@ -28,6 +28,47 @@ use std::marker::PhantomData;
 pub trait Portable: Serialize + DeserializeOwned {}
 
 impl<T: Serialize + DeserializeOwned> Portable for T {}
+
+/// Why a fallible communication failed, as observed by one endpoint.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CommFailureKind {
+    /// The transport could not deliver or produce a frame (link dead,
+    /// poisoned, silenced, or the receive watchdog fired).
+    Transport(String),
+    /// A frame arrived but its payload did not decode as the expected
+    /// type — a corrupted or forged message.
+    Decode(String),
+}
+
+/// A failed communication attributed to the peer it involved.
+///
+/// Returned by [`ChoreoOp::try_multicast`] so robust choreographies
+/// (the `chorus_patterns` crate) can convert transport-level trouble
+/// into typed, culprit-naming protocol errors instead of panicking the
+/// endpoint. `peer` is the remote side of the failed exchange: the
+/// sender when receiving failed, the destination when sending failed.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommFailure {
+    /// The remote location the failure involves.
+    pub peer: String,
+    /// What went wrong.
+    pub kind: CommFailureKind,
+}
+
+impl std::fmt::Display for CommFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.kind {
+            CommFailureKind::Transport(msg) => {
+                write!(f, "communication with {} failed: {msg}", self.peer)
+            }
+            CommFailureKind::Decode(msg) => {
+                write!(f, "message from {} did not decode: {msg}", self.peer)
+            }
+        }
+    }
+}
+
+impl std::error::Error for CommFailure {}
 
 /// A choreography: one global program describing every participant's
 /// behavior (§2).
@@ -138,6 +179,31 @@ pub trait ChoreoOp<ChoreoLS: LocationSet> {
         Sender: Member<ChoreoLS, Index1>,
         D: Subset<ChoreoLS, Index2>;
 
+    /// Fallible [`multicast`](ChoreoOp::multicast): communication
+    /// trouble surfaces as a [`CommFailure`] naming the peer instead of
+    /// panicking the endpoint.
+    ///
+    /// At the sender, `Err` means some destination could not be reached
+    /// (`peer` is that destination). At a receiver, `Err` means the
+    /// frame from `src` never arrived or did not decode (`peer` is
+    /// `src`). Endpoints outside `destination` (other than `src`)
+    /// always observe `Ok` of a remote value. The default
+    /// implementation delegates to the panicking `multicast` —
+    /// centralized runners have no transport to fail — and session
+    /// endpoints override it.
+    fn try_multicast<Sender: ChoreographyLocation, V: Portable, D: LocationSet, Index1, Index2>(
+        &self,
+        src: Sender,
+        destination: D,
+        data: &Located<V, Sender>,
+    ) -> Result<MultiplyLocated<V, D>, CommFailure>
+    where
+        Sender: Member<ChoreoLS, Index1>,
+        D: Subset<ChoreoLS, Index2>,
+    {
+        Ok(self.multicast(src, destination, data))
+    }
+
     /// Sends a value from `src` to the *entire census* and returns it bare:
     /// after a broadcast everyone knows the value, so everyone may branch on
     /// it. Broadcasting inside a [`conclave`](ChoreoOp::conclave) is the
@@ -166,6 +232,28 @@ pub trait ChoreoOp<ChoreoLS: LocationSet> {
         let _ = self;
         data.into_inner_option().expect("naked: census-owned value must be present at every member")
     }
+
+    /// Collapses a faceted value into a bare one under the caller's
+    /// assertion that every owner holds an *equal* facet — knowledge of
+    /// choice for failure handling.
+    ///
+    /// The robust patterns end their verdict-exchange rounds with every
+    /// participant holding the same resolution (honest majorities outvote
+    /// a culprit's counter-accusations); `agree` is how a protocol then
+    /// branches on that resolution — e.g. skipping an inner protocol whose
+    /// links are known-bad — without a trusted broadcaster.
+    ///
+    /// Returns `Some` of the facet at owners and `None` at census members
+    /// outside `S`. The centralized [`Runner`](crate::Runner) sees every
+    /// facet and *checks* the assertion, panicking on divergence; a
+    /// projected endpoint sees only its own facet and must trust the
+    /// protocol. A protocol that calls `agree` on facets that can diverge
+    /// gets diverging control flow — which transport watchdogs turn into
+    /// an error at the stranded endpoints, never a silent wrong result.
+    fn agree<V, S: LocationSet, Index>(&self, locations: S, data: &Faceted<V, S>) -> Option<V>
+    where
+        V: Clone + PartialEq,
+        S: Subset<ChoreoLS, Index>;
 
     /// Runs a sub-choreography among the sub-census `S` (§3.2).
     ///

@@ -74,7 +74,10 @@ mod runtime;
 mod session;
 mod transport;
 
-pub use choreography::{ChoreoOp, Choreography, FanInChoreography, FanOutChoreography, Portable};
+pub use choreography::{
+    ChoreoOp, Choreography, CommFailure, CommFailureKind, FanInChoreography, FanOutChoreography,
+    Portable,
+};
 pub use demux::Demux;
 pub use endpoint::{Endpoint, EndpointBuilder, EndpointBuilderWithTransport, Layer, MessageCtx};
 pub use faceted::Faceted;

@@ -11,6 +11,7 @@
 //! it computes agrees with what the projected endpoints jointly compute.
 
 use crate::choreography::{ChoreoOp, Choreography, Portable};
+use crate::faceted::Faceted;
 use crate::located::{Located, MultiplyLocated, Unwrapper};
 use crate::location::{ChoreographyLocation, LocationSet};
 use crate::member::{Member, Subset};
@@ -154,6 +155,24 @@ impl<ChoreoLS: LocationSet> ChoreoOp<ChoreoLS> for RunOp<ChoreoLS> {
         data.into_inner_option().expect("broadcast: sender must hold the value it sends")
     }
 
+    fn agree<V, S: LocationSet, Index>(&self, _locations: S, data: &Faceted<V, S>) -> Option<V>
+    where
+        V: Clone + PartialEq,
+        S: Subset<ChoreoLS, Index>,
+    {
+        // The centralized runner holds every facet, so the caller's
+        // equality assertion is actually checkable here.
+        let mut facets = S::names().into_iter().filter_map(|name| data.facet(name));
+        let first = facets.next()?;
+        for facet in facets {
+            assert!(
+                facet == first,
+                "agree: facets diverge across owners — the protocol branched on unagreed state"
+            );
+        }
+        Some(first.clone())
+    }
+
     fn conclave<R, S: LocationSet, C: Choreography<R, L = S>, Index>(
         &self,
         choreo: C,
@@ -167,5 +186,44 @@ impl<ChoreoLS: LocationSet> ChoreoOp<ChoreoLS> for RunOp<ChoreoLS> {
 
     fn resident(&self, _owners: &[&'static str]) -> bool {
         true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    crate::locations! { Alice, Bob }
+    type Duo = crate::LocationSet!(Alice, Bob);
+
+    struct Agreeing {
+        values: std::collections::BTreeMap<String, u32>,
+    }
+
+    impl Choreography<Option<u32>> for Agreeing {
+        type L = Duo;
+        fn run(self, op: &impl ChoreoOp<Duo>) -> Option<u32> {
+            let faceted: Faceted<u32, Duo> = op.parallel_named(Duo::new(), |name| {
+                *self.values.get(name).expect("facet for every location")
+            });
+            op.agree(Duo::new(), &faceted)
+        }
+    }
+
+    fn values(alice: u32, bob: u32) -> std::collections::BTreeMap<String, u32> {
+        [("Alice".to_string(), alice), ("Bob".to_string(), bob)].into_iter().collect()
+    }
+
+    #[test]
+    fn agree_collapses_equal_facets() {
+        let runner: Runner<Duo> = Runner::new();
+        assert_eq!(runner.run(Agreeing { values: values(7, 7) }), Some(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "facets diverge")]
+    fn agree_checks_the_equality_assertion() {
+        let runner: Runner<Duo> = Runner::new();
+        let _ = runner.run(Agreeing { values: values(7, 8) });
     }
 }

@@ -7,8 +7,9 @@
 //! [`chorus_wire::Envelope`] tagged with the session id, so any number
 //! of sessions can run concurrently over one transport.
 
-use crate::choreography::{ChoreoOp, Choreography, Portable};
+use crate::choreography::{ChoreoOp, Choreography, CommFailure, CommFailureKind, Portable};
 use crate::endpoint::{Endpoint, MessageCtx};
+use crate::faceted::Faceted;
 use crate::located::{Located, MultiplyLocated, Unwrapper};
 use crate::location::{ChoreographyLocation, LocationSet};
 use crate::member::{Member, Subset};
@@ -148,6 +149,24 @@ where
     {
         data.into_inner_option()
             .expect("located value absent at an owner: value escaped its executor")
+    }
+
+    /// Extracts this endpoint's facet from a faceted choreography result.
+    ///
+    /// The counterpart of [`unwrap`](Self::unwrap) for [`Faceted`]
+    /// outcomes (e.g. the per-participant verdicts of the robust
+    /// patterns): only a member of `S` can extract, and it gets exactly
+    /// its own facet.
+    ///
+    /// [`Faceted`]: crate::Faceted
+    pub fn unwrap_faceted<V, S, Index>(&self, data: crate::Faceted<V, S>) -> V
+    where
+        S: LocationSet,
+        Target: Member<S, Index>,
+    {
+        data.into_facets()
+            .remove(Target::NAME)
+            .expect("facet absent at its owner: value escaped its executor")
     }
 
     /// Performs endpoint projection of `choreo` to `Target` and runs the
@@ -310,6 +329,20 @@ where
         chorus_wire::from_bytes(&bytes)
             .unwrap_or_else(|e| panic!("failed to decode message from {from}: {e}"))
     }
+
+    fn try_receive_from<V: Portable>(&self, from: &str) -> Result<V, CommFailure> {
+        let bytes = self.session.receive_payload(from).map_err(|e| CommFailure {
+            peer: from.to_string(),
+            kind: match &e {
+                TransportError::Codec(_) => CommFailureKind::Decode(e.to_string()),
+                _ => CommFailureKind::Transport(e.to_string()),
+            },
+        })?;
+        chorus_wire::from_bytes(&bytes).map_err(|e| CommFailure {
+            peer: from.to_string(),
+            kind: CommFailureKind::Decode(e.to_string()),
+        })
+    }
 }
 
 impl<ChoreoLS, TL, Target, T> ChoreoOp<ChoreoLS> for SessionEppOp<'_, '_, ChoreoLS, TL, Target, T>
@@ -377,6 +410,55 @@ where
         }
     }
 
+    fn try_multicast<Sender: ChoreographyLocation, V: Portable, D: LocationSet, Index1, Index2>(
+        &self,
+        _src: Sender,
+        _destination: D,
+        data: &Located<V, Sender>,
+    ) -> Result<MultiplyLocated<V, D>, CommFailure>
+    where
+        Sender: Member<ChoreoLS, Index1>,
+        D: Subset<ChoreoLS, Index2>,
+    {
+        let destinations = D::names();
+        if Sender::NAME == Target::NAME {
+            let value =
+                data.as_inner_option().expect("try_multicast: sender must hold the value it sends");
+            // Destinations are sent to one by one (not through the
+            // encode-once `multicast_value` fast path) so a failing
+            // link attributes the failure to the exact peer involved —
+            // the robust path trades a little copying for attribution.
+            for dest in destinations.iter().copied().filter(|dest| *dest != Sender::NAME) {
+                self.session.send_value(dest, value).map_err(|e| CommFailure {
+                    peer: dest.to_string(),
+                    kind: match &e {
+                        TransportError::Codec(_) => CommFailureKind::Decode(e.to_string()),
+                        _ => CommFailureKind::Transport(e.to_string()),
+                    },
+                })?;
+            }
+            if destinations.contains(&Sender::NAME) {
+                // Same in-memory round trip as `multicast`, with decode
+                // trouble surfaced instead of panicking.
+                let bytes = chorus_wire::to_bytes(value).map_err(|e| CommFailure {
+                    peer: Sender::NAME.to_string(),
+                    kind: CommFailureKind::Decode(e.to_string()),
+                })?;
+                let back = chorus_wire::from_bytes(&bytes).map_err(|e| CommFailure {
+                    peer: Sender::NAME.to_string(),
+                    kind: CommFailureKind::Decode(e.to_string()),
+                })?;
+                Ok(MultiplyLocated::local(back))
+            } else {
+                Ok(MultiplyLocated::remote())
+            }
+        } else if destinations.contains(&Target::NAME) {
+            self.try_receive_from(Sender::NAME).map(MultiplyLocated::local)
+        } else {
+            Ok(MultiplyLocated::remote())
+        }
+    }
+
     fn broadcast<Sender: ChoreographyLocation, V: Portable, Index>(
         &self,
         _src: Sender,
@@ -402,6 +484,17 @@ where
         }
     }
 
+    fn agree<V, S: LocationSet, Index>(&self, _locations: S, data: &Faceted<V, S>) -> Option<V>
+    where
+        V: Clone + PartialEq,
+        S: Subset<ChoreoLS, Index>,
+    {
+        // An endpoint holds only its own facet (absent entirely when the
+        // endpoint is outside `S`); the equality assertion is the
+        // protocol's to uphold — see the trait docs.
+        data.facet(Target::NAME).cloned()
+    }
+
     fn conclave<R, S: LocationSet, C: Choreography<R, L = S>, Index>(
         &self,
         choreo: C,
@@ -420,5 +513,104 @@ where
 
     fn resident(&self, owners: &[&'static str]) -> bool {
         owners.contains(&Target::NAME)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::MailboxWaker;
+    use std::collections::VecDeque;
+
+    crate::locations! { Alice, Bob }
+    type System = crate::LocationSet!(Alice, Bob);
+
+    /// A transport whose `try_receive_frame` answers are scripted, so
+    /// every branch of `Session::try_receive_payload` is reachable
+    /// without a real peer.
+    struct ScriptedTransport {
+        script: Mutex<VecDeque<Result<Option<Envelope>, TransportError>>>,
+    }
+
+    impl ScriptedTransport {
+        fn new(script: impl IntoIterator<Item = Result<Option<Envelope>, TransportError>>) -> Self {
+            ScriptedTransport { script: Mutex::new(script.into_iter().collect()) }
+        }
+    }
+
+    impl SessionTransport<System, Bob> for ScriptedTransport {
+        fn send_frame(&self, _to: &str, _frame: Envelope) -> Result<(), TransportError> {
+            Ok(())
+        }
+
+        fn receive_frame(
+            &self,
+            _session: SessionId,
+            _from: &str,
+        ) -> Result<Envelope, TransportError> {
+            unimplemented!("blocking receive is not under test")
+        }
+
+        fn try_receive_frame(
+            &self,
+            _session: SessionId,
+            _from: &str,
+        ) -> Result<Option<Envelope>, TransportError> {
+            self.script
+                .lock()
+                .expect("script poisoned")
+                .pop_front()
+                .expect("script exhausted: unexpected extra try_receive_frame call")
+        }
+
+        fn register_waker(
+            &self,
+            _session: SessionId,
+            _from: &str,
+            _waker: MailboxWaker,
+        ) -> Result<bool, TransportError> {
+            Ok(false)
+        }
+    }
+
+    fn session_over(
+        script: impl IntoIterator<Item = Result<Option<Envelope>, TransportError>>,
+    ) -> Endpoint<System, Bob, ScriptedTransport> {
+        Endpoint::new(ScriptedTransport::new(script))
+    }
+
+    #[test]
+    fn try_receive_payload_misses_on_empty_mailbox() {
+        let endpoint = session_over([Ok(None)]);
+        let session = endpoint.session_with_id(7);
+        assert!(session.try_receive_payload("Alice").unwrap().is_none());
+    }
+
+    #[test]
+    fn try_receive_payload_returns_a_ready_payload() {
+        let endpoint = session_over([Ok(Some(Envelope::new(7, 0, b"ready-frame".to_vec())))]);
+        let session = endpoint.session_with_id(7);
+        let payload = session.try_receive_payload("Alice").unwrap().expect("frame was ready");
+        assert_eq!(payload.as_ref(), b"ready-frame");
+    }
+
+    #[test]
+    fn try_receive_payload_surfaces_decode_failures() {
+        let endpoint = session_over([Err(TransportError::Codec(
+            chorus_wire::from_bytes::<String>(&[0xFF; 2]).unwrap_err(),
+        ))]);
+        let session = endpoint.session_with_id(7);
+        let err = session.try_receive_payload("Alice").unwrap_err();
+        assert!(matches!(err, TransportError::Codec(_)), "got: {err}");
+    }
+
+    #[test]
+    fn try_receive_payload_surfaces_poisoned_links() {
+        let endpoint = session_over([Err(TransportError::Protocol(
+            "link from Alice poisoned at frame 2: subsequent frames withheld".into(),
+        ))]);
+        let session = endpoint.session_with_id(7);
+        let err = session.try_receive_payload("Alice").unwrap_err();
+        assert!(err.to_string().contains("poisoned"), "got: {err}");
     }
 }

@@ -27,6 +27,26 @@ impl Commitment {
         *self == Self::commit(value, salt)
     }
 
+    /// Commits to an arbitrary byte string with a `u64` salt.
+    ///
+    /// The length is hashed first, so `commit_bytes(m, s)` can never
+    /// collide with `commit(v, s)` (whose preimage is exactly 16
+    /// bytes) or with a different-length message — used by the
+    /// `chorus_patterns` commit-reveal round, which commits to
+    /// wire-encoded values of any type.
+    pub fn commit_bytes(message: &[u8], salt: u64) -> Self {
+        let mut hasher = Sha256::new();
+        hasher.update(&(message.len() as u64).to_le_bytes());
+        hasher.update(message);
+        hasher.update(&salt.to_le_bytes());
+        Commitment(hasher.finalize())
+    }
+
+    /// Checks an opened byte-string commitment.
+    pub fn verify_bytes(&self, message: &[u8], salt: u64) -> bool {
+        *self == Self::commit_bytes(message, salt)
+    }
+
     /// The raw digest.
     pub fn as_bytes(&self) -> &[u8; 32] {
         &self.0
@@ -55,6 +75,34 @@ mod tests {
             prop_assume!(salt != other);
             prop_assert!(!Commitment::commit(value, salt).verify(value, other));
         }
+
+        #[test]
+        fn honest_byte_openings_verify(message: String, salt: u64) {
+            let message = message.as_bytes();
+            prop_assert!(Commitment::commit_bytes(message, salt).verify_bytes(message, salt));
+        }
+
+        #[test]
+        fn tampered_bytes_fail(message: String, salt: u64, flip: u64) {
+            prop_assume!(!message.is_empty());
+            let message = message.as_bytes();
+            let mut tampered = message.to_vec();
+            let at = (flip % tampered.len() as u64) as usize;
+            tampered[at] ^= 1;
+            prop_assert!(!Commitment::commit_bytes(message, salt).verify_bytes(&tampered, salt));
+        }
+    }
+
+    #[test]
+    fn byte_commitments_are_length_prefixed() {
+        // "ab" + "c" must not collide with "a" + "bc": the length
+        // prefix domain-separates the message from the salt stream.
+        let a = Commitment::commit_bytes(b"abc", 0);
+        let b = Commitment::commit_bytes(b"ab", 0);
+        assert_ne!(a, b);
+        let num = Commitment::commit(7, 9);
+        let raw = Commitment::commit_bytes(&7u64.to_le_bytes(), 9);
+        assert_ne!(num, raw, "u64 and byte commitments live in separate domains");
     }
 
     #[test]

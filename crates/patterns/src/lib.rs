@@ -1,0 +1,46 @@
+//! Byzantine-robust, census-polymorphic choreographic building blocks.
+//!
+//! The paper's choreographies assume participants that follow the
+//! protocol; its one adversarial gesture — the lottery's commit-then-open
+//! round — detects a cheater but reports only a bare boolean. This crate
+//! generalizes that gesture into reusable patterns, each an ordinary
+//! [`Choreography`] over a generic census, that turn link-level and
+//! participant-level misbehavior into a typed [`Misbehavior`] naming the
+//! offending role instead of a hang or a panic:
+//!
+//! * [`BroadcastGather`] — all-to-all exchange with per-message
+//!   validation hooks and epoch-tagged anti-replay ([`Sealed`]); the
+//!   robust counterpart of a `gather`-to-everyone round.
+//! * [`VerifyConsistent`] — commit-reveal proof that every participant
+//!   holds the same result, built on
+//!   [`Commitment::commit_bytes`](chorus_mpc::commit::Commitment::commit_bytes).
+//! * [`ProposeAck`] — propose-and-acknowledge with quorum tracking and a
+//!   [`Decision`] push, for configuration-change-style rounds.
+//! * [`exchange_verdicts`] / [`resolve_verdicts`] — the convergence step:
+//!   accusations circulate and a blame count picks the culprit, so every
+//!   honest participant takes the same branch afterwards (knowledge of
+//!   choice for failure handling).
+//!
+//! All patterns ride on [`ChoreoOp::try_multicast`], whose
+//! [`CommFailure`](chorus_core::CommFailure) attributes transport- and
+//! decode-level trouble to a peer; the patterns lift that attribution to
+//! the protocol level. The intended deployment shape is *preflight →
+//! inner protocol → postflight*: run a cheap [`BroadcastGather`]
+//! heartbeat first (catching always-on link faults deterministically),
+//! run the unmodified inner choreography, then [`VerifyConsistent`] its
+//! result — see the hardened protocols in `chorus-protocols`.
+//!
+//! [`Choreography`]: chorus_core::Choreography
+//! [`ChoreoOp::try_multicast`]: chorus_core::ChoreoOp::try_multicast
+
+mod broadcast_gather;
+mod misbehavior;
+mod preflight;
+mod propose;
+mod verify;
+
+pub use broadcast_gather::{exchange_verdicts, resolve_verdicts, BroadcastGather};
+pub use misbehavior::{Decision, Misbehavior, MisbehaviorKind, Opening, Sealed, Verdict};
+pub use preflight::{agreed_culprit, preflight};
+pub use propose::ProposeAck;
+pub use verify::VerifyConsistent;

@@ -1,0 +1,234 @@
+//! Typed protocol-fault vocabulary.
+//!
+//! Robust choreographies never just hang or panic when a participant
+//! misbehaves: every pattern in this crate resolves to a
+//! [`Misbehavior`] that *names the offending role*, so the surrounding
+//! protocol (and its operator) can act on the accusation — abort,
+//! exclude the culprit, or escalate.
+
+use chorus_core::{CommFailure, CommFailureKind};
+use serde::{Deserialize, Serialize};
+
+/// What a participant was caught doing.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MisbehaviorKind {
+    /// No message ever arrived from the culprit: the link is silenced or
+    /// dead, or the receive watchdog fired.
+    Silent {
+        /// The transport's description of the failure.
+        reason: String,
+    },
+    /// A message arrived but did not decode as the expected type — a
+    /// corrupted or forged frame.
+    Garbled {
+        /// The decoder's description of the failure.
+        reason: String,
+    },
+    /// The message decoded, but the pattern's validation hook rejected
+    /// its content.
+    Rejected {
+        /// The hook's stated reason.
+        reason: String,
+    },
+    /// The message carried a stale or foreign epoch tag — a replayed or
+    /// cross-protocol frame.
+    WrongEpoch {
+        /// The epoch the message claimed.
+        got: u64,
+    },
+    /// An opened commit-reveal value did not match the prior
+    /// commitment: the culprit chose its value after the fact.
+    BadCommitment,
+    /// The culprit showed different participants different values where
+    /// the protocol requires one consistent answer (equivocation).
+    Inconsistent,
+    /// A proposal did not reach its acknowledgement quorum, with no
+    /// single reported fault to pin it on.
+    NoQuorum {
+        /// Acknowledgements actually received (including the
+        /// proposer's own).
+        acks: u64,
+        /// The quorum that was required.
+        quorum: u64,
+    },
+}
+
+/// A detected protocol fault, attributed to one role and one epoch.
+///
+/// `culprit` is the location name of the participant the evidence
+/// points at — for link-level faults, the *sender* side of the faulted
+/// edge.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Misbehavior {
+    /// The accused location.
+    pub culprit: String,
+    /// The evidence class.
+    pub kind: MisbehaviorKind,
+    /// The protocol epoch in which the fault was observed.
+    pub epoch: u64,
+}
+
+impl Misbehavior {
+    /// Builds an accusation.
+    pub fn new(culprit: impl Into<String>, kind: MisbehaviorKind, epoch: u64) -> Self {
+        Misbehavior { culprit: culprit.into(), kind, epoch }
+    }
+
+    /// Converts a failed communication into an accusation against the
+    /// peer: transport trouble reads as [`Silent`], decode trouble as
+    /// [`Garbled`].
+    ///
+    /// [`Silent`]: MisbehaviorKind::Silent
+    /// [`Garbled`]: MisbehaviorKind::Garbled
+    pub fn from_comm_failure(failure: &CommFailure, epoch: u64) -> Self {
+        let kind = match &failure.kind {
+            CommFailureKind::Transport(reason) => {
+                MisbehaviorKind::Silent { reason: reason.clone() }
+            }
+            CommFailureKind::Decode(reason) => MisbehaviorKind::Garbled { reason: reason.clone() },
+        };
+        Misbehavior { culprit: failure.peer.clone(), kind, epoch }
+    }
+}
+
+impl std::fmt::Display for Misbehavior {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "misbehavior by {} in epoch {}: ", self.culprit, self.epoch)?;
+        match &self.kind {
+            MisbehaviorKind::Silent { reason } => write!(f, "silent ({reason})"),
+            MisbehaviorKind::Garbled { reason } => write!(f, "garbled message ({reason})"),
+            MisbehaviorKind::Rejected { reason } => write!(f, "rejected by validation ({reason})"),
+            MisbehaviorKind::WrongEpoch { got } => write!(f, "wrong epoch tag {got}"),
+            MisbehaviorKind::BadCommitment => write!(f, "opened value contradicts commitment"),
+            MisbehaviorKind::Inconsistent => write!(f, "equivocated: parties saw different values"),
+            MisbehaviorKind::NoQuorum { acks, quorum } => {
+                write!(f, "quorum not reached ({acks}/{quorum} acks)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Misbehavior {}
+
+/// One participant's signed-off view of a protocol round: either
+/// everything it saw checked out, or it accuses someone.
+///
+/// This is the *portable* (wire-crossing) shape of
+/// `Result<(), Misbehavior>`; the vendored serde has no `Result`
+/// impls, and a dedicated type reads better in schedule dumps anyway.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Verdict {
+    /// The round looked honest from this participant's seat.
+    Ok,
+    /// The participant accuses `0`'s culprit.
+    Fault(Misbehavior),
+}
+
+impl Verdict {
+    /// The accusation, if any.
+    pub fn fault(&self) -> Option<&Misbehavior> {
+        match self {
+            Verdict::Ok => None,
+            Verdict::Fault(m) => Some(m),
+        }
+    }
+}
+
+/// An epoch-tagged wire message (anti-replay).
+///
+/// Every frame a pattern sends is wrapped in a `Sealed` so a frame
+/// captured in one epoch (or one protocol instance) is rejected with
+/// [`MisbehaviorKind::WrongEpoch`] when replayed into another.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Sealed<V> {
+    /// The epoch this message belongs to.
+    pub epoch: u64,
+    /// The payload.
+    pub value: V,
+}
+
+/// A commit-reveal opening: the committed byte string and its salt.
+///
+/// Verified against a [`chorus_mpc::commit::Commitment`] built with
+/// [`Commitment::commit_bytes`](chorus_mpc::commit::Commitment::commit_bytes).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Opening {
+    /// The wire-encoded committed value.
+    pub bytes: Vec<u8>,
+    /// The commitment salt.
+    pub salt: u64,
+}
+
+/// The proposer's ruling at the end of a propose-and-acknowledge round.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Decision {
+    /// The quorum acknowledged; everyone adopts the proposal.
+    Commit,
+    /// The round failed; everyone adopts the accusation.
+    Abort(Misbehavior),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chorus_core::{CommFailure, CommFailureKind};
+
+    #[test]
+    fn comm_failures_map_to_silent_and_garbled() {
+        let transport =
+            CommFailure { peer: "S2".into(), kind: CommFailureKind::Transport("link down".into()) };
+        let m = Misbehavior::from_comm_failure(&transport, 7);
+        assert_eq!(m.culprit, "S2");
+        assert_eq!(m.epoch, 7);
+        assert!(matches!(m.kind, MisbehaviorKind::Silent { .. }));
+
+        let decode =
+            CommFailure { peer: "S3".into(), kind: CommFailureKind::Decode("bad tag".into()) };
+        let m = Misbehavior::from_comm_failure(&decode, 9);
+        assert_eq!(m.culprit, "S3");
+        assert!(matches!(m.kind, MisbehaviorKind::Garbled { .. }));
+    }
+
+    #[test]
+    fn display_names_the_culprit() {
+        let m = Misbehavior::new("P2", MisbehaviorKind::BadCommitment, 3);
+        let text = m.to_string();
+        assert!(text.contains("P2") && text.contains("epoch 3"), "{text}");
+    }
+
+    #[test]
+    fn verdict_round_trips_through_the_wire() {
+        let fault = Verdict::Fault(Misbehavior::new(
+            "P1",
+            MisbehaviorKind::NoQuorum { acks: 1, quorum: 3 },
+            11,
+        ));
+        for v in [Verdict::Ok, fault] {
+            let bytes = chorus_wire::to_bytes(&v).unwrap();
+            let back: Verdict = chorus_wire::from_bytes(&bytes).unwrap();
+            assert_eq!(v, back);
+        }
+    }
+
+    #[test]
+    fn sealed_round_trips_through_the_wire() {
+        let sealed = Sealed { epoch: 42, value: "payload".to_string() };
+        let bytes = chorus_wire::to_bytes(&sealed).unwrap();
+        let back: Sealed<String> = chorus_wire::from_bytes(&bytes).unwrap();
+        assert_eq!(sealed, back);
+    }
+
+    #[test]
+    fn decision_round_trips_through_the_wire() {
+        let abort = Decision::Abort(Misbehavior::new(
+            "S1",
+            MisbehaviorKind::Rejected { reason: "stale config".into() },
+            5,
+        ));
+        for d in [Decision::Commit, abort] {
+            let bytes = chorus_wire::to_bytes(&d).unwrap();
+            let back: Decision = chorus_wire::from_bytes(&bytes).unwrap();
+            assert_eq!(d, back);
+        }
+    }
+}

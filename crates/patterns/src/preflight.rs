@@ -1,0 +1,96 @@
+//! The preflight heartbeat: probing every link *before* an inner
+//! protocol risks a panic on one.
+//!
+//! A [`BroadcastGather`] round over a **fixed** value — the epoch itself,
+//! validated as such — deterministically catches always-on link faults
+//! (silence, corruption, an equivocating peer): there is no free-form
+//! payload for a tampered frame to hide in, so any deviation surfaces as
+//! `WrongEpoch`, `Rejected`, `Garbled`, or `Silent`. The follow-up
+//! verdict exchange converges every honest participant on the same
+//! culprit, and [`agreed_culprit`] turns that into a bare value the
+//! protocol can *branch* on — skipping an inner choreography whose links
+//! are known-bad instead of panicking inside it.
+
+use crate::broadcast_gather::{exchange_verdicts, BroadcastGather};
+use crate::misbehavior::{Misbehavior, Verdict};
+use chorus_core::{ChoreoOp, Choreography as _, Faceted, LocationSet, LocationSetFoldable, Subset};
+use std::marker::PhantomData;
+
+/// Runs one heartbeat round plus a verdict exchange over the full census
+/// `P`, returning each participant's resolution: `Ok(())` if every link
+/// delivered the epoch intact, or the blame-count culprit.
+pub fn preflight<P, Op, PRefl, PFold>(op: &Op, epoch: u64) -> Faceted<Result<(), Misbehavior>, P>
+where
+    Op: ChoreoOp<P>,
+    P: LocationSet + Subset<P, PRefl> + LocationSetFoldable<P, P, PFold>,
+{
+    // The heartbeat value is the epoch — fixed and known to every
+    // receiver, so the validation hook has full discriminating power
+    // (a free-form value would let a decodable tampered frame through).
+    let heartbeat: Faceted<u64, P> = op.parallel(P::new(), move || epoch);
+    let expect_epoch = move |_: &'static str, v: &u64| {
+        if *v == epoch {
+            Ok(())
+        } else {
+            Err(format!("heartbeat {v} is not the epoch {epoch}"))
+        }
+    };
+    let round = BroadcastGather::<'_, u64, P, _, PRefl, PFold> {
+        values: &heartbeat,
+        epoch,
+        validate: &expect_epoch,
+        phantom: PhantomData,
+    }
+    .run(op);
+    let verdicts: Faceted<Verdict, P> = op.map_facets(P::new(), &round, |r| match r {
+        Ok(_) => Verdict::Ok,
+        Err(m) => Verdict::Fault(m.clone()),
+    });
+    exchange_verdicts::<P, Op, PRefl, PFold>(op, &verdicts, epoch)
+}
+
+/// Collapses a preflight (or postflight) resolution into the agreed
+/// culprit's name, `None` meaning "all clear — proceed".
+///
+/// Participants may disagree on the misbehavior's *detail* (the
+/// accuser's own facet carries its local reason; everyone else adopts
+/// the blame-count winner's), but under the supported fault model — at
+/// most one faulty participant or link, faulting every frame — they
+/// agree on the culprit, which is exactly the part a branch needs.
+pub fn agreed_culprit<P, Op, PRefl, PFold>(
+    op: &Op,
+    resolution: &Faceted<Result<(), Misbehavior>, P>,
+) -> Option<String>
+where
+    Op: ChoreoOp<P>,
+    P: LocationSet + Subset<P, PRefl> + LocationSetFoldable<P, P, PFold>,
+{
+    let culprits: Faceted<Option<String>, P> =
+        op.map_facets(P::new(), resolution, |r| r.as_ref().err().map(|m| m.culprit.clone()));
+    op.agree(P::new(), &culprits).expect("every census member owns the preflight resolution")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chorus_core::{Choreography, Runner};
+
+    chorus_core::locations! { A, B, C }
+    type Trio = chorus_core::LocationSet!(A, B, C);
+
+    struct Preflight;
+
+    impl Choreography<Option<String>> for Preflight {
+        type L = Trio;
+        fn run(self, op: &impl ChoreoOp<Trio>) -> Option<String> {
+            let resolution = preflight::<Trio, _, _, _>(op, 9);
+            agreed_culprit::<Trio, _, _, _>(op, &resolution)
+        }
+    }
+
+    #[test]
+    fn clean_preflight_agrees_on_no_culprit() {
+        let runner: Runner<Trio> = Runner::new();
+        assert_eq!(runner.run(Preflight), None);
+    }
+}

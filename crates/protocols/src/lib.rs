@@ -9,12 +9,14 @@
 //! | [`kvs_gather`] | Figs. 10–11 — ChoRus-style KVS with a hand-rolled `Gather` fan-in |
 //! | [`gmw`] | Figs. 8–9 — GMW secure multiparty computation |
 //! | [`lottery`] | Figs. 12–13 — the DPrio fair lottery |
+//! | [`hardened`] | Byzantine-hardened lottery/GMW plus a deterministic config-change round, built on `chorus_patterns` |
 //!
 //! The [`roles`] module declares reusable concrete locations (clients,
 //! servers, parties) that examples, tests, and benchmarks instantiate the
 //! census-polymorphic choreographies with.
 
 pub mod gmw;
+pub mod hardened;
 pub mod kvs_backup;
 pub mod kvs_baseline;
 pub mod kvs_gather;

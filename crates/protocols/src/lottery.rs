@@ -147,7 +147,9 @@ where
 }
 
 /// Splits `secret` into additive shares keyed by the servers.
-fn additive_share_quire<Servers: LocationSet>(secret: FLOTTERY) -> Quire<FLOTTERY, Servers> {
+pub(crate) fn additive_share_quire<Servers: LocationSet>(
+    secret: FLOTTERY,
+) -> Quire<FLOTTERY, Servers> {
     let mut rng = thread_rng();
     let mut map: BTreeMap<String, FLOTTERY> =
         Servers::names().into_iter().map(|n| (n.to_string(), FLOTTERY::random(&mut rng))).collect();
@@ -160,9 +162,10 @@ fn additive_share_quire<Servers: LocationSet>(secret: FLOTTERY) -> Quire<FLOTTER
 }
 
 /// Fan-out over servers: each server gathers one share from every client.
-struct CollectShares<'a, Clients: LocationSet, Servers: LocationSet, Census, CSub, CFold> {
-    client_shares: &'a Faceted<Quire<FLOTTERY, Servers>, Clients>,
-    phantom: PhantomData<(Census, CSub, CFold)>,
+pub(crate) struct CollectShares<'a, Clients: LocationSet, Servers: LocationSet, Census, CSub, CFold>
+{
+    pub(crate) client_shares: &'a Faceted<Quire<FLOTTERY, Servers>, Clients>,
+    pub(crate) phantom: PhantomData<(Census, CSub, CFold)>,
 }
 
 impl<Clients, Servers, Census, CSub, CFold>

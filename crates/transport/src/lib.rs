@@ -13,22 +13,30 @@
 //!   per-(session, sender) demultiplexing.
 //! * [`SimTransport`] — a deterministic discrete-event simulation of a
 //!   hostile network (seeded latency, drops, duplication, reordering,
-//!   partitions, link poison) with virtual time and reproducible,
-//!   dumpable delivery schedules.
+//!   partitions, link poison, adversarial corruption and selective
+//!   silence) with virtual time and reproducible, dumpable delivery
+//!   schedules.
+//! * [`Equivocator`] — a Byzantine *sender* adapter over any session
+//!   transport: delivers deterministically different payloads to chosen
+//!   victim receivers for the same logical send.
 //! * [`TransportMetrics`] — a [`chorus_core::Layer`] counting messages
 //!   and bytes per edge; every communication-efficiency experiment in
 //!   the benchmark harness uses it.
 //! * [`Trace`] — a layer recording an ordered, session-tagged log of
 //!   every send and receive.
 
+mod byzantine;
 mod local;
 mod metrics;
 mod sim;
 mod tcp;
 mod trace;
 
+pub use byzantine::Equivocator;
 pub use local::{LocalTransport, LocalTransportChannel};
 pub use metrics::{EdgeMetrics, MetricsSnapshot, TransportMetrics};
-pub use sim::{FaultPlan, Partition, Poison, SimEvent, SimEventKind, SimNet, SimTransport};
+pub use sim::{
+    Corruption, FaultPlan, Partition, Poison, Silence, SimEvent, SimEventKind, SimNet, SimTransport,
+};
 pub use tcp::{free_local_addrs, TcpConfig, TcpConfigBuilder, TcpTransport};
 pub use trace::{Direction, Trace, TraceEvent};

@@ -32,6 +32,18 @@
 //! [`Poison`] plan withholds every frame from step `N` on, so tests can
 //! pin down how choreographies observe a dead link.
 //!
+//! Beyond the *fail-stop* faults above, the plan also carries
+//! **adversarial** modes that model a Byzantine participant rather than
+//! a bad network: [`Corruption`] flips payload bits that survive
+//! framing (caught only by the receiver's decode/validation), and
+//! [`Silence`] drops every frame on a link forever (surfaced eagerly as
+//! a protocol error naming the edge). Both derive statelessly from the
+//! seed, exactly like the fail-stop faults, and neither perturbs the
+//! delivery schedule the same seed produces with the modes off.
+//! Equivocation — one logical send, different payloads per receiver —
+//! is a *sender* behavior, so it lives in the
+//! [`Equivocator`](crate::Equivocator) adapter, not the plan.
+//!
 //! On failure, [`SimNet::schedule_dump`] renders the full per-link
 //! schedule — sends with their computed arrivals, then deliveries in
 //! release order — as text; CI jobs attach it as an artifact so a
@@ -111,6 +123,65 @@ impl Poison {
     }
 }
 
+/// Adversarial payload corruption on matching links: each frame's
+/// payload has one bit flipped with `probability`, chosen statelessly
+/// from the plan seed. The frame still *frames* correctly (header,
+/// session, seq untouched), so the corruption survives the transport
+/// layer and must be caught by the receiver's decode or validation
+/// step — exactly the failure a Byzantine sender (or a tampering
+/// network) produces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Corruption {
+    /// Sender the corruption applies to; `None` matches every sender.
+    pub from: Option<&'static str>,
+    /// Receiver the corruption applies to; `None` matches every receiver.
+    pub to: Option<&'static str>,
+    /// Per-frame probability of a bit-flip, in `[0, 1]`.
+    pub probability: f64,
+}
+
+impl Corruption {
+    /// Corrupts one directed link with the given per-frame probability.
+    pub fn link(from: &'static str, to: &'static str, probability: f64) -> Self {
+        Corruption { from: Some(from), to: Some(to), probability }
+    }
+
+    /// Corrupts every link with the given per-frame probability.
+    pub fn everywhere(probability: f64) -> Self {
+        Corruption { from: None, to: None, probability }
+    }
+
+    fn matches(&self, from: &'static str, to: &'static str) -> bool {
+        self.from.is_none_or(|f| f == from) && self.to.is_none_or(|t| t == to)
+    }
+}
+
+/// Selective silence: every frame offered on a matching link is dropped
+/// forever — the Byzantine "I'll just never talk to *you*" fault, as
+/// opposed to a [`Partition`] (which heals) or a [`Poison`] (which
+/// fires after N frames). Receivers observe an immediate
+/// [`TransportError::Protocol`] naming the silenced edge instead of
+/// burning a wall-clock watchdog, because the silence is a plan-level
+/// fact the sim knows from tick zero.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Silence {
+    /// Sender the silence applies to; `None` matches every sender.
+    pub from: Option<&'static str>,
+    /// Receiver the silence applies to; `None` matches every receiver.
+    pub to: Option<&'static str>,
+}
+
+impl Silence {
+    /// Silences one directed link forever.
+    pub fn link(from: &'static str, to: &'static str) -> Self {
+        Silence { from: Some(from), to: Some(to) }
+    }
+
+    fn matches(&self, from: &'static str, to: &'static str) -> bool {
+        self.from.is_none_or(|f| f == from) && self.to.is_none_or(|t| t == to)
+    }
+}
+
 /// The seeded description of how the simulated network misbehaves.
 ///
 /// All probabilities are per *transmission attempt*; a dropped frame is
@@ -139,6 +210,10 @@ pub struct FaultPlan {
     pub partitions: Vec<Partition>,
     /// Optional link kill-switch.
     pub poison: Option<Poison>,
+    /// Adversarial payload corruption rules.
+    pub corruption: Vec<Corruption>,
+    /// Links silenced forever.
+    pub silence: Vec<Silence>,
     /// Real-time bound on any single blocked receive; a stalled
     /// schedule surfaces as [`TransportError::Protocol`] instead of a
     /// hang.
@@ -157,6 +232,8 @@ impl FaultPlan {
             rto: 4,
             partitions: Vec::new(),
             poison: None,
+            corruption: Vec::new(),
+            silence: Vec::new(),
             watchdog: park::default_watchdog(),
         }
     }
@@ -184,6 +261,13 @@ impl FaultPlan {
             rto: 2 + rng.gen_range(0u64..8),
             partitions,
             poison: None,
+            // Adversarial modes are opt-in (with_corruption /
+            // with_silence / the byzantine matrix), never drawn by
+            // chaos itself: chaos seeds stress *schedules* of an
+            // honest network, and keeping these off preserves every
+            // existing seed's schedule bit-for-bit.
+            corruption: Vec::new(),
+            silence: Vec::new(),
             watchdog: park::default_watchdog(),
         }
     }
@@ -224,6 +308,18 @@ impl FaultPlan {
         self
     }
 
+    /// Adds an adversarial corruption rule.
+    pub fn with_corruption(mut self, corruption: Corruption) -> Self {
+        self.corruption.push(corruption);
+        self
+    }
+
+    /// Silences a link forever.
+    pub fn with_silence(mut self, silence: Silence) -> Self {
+        self.silence.push(silence);
+        self
+    }
+
     /// Sets the receive watchdog.
     pub fn with_watchdog(mut self, watchdog: Duration) -> Self {
         self.watchdog = watchdog;
@@ -257,6 +353,47 @@ impl FaultPlan {
             None
         };
         FrameSchedule { arrival, drops, held, duplicate }
+    }
+
+    /// Whether the plan silences `from → to` forever.
+    fn silenced(&self, from: &'static str, to: &'static str) -> bool {
+        self.silence.iter().any(|s| s.matches(from, to))
+    }
+
+    /// The deterministic corruption decision for frame `k` on
+    /// `from → to`: `Some((byte, bit))` to flip, `None` to pass clean.
+    ///
+    /// Drawn from a *separate* stateless generator (the frame seed,
+    /// rotated and re-salted), never from [`schedule`](Self::schedule)'s
+    /// — so installing a corruption rule cannot perturb the delivery
+    /// schedule an existing seed produces.
+    fn corrupt_bit(
+        &self,
+        from: &'static str,
+        to: &'static str,
+        k: u64,
+        payload_len: usize,
+    ) -> Option<(usize, u8)> {
+        if payload_len == 0 {
+            return None;
+        }
+        let probability = self
+            .corruption
+            .iter()
+            .filter(|c| c.matches(from, to))
+            .map(|c| c.probability)
+            .fold(0.0f64, f64::max);
+        if probability <= 0.0 {
+            return None;
+        }
+        let mut rng =
+            StdRng::seed_from_u64(frame_seed(self.seed, from, to, k).rotate_left(17) ^ 0xC0FF);
+        if !rng.gen_bool(probability.min(1.0)) {
+            return None;
+        }
+        let byte = rng.gen_range(0..payload_len as u64) as usize;
+        let bit = rng.gen_range(0..8u64) as u8;
+        Some((byte, bit))
     }
 }
 
@@ -306,6 +443,17 @@ pub enum SimEventKind {
     Delivered,
     /// A duplicate arrival was discarded by the reorder stage.
     DuplicateDropped,
+    /// An adversarial [`Corruption`] rule flipped one payload bit
+    /// before the frame was scheduled (logged in addition to `Sent`).
+    Corrupted {
+        /// Payload byte index that was flipped.
+        byte: u64,
+        /// Bit within that byte.
+        bit: u8,
+    },
+    /// A [`Silence`] rule dropped the frame forever; it was never
+    /// scheduled.
+    Silenced,
 }
 
 /// One entry of a link's schedule log.
@@ -570,6 +718,10 @@ impl<L: LocationSet> SimNet<L> {
                     SimEventKind::Withheld => "withheld".to_string(),
                     SimEventKind::Delivered => format!("deliver  arrival={}", e.arrival),
                     SimEventKind::DuplicateDropped => format!("dupdrop  arrival={}", e.arrival),
+                    SimEventKind::Corrupted { byte, bit } => {
+                        format!("corrupt  byte={byte} bit={bit}")
+                    }
+                    SimEventKind::Silenced => "silenced".to_string(),
                 };
                 let _ = writeln!(
                     out,
@@ -592,7 +744,10 @@ impl<L: LocationSet> SimNet<L> {
                 let direction = match e.kind {
                     SimEventKind::Sent { .. } => crate::Direction::Send,
                     SimEventKind::Delivered => crate::Direction::Receive,
-                    SimEventKind::Withheld | SimEventKind::DuplicateDropped => return None,
+                    SimEventKind::Withheld
+                    | SimEventKind::DuplicateDropped
+                    | SimEventKind::Corrupted { .. }
+                    | SimEventKind::Silenced => return None,
                 };
                 Some(crate::TraceEvent {
                     direction,
@@ -661,7 +816,7 @@ impl<L: LocationSet, Target: ChoreographyLocation> SimTransport<L, Target> {
 impl<L: LocationSet, Target: ChoreographyLocation> SessionTransport<L, Target>
     for SimTransport<L, Target>
 {
-    fn send_frame(&self, to: &str, frame: Envelope) -> Result<(), TransportError> {
+    fn send_frame(&self, to: &str, mut frame: Envelope) -> Result<(), TransportError> {
         let to = self.names.resolve(to)?;
         let from = Target::NAME;
         let wq = self.link(from, to)?;
@@ -712,6 +867,45 @@ impl<L: LocationSet, Target: ChoreographyLocation> SessionTransport<L, Target>
                 }
                 return Ok(());
             }
+        }
+        // Selective silence: the frame is logged and dropped forever.
+        // Receivers learn of the silence eagerly (the plan is global
+        // knowledge), so wakers still fire and parked sessions resolve
+        // with a protocol error instead of a watchdog timeout.
+        if plan.silenced(from, to) {
+            link.sends.push(SimEvent {
+                from,
+                to,
+                frame: k,
+                session: frame.session,
+                seq: frame.seq,
+                arrival: 0,
+                kind: SimEventKind::Silenced,
+            });
+            let fired: Vec<MailboxWaker> = link.wakers.drain().map(|(_, w)| w).collect();
+            drop(link);
+            wq.notify_all();
+            for waker in fired {
+                waker();
+            }
+            return Ok(());
+        }
+        // Adversarial corruption: flip one payload bit, in a fresh
+        // buffer (the payload `Bytes` may be shared with other
+        // destinations of a multicast — those must stay clean).
+        if let Some((byte, bit)) = plan.corrupt_bit(from, to, k, frame.payload.len()) {
+            let mut tampered = frame.payload.to_vec();
+            tampered[byte] ^= 1 << bit;
+            frame.payload = chorus_wire::Bytes::from(tampered);
+            link.sends.push(SimEvent {
+                from,
+                to,
+                frame: k,
+                session: frame.session,
+                seq: frame.seq,
+                arrival: 0,
+                kind: SimEventKind::Corrupted { byte: byte as u64, bit },
+            });
         }
 
         let schedule = plan.schedule(from, to, k);
@@ -789,6 +983,13 @@ impl<L: LocationSet, Target: ChoreographyLocation> SessionTransport<L, Target>
                     "link from {from} poisoned at frame {step}: subsequent frames withheld"
                 )));
             }
+            if self.net.shared.plan.silenced(from, to) {
+                // The silence is a plan-level fact: no frame will ever
+                // arrive, so fail now instead of burning the watchdog.
+                return Err(TransportError::Protocol(format!(
+                    "link {from} -> {to} silenced: every frame dropped (selective silence)"
+                )));
+            }
             let (guard, timed_out) = wq.wait_deadline(link, deadline);
             link = guard;
             if timed_out
@@ -838,6 +1039,11 @@ impl<L: LocationSet, Target: ChoreographyLocation> SessionTransport<L, Target>
                     "link from {from} poisoned at frame {step}: subsequent frames withheld"
                 )));
             }
+            if self.net.shared.plan.silenced(from, to) {
+                return Err(TransportError::Protocol(format!(
+                    "link {from} -> {to} silenced: every frame dropped (selective silence)"
+                )));
+            }
             return Ok(None);
         }
     }
@@ -858,6 +1064,7 @@ impl<L: LocationSet, Target: ChoreographyLocation> SessionTransport<L, Target>
         // also refuse the registration.
         let ready = link.dead.is_some()
             || link.poisoned.is_some()
+            || self.net.shared.plan.silenced(from, Target::NAME)
             || !link.in_flight.is_empty()
             || link.streams.get(&session).is_some_and(|s| !s.ready.is_empty());
         if ready {
@@ -1036,6 +1243,79 @@ mod tests {
         // Run 2 reuses the id; its seq restarts at zero.
         alice.send_frame("Bob", Envelope::new(5, 0, b"r2-a".to_vec())).unwrap();
         assert_eq!(bob.receive_frame(5, "Alice").unwrap().payload, b"r2-a");
+    }
+
+    #[test]
+    fn corruption_flips_exactly_one_bit_deterministically() {
+        let run = || {
+            let plan =
+                FaultPlan::ideal().with_seed(11).with_corruption(Corruption::everywhere(1.0));
+            let (alice, bob, net) = pair(plan);
+            alice.send("Bob", b"payload-under-attack").unwrap();
+            let got = bob.receive("Alice").unwrap();
+            (got, net.schedule_dump())
+        };
+        let (first, dump1) = run();
+        let (second, dump2) = run();
+        assert_eq!(first, second, "corruption must be seed-deterministic");
+        assert_eq!(dump1, dump2);
+        assert_ne!(first, b"payload-under-attack".to_vec(), "a bit must have flipped");
+        let differing: u32 = first
+            .iter()
+            .zip(b"payload-under-attack".iter())
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(differing, 1, "exactly one flipped bit");
+        assert!(dump1.contains("corrupt  byte="), "dump records the corruption: {dump1}");
+    }
+
+    #[test]
+    fn corruption_off_leaves_schedules_untouched() {
+        // Installing a corruption rule must not perturb the delivery
+        // schedule: the corruption rng is separate from schedule()'s.
+        let dump = |plan: FaultPlan| {
+            let (alice, bob, net) = pair(plan);
+            for i in 0..16u32 {
+                alice.send("Bob", &i.to_le_bytes()).unwrap();
+            }
+            for _ in 0..16u32 {
+                bob.receive("Alice").unwrap();
+            }
+            net.schedule_dump()
+        };
+        let base = FaultPlan::ideal().with_seed(23).with_jitter(9).with_drop(0.2);
+        let clean = dump(base.clone());
+        let attacked = dump(base.with_corruption(Corruption::everywhere(1.0)));
+        let strip =
+            |d: &str| d.lines().filter(|l| !l.contains("corrupt")).collect::<Vec<_>>().join("\n");
+        assert_eq!(strip(&clean), strip(&attacked), "same arrivals, drops, and order");
+    }
+
+    #[test]
+    fn silenced_link_errors_eagerly_and_names_the_edge() {
+        let plan = FaultPlan::ideal().with_silence(Silence::link("Alice", "Bob"));
+        let (alice, bob, net) = pair(plan);
+        alice.send("Bob", b"never-arrives").unwrap();
+        let before = Instant::now();
+        let err = bob.receive("Alice").unwrap_err();
+        assert!(before.elapsed() < Duration::from_secs(5), "silence resolves eagerly");
+        assert!(matches!(err, TransportError::Protocol(_)));
+        let msg = err.to_string();
+        assert!(msg.contains("Alice") && msg.contains("Bob") && msg.contains("silenced"), "{msg}");
+        // try_receive surfaces the same verdict, and the reverse link
+        // still works.
+        assert!(bob.try_receive_frame(RAW_SESSION, "Alice").is_err());
+        bob.send("Alice", b"reverse-ok").unwrap();
+        assert_eq!(alice.receive("Bob").unwrap(), b"reverse-ok");
+        assert!(net.schedule_dump().contains("silenced"));
+    }
+
+    #[test]
+    fn silenced_link_reports_ready_to_wakers() {
+        let plan = FaultPlan::ideal().with_silence(Silence::link("Alice", "Bob"));
+        let (_alice, bob, _) = pair(plan);
+        let ready = bob.register_waker(RAW_SESSION, "Alice", Arc::new(|| {})).unwrap();
+        assert!(ready, "a silenced link must not park a session forever");
     }
 
     #[test]

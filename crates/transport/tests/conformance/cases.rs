@@ -238,6 +238,53 @@ pub fn fifo_preserved_under_try_polling(alice: impl AliceTransport, bob: impl Bo
     }
 }
 
+/// The adversarial-corruption contract, parameterized by which side of
+/// it the instance is on. A `hostile` pair (sim under an always-on
+/// [`Corruption`](chorus_transport::Corruption) plan) must deliver the
+/// frame with *exactly one* payload bit flipped — tampering the payload
+/// without touching framing, so sequence checks pass and only a
+/// payload-level integrity check (sealed decode, commitment
+/// verification) can catch it. An honest pair must deliver bit-exact.
+pub fn corrupted_link_flips_exactly_one_payload_bit(
+    alice: impl AliceTransport,
+    bob: impl BobTransport,
+    hostile: bool,
+) {
+    // All zeros: any flip anywhere is visible in the XOR popcount.
+    let sent = [0u8; 8];
+    alice.send_frame("Bob", frame(1, 0, &sent)).unwrap();
+    let got = bob.receive_frame(1, "Alice").unwrap();
+    assert_eq!((got.session, got.seq), (1, 0), "corruption must never touch framing");
+    assert_eq!(got.payload.len(), sent.len(), "corruption must never truncate");
+    let flipped: u32 = got.payload.iter().zip(sent.iter()).map(|(a, b)| (a ^ b).count_ones()).sum();
+    if hostile {
+        assert_eq!(flipped, 1, "an adversarial link flips exactly one payload bit");
+    } else {
+        assert_eq!(flipped, 0, "an honest link delivers bit-exact");
+    }
+}
+
+/// The selective-silence contract: a `hostile` pair (sim with the
+/// Alice→Bob link silenced) must fail *loudly* — a
+/// [`TransportError::Protocol`] naming the silenced peer, produced by
+/// the link watchdog — rather than parking the receiver forever. An
+/// honest pair simply delivers.
+pub fn silenced_link_fails_loud(alice: impl AliceTransport, bob: impl BobTransport, hostile: bool) {
+    alice.send_frame("Bob", frame(1, 0, b"probe")).unwrap();
+    if hostile {
+        let err = bob.receive_frame(1, "Alice").unwrap_err();
+        match err {
+            TransportError::Protocol(message) => assert!(
+                message.contains("Alice"),
+                "the watchdog must name the silenced edge, got {message:?}"
+            ),
+            other => panic!("selective silence must surface as a protocol error, got {other:?}"),
+        }
+    } else {
+        assert_eq!(bob.receive_frame(1, "Alice").unwrap().payload, b"probe");
+    }
+}
+
 /// N sessions over one shared pair produce exactly N× the per-edge
 /// metrics of a single session — sessions share links but never
 /// double- or under-count.

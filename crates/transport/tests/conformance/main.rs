@@ -16,8 +16,8 @@
 mod cases;
 
 use chorus_transport::{
-    free_local_addrs, FaultPlan, LocalTransport, LocalTransportChannel, SimNet, SimTransport,
-    TcpConfigBuilder, TcpTransport,
+    free_local_addrs, Corruption, FaultPlan, LocalTransport, LocalTransportChannel, Silence,
+    SimNet, SimTransport, TcpConfigBuilder, TcpTransport,
 };
 
 use cases::{Alice, Bob, System};
@@ -25,8 +25,18 @@ use cases::{Alice, Bob, System};
 /// Instantiates the whole battery for one transport; `$make` is an
 /// expression producing a fresh, independent `(alice, bob)` pair each
 /// time it is evaluated.
+///
+/// The two **adversarial** cases run on every transport, but only the
+/// sim instantiates them with actually-hostile pairs (`$corrupt` under
+/// an always-on corruption plan, `$silent` with the Alice→Bob link
+/// silenced) and `$hostile = true`; local and TCP reuse `$make` with
+/// `$hostile = false`, pinning the honest side of the same contract —
+/// bit-exact delivery, no spurious watchdog errors.
 macro_rules! conformance_suite {
     ($name:ident, $make:expr) => {
+        conformance_suite!($name, $make, $make, $make, false);
+    };
+    ($name:ident, $make:expr, $corrupt:expr, $silent:expr, $hostile:expr) => {
         mod $name {
             use super::*;
 
@@ -88,6 +98,18 @@ macro_rules! conformance_suite {
                 let (alice, bob) = $make;
                 cases::fifo_preserved_under_try_polling(alice, bob);
             }
+
+            #[test]
+            fn corrupted_link_flips_exactly_one_payload_bit() {
+                let (alice, bob) = $corrupt;
+                cases::corrupted_link_flips_exactly_one_payload_bit(alice, bob, $hostile);
+            }
+
+            #[test]
+            fn silenced_link_fails_loud() {
+                let (alice, bob) = $silent;
+                cases::silenced_link_fails_loud(alice, bob, $hostile);
+            }
         }
     };
 }
@@ -107,14 +129,33 @@ conformance_suite!(tcp, {
     (TcpTransport::bind(Alice, config.clone()).unwrap(), TcpTransport::bind(Bob, config).unwrap())
 });
 
-conformance_suite!(sim, {
-    // A hostile schedule, not a quiet one: reordering jitter, drops
-    // (with retransmission), and duplicates. The contract must hold
-    // anyway.
-    let plan = FaultPlan::ideal().with_seed(11).with_jitter(6).with_drop(0.15).with_duplicate(0.1);
-    let net = SimNet::<System>::new(plan);
-    (SimTransport::new(Alice, net.clone()), SimTransport::new(Bob, net))
-});
+conformance_suite!(
+    sim,
+    {
+        // A hostile schedule, not a quiet one: reordering jitter, drops
+        // (with retransmission), and duplicates. The contract must hold
+        // anyway.
+        let plan =
+            FaultPlan::ideal().with_seed(11).with_jitter(6).with_drop(0.15).with_duplicate(0.1);
+        let net = SimNet::<System>::new(plan);
+        (SimTransport::new(Alice, net.clone()), SimTransport::new(Bob, net))
+    },
+    {
+        // Every Alice→Bob frame has one payload bit flipped.
+        let plan =
+            FaultPlan::ideal().with_seed(12).with_corruption(Corruption::link("Alice", "Bob", 1.0));
+        let net = SimNet::<System>::new(plan);
+        (SimTransport::new(Alice, net.clone()), SimTransport::new(Bob, net))
+    },
+    {
+        // Alice's frames to Bob never arrive; the watchdog must report
+        // the dead edge instead of letting Bob hang.
+        let plan = FaultPlan::ideal().with_seed(13).with_silence(Silence::link("Alice", "Bob"));
+        let net = SimNet::<System>::new(plan);
+        (SimTransport::new(Alice, net.clone()), SimTransport::new(Bob, net))
+    },
+    true
+);
 
 /// Determinism pins for the simulated network — the property the chaos
 /// tests and CI replay workflow stand on.

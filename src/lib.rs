@@ -9,6 +9,8 @@
 //! * [`transport`] — in-process, TCP, and instrumented transports.
 //! * [`lambda`] — the executable λC/λL/λN formal model.
 //! * [`mpc`] — fields, secret sharing, SHA-256, oblivious transfer.
+//! * [`patterns`] — Byzantine-robust building blocks (broadcast-gather,
+//!   commit-reveal verification, propose-and-acknowledge).
 //! * [`protocols`] — the paper's case studies.
 //! * [`baseline`] — the HasChor-style broadcast-KoC baseline.
 //!
@@ -19,6 +21,7 @@ pub use chorus_baseline as baseline;
 pub use chorus_core as core;
 pub use chorus_lambda as lambda;
 pub use chorus_mpc as mpc;
+pub use chorus_patterns as patterns;
 pub use chorus_protocols as protocols;
 pub use chorus_transport as transport;
 pub use chorus_wire as wire;

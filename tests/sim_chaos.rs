@@ -7,6 +7,14 @@
 //! knowledge-of-choice must survive adverse networks, not just
 //! well-behaved ones.
 //!
+//! The **byzantine axis** extends the matrix with adversarial fault
+//! modes — selective silence, always-on frame corruption, an
+//! equivocating participant, and (for the lottery) a commitment
+//! cheater — run against the *hardened* protocols. There the assertion
+//! flips: every endpoint must resolve (no hangs), and either complete
+//! with a verified-consistent result or return a `Misbehavior` naming
+//! exactly the injected culprit — never a silently wrong value.
+//!
 //! Seeds are taken from `CHORUS_SIM_SEED_BASE` (decimal, default
 //! `49374`), so the nightly CI job can sweep fresh schedules while PR
 //! runs stay reproducible. When a seed fails, the full per-link
@@ -18,14 +26,17 @@
 use chorus_repro::core::{ChoreographyLocation as _, Endpoint, LocationSet};
 use chorus_repro::mpc::field::FLOTTERY;
 use chorus_repro::mpc::Circuit;
+use chorus_repro::patterns::Misbehavior;
 use chorus_repro::protocols::gmw::Gmw;
+use chorus_repro::protocols::hardened::{ConfigChange, HardenedGmw, HardenedLottery};
 use chorus_repro::protocols::kvs_backup::{KvsCensus, ReplicatedKvs, Servers};
 use chorus_repro::protocols::lottery::Lottery;
 use chorus_repro::protocols::roles::{
-    Analyst, Backup1, Backup2, Client, Primary, C1, C2, C3, P1, P2, P3, S1, S2,
+    Analyst, Backup1, Backup2, Client, Primary, C1, C2, C3, P1, P2, P3, S1, S2, S3,
 };
 use chorus_repro::protocols::store::{Request, Response, SharedStore};
-use chorus_repro::transport::{FaultPlan, SimNet, SimTransport};
+use chorus_repro::transport::{Corruption, Equivocator, FaultPlan, Silence, SimNet, SimTransport};
+use std::collections::BTreeMap;
 use std::marker::PhantomData;
 use std::panic::AssertUnwindSafe;
 
@@ -76,6 +87,9 @@ fn seed_offset(protocol: &str) -> u64 {
     match protocol {
         "gmw" => 1_000,
         "lottery" => 2_000,
+        "hardened_gmw" => 3_000,
+        "hardened_lottery" => 4_000,
+        "config_change" => 5_000,
         _ => 0,
     }
 }
@@ -316,4 +330,392 @@ fn lottery_survives_the_seed_matrix() {
         let net = SimNet::<LotteryCensus>::new(FaultPlan::chaos(seed));
         with_schedule_dump("lottery", seed, &net, || run_lottery(&net));
     }
+}
+
+// ---------------------------------------------------------------------
+// The byzantine axis: hardened protocols under adversarial fault modes.
+// Each seed deterministically derives a fault mode plus a culprit and a
+// victim among the pattern-protected roles; the assertions then demand
+// the *exact* injected culprit back (or a clean, correct completion on
+// the clean seeds) — at every endpoint, with no hangs.
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Adversary {
+    /// One-directional link silence: the culprit's frames to the victim
+    /// never arrive.
+    Silence,
+    /// Always-on link corruption: every culprit→victim frame has one
+    /// payload bit flipped.
+    Corruption,
+    /// The culprit equivocates: frames it sends the victim are tampered
+    /// with, while everyone else hears the honest story.
+    Equivocation,
+    /// Lottery only: the culprit server opens a value it never
+    /// committed to.
+    Cheat,
+    /// No fault — the hardened protocol must complete with the correct,
+    /// verified result.
+    Clean,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Injection {
+    mode: Adversary,
+    culprit: &'static str,
+    victim: &'static str,
+}
+
+/// Derives the seed's injection over three `roles`: the culprit cycles
+/// fastest, then the victim (one of the two others), then the mode.
+fn injection(seed: u64, roles: [&'static str; 3], modes: &[Adversary]) -> Injection {
+    let ci = (seed % 3) as usize;
+    let vi = (ci + 1 + ((seed / 3) % 2) as usize) % 3;
+    Injection {
+        mode: modes[((seed / 6) as usize) % modes.len()],
+        culprit: roles[ci],
+        victim: roles[vi],
+    }
+}
+
+fn adversarial_plan(seed: u64, inj: &Injection) -> FaultPlan {
+    let plan = FaultPlan::ideal().with_seed(seed);
+    match inj.mode {
+        Adversary::Silence => plan.with_silence(Silence::link(inj.culprit, inj.victim)),
+        Adversary::Corruption => {
+            plan.with_corruption(Corruption::link(inj.culprit, inj.victim, 1.0))
+        }
+        _ => plan,
+    }
+}
+
+/// The victims `me` equivocates against — empty (a transparent
+/// pass-through) unless this seed makes `me` the equivocator. Wrapping
+/// *every* endpoint keeps the transport type uniform across the matrix.
+fn equivocation_victims(inj: &Injection, me: &'static str) -> Vec<&'static str> {
+    if inj.mode == Adversary::Equivocation && inj.culprit == me {
+        vec![inj.victim]
+    } else {
+        Vec::new()
+    }
+}
+
+// ---------------------------------------------------------------------
+// hardened_gmw: majority(t, t, f) with preflight link probing and
+// commit-reveal output verification; faults target the party links.
+// ---------------------------------------------------------------------
+
+fn run_hardened_gmw(seed: u64, net: &SimNet<Parties>, inj: Injection) {
+    let circuit = std::sync::Arc::new(
+        Circuit::input("P1", 0)
+            .and(Circuit::input("P2", 0))
+            .xor(Circuit::input("P1", 0).and(Circuit::input("P3", 0)))
+            .xor(Circuit::input("P2", 0).and(Circuit::input("P3", 0))),
+    );
+    let mut handles = Vec::new();
+    macro_rules! party {
+        ($ty:ty, $input:expr) => {{
+            let net = net.clone();
+            let circuit = std::sync::Arc::clone(&circuit);
+            let victims = equivocation_victims(&inj, <$ty>::NAME);
+            handles.push(std::thread::spawn(move || {
+                let endpoint = Endpoint::new(Equivocator::new(
+                    SimTransport::new(<$ty>::new(), net),
+                    seed,
+                    victims,
+                ));
+                let session = endpoint.session();
+                let out = session.epp_and_run(HardenedGmw::<Parties, _, _> {
+                    circuit: &circuit,
+                    inputs: &session.local_faceted(vec![$input]),
+                    epoch: seed,
+                    phantom: PhantomData,
+                });
+                (<$ty>::NAME, session.unwrap_faceted(out))
+            }));
+        }};
+    }
+    party!(P1, true);
+    party!(P2, true);
+    party!(P3, false);
+    let results: Vec<(&str, Result<bool, Misbehavior>)> =
+        handles.into_iter().map(|h| h.join().unwrap()).collect();
+    for (name, result) in results {
+        match inj.mode {
+            Adversary::Clean => {
+                assert_eq!(result, Ok(true), "{name}: majority(t, t, f) under a clean net")
+            }
+            _ => {
+                let m = match result {
+                    Ok(got) => {
+                        panic!("{name} accepted {got} despite {inj:?} — silent wrong result")
+                    }
+                    Err(m) => m,
+                };
+                assert_eq!(
+                    m.culprit, inj.culprit,
+                    "{name} must name the injected culprit under {inj:?}, got {m}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn hardened_gmw_names_the_culprit_across_the_byzantine_matrix() {
+    let base = seed_base() + seed_offset("hardened_gmw");
+    let modes =
+        [Adversary::Silence, Adversary::Corruption, Adversary::Equivocation, Adversary::Clean];
+    for seed in base..base + PER_PROTOCOL {
+        let inj = injection(seed, ["P1", "P2", "P3"], &modes);
+        let net = SimNet::<Parties>::new(adversarial_plan(seed, &inj));
+        with_schedule_dump("hardened_gmw", seed, &net, || run_hardened_gmw(seed, &net, inj));
+    }
+}
+
+// ---------------------------------------------------------------------
+// hardened_lottery: three clients, three servers (an honest majority
+// among the conclave), one analyst; faults target the server↔server
+// links the patterns protect, plus the in-protocol commitment cheat.
+// ---------------------------------------------------------------------
+
+type HardenedServers = chorus_repro::core::LocationSet!(S1, S2, S3);
+type HardenedLotteryCensus = chorus_repro::core::LocationSet!(Analyst, C1, C2, C3, S1, S2, S3);
+
+fn run_hardened_lottery(seed: u64, net: &SimNet<HardenedLotteryCensus>, inj: Injection) {
+    const SECRETS: [u64; 3] = [1001, 2002, 3003];
+    let mut handles = Vec::new();
+
+    macro_rules! node {
+        ($ty:ty, $secrets:expr, $cheaters:expr) => {{
+            let net = net.clone();
+            let victims = equivocation_victims(&inj, <$ty>::NAME);
+            handles.push(std::thread::spawn(move || {
+                let endpoint = Endpoint::new(Equivocator::new(
+                    SimTransport::new(<$ty>::default(), net),
+                    seed,
+                    victims,
+                ));
+                let session = endpoint.session();
+                let _ = session.epp_and_run(HardenedLottery::<
+                    Clients,
+                    HardenedServers,
+                    HardenedLotteryCensus,
+                    _,
+                    _,
+                    _,
+                    _,
+                    _,
+                    _,
+                    _,
+                > {
+                    secrets: &$secrets(&session),
+                    tau: 300,
+                    epoch: seed,
+                    cheaters: &$cheaters(&session),
+                    phantom: PhantomData,
+                });
+            }));
+        }};
+    }
+
+    macro_rules! client {
+        ($ty:ty, $secret:expr) => {
+            node!(
+                $ty,
+                |s: &chorus_repro::core::Session<_, $ty, _>| s
+                    .local_faceted(FLOTTERY::new($secret)),
+                |s: &chorus_repro::core::Session<_, $ty, _>| s
+                    .remote_faceted(HardenedServers::new())
+            )
+        };
+    }
+    macro_rules! server {
+        ($ty:ty) => {
+            node!(
+                $ty,
+                |s: &chorus_repro::core::Session<_, $ty, _>| s.remote_faceted(Clients::new()),
+                |s: &chorus_repro::core::Session<_, $ty, _>| s
+                    .local_faceted(inj.mode == Adversary::Cheat && inj.culprit == <$ty>::NAME)
+            )
+        };
+    }
+
+    client!(C1, SECRETS[0]);
+    client!(C2, SECRETS[1]);
+    client!(C3, SECRETS[2]);
+    server!(S1);
+    server!(S2);
+    server!(S3);
+
+    let analyst_net = net.clone();
+    let analyst = std::thread::spawn(move || {
+        let endpoint = Endpoint::new(SimTransport::new(Analyst, analyst_net));
+        let session = endpoint.session();
+        let out = session.epp_and_run(HardenedLottery::<
+            Clients,
+            HardenedServers,
+            HardenedLotteryCensus,
+            _,
+            _,
+            _,
+            _,
+            _,
+            _,
+            _,
+        > {
+            secrets: &session.remote_faceted(Clients::new()),
+            tau: 300,
+            epoch: seed,
+            cheaters: &session.remote_faceted(HardenedServers::new()),
+            phantom: PhantomData,
+        });
+        session.unwrap(out)
+    });
+
+    // Every endpoint resolves — a hang would park a thread forever and
+    // the watchdog turns that into a panic instead.
+    for h in handles {
+        h.join().unwrap();
+    }
+    let verdict = analyst.join().unwrap();
+    match inj.mode {
+        Adversary::Clean => {
+            let value = verdict.expect("a clean net must pay out");
+            assert!(SECRETS.contains(&value), "payout {value} is not a client secret");
+        }
+        _ => {
+            let m = match verdict {
+                Ok(got) => {
+                    panic!("analyst accepted {got} despite {inj:?} — silent wrong result")
+                }
+                Err(m) => m,
+            };
+            assert_eq!(
+                m.culprit, inj.culprit,
+                "the analyst must name the injected culprit under {inj:?}, got {m}"
+            );
+        }
+    }
+}
+
+#[test]
+fn hardened_lottery_names_the_culprit_across_the_byzantine_matrix() {
+    let base = seed_base() + seed_offset("hardened_lottery");
+    let modes = [
+        Adversary::Silence,
+        Adversary::Corruption,
+        Adversary::Equivocation,
+        Adversary::Cheat,
+        Adversary::Clean,
+    ];
+    for seed in base..base + PER_PROTOCOL {
+        let inj = injection(seed, ["S1", "S2", "S3"], &modes);
+        let net = SimNet::<HardenedLotteryCensus>::new(adversarial_plan(seed, &inj));
+        with_schedule_dump("hardened_lottery", seed, &net, || {
+            run_hardened_lottery(seed, &net, inj)
+        });
+    }
+}
+
+// ---------------------------------------------------------------------
+// config_change: a deterministic ProposeAck round (no randomness at
+// all), the replay-determinism canary. ProposeAck's traffic is a star
+// around the proposer P1, so faults on the P2↔P3 chord are invisible
+// and those seeds must *commit* — tolerance, not detection.
+// ---------------------------------------------------------------------
+
+fn run_config_change(
+    seed: u64,
+    net: &SimNet<Parties>,
+    inj: Injection,
+) -> BTreeMap<&'static str, Result<u64, Misbehavior>> {
+    let mut handles = Vec::new();
+    macro_rules! party {
+        ($ty:ty, $version:expr) => {{
+            let net = net.clone();
+            let victims = equivocation_victims(&inj, <$ty>::NAME);
+            handles.push(std::thread::spawn(move || {
+                let endpoint = Endpoint::new(Equivocator::new(
+                    SimTransport::new(<$ty>::new(), net),
+                    seed,
+                    victims,
+                ));
+                let session = endpoint.session();
+                let version = $version;
+                let out = session.epp_and_run(ConfigChange::<P1, Parties, _, _, _> {
+                    new_version: &version(&session),
+                    current_version: 3,
+                    epoch: seed,
+                    quorum: 3,
+                    phantom: PhantomData,
+                });
+                (<$ty>::NAME, session.unwrap_faceted(out))
+            }));
+        }};
+    }
+    party!(P1, |s: &chorus_repro::core::Session<_, P1, _>| s.local(4u64));
+    party!(P2, |s: &chorus_repro::core::Session<_, P2, _>| s.remote(P1));
+    party!(P3, |s: &chorus_repro::core::Session<_, P3, _>| s.remote(P1));
+    handles.into_iter().map(|h| h.join().unwrap()).collect()
+}
+
+fn assert_config_change_outcome(
+    inj: Injection,
+    results: &BTreeMap<&'static str, Result<u64, Misbehavior>>,
+) {
+    // Only the proposer's links carry traffic: a fault must involve P1
+    // to be observable at all.
+    let observable = inj.mode != Adversary::Clean && (inj.culprit == "P1" || inj.victim == "P1");
+    for (name, result) in results {
+        if observable {
+            let m = match result {
+                Ok(got) => {
+                    panic!("{name} committed {got} despite {inj:?} — silent wrong result")
+                }
+                Err(m) => m,
+            };
+            assert_eq!(
+                m.culprit, inj.culprit,
+                "{name} must name the injected culprit under {inj:?}, got {m}"
+            );
+        } else {
+            assert_eq!(
+                result.as_ref().ok(),
+                Some(&4),
+                "{name} must commit under {inj:?} (fault off the proposer star)"
+            );
+        }
+    }
+}
+
+#[test]
+fn config_change_names_the_culprit_across_the_byzantine_matrix() {
+    let base = seed_base() + seed_offset("config_change");
+    let modes =
+        [Adversary::Silence, Adversary::Corruption, Adversary::Equivocation, Adversary::Clean];
+    for seed in base..base + PER_PROTOCOL {
+        let inj = injection(seed, ["P1", "P2", "P3"], &modes);
+        let net = SimNet::<Parties>::new(adversarial_plan(seed, &inj));
+        with_schedule_dump("config_change", seed, &net, || {
+            let results = run_config_change(seed, &net, inj);
+            assert_config_change_outcome(inj, &results);
+        });
+    }
+}
+
+/// The adversarial modes keep the replay guarantee: the same seed
+/// replays the same schedule — fault decisions included — and the same
+/// per-party verdicts, even with the fault plan corrupting frames.
+#[test]
+fn byzantine_schedule_and_verdict_are_deterministic_across_runs() {
+    let seed = seed_base() + seed_offset("config_change") + 777;
+    let inj = Injection { mode: Adversary::Corruption, culprit: "P1", victim: "P2" };
+    let run = |_: u32| {
+        let net = SimNet::<Parties>::new(adversarial_plan(seed, &inj));
+        let results = run_config_change(seed, &net, inj);
+        assert_config_change_outcome(inj, &results);
+        (net.schedule_dump(), results)
+    };
+    assert_eq!(run(0), run(1), "same seed, same adversarial schedule, same verdicts");
 }
