@@ -16,6 +16,7 @@
 //!   `BENCH_results.json` in the current directory).
 
 use chorus_core::{Endpoint, RoleProgram, Runner, SessionCx, SessionRuntime, Step, TransportError};
+use chorus_kvs::cluster::SimCluster;
 use chorus_protocols::kvs_simple::{PooledKvsClient, PooledKvsServer, SimpleKvs, SimpleKvsCensus};
 use chorus_protocols::roles::{Client, Primary};
 use chorus_protocols::store::{Request, Response, SharedStore};
@@ -655,6 +656,109 @@ fn bench_thread_per_role_sessions(n: u64) -> ConcurrencyResult {
     }
 }
 
+/// The sharded-KVS live-reshard record: client op throughput in steady
+/// state vs *during* a live shard split, plus the freeze window's cost.
+/// The driver is sequential, so throughput is measured over the summed
+/// wall time of the client operations themselves — migration work
+/// (pre-copy chunks, final deltas, the commit round) runs interleaved
+/// between them, and the claim under test is that it never imposes a
+/// full-cluster stop-the-world on the data path.
+struct KvsClusterResult {
+    steady_ops_per_sec: f64,
+    migrating_ops_per_sec: f64,
+    after_ops_per_sec: f64,
+    freeze_frames: u64,
+    freeze_wall_ms: f64,
+}
+
+impl KvsClusterResult {
+    /// How much slower an op is mid-reshard (1.0 = no slowdown).
+    fn slowdown(&self) -> f64 {
+        self.steady_ops_per_sec / self.migrating_ops_per_sec.max(1e-9)
+    }
+}
+
+fn bench_kvs_cluster(quick: bool) -> KvsClusterResult {
+    let per_round: u64 = if quick { 16 } else { 64 };
+    let mut cluster = SimCluster::new(FaultPlan::ideal(), &["N1", "N2", "N3", "N4"], 4);
+    cluster.set_chunk(16);
+    for i in 0..per_round {
+        cluster.put(&format!("key-{i}"), "seed").expect("seed put");
+    }
+
+    // Summed per-op wall time of one mixed round (the probe used for
+    // both phases).
+    let timed_round = |cluster: &mut SimCluster, tag: &str| -> (u64, Duration) {
+        let mut ops = 0u64;
+        let mut spent = Duration::ZERO;
+        for i in 0..per_round {
+            let key = format!("key-{i}");
+            let t = Instant::now();
+            cluster.put(&key, tag).expect("put commits");
+            spent += t.elapsed();
+            ops += 1;
+            let t = Instant::now();
+            black_box(cluster.get(&key).expect("get succeeds"));
+            spent += t.elapsed();
+            ops += 1;
+        }
+        (ops, spent)
+    };
+
+    // Steady state.
+    let (steady_ops, steady_spent) = timed_round(&mut cluster, "steady");
+
+    // During a live reshard: the same probe interleaved with the
+    // pre-copy and finalized under the moving range's freeze. Pick the
+    // first split that actually moves a replica (rendezvous can keep a
+    // fresh shard on its parent's set); fall back to an explicit
+    // migration, which always moves one.
+    let split = cluster
+        .config()
+        .shards
+        .iter()
+        .map(|s| s.id)
+        .map(|id| cluster.config().with_split(id))
+        .map(|next| {
+            let transfers = cluster.plan_transfers(&next);
+            (next, transfers)
+        })
+        .find(|(_, transfers)| !transfers.is_empty());
+    let (next, transfers) = split.unwrap_or_else(|| {
+        let shard = &cluster.config().shards[0];
+        let spare = cluster
+            .config()
+            .census
+            .iter()
+            .find(|m| !shard.replicas.contains(m))
+            .expect("a non-replica member exists at RF 3 of 4");
+        let mut replicas: Vec<&str> = shard.replicas.iter().skip(1).map(|s| s.as_str()).collect();
+        replicas.push(spare);
+        let next = cluster.config().with_migrate(shard.id, &replicas);
+        let transfers = cluster.plan_transfers(&next);
+        (next, transfers)
+    });
+    let mut migrating_ops = 0u64;
+    let mut migrating_spent = Duration::ZERO;
+    for transfer in &transfers {
+        cluster.precopy(transfer);
+        let (ops, spent) = timed_round(&mut cluster, "migrating");
+        migrating_ops += ops;
+        migrating_spent += spent;
+    }
+    assert!(cluster.finalize(&next, &transfers), "split commits");
+    let window = cluster.last_freeze_window().expect("freeze window recorded");
+    let (after_ops, after_spent) = timed_round(&mut cluster, "after");
+
+    KvsClusterResult {
+        steady_ops_per_sec: steady_ops as f64 / steady_spent.as_secs_f64().max(1e-9),
+        migrating_ops_per_sec: migrating_ops as f64 / migrating_spent.as_secs_f64().max(1e-9),
+        after_ops_per_sec: after_ops as f64 / after_spent.as_secs_f64().max(1e-9),
+        freeze_frames: window.frames,
+        freeze_wall_ms: window.wall.as_secs_f64() * 1e3,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -680,6 +784,10 @@ fn main() {
     // identical censuses, with the overhead ratio pinned in the JSON so
     // a pattern-layer perf regression is diffable per commit.
     let patterns = bench_patterns_lottery(quick);
+
+    // The sharded-KVS live-reshard figures: the data path must not pay
+    // a stop-the-world for a shard split.
+    let kvs_cluster = bench_kvs_cluster(quick);
 
     // The pooled-runtime concurrency scenarios: N sessions to
     // completion on a fixed pool, against the thread-per-role blocking
@@ -728,6 +836,18 @@ fn main() {
         patterns.hardened_messages,
         patterns.ratio()
     ));
+    json.push_str(&format!(
+        "  \"kvs_cluster\": {{\"steady_ops_per_sec\": {:.1}, \
+         \"migrating_ops_per_sec\": {:.1}, \"after_ops_per_sec\": {:.1}, \
+         \"migrating_over_steady_slowdown\": {:.3}, \"freeze_frames\": {}, \
+         \"freeze_wall_ms\": {:.3}}},\n",
+        kvs_cluster.steady_ops_per_sec,
+        kvs_cluster.migrating_ops_per_sec,
+        kvs_cluster.after_ops_per_sec,
+        kvs_cluster.slowdown(),
+        kvs_cluster.freeze_frames,
+        kvs_cluster.freeze_wall_ms,
+    ));
     json.push_str("  \"concurrency\": [\n");
     for (i, c) in concurrency.iter().enumerate() {
         json.push_str(&format!(
@@ -772,6 +892,17 @@ fn main() {
         patterns.hardened_iters,
         patterns.hardened_messages,
         patterns.ratio()
+    );
+    println!(
+        "{:<48} steady {:.0} ops/s  migrating {:.0} ops/s  after {:.0} ops/s  \
+         slowdown {:.2}x  freeze {} frames / {:.2} ms",
+        "kvs_cluster/live_reshard",
+        kvs_cluster.steady_ops_per_sec,
+        kvs_cluster.migrating_ops_per_sec,
+        kvs_cluster.after_ops_per_sec,
+        kvs_cluster.slowdown(),
+        kvs_cluster.freeze_frames,
+        kvs_cluster.freeze_wall_ms,
     );
     for c in &concurrency {
         println!(

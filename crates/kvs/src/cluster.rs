@@ -1,0 +1,730 @@
+//! The scenario harness: a whole simulated cluster — four candidate
+//! nodes plus a client — driven one logical operation at a time over a
+//! single [`SimNet`], so chaos schedules (and partitions) span
+//! reconfigurations.
+//!
+//! **Dynamic census over static location sets.** Choreographies here are
+//! census-polymorphic (generic over a `LocationSet`), but Rust resolves
+//! location sets at compile time. The bridge is the dispatch macros
+//! below: the runtime census — a sorted list of live member names out of
+//! the candidate universe `N1..N4` — selects a match arm that binds the
+//! corresponding type-level set and instantiates the *same generic
+//! choreography text* at it. Membership changes between sessions simply
+//! select different arms; this is the paper's "the caller picks the
+//! census" (§3.4) driven by runtime data.
+//!
+//! Every client operation, config round, and shard pull is one
+//! short-lived choreography session: the driver allocates a fresh
+//! session id, spawns one thread per participant with its own
+//! [`Endpoint`] over the shared net, and joins them. Node state persists
+//! across sessions in [`NodeCtx`] handles. The driver is sequential and
+//! each link has a single sending thread per session, so runs are
+//! deterministic per fault-plan seed.
+
+use crate::config::{ClusterConfig, ShardId};
+use crate::data_plane::{ClusterOp, KvsError, OpOutcome};
+use crate::model::ConsistencyModel;
+use crate::node::{KvsOp, NodeCtx, StampedRequest, Versioned};
+use crate::reconfig::{InstallConfig, PullMode, PullReport, ShardPull};
+use chorus_core::{ChoreographyLocation as _, Endpoint, LocationSet};
+use chorus_patterns::Misbehavior;
+use chorus_protocols::roles::Client;
+use chorus_transport::{FaultPlan, SimNet, SimTransport};
+use std::collections::BTreeMap;
+use std::marker::PhantomData;
+
+chorus_core::locations! { N1, N2, N3, N4 }
+
+/// The transport universe: every session in the harness runs over this
+/// set, with each choreography's census a subset of it.
+pub type Universe = chorus_core::LocationSet!(Client, N1, N2, N3, N4);
+
+/// The candidate node names, in dispatch order.
+pub const NODE_NAMES: [&str; 4] = ["N1", "N2", "N3", "N4"];
+
+/// Binds the runtime census (a sorted slice of node names) to its
+/// type-level location set and invokes `$cb!(Role, ...)` with the
+/// matching roles.
+macro_rules! dispatch_members {
+    ($names:expr, $cb:ident) => {
+        match $names {
+            ["N1"] => $cb!(N1),
+            ["N2"] => $cb!(N2),
+            ["N3"] => $cb!(N3),
+            ["N4"] => $cb!(N4),
+            ["N1", "N2"] => $cb!(N1, N2),
+            ["N1", "N3"] => $cb!(N1, N3),
+            ["N1", "N4"] => $cb!(N1, N4),
+            ["N2", "N3"] => $cb!(N2, N3),
+            ["N2", "N4"] => $cb!(N2, N4),
+            ["N3", "N4"] => $cb!(N3, N4),
+            ["N1", "N2", "N3"] => $cb!(N1, N2, N3),
+            ["N1", "N2", "N4"] => $cb!(N1, N2, N4),
+            ["N1", "N3", "N4"] => $cb!(N1, N3, N4),
+            ["N2", "N3", "N4"] => $cb!(N2, N3, N4),
+            ["N1", "N2", "N3", "N4"] => $cb!(N1, N2, N3, N4),
+            other => panic!("census {other:?} outside the candidate universe"),
+        }
+    };
+}
+
+/// Binds a runtime `(proposer, census)` pair to its types and invokes
+/// `$cb!(Proposer ; Role, ...)`.
+macro_rules! dispatch_round {
+    ($proposer:expr, $names:expr, $cb:ident) => {
+        match ($proposer, $names) {
+            ("N1", ["N1"]) => $cb!(N1; N1),
+            ("N2", ["N2"]) => $cb!(N2; N2),
+            ("N3", ["N3"]) => $cb!(N3; N3),
+            ("N4", ["N4"]) => $cb!(N4; N4),
+            ("N1", ["N1", "N2"]) => $cb!(N1; N1, N2),
+            ("N2", ["N1", "N2"]) => $cb!(N2; N1, N2),
+            ("N1", ["N1", "N3"]) => $cb!(N1; N1, N3),
+            ("N3", ["N1", "N3"]) => $cb!(N3; N1, N3),
+            ("N1", ["N1", "N4"]) => $cb!(N1; N1, N4),
+            ("N4", ["N1", "N4"]) => $cb!(N4; N1, N4),
+            ("N2", ["N2", "N3"]) => $cb!(N2; N2, N3),
+            ("N3", ["N2", "N3"]) => $cb!(N3; N2, N3),
+            ("N2", ["N2", "N4"]) => $cb!(N2; N2, N4),
+            ("N4", ["N2", "N4"]) => $cb!(N4; N2, N4),
+            ("N3", ["N3", "N4"]) => $cb!(N3; N3, N4),
+            ("N4", ["N3", "N4"]) => $cb!(N4; N3, N4),
+            ("N1", ["N1", "N2", "N3"]) => $cb!(N1; N1, N2, N3),
+            ("N2", ["N1", "N2", "N3"]) => $cb!(N2; N1, N2, N3),
+            ("N3", ["N1", "N2", "N3"]) => $cb!(N3; N1, N2, N3),
+            ("N1", ["N1", "N2", "N4"]) => $cb!(N1; N1, N2, N4),
+            ("N2", ["N1", "N2", "N4"]) => $cb!(N2; N1, N2, N4),
+            ("N4", ["N1", "N2", "N4"]) => $cb!(N4; N1, N2, N4),
+            ("N1", ["N1", "N3", "N4"]) => $cb!(N1; N1, N3, N4),
+            ("N3", ["N1", "N3", "N4"]) => $cb!(N3; N1, N3, N4),
+            ("N4", ["N1", "N3", "N4"]) => $cb!(N4; N1, N3, N4),
+            ("N2", ["N2", "N3", "N4"]) => $cb!(N2; N2, N3, N4),
+            ("N3", ["N2", "N3", "N4"]) => $cb!(N3; N2, N3, N4),
+            ("N4", ["N2", "N3", "N4"]) => $cb!(N4; N2, N3, N4),
+            ("N1", ["N1", "N2", "N3", "N4"]) => $cb!(N1; N1, N2, N3, N4),
+            ("N2", ["N1", "N2", "N3", "N4"]) => $cb!(N2; N1, N2, N3, N4),
+            ("N3", ["N1", "N2", "N3", "N4"]) => $cb!(N3; N1, N2, N3, N4),
+            ("N4", ["N1", "N2", "N3", "N4"]) => $cb!(N4; N1, N2, N3, N4),
+            (proposer, census) => {
+                panic!("proposer {proposer:?} not dispatchable in census {census:?}")
+            }
+        }
+    };
+}
+
+/// Binds a runtime ordered `(donor, recipient)` pair to its types and
+/// invokes `$cb!(Donor, Recipient)`.
+macro_rules! dispatch_pair {
+    ($donor:expr, $recipient:expr, $cb:ident) => {
+        match ($donor, $recipient) {
+            ("N1", "N2") => $cb!(N1, N2),
+            ("N1", "N3") => $cb!(N1, N3),
+            ("N1", "N4") => $cb!(N1, N4),
+            ("N2", "N1") => $cb!(N2, N1),
+            ("N2", "N3") => $cb!(N2, N3),
+            ("N2", "N4") => $cb!(N2, N4),
+            ("N3", "N1") => $cb!(N3, N1),
+            ("N3", "N2") => $cb!(N3, N2),
+            ("N3", "N4") => $cb!(N3, N4),
+            ("N4", "N1") => $cb!(N4, N1),
+            ("N4", "N2") => $cb!(N4, N2),
+            ("N4", "N3") => $cb!(N4, N3),
+            pair => panic!("transfer pair {pair:?} outside the candidate universe"),
+        }
+    };
+}
+
+/// One planned state transfer of a reconfiguration: `recipient` gains
+/// the range `[start, end)` of `shard`, sourced from every live current
+/// replica (the union of donors covers every write-quorum-committed
+/// entry).
+#[derive(Debug, Clone)]
+pub struct Transfer {
+    /// Target shard id under the successor config.
+    pub shard: ShardId,
+    /// Range lower bound (inclusive).
+    pub start: u64,
+    /// Range upper bound (exclusive; `u64::MAX` is inclusive-top).
+    pub end: u64,
+    /// The member gaining the replica.
+    pub recipient: String,
+    /// Live current replicas to pull from.
+    pub donors: Vec<String>,
+}
+
+/// What the final, frozen step of a live handoff cost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FreezeWindow {
+    /// Frames delivered on the sim fabric during the window
+    /// (deterministic per seed).
+    pub frames: u64,
+    /// Wall-clock span of the window (informational).
+    pub wall: std::time::Duration,
+}
+
+/// The simulated cluster.
+pub struct SimCluster {
+    net: SimNet<Universe>,
+    nodes: BTreeMap<&'static str, NodeCtx>,
+    client_config: ClusterConfig,
+    next_version: u64,
+    next_session: u64,
+    chunk: usize,
+    /// The per-key consistency checker fed by [`SimCluster::put`] /
+    /// [`SimCluster::get`].
+    pub model: ConsistencyModel,
+    last_freeze_window: Option<FreezeWindow>,
+}
+
+impl SimCluster {
+    /// Boots a cluster over `plan` with the given initial census (a
+    /// subset of [`NODE_NAMES`]) and shard count.
+    pub fn new(plan: FaultPlan, census: &[&str], shards: u32) -> Self {
+        let net = SimNet::<Universe>::new(plan);
+        let nodes: BTreeMap<&'static str, NodeCtx> =
+            NODE_NAMES.iter().map(|n| (*n, NodeCtx::new(n))).collect();
+        let config = ClusterConfig::bootstrap(census, shards);
+        for member in &config.census {
+            nodes[member.as_str()].install_config(&config);
+        }
+        Self {
+            net,
+            nodes,
+            client_config: config,
+            next_version: 0,
+            next_session: 0,
+            chunk: 16,
+            model: ConsistencyModel::new(),
+            last_freeze_window: None,
+        }
+    }
+
+    /// The underlying net (for schedule dumps and virtual time).
+    pub fn net(&self) -> &SimNet<Universe> {
+        &self.net
+    }
+
+    /// A node's state handle.
+    pub fn node(&self, name: &str) -> &NodeCtx {
+        &self.nodes[name]
+    }
+
+    /// The client's cached config view.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.client_config
+    }
+
+    /// Cost of the last freeze window (final deltas + config commit):
+    /// frames delivered on the sim fabric while writes to the moving
+    /// range were frozen, plus the wall-clock span. Frames are
+    /// deterministic per seed; wall time is informational.
+    pub fn last_freeze_window(&self) -> Option<FreezeWindow> {
+        self.last_freeze_window.clone()
+    }
+
+    /// Sets the transfer chunk size (entries per frame).
+    pub fn set_chunk(&mut self, chunk: usize) {
+        self.chunk = chunk.max(1);
+    }
+
+    /// Overrides the client's cached config view — test hook for
+    /// forcing stale-epoch stamps.
+    pub fn set_config_for_test(&mut self, config: ClusterConfig) {
+        self.client_config = config;
+    }
+
+    fn next_version(&mut self) -> u64 {
+        self.next_version += 1;
+        self.next_version
+    }
+
+    fn next_session_id(&mut self) -> u64 {
+        self.next_session += 1;
+        self.next_session
+    }
+
+    /// Re-reads the config from the freshest live node, modeling config
+    /// discovery (a client that got a stale-epoch rejection asks the
+    /// cluster for the current config before retrying).
+    pub fn refresh_config(&mut self) {
+        let freshest = self
+            .nodes
+            .values()
+            .filter(|n| n.is_up())
+            .filter_map(|n| n.config())
+            .max_by_key(|c| c.epoch);
+        if let Some(config) = freshest {
+            if config.epoch > self.client_config.epoch {
+                self.client_config = config;
+            }
+        }
+    }
+
+    /// One data-plane round against the client's current census view.
+    /// Returns the stamped version alongside the outcome so callers can
+    /// feed the consistency model.
+    pub fn raw_op(&mut self, op: KvsOp) -> (u64, Result<OpOutcome, KvsError>) {
+        let version = self.next_version();
+        let request = StampedRequest { epoch: self.client_config.epoch, version, op };
+        let sid = self.next_session_id();
+        let census = self.client_config.census.clone();
+        let names: Vec<&str> = census.iter().map(|s| s.as_str()).collect();
+
+        macro_rules! run_op {
+            ($($role:ident),+) => {{
+                type M = chorus_core::LocationSet!($($role),+);
+                let mut handles = Vec::new();
+                $(
+                    {
+                        let net = self.net.clone();
+                        let ctx = self.nodes[<$role>::NAME].clone();
+                        handles.push(std::thread::spawn(move || {
+                            let endpoint = Endpoint::new(SimTransport::new($role, net));
+                            let session = endpoint.session_with_id(sid);
+                            let _ = session.epp_and_run(ClusterOp::<M, _, _> {
+                                request: session.remote(Client),
+                                nodes: session.local_faceted(ctx),
+                                config: session.remote(Client),
+                                phantom: PhantomData,
+                            });
+                        }));
+                    }
+                )+
+                let net = self.net.clone();
+                let request = request.clone();
+                let config = self.client_config.clone();
+                let client = std::thread::spawn(move || {
+                    let endpoint = Endpoint::new(SimTransport::new(Client, net));
+                    let session = endpoint.session_with_id(sid);
+                    let out = session.epp_and_run(ClusterOp::<M, _, _> {
+                        request: session.local(request),
+                        nodes: session.remote_faceted(<M>::new()),
+                        config: session.local(config),
+                        phantom: PhantomData,
+                    });
+                    session.unwrap(out)
+                });
+                for handle in handles {
+                    handle.join().expect("node endpoint panicked");
+                }
+                client.join().expect("client endpoint panicked")
+            }};
+        }
+        let result = dispatch_members!(names.as_slice(), run_op);
+        (version, result)
+    }
+
+    /// A client `Put` with stale-epoch refresh-and-retry, feeding the
+    /// consistency model. Returns the committed version or the last
+    /// typed error.
+    pub fn put(&mut self, key: &str, value: &str) -> Result<u64, KvsError> {
+        let mut last = None;
+        for _attempt in 0..3 {
+            let (version, result) =
+                self.raw_op(KvsOp::Put { key: key.to_string(), value: value.to_string() });
+            match result {
+                Ok(OpOutcome::Put { version }) => {
+                    self.model.put_committed(key, version, value);
+                    return Ok(version);
+                }
+                Ok(other) => panic!("put answered with {other:?}"),
+                Err(err) => {
+                    self.model.put_failed(key, version, value);
+                    let retry = matches!(err, KvsError::StaleEpoch { .. });
+                    last = Some(err);
+                    if retry {
+                        self.refresh_config();
+                        continue;
+                    }
+                    break;
+                }
+            }
+        }
+        Err(last.expect("at least one attempt ran"))
+    }
+
+    /// A client `Get` with stale-epoch refresh-and-retry, checked
+    /// against the consistency model.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a model violation (a lost committed write, stale or
+    /// fabricated value) — the chaos matrix turns this into a failing
+    /// seed with a dumped schedule.
+    pub fn get(&mut self, key: &str) -> Result<Option<Versioned>, KvsError> {
+        let mut last = None;
+        for _attempt in 0..3 {
+            let (_, result) = self.raw_op(KvsOp::Get { key: key.to_string() });
+            match result {
+                Ok(OpOutcome::Get { found }) => {
+                    if let Err(violation) = self.model.get_ok(key, &found) {
+                        panic!("consistency violation: {violation}");
+                    }
+                    return Ok(found);
+                }
+                Ok(other) => panic!("get answered with {other:?}"),
+                Err(err) => {
+                    self.model.get_failed(key);
+                    let retry = matches!(err, KvsError::StaleEpoch { .. });
+                    last = Some(err);
+                    if retry {
+                        self.refresh_config();
+                        continue;
+                    }
+                    break;
+                }
+            }
+        }
+        Err(last.expect("at least one attempt ran"))
+    }
+
+    /// One two-party shard pull session.
+    fn pull(
+        &mut self,
+        donor: &str,
+        recipient: &str,
+        shard: ShardId,
+        range: (u64, u64),
+        mode: PullMode,
+    ) -> PullReport {
+        let sid = self.next_session_id();
+        let chunk = self.chunk;
+        macro_rules! run_pull {
+            ($d:ident, $r:ident) => {{
+                let mut handles = Vec::new();
+                for ctx in [self.nodes[<$d>::NAME].clone(), self.nodes[<$r>::NAME].clone()] {
+                    let net = self.net.clone();
+                    let donor_side = ctx.name() == <$d>::NAME;
+                    handles.push(std::thread::spawn(move || {
+                        let report = if donor_side {
+                            let endpoint = Endpoint::new(SimTransport::new($d, net));
+                            let session = endpoint.session_with_id(sid);
+                            session.epp_and_run(ShardPull::<'_, $d, $r> {
+                                shard,
+                                range,
+                                mode,
+                                chunk,
+                                ctx: &ctx,
+                                phantom: PhantomData,
+                            })
+                        } else {
+                            let endpoint = Endpoint::new(SimTransport::new($r, net));
+                            let session = endpoint.session_with_id(sid);
+                            session.epp_and_run(ShardPull::<'_, $d, $r> {
+                                shard,
+                                range,
+                                mode,
+                                chunk,
+                                ctx: &ctx,
+                                phantom: PhantomData,
+                            })
+                        };
+                        report
+                    }));
+                }
+                let reports: Vec<PullReport> = handles
+                    .into_iter()
+                    .map(|h| h.join().expect("pull endpoint panicked"))
+                    .collect();
+                assert_eq!(reports[0], reports[1], "pull sides agree on the report");
+                reports.into_iter().next().unwrap()
+            }};
+        }
+        dispatch_pair!(donor, recipient, run_pull)
+    }
+
+    /// One config-agreement round over `census` (must be sorted) with
+    /// the given proposer; every member validates, installs on commit.
+    /// Returns each member's outcome.
+    fn install_round(
+        &mut self,
+        proposer: &str,
+        census: &[String],
+        proposed: &ClusterConfig,
+    ) -> BTreeMap<&'static str, Result<ClusterConfig, Misbehavior>> {
+        let sid = self.next_session_id();
+        let quorum = census.len() / 2 + 1;
+        let names: Vec<&str> = census.iter().map(|s| s.as_str()).collect();
+        macro_rules! run_install {
+            ($p:ident; $($role:ident),+) => {{
+                type M = chorus_core::LocationSet!($($role),+);
+                let mut handles = Vec::new();
+                $(
+                    {
+                        let net = self.net.clone();
+                        let ctx = self.nodes[<$role>::NAME].clone();
+                        let proposed = proposed.clone();
+                        handles.push(std::thread::spawn(move || {
+                            let endpoint = Endpoint::new(SimTransport::new($role, net));
+                            let session = endpoint.session_with_id(sid);
+                            let out = session.epp_and_run(InstallConfig::<'_, $p, M, _, _, _> {
+                                proposed,
+                                quorum,
+                                ctx: &ctx,
+                                phantom: PhantomData,
+                            });
+                            (<$role>::NAME, session.unwrap_faceted(out))
+                        }));
+                    }
+                )+
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("config-round endpoint panicked"))
+                    .collect::<BTreeMap<_, _>>()
+            }};
+        }
+        dispatch_round!(proposer, names.as_slice(), run_install)
+    }
+
+    /// Plans the state transfers of the transition `current → next`:
+    /// every `(shard, member)` gaining a replica pulls the range from
+    /// all live current replicas.
+    pub fn plan_transfers(&self, next: &ClusterConfig) -> Vec<Transfer> {
+        let current = &self.client_config;
+        current
+            .gained_replicas(next)
+            .into_iter()
+            .map(|(shard, recipient)| {
+                let (start, end) =
+                    next.shard_range(shard).expect("gained shard exists in the successor");
+                let donors = current
+                    .shard_at(start)
+                    .replicas
+                    .iter()
+                    .filter(|r| **r != recipient && self.nodes[r.as_str()].is_up())
+                    .cloned()
+                    .collect();
+                Transfer { shard, start, end, recipient, donors }
+            })
+            .collect()
+    }
+
+    /// Phase 1 of a live handoff: snapshot pulls with dirty-key
+    /// tracking armed at the donors. Writes keep flowing; the driver is
+    /// free to interleave [`SimCluster::put`]/[`SimCluster::get`]
+    /// between calls. Returns entries shipped.
+    pub fn precopy(&mut self, transfer: &Transfer) -> u64 {
+        let mut shipped = 0;
+        for donor in transfer.donors.clone() {
+            shipped += self
+                .pull(
+                    &donor,
+                    &transfer.recipient.clone(),
+                    transfer.shard,
+                    (transfer.start, transfer.end),
+                    PullMode::Snapshot { track: true },
+                )
+                .entries;
+        }
+        shipped
+    }
+
+    /// Phase 2: freeze windows + final deltas + the config-commit
+    /// round. Returns whether the new epoch committed; on abort, every
+    /// donor lifts its freeze. The freeze window (virtual time) is
+    /// recorded for the bench.
+    pub fn finalize(&mut self, next: &ClusterConfig, transfers: &[Transfer]) -> bool {
+        let frames_start = self.net.messages_received();
+        let wall_start = std::time::Instant::now();
+        for transfer in transfers.iter().cloned() {
+            for donor in &transfer.donors {
+                self.pull(
+                    donor,
+                    &transfer.recipient,
+                    transfer.shard,
+                    (transfer.start, transfer.end),
+                    PullMode::FreezeDelta,
+                );
+            }
+        }
+        let round_census = round_census(&self.client_config, next);
+        let proposer = round_census
+            .iter()
+            .find(|m| self.nodes[m.as_str()].is_up())
+            .cloned()
+            .expect("a live member must exist to propose");
+        let outcomes = self.install_round(&proposer, &round_census, next);
+        let committed =
+            outcomes.iter().any(|(name, outcome)| self.nodes[*name].is_up() && outcome.is_ok());
+        self.last_freeze_window = Some(FreezeWindow {
+            frames: self.net.messages_received() - frames_start,
+            wall: wall_start.elapsed(),
+        });
+        if committed {
+            self.client_config = next.clone();
+        } else {
+            for transfer in transfers {
+                for donor in &transfer.donors {
+                    self.nodes[donor.as_str()].abort_handoff(transfer.shard);
+                }
+            }
+        }
+        committed
+    }
+
+    /// A full reconfiguration, both phases back-to-back (no interleaved
+    /// workload; use [`SimCluster::plan_transfers`] /
+    /// [`SimCluster::precopy`] / [`SimCluster::finalize`] to interleave).
+    pub fn reconfigure(&mut self, next: &ClusterConfig) -> bool {
+        let transfers = self.plan_transfers(next);
+        for transfer in &transfers {
+            self.precopy(transfer);
+        }
+        self.finalize(next, &transfers)
+    }
+
+    /// Grows the census: pre-copies the joiner's shards, commits the
+    /// next epoch.
+    pub fn join(&mut self, member: &str) -> bool {
+        self.refresh_config();
+        let next = self.client_config.with_join(member);
+        self.reconfigure(&next)
+    }
+
+    /// Shrinks the census: re-replicates the leaver's shards onto the
+    /// survivors, commits the next epoch (the leaver participates in the
+    /// round if it is still up).
+    pub fn leave(&mut self, member: &str) -> bool {
+        self.refresh_config();
+        let next = self.client_config.with_leave(member);
+        self.reconfigure(&next)
+    }
+
+    /// Splits a shard's range at its midpoint, transferring the upper
+    /// half to its (possibly new) replica set.
+    pub fn split_shard(&mut self, shard: ShardId) -> bool {
+        self.refresh_config();
+        let next = self.client_config.with_split(shard);
+        self.reconfigure(&next)
+    }
+
+    /// Migrates a shard onto an explicit replica set.
+    pub fn migrate_shard(&mut self, shard: ShardId, replicas: &[&str]) -> bool {
+        self.refresh_config();
+        let next = self.client_config.with_migrate(shard, replicas);
+        self.reconfigure(&next)
+    }
+
+    /// Fail-stops a node and wipes its store (disk loss).
+    pub fn crash(&mut self, member: &str) {
+        self.nodes[member].crash_and_wipe();
+    }
+
+    /// Rebuilds a crashed replica from the surviving replicas of every
+    /// shard it owns, then brings it back up. The union of survivor
+    /// pulls covers every write-quorum-committed entry (quorum
+    /// intersection: each committed write lives on at least one
+    /// survivor). Returns entries recovered.
+    pub fn recover(&mut self, member: &str) -> u64 {
+        self.refresh_config();
+        let config = self.client_config.clone();
+        let mut recovered = 0;
+        for shard in &config.shards {
+            if !shard.replicas.iter().any(|r| r == member) {
+                continue;
+            }
+            let (start, end) = config.shard_range(shard.id).expect("shard in own config");
+            for donor in &shard.replicas {
+                if donor == member || !self.nodes[donor.as_str()].is_up() {
+                    continue;
+                }
+                recovered += self
+                    .pull(
+                        donor,
+                        member,
+                        shard.id,
+                        (start, end),
+                        PullMode::Snapshot { track: false },
+                    )
+                    .entries;
+            }
+        }
+        let node = &self.nodes[member];
+        node.restart();
+        node.install_config(&config);
+        recovered
+    }
+}
+
+/// The census of a config round: old ∪ new members, sorted — a leaver
+/// still votes on its own departure, a joiner already votes on its
+/// arrival.
+fn round_census(current: &ClusterConfig, next: &ClusterConfig) -> Vec<String> {
+    let mut census: Vec<String> =
+        current.census.iter().chain(next.census.iter()).cloned().collect();
+    census.sort();
+    census.dedup();
+    census
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_cluster_serves_quorum_ops() {
+        let mut cluster = SimCluster::new(FaultPlan::ideal(), &["N1", "N2", "N3"], 4);
+        let version = cluster.put("alpha", "1").expect("put commits");
+        assert!(version > 0);
+        let found = cluster.get("alpha").expect("get succeeds").expect("value present");
+        assert_eq!(found.value, "1");
+        assert_eq!(cluster.get("missing").expect("get succeeds"), None);
+    }
+
+    #[test]
+    fn join_bumps_the_epoch_and_keeps_data() {
+        let mut cluster = SimCluster::new(FaultPlan::ideal(), &["N1", "N2", "N3"], 4);
+        for i in 0..24 {
+            cluster.put(&format!("k{i}"), &format!("v{i}")).expect("put commits");
+        }
+        assert!(cluster.join("N4"), "join commits");
+        assert_eq!(cluster.config().epoch, 2);
+        assert!(cluster.config().census.contains(&"N4".to_string()));
+        for i in 0..24 {
+            let found = cluster.get(&format!("k{i}")).expect("get").expect("survives join");
+            assert_eq!(found.value, format!("v{i}"));
+        }
+    }
+
+    #[test]
+    fn stale_client_gets_a_typed_error_then_recovers() {
+        let mut cluster = SimCluster::new(FaultPlan::ideal(), &["N1", "N2", "N3"], 4);
+        cluster.put("k", "v").expect("put");
+        let next = cluster.config().with_join("N4");
+        let transfers = cluster.plan_transfers(&next);
+        for t in &transfers {
+            cluster.precopy(t);
+        }
+        assert!(cluster.finalize(&next, &transfers));
+        // The client's cached view was refreshed by finalize, so force
+        // a stale stamp to observe the typed rejection.
+        cluster.client_config.epoch -= 1;
+        let (_, result) = cluster.raw_op(KvsOp::Get { key: "k".into() });
+        assert!(
+            matches!(result, Err(KvsError::StaleEpoch { observed: 2 })),
+            "stale stamp must be fenced, got {result:?}"
+        );
+        cluster.refresh_config();
+        assert_eq!(cluster.get("k").expect("get").expect("value").value, "v");
+    }
+
+    #[test]
+    fn crash_then_recover_rebuilds_the_replica() {
+        let mut cluster = SimCluster::new(FaultPlan::ideal(), &["N1", "N2", "N3"], 4);
+        for i in 0..16 {
+            cluster.put(&format!("k{i}"), "v").expect("put");
+        }
+        cluster.crash("N2");
+        assert_eq!(cluster.node("N2").entry_count(), 0);
+        // The cluster keeps serving on the survivors.
+        for i in 0..16 {
+            assert!(cluster.get(&format!("k{i}")).expect("get").is_some());
+        }
+        let recovered = cluster.recover("N2");
+        assert!(recovered > 0, "recovery pulled entries");
+        assert!(cluster.node("N2").entry_count() > 0);
+        for i in 0..16 {
+            assert!(cluster.get(&format!("k{i}")).expect("get").is_some());
+        }
+    }
+}

@@ -1,0 +1,338 @@
+//! The versioned cluster model: census, shard map, and replica
+//! assignment, all derived deterministically so every member that
+//! commits the same [`ClusterConfig`] routes identically.
+//!
+//! * **Key → shard** is a range map over the FNV-1a hash of the key:
+//!   shards own half-open, sorted ranges of the `u64` hash space, so a
+//!   [`SplitShard`](crate::cluster::SimCluster::split_shard) only moves
+//!   keys of the affected shard (minimal disruption).
+//! * **Shard → replicas** is rendezvous hashing over `(member, shard
+//!   id)`: a census change only reassigns the shards whose top-scoring
+//!   members actually changed, never a full reshuffle.
+//! * **Epoch fencing**: every config carries a monotonically increasing
+//!   `epoch`; data-plane requests are stamped with the client's epoch
+//!   and rejected as stale whenever it disagrees with the replica's.
+
+use serde::{Deserialize, Serialize};
+
+/// FNV-1a, the repo's standing content-hash primitive (also used by
+/// `SharedStore::content_hash`); deterministic across processes and
+/// platforms, which is what makes routing agreement possible without
+/// communication.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        hash ^= u64::from(*b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Stable shard identity. Ranges move on splits; ids never do.
+pub type ShardId = u32;
+
+/// One shard: a half-open range `[start, next shard's start)` of the
+/// hashed key space, owned by an ordered replica set.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Shard {
+    /// Stable identity, unique within a config lineage.
+    pub id: ShardId,
+    /// Inclusive lower bound of the owned hash range. The upper bound
+    /// is the next shard's `start` (the last shard owns through
+    /// `u64::MAX`).
+    pub start: u64,
+    /// Members replicating this shard, sorted by name.
+    pub replicas: Vec<String>,
+}
+
+/// The versioned cluster configuration every member agrees on.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Monotonically increasing fencing token; bumped by every
+    /// committed reconfiguration.
+    pub epoch: u64,
+    /// The member census, sorted by name.
+    pub census: Vec<String>,
+    /// The shard map, sorted by `start`, covering the whole hash space.
+    pub shards: Vec<Shard>,
+    /// Allocator for stable shard ids across splits.
+    pub next_shard_id: ShardId,
+}
+
+impl ClusterConfig {
+    /// Replication factor: 3-way where the census allows, never more
+    /// members than exist.
+    pub fn replication_factor(&self) -> usize {
+        self.census.len().min(3)
+    }
+
+    /// Write quorum: a majority of the replica set.
+    pub fn write_quorum(&self) -> usize {
+        self.replication_factor() / 2 + 1
+    }
+
+    /// Read quorum: also a majority, so every read quorum intersects
+    /// every write quorum (`R + W > RF`).
+    pub fn read_quorum(&self) -> usize {
+        self.replication_factor() / 2 + 1
+    }
+
+    /// A fresh epoch-1 config over `census` with `n_shards` evenly
+    /// spaced shards.
+    pub fn bootstrap(census: &[&str], n_shards: u32) -> Self {
+        assert!(n_shards > 0, "a cluster needs at least one shard");
+        let mut names: Vec<String> = census.iter().map(|s| s.to_string()).collect();
+        names.sort();
+        names.dedup();
+        let stride = u64::MAX / u64::from(n_shards);
+        let shards = (0..n_shards)
+            .map(|i| Shard { id: i, start: u64::from(i) * stride, replicas: Vec::new() })
+            .collect();
+        let mut config = Self { epoch: 1, census: names, shards, next_shard_id: n_shards };
+        config.assign_replicas();
+        config
+    }
+
+    /// Rendezvous score of `member` for `shard`: highest-random-weight
+    /// hashing keeps assignments stable under census churn.
+    fn score(member: &str, shard: ShardId) -> u64 {
+        let mut bytes = Vec::with_capacity(member.len() + 5);
+        bytes.extend_from_slice(member.as_bytes());
+        bytes.push(0);
+        bytes.extend_from_slice(&shard.to_le_bytes());
+        fnv1a(&bytes)
+    }
+
+    /// Recomputes every shard's replica set from the current census by
+    /// rendezvous hashing: the `RF` members with the highest
+    /// `score(member, shard.id)` win, ties broken by name.
+    pub fn assign_replicas(&mut self) {
+        let rf = self.replication_factor();
+        for shard in &mut self.shards {
+            let mut scored: Vec<(u64, &String)> =
+                self.census.iter().map(|m| (Self::score(m, shard.id), m)).collect();
+            scored.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.cmp(b.1)));
+            let mut replicas: Vec<String> =
+                scored.into_iter().take(rf).map(|(_, m)| m.clone()).collect();
+            replicas.sort();
+            shard.replicas = replicas;
+        }
+    }
+
+    /// The shard owning `key`. Total: every hash lands in exactly one
+    /// range.
+    pub fn shard_of(&self, key: &str) -> &Shard {
+        let hash = fnv1a(key.as_bytes());
+        self.shard_at(hash)
+    }
+
+    /// The shard owning a raw hash value.
+    pub fn shard_at(&self, hash: u64) -> &Shard {
+        let idx = match self.shards.binary_search_by(|s| s.start.cmp(&hash)) {
+            Ok(i) => i,
+            Err(0) => 0,
+            Err(i) => i - 1,
+        };
+        &self.shards[idx]
+    }
+
+    /// The half-open hash range `[start, end)` of the shard with `id`
+    /// (`end == u64::MAX` means "through the top, inclusive").
+    pub fn shard_range(&self, id: ShardId) -> Option<(u64, u64)> {
+        let idx = self.shards.iter().position(|s| s.id == id)?;
+        let end = self.shards.get(idx + 1).map(|s| s.start).unwrap_or(u64::MAX);
+        Some((self.shards[idx].start, end))
+    }
+
+    /// Whether `member` replicates the shard owning `hash`.
+    pub fn is_replica(&self, member: &str, hash: u64) -> bool {
+        self.shard_at(hash).replicas.iter().any(|r| r == member)
+    }
+
+    /// The successor config for a member joining: census grows, epoch
+    /// bumps, replicas reassign by rendezvous.
+    pub fn with_join(&self, member: &str) -> Self {
+        let mut next = self.clone();
+        next.epoch += 1;
+        if !next.census.iter().any(|m| m == member) {
+            next.census.push(member.to_string());
+            next.census.sort();
+        }
+        next.assign_replicas();
+        next
+    }
+
+    /// The successor config for a member leaving: census shrinks, epoch
+    /// bumps, replicas reassign.
+    pub fn with_leave(&self, member: &str) -> Self {
+        let mut next = self.clone();
+        next.epoch += 1;
+        next.census.retain(|m| m != member);
+        assert!(!next.census.is_empty(), "cannot remove the last member");
+        next.assign_replicas();
+        next
+    }
+
+    /// The successor config splitting shard `id` at the midpoint of its
+    /// range: the old shard keeps the lower half, a fresh id owns the
+    /// upper half. Every other shard is untouched.
+    pub fn with_split(&self, id: ShardId) -> Self {
+        let mut next = self.clone();
+        next.epoch += 1;
+        let (start, end) = self.shard_range(id).expect("split of an unknown shard");
+        let mid = start + (end - start) / 2;
+        assert!(mid > start, "shard range too narrow to split");
+        let new_id = next.next_shard_id;
+        next.next_shard_id += 1;
+        let idx = next.shards.iter().position(|s| s.id == id).unwrap();
+        let mut scored: Vec<(u64, &String)> =
+            next.census.iter().map(|m| (Self::score(m, new_id), m)).collect();
+        scored.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.cmp(b.1)));
+        let mut replicas: Vec<String> =
+            scored.into_iter().take(next.replication_factor()).map(|(_, m)| m.clone()).collect();
+        replicas.sort();
+        next.shards.insert(idx + 1, Shard { id: new_id, start: mid, replicas });
+        next
+    }
+
+    /// The successor config migrating shard `id` onto an explicit
+    /// replica set (sorted, deduplicated; must be census members).
+    pub fn with_migrate(&self, id: ShardId, replicas: &[&str]) -> Self {
+        let mut next = self.clone();
+        next.epoch += 1;
+        let shard = next.shards.iter_mut().find(|s| s.id == id).expect("unknown shard");
+        let mut set: Vec<String> = replicas.iter().map(|r| r.to_string()).collect();
+        set.sort();
+        set.dedup();
+        assert!(!set.is_empty(), "a shard needs at least one replica");
+        for r in &set {
+            assert!(next.census.iter().any(|m| m == r), "replica {r} not in census");
+        }
+        shard.replicas = set;
+        next
+    }
+
+    /// The set of `(shard id, member)` pairs that gain a replica going
+    /// from `self` to `next` — exactly the state transfers a
+    /// reconfiguration must perform before committing `next`.
+    pub fn gained_replicas(&self, next: &Self) -> Vec<(ShardId, String)> {
+        let mut gains = Vec::new();
+        for shard in &next.shards {
+            let old: &[String] = self
+                .shards
+                .iter()
+                .find(|s| s.id == shard.id)
+                .map(|s| s.replicas.as_slice())
+                // A split's fresh shard: its keys previously lived in
+                // the parent shard, so "old" is the parent's replicas.
+                .unwrap_or_else(|| {
+                    let (start, _) = next.shard_range(shard.id).unwrap();
+                    self.shard_at(start).replicas.as_slice()
+                });
+            for member in &shard.replicas {
+                if !old.contains(member) {
+                    gains.push((shard.id, member.clone()));
+                }
+            }
+        }
+        gains
+    }
+
+    /// A donor for `(shard, recipient)` transfers under the transition
+    /// `self → next`: a current replica that is alive, preferring ones
+    /// that remain replicas afterwards.
+    pub fn donor_for(
+        &self,
+        next: &Self,
+        shard: ShardId,
+        recipient: &str,
+        alive: &[String],
+    ) -> Option<String> {
+        let (start, _) = next.shard_range(shard).or_else(|| self.shard_range(shard))?;
+        let current = self.shard_at(start);
+        let survivors: Vec<&String> = current
+            .replicas
+            .iter()
+            .filter(|r| r.as_str() != recipient && alive.contains(r))
+            .collect();
+        survivors
+            .iter()
+            .find(|r| next.shards.iter().any(|s| s.id == shard && s.replicas.contains(r)))
+            .or(survivors.first())
+            .map(|r| (*r).clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bootstrap_covers_the_hash_space() {
+        let config = ClusterConfig::bootstrap(&["N1", "N2", "N3"], 8);
+        assert_eq!(config.epoch, 1);
+        assert_eq!(config.shards.len(), 8);
+        assert_eq!(config.shards[0].start, 0);
+        for shard in &config.shards {
+            assert_eq!(shard.replicas.len(), 3);
+        }
+        // Every key routes somewhere.
+        for key in ["", "a", "hello", "key-123"] {
+            let shard = config.shard_of(key);
+            assert!(shard.replicas.len() == 3);
+        }
+    }
+
+    #[test]
+    fn join_changes_only_rendezvous_winners() {
+        let before = ClusterConfig::bootstrap(&["N1", "N2", "N3"], 8);
+        let after = before.with_join("N4");
+        assert_eq!(after.epoch, 2);
+        assert_eq!(after.census, vec!["N1", "N2", "N3", "N4"]);
+        // Shard ranges are untouched by a join.
+        for (b, a) in before.shards.iter().zip(after.shards.iter()) {
+            assert_eq!((b.id, b.start), (a.id, a.start));
+        }
+        // The only gains are N4 displacing a loser somewhere.
+        for (_, member) in before.gained_replicas(&after) {
+            assert_eq!(member, "N4");
+        }
+    }
+
+    #[test]
+    fn split_moves_only_the_affected_range() {
+        let before = ClusterConfig::bootstrap(&["N1", "N2", "N3"], 4);
+        let victim = before.shards[1].id;
+        let after = before.with_split(victim);
+        assert_eq!(after.shards.len(), 5);
+        let (old_start, old_end) = before.shard_range(victim).unwrap();
+        let (new_start, new_end) = after.shard_range(victim).unwrap();
+        assert_eq!(old_start, new_start);
+        assert!(new_end < old_end);
+        // Keys outside the split range route exactly as before.
+        for i in 0..512u64 {
+            let key = format!("key-{i}");
+            let hash = fnv1a(key.as_bytes());
+            if !(old_start..old_end).contains(&hash) {
+                assert_eq!(before.shard_at(hash).id, after.shard_at(hash).id);
+            }
+        }
+    }
+
+    #[test]
+    fn donor_prefers_surviving_replicas() {
+        let before = ClusterConfig::bootstrap(&["N1", "N2", "N3", "N4"], 4);
+        let shard = before.shards[0].clone();
+        let recipient = before.census.iter().find(|m| !shard.replicas.contains(m)).cloned();
+        if let Some(recipient) = recipient {
+            let next = before.with_migrate(
+                shard.id,
+                &[recipient.as_str(), shard.replicas[0].as_str(), shard.replicas[1].as_str()],
+            );
+            let donor = before
+                .donor_for(&next, shard.id, &recipient, &before.census)
+                .expect("a live donor exists");
+            assert!(shard.replicas.contains(&donor));
+        }
+    }
+}

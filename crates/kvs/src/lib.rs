@@ -1,0 +1,45 @@
+//! `chorus_kvs`: a sharded, replicated key-value store subsystem with a
+//! *dynamic census* — members join and leave, shards split and migrate
+//! live, and crashed replicas recover — built from the repo's
+//! census-polymorphic choreography core.
+//!
+//! The subsystem has four layers:
+//!
+//! * [`config`] — the cluster model: a versioned [`ClusterConfig`]
+//!   (epoch, range-sharded key space, rendezvous-hashed replica sets)
+//!   and the pure successor functions (`with_join`, `with_leave`,
+//!   `with_split`, `with_migrate`).
+//! * [`data_plane`] — [`ClusterOp`], the census-polymorphic `Get`/`Put`
+//!   round: epoch-stamped requests, quorum replication, stale-epoch
+//!   fencing, every failure typed ([`KvsError`]) — never a hang, never
+//!   a silently wrong read.
+//! * [`reconfig`] — the control plane: [`InstallConfig`] (config
+//!   agreement over `chorus_patterns::ProposeAck`) and [`ShardPull`]
+//!   (chunked live handoff: tracked snapshot while writes flow, then a
+//!   freeze window only for the final delta).
+//! * [`cluster`] — the scenario harness: [`SimCluster`] drives a whole
+//!   simulated cluster over one `SimTransport` net, bridging *runtime*
+//!   census data to the *type-level* location sets via dispatch macros,
+//!   with an in-driver per-key [`ConsistencyModel`].
+//!
+//! [`ClusterConfig`]: config::ClusterConfig
+//! [`ClusterOp`]: data_plane::ClusterOp
+//! [`KvsError`]: data_plane::KvsError
+//! [`InstallConfig`]: reconfig::InstallConfig
+//! [`ShardPull`]: reconfig::ShardPull
+//! [`SimCluster`]: cluster::SimCluster
+//! [`ConsistencyModel`]: model::ConsistencyModel
+
+pub mod cluster;
+pub mod config;
+pub mod data_plane;
+pub mod model;
+pub mod node;
+pub mod reconfig;
+
+pub use cluster::{FreezeWindow, SimCluster, Transfer, Universe, N1, N2, N3, N4, NODE_NAMES};
+pub use config::{fnv1a, ClusterConfig, Shard, ShardId};
+pub use data_plane::{ClusterOp, KvsError, OpOutcome};
+pub use model::ConsistencyModel;
+pub use node::{KvsOp, NodeCtx, NodeReply, StampedRequest, Versioned};
+pub use reconfig::{InstallConfig, PullMode, PullReport, ShardPull};

@@ -1,0 +1,155 @@
+//! Property tests pinning the routing layer: key→shard assignment is
+//! total and deterministic, replica assignment is stable, and
+//! reconfiguration moves only what it must (minimal disruption).
+
+use chorus_kvs::config::{fnv1a, ClusterConfig};
+use proptest::prelude::*;
+
+const CANDIDATES: [&str; 4] = ["N1", "N2", "N3", "N4"];
+
+/// A nonempty subset of the candidates, picked by bitmask (the shim has
+/// no `sample::subsequence`).
+fn arb_census() -> impl Strategy<Value = Vec<&'static str>> {
+    (1u8..16).prop_map(|mask| {
+        CANDIDATES
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, n)| *n)
+            .collect()
+    })
+}
+
+fn arb_config() -> impl Strategy<Value = ClusterConfig> {
+    (arb_census(), 1u32..=8).prop_map(|(census, shards)| ClusterConfig::bootstrap(&census, shards))
+}
+
+proptest! {
+    /// Every key routes to exactly one shard, and that shard's range
+    /// contains the key's hash — the assignment is total.
+    #[test]
+    fn routing_is_total(config in arb_config(), key in ".{0,40}") {
+        let hash = fnv1a(key.as_bytes());
+        let shard = config.shard_of(&key);
+        let (start, end) = config.shard_range(shard.id).expect("own shard has a range");
+        prop_assert!(start <= hash);
+        prop_assert!(hash < end || (end == u64::MAX && hash == u64::MAX));
+        // No other shard claims the same hash.
+        let owners = config
+            .shards
+            .iter()
+            .filter(|s| {
+                let (lo, hi) = config.shard_range(s.id).unwrap();
+                lo <= hash && (hash < hi || (hi == u64::MAX && hash == u64::MAX))
+            })
+            .count();
+        prop_assert_eq!(owners, 1);
+    }
+
+    /// Routing depends only on the config value: rebuilding the same
+    /// config from scratch (as another process would) routes every key
+    /// identically, and replica sets come out identical too.
+    #[test]
+    fn routing_is_deterministic_across_processes(
+        census in arb_census(),
+        shards in 1u32..=8,
+        keys in proptest::collection::vec(".{0,24}", 1..24),
+    ) {
+        let a = ClusterConfig::bootstrap(&census, shards);
+        let b = ClusterConfig::bootstrap(&census, shards);
+        prop_assert_eq!(&a, &b);
+        for key in &keys {
+            prop_assert_eq!(a.shard_of(key).id, b.shard_of(key).id);
+            prop_assert_eq!(&a.shard_of(key).replicas, &b.shard_of(key).replicas);
+        }
+    }
+
+    /// Replica sets always have exactly `replication_factor` distinct
+    /// census members.
+    #[test]
+    fn replica_sets_are_well_formed(config in arb_config()) {
+        for shard in &config.shards {
+            prop_assert_eq!(shard.replicas.len(), config.replication_factor());
+            let mut dedup = shard.replicas.clone();
+            dedup.sort();
+            dedup.dedup();
+            prop_assert_eq!(dedup.len(), shard.replicas.len());
+            for replica in &shard.replicas {
+                prop_assert!(config.census.contains(replica));
+            }
+        }
+    }
+
+    /// A split moves only keys in the split shard's upper half: every
+    /// key previously routed to any *other* shard keeps its shard id
+    /// and replica set.
+    #[test]
+    fn split_disrupts_only_the_split_shard(
+        config in arb_config(),
+        pick in 0usize..8,
+        keys in proptest::collection::vec(".{0,24}", 1..32),
+    ) {
+        let target = config.shards[pick % config.shards.len()].id;
+        let next = config.with_split(target);
+        prop_assert_eq!(next.epoch, config.epoch + 1);
+        for key in &keys {
+            let before = config.shard_of(key);
+            let after = next.shard_of(key);
+            if before.id != target {
+                prop_assert_eq!(after.id, before.id);
+                prop_assert_eq!(&after.replicas, &before.replicas);
+            } else {
+                // Split-shard keys stay on the parent (lower half) or
+                // move to the one fresh shard (upper half).
+                prop_assert!(after.id == target || after.id == config.next_shard_id);
+            }
+        }
+    }
+
+    /// A migrate changes only the migrated shard's replica set; every
+    /// shard keeps its key range.
+    #[test]
+    fn migrate_disrupts_only_the_migrated_shard(
+        config in arb_config(),
+        pick in 0usize..8,
+        keys in proptest::collection::vec(".{0,24}", 1..32),
+    ) {
+        let target = config.shards[pick % config.shards.len()].id;
+        let replicas: Vec<&str> = config.census.iter().map(|s| s.as_str()).take(config.replication_factor()).collect();
+        let next = config.with_migrate(target, &replicas);
+        for key in &keys {
+            let before = config.shard_of(key);
+            let after = next.shard_of(key);
+            prop_assert_eq!(after.id, before.id, "migrate never re-routes keys");
+            if before.id != target {
+                prop_assert_eq!(&after.replicas, &before.replicas);
+            }
+        }
+    }
+
+    /// A join only *adds* replica responsibility where the joiner wins
+    /// rendezvous; a surviving member never gains or loses a shard it
+    /// already held unless the joiner displaced the lowest scorer.
+    #[test]
+    fn join_moves_at_most_one_replica_per_shard(
+        mask in 1u8..8,
+        shards in 1u32..=8,
+    ) {
+        let candidates = ["N1", "N2", "N3"];
+        let census: Vec<&str> = candidates
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, n)| *n)
+            .collect();
+        let config = ClusterConfig::bootstrap(&census, shards);
+        let next = config.with_join("N4");
+        for shard in &config.shards {
+            let after = &next.shards.iter().find(|s| s.id == shard.id).unwrap().replicas;
+            let lost: Vec<_> = shard.replicas.iter().filter(|r| !after.contains(r)).collect();
+            let gained: Vec<_> = after.iter().filter(|r| !shard.replicas.contains(r)).collect();
+            prop_assert!(lost.len() <= 1, "at most the displaced lowest scorer leaves");
+            prop_assert!(gained.iter().all(|g| g.as_str() == "N4"), "only the joiner gains");
+        }
+    }
+}

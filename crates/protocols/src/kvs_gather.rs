@@ -8,14 +8,13 @@
 //! server commits its own write only if every backup reported success.
 
 use crate::roles::{Client, Primary};
+use crate::store::{KeyValueStore, MapStore};
 use chorus_core::{
     ChoreoOp, Choreography, ChoreographyLocation, Faceted, HCons, Located, LocationSet,
     LocationSetFoldable, Member, MultiplyLocated, Quire, Subset,
 };
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 use std::marker::PhantomData;
-use std::sync::Arc;
 
 /// A request (Fig. 10: `Put(key, value) | Get(key)`).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -30,18 +29,19 @@ pub enum Request {
 /// backups lost synchronization.
 pub type Response = i32;
 
-/// One participant's store.
-pub type Store = Arc<parking_lot::Mutex<BTreeMap<String, i32>>>;
+/// One participant's store: the shared [`MapStore`] abstraction from
+/// [`crate::store`], specialized to the listing's `i32` values.
+pub type Store = MapStore<i32>;
 
 /// Fig. 10's `handle_put`: returns `0` for success.
 pub fn handle_put(store: &Store, key: &str, value: i32) -> Response {
-    store.lock().insert(key.to_string(), value);
+    store.put(key, value);
     0
 }
 
 /// Fig. 10's `handle_get`.
 pub fn handle_get(store: &Store, key: &str) -> Response {
-    store.lock().get(key).copied().unwrap_or(-1)
+    store.get(key).unwrap_or(-1)
 }
 
 /// The servers' census: `HCons<Server, Backups>` in the paper's notation.
@@ -191,6 +191,7 @@ mod tests {
     use super::*;
     use crate::roles::{Backup1, Backup2};
     use chorus_core::Runner;
+    use std::collections::BTreeMap;
 
     type Backups = chorus_core::LocationSet!(Backup1, Backup2);
     type Census = KvsCensus<Backups>;
@@ -228,9 +229,9 @@ mod tests {
     fn put_propagates_to_server_and_backups() {
         let s = setup();
         assert_eq!(run(&s, Request::Put("x".into(), 5)), 0);
-        assert_eq!(s.server.lock()["x"], 5);
-        assert_eq!(s.backups["Backup1"].lock()["x"], 5);
-        assert_eq!(s.backups["Backup2"].lock()["x"], 5);
+        assert_eq!(s.server.get("x"), Some(5));
+        assert_eq!(s.backups["Backup1"].get("x"), Some(5));
+        assert_eq!(s.backups["Backup2"].get("x"), Some(5));
     }
 
     #[test]

@@ -1,85 +1,67 @@
-//! The paper's Fig. 2 case study as a running cluster: a client, a
-//! primary, and two backups over TCP, with fault injection to trigger
-//! the hash-check + resynch path — all without the client ever hearing
-//! about it.
+//! The sharded, replicated KVS with a dynamic census, end to end: a
+//! three-node cluster bootstraps, serves a quorum-replicated workload,
+//! grows to four nodes (`Join`), loses a replica to a crash, keeps
+//! serving on quorums, and rebuilds the replica from the survivors
+//! (`RecoverReplica`) — every reconfiguration a new fenced config
+//! epoch, every client operation checked against a per-key consistency
+//! model.
 //!
 //! Run with: `cargo run --example kvs_cluster`
 
-use chorus_repro::core::{ChoreographyLocation as _, Endpoint, LocationSet as _};
-use chorus_repro::protocols::kvs_backup::{KvsCensus, ReplicatedKvs, Servers};
-use chorus_repro::protocols::roles::{Backup1, Backup2, Client, Primary};
-use chorus_repro::protocols::store::{Request, SharedStore};
-use chorus_repro::transport::{free_local_addrs, TcpConfigBuilder, TcpTransport};
-use std::marker::PhantomData;
-
-type Backups = chorus_repro::core::LocationSet!(Backup1, Backup2);
-type Census = KvsCensus<Backups>;
+use chorus_repro::kvs::cluster::SimCluster;
+use chorus_repro::transport::FaultPlan;
 
 fn main() {
-    let addrs = free_local_addrs(4).expect("reserve loopback ports");
-    let config = TcpConfigBuilder::new()
-        .location(Client, addrs[0])
-        .location(Primary, addrs[1])
-        .location(Backup1, addrs[2])
-        .location(Backup2, addrs[3])
-        .build::<Census>()
-        .expect("complete address book");
+    let mut cluster = SimCluster::new(FaultPlan::ideal(), &["N1", "N2", "N3"], 4);
+    println!(
+        "booted: census={:?}, {} shards, RF={}, W=R={}",
+        cluster.config().census,
+        cluster.config().shards.len(),
+        cluster.config().replication_factor(),
+        cluster.config().write_quorum(),
+    );
 
-    // Each "process": bind a TCP endpoint, project the choreography to
-    // itself, run. Backup1's store is armed to corrupt its next write,
-    // which the servers will detect and repair after responding.
-    let mut handles = Vec::new();
-
-    macro_rules! server {
-        ($loc:expr, $ty:ty, $corrupt:expr) => {{
-            let cfg = config.clone();
-            handles.push(std::thread::spawn(move || {
-                let endpoint = Endpoint::builder(<$ty>::new())
-                    .transport(TcpTransport::bind(<$ty>::new(), cfg).expect("bind"))
-                    .build();
-                let session = endpoint.session();
-                let store = SharedStore::new();
-                if $corrupt {
-                    store.corrupt_next_put();
-                }
-                let outcome = session.epp_and_run(ReplicatedKvs::<Backups, _, _, _> {
-                    request: session.remote(Client),
-                    states: session.local_faceted(store.clone()),
-                    phantom: PhantomData,
-                });
-                let resynched = session.unwrap(outcome.resynched);
-                println!(
-                    "[{}] done; resynched={resynched}; store={:?}",
-                    <$ty>::NAME,
-                    store.snapshot()
-                );
-                resynched
-            }));
-        }};
+    // A quorum-replicated workload.
+    for i in 0..32 {
+        cluster.put(&format!("key-{i}"), &format!("v{i}")).expect("put commits");
     }
+    println!("wrote 32 keys across {} shards (epoch 1)", cluster.config().shards.len());
 
-    server!(Primary, Primary, false);
-    server!(Backup1, Backup1, true); // fault injection
-    server!(Backup2, Backup2, false);
+    // Grow the census: N4 joins, pre-copies its rendezvous-won shards
+    // live, and a new fenced epoch commits.
+    assert!(cluster.join("N4"), "join commits");
+    println!(
+        "N4 joined: epoch {} committed, census={:?}",
+        cluster.config().epoch,
+        cluster.config().census
+    );
+    for i in 0..32 {
+        let found = cluster.get(&format!("key-{i}")).expect("get").expect("present");
+        assert_eq!(found.value, format!("v{i}"));
+    }
+    println!("all 32 keys survived the join");
 
-    let cfg = config;
-    let client = std::thread::spawn(move || {
-        let endpoint = Endpoint::builder(Client)
-            .transport(TcpTransport::bind(Client, cfg).expect("bind client"))
-            .build();
-        let session = endpoint.session();
-        let outcome = session.epp_and_run(ReplicatedKvs::<Backups, _, _, _> {
-            request: session.local(Request::Put("paper".into(), "pldi-2025".into())),
-            states: session.remote_faceted(<Servers<Backups>>::new()),
-            phantom: PhantomData,
-        });
-        let response = session.unwrap(outcome.response);
-        println!("[Client]  response: {response:?} (client knows nothing of the resynch)");
-    });
+    // Crash a replica (fail-stop + disk loss): quorums keep serving.
+    cluster.crash("N2");
+    let mut served = 0;
+    for i in 0..32 {
+        if cluster.get(&format!("key-{i}")).expect("quorum get").is_some() {
+            served += 1;
+        }
+    }
+    println!("N2 crashed (store wiped); quorum reads still served {served}/32 keys");
 
-    client.join().unwrap();
-    let resynched: Vec<bool> =
-        handles.into_iter().map(|h| h.join().expect("server thread")).collect();
-    assert!(resynched.iter().all(|r| *r), "all servers should agree the resynch happened");
-    println!("the corrupted replica was repaired behind the client's back.");
+    // Rebuild it from the surviving replicas of every shard it owns.
+    let recovered = cluster.recover("N2");
+    println!("N2 recovered: {recovered} entries pulled from survivors, node back up");
+
+    for i in 0..32 {
+        cluster.put(&format!("key-{i}"), &format!("v{i}-post")).expect("put commits");
+        let found = cluster.get(&format!("key-{i}")).expect("get").expect("present");
+        assert_eq!(found.value, format!("v{i}-post"));
+    }
+    println!(
+        "post-recovery workload clean; consistency model checked {} operations",
+        cluster.model.checked()
+    );
 }

@@ -12,6 +12,8 @@
 //! * [`patterns`] — Byzantine-robust building blocks (broadcast-gather,
 //!   commit-reveal verification, propose-and-acknowledge).
 //! * [`protocols`] — the paper's case studies.
+//! * [`kvs`] — the sharded, replicated KVS with dynamic census
+//!   (join/leave, live resharding, replica recovery).
 //! * [`baseline`] — the HasChor-style broadcast-KoC baseline.
 //!
 //! See `README.md` for a guided tour, `DESIGN.md` for the system
@@ -19,6 +21,7 @@
 
 pub use chorus_baseline as baseline;
 pub use chorus_core as core;
+pub use chorus_kvs as kvs;
 pub use chorus_lambda as lambda;
 pub use chorus_mpc as mpc;
 pub use chorus_patterns as patterns;

@@ -118,6 +118,7 @@ fn gmw_three_parties_over_tcp() {
 #[test]
 fn kvs_gather_choreography_over_channels() {
     use chorus_repro::protocols::kvs_gather::{Kvs, KvsCensus, Request, Store};
+    use chorus_repro::protocols::store::KeyValueStore as _;
 
     type GatherCensus = KvsCensus<Backups>;
     let channel = LocalTransportChannel::<GatherCensus>::new();
@@ -136,8 +137,7 @@ fn kvs_gather_choreography_over_channels() {
                     server_store: &session.remote(Primary),
                     phantom: PhantomData,
                 });
-                let value = store.lock().get("x").copied();
-                value
+                store.get("x")
             }));
         }};
     }
@@ -156,8 +156,7 @@ fn kvs_gather_choreography_over_channels() {
             server_store: &session.local(store.clone()),
             phantom: PhantomData,
         });
-        let value = store.lock().get("x").copied();
-        value
+        store.get("x")
     });
 
     let endpoint = Endpoint::new(LocalTransport::new(Client, channel));
