@@ -759,6 +759,105 @@ fn bench_kvs_cluster(quick: bool) -> KvsClusterResult {
     }
 }
 
+/// The resilient-link price tag and recovery figure for the
+/// `tcp_resilience` section: steady-state round-trip cost over real
+/// loopback sockets with the ack/retention path on vs the plain wire,
+/// plus throughput while every established connection is repeatedly
+/// hard-killed mid-stream (the reconnect storm).
+struct TcpResilienceResult {
+    plain_ns: u128,
+    plain_iters: u64,
+    resilient_ns: u128,
+    resilient_iters: u64,
+    storm_msgs: u64,
+    storm_msgs_per_sec: f64,
+    storm_kills: u64,
+    storm_reconnects: u64,
+}
+
+impl TcpResilienceResult {
+    /// Steady-state ack-path overhead (1.0 = free). The roadmap pins
+    /// this at ≤ 1.2×.
+    fn ratio(&self) -> f64 {
+        self.resilient_ns as f64 / self.plain_ns.max(1) as f64
+    }
+}
+
+/// One bidirectional round trip per iteration over real loopback
+/// sockets, with the resilient link layer on or off.
+fn tcp_round_trip_ns(quick: bool, resilient: bool) -> (u128, u64) {
+    use chorus_core::Transport as _;
+    chorus_core::locations! { RA, RB }
+    type Duo = chorus_core::LocationSet!(RA, RB);
+
+    let addrs = chorus_transport::free_local_addrs(2).expect("loopback addrs");
+    let config = chorus_transport::TcpConfigBuilder::new()
+        .location(RA, addrs[0])
+        .location(RB, addrs[1])
+        .resilience(resilient)
+        .build::<Duo>()
+        .expect("complete census");
+    let a = chorus_transport::TcpTransport::bind(RA, config.clone()).expect("bind RA");
+    let b = chorus_transport::TcpTransport::bind(RB, config).expect("bind RB");
+    let payload = [0xC3u8; 64];
+    measure(quick, || {
+        a.send("RB", &payload).expect("send");
+        black_box(b.receive("RA").expect("receive"));
+        b.send("RA", &payload).expect("send");
+        black_box(a.receive("RB").expect("receive"));
+    })
+}
+
+fn bench_tcp_resilience(quick: bool) -> TcpResilienceResult {
+    use chorus_core::Transport as _;
+    chorus_core::locations! { SA, SB }
+    type Duo = chorus_core::LocationSet!(SA, SB);
+
+    let (plain_ns, plain_iters) = tcp_round_trip_ns(quick, false);
+    let (resilient_ns, resilient_iters) = tcp_round_trip_ns(quick, true);
+
+    // The reconnect storm: a one-way stream with every established
+    // connection hard-killed at a fixed cadence; throughput includes
+    // the reconnect + replay stalls, and every message must still
+    // arrive in order.
+    let (storm_msgs, kill_every) = if quick { (400u64, 40u64) } else { (4000, 50) };
+    let addrs = chorus_transport::free_local_addrs(2).expect("loopback addrs");
+    let config = chorus_transport::TcpConfigBuilder::new()
+        .location(SA, addrs[0])
+        .location(SB, addrs[1])
+        .heartbeat(Duration::from_millis(50))
+        .retry_base(Duration::from_millis(2))
+        .build::<Duo>()
+        .expect("complete census");
+    let a = chorus_transport::TcpTransport::bind(SA, config.clone()).expect("bind SA");
+    let b = chorus_transport::TcpTransport::bind(SB, config).expect("bind SB");
+    let payload = [0x5Au8; 64];
+    let mut kills = 0u64;
+    let start = Instant::now();
+    for i in 0..storm_msgs {
+        if i > 0 && i % kill_every == 0 {
+            kills += a.break_established_links() as u64;
+        }
+        a.send("SB", &payload).expect("storm send");
+    }
+    for _ in 0..storm_msgs {
+        black_box(b.receive("SA").expect("storm receive"));
+    }
+    let elapsed = start.elapsed().as_secs_f64().max(f64::EPSILON);
+    let reconnects = a.link_stats().reconnects;
+
+    TcpResilienceResult {
+        plain_ns,
+        plain_iters,
+        resilient_ns,
+        resilient_iters,
+        storm_msgs,
+        storm_msgs_per_sec: storm_msgs as f64 / elapsed,
+        storm_kills: kills,
+        storm_reconnects: reconnects,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -788,6 +887,10 @@ fn main() {
     // The sharded-KVS live-reshard figures: the data path must not pay
     // a stop-the-world for a shard split.
     let kvs_cluster = bench_kvs_cluster(quick);
+
+    // The resilient-TCP price tag: ack/retention overhead on a real
+    // socket round trip, and throughput through a reconnect storm.
+    let tcp_resilience = bench_tcp_resilience(quick);
 
     // The pooled-runtime concurrency scenarios: N sessions to
     // completion on a fixed pool, against the thread-per-role blocking
@@ -848,6 +951,21 @@ fn main() {
         kvs_cluster.freeze_frames,
         kvs_cluster.freeze_wall_ms,
     ));
+    json.push_str(&format!(
+        "  \"tcp_resilience\": {{\"plain_round_trip_ns\": {}, \"plain_iters\": {}, \
+         \"resilient_round_trip_ns\": {}, \"resilient_iters\": {}, \
+         \"resilient_over_plain_ratio\": {:.3}, \"storm_msgs\": {}, \
+         \"storm_msgs_per_sec\": {:.1}, \"storm_kills\": {}, \"storm_reconnects\": {}}},\n",
+        tcp_resilience.plain_ns,
+        tcp_resilience.plain_iters,
+        tcp_resilience.resilient_ns,
+        tcp_resilience.resilient_iters,
+        tcp_resilience.ratio(),
+        tcp_resilience.storm_msgs,
+        tcp_resilience.storm_msgs_per_sec,
+        tcp_resilience.storm_kills,
+        tcp_resilience.storm_reconnects,
+    ));
     json.push_str("  \"concurrency\": [\n");
     for (i, c) in concurrency.iter().enumerate() {
         json.push_str(&format!(
@@ -903,6 +1021,19 @@ fn main() {
         kvs_cluster.slowdown(),
         kvs_cluster.freeze_frames,
         kvs_cluster.freeze_wall_ms,
+    );
+    println!(
+        "{:<48} plain {} ns/iter (n = {})  resilient {} ns/iter (n = {})  ratio {:.2}x  \
+         storm {:.0} msgs/s ({} kills, {} reconnects)",
+        "tcp_resilience/round_trip_and_storm",
+        tcp_resilience.plain_ns,
+        tcp_resilience.plain_iters,
+        tcp_resilience.resilient_ns,
+        tcp_resilience.resilient_iters,
+        tcp_resilience.ratio(),
+        tcp_resilience.storm_msgs_per_sec,
+        tcp_resilience.storm_kills,
+        tcp_resilience.storm_reconnects,
     );
     for c in &concurrency {
         println!(

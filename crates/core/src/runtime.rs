@@ -639,6 +639,11 @@ impl SessionRuntime {
         };
         let mut complete = Some(complete);
         let mut parked_edge: Option<&'static str> = None;
+        // When this program first parked on the edge it is still waiting
+        // on, so a stall error can report how long the session actually
+        // waited (the slab's own park stamp is cleared before each poll).
+        let mut parked_since: Option<Instant> = None;
+        let watchdog = self.shared.watchdog;
 
         // Packages the one-shot completion as a deferred thunk; the
         // worker runs it after reclaiming the task's slab slot.
@@ -679,11 +684,15 @@ impl SessionRuntime {
                     // grace attempt — resolve with the stall error.
                     if entry.timed_out.load(Ordering::Acquire) {
                         let edge = parked_edge.or(waiting).unwrap_or("<unknown>");
+                        let waited = parked_since.map_or(watchdog, |since| since.elapsed());
                         return PollOutcome::Done(deferred(
                             &mut complete,
                             Err(TransportError::Protocol(format!(
                                 "pooled runtime watchdog: session {id} stalled waiting on \
-                                 {edge} (no frame arrived within the deadline)"
+                                 {edge}: no frame arrived in {}ms (configured deadline \
+                                 {}ms)",
+                                waited.as_millis(),
+                                watchdog.as_millis()
                             ))),
                         ));
                     }
@@ -699,10 +708,19 @@ impl SessionRuntime {
                             ))),
                         ));
                     };
+                    if parked_edge != Some(edge) {
+                        parked_since = None;
+                    }
                     parked_edge = Some(edge);
                     match cxops_register(&mut ops, edge, &entry.waker) {
-                        Ok(true) => PollOutcome::Ready,
-                        Ok(false) => PollOutcome::Parked(edge),
+                        Ok(true) => {
+                            parked_since = None;
+                            PollOutcome::Ready
+                        }
+                        Ok(false) => {
+                            parked_since.get_or_insert_with(Instant::now);
+                            PollOutcome::Parked(edge)
+                        }
                         Err(e) => PollOutcome::Done(deferred(&mut complete, Err(e))),
                     }
                 }

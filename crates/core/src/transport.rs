@@ -28,6 +28,20 @@ pub enum TransportError {
     /// A peer violated the session protocol (e.g. a frame arrived out of
     /// sequence within one session).
     Protocol(String),
+    /// A resilient link exhausted its reconnect budget and gave up.
+    ///
+    /// Unlike [`TransportError::ConnectionClosed`] — one connection
+    /// ended — this means the link *supervisor* tried to re-establish
+    /// the connection `attempts` times over `elapsed` and the peer never
+    /// came back. Sessions see this instead of hanging on a dead edge.
+    LinkDown {
+        /// The failing edge, as `"sender->receiver"` location names.
+        edge: String,
+        /// Wall-clock time spent retrying before giving up.
+        elapsed: std::time::Duration,
+        /// Number of connection attempts made.
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for TransportError {
@@ -42,6 +56,11 @@ impl fmt::Display for TransportError {
             TransportError::Io(e) => write!(f, "transport I/O error: {e}"),
             TransportError::Codec(e) => write!(f, "payload codec error: {e}"),
             TransportError::Protocol(msg) => write!(f, "session protocol violation: {msg}"),
+            TransportError::LinkDown { edge, elapsed, attempts } => write!(
+                f,
+                "link {edge} is down: gave up after {attempts} connection attempts over {}ms",
+                elapsed.as_millis()
+            ),
         }
     }
 }
@@ -388,6 +407,19 @@ mod tests {
         // A fresh run reusing the session id restarts at zero.
         tracker.check(1, "Alpha", 0).unwrap();
         tracker.check(1, "Alpha", 1).unwrap();
+    }
+
+    #[test]
+    fn link_down_display_names_edge_budget_and_elapsed() {
+        let err = TransportError::LinkDown {
+            edge: "Alpha->Beta".into(),
+            elapsed: std::time::Duration::from_millis(1500),
+            attempts: 60,
+        };
+        let text = err.to_string();
+        assert!(text.contains("Alpha->Beta"), "got: {text}");
+        assert!(text.contains("60 connection attempts"), "got: {text}");
+        assert!(text.contains("1500ms"), "got: {text}");
     }
 
     #[test]

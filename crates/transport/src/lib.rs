@@ -10,7 +10,14 @@
 //!   concurrent sessions.
 //! * [`TcpTransport`] — length-prefixed envelope frames over TCP
 //!   sockets, for multi-process execution on one or more hosts, with
-//!   per-(session, sender) demultiplexing.
+//!   per-(session, sender) demultiplexing and a resilient link layer
+//!   (retention + cumulative acks + replay, heartbeat supervision,
+//!   jittered reconnect backoff with a bounded budget) so connections
+//!   can die and return without sessions observing more than latency.
+//! * [`FaultyTcp`] — a seeded in-process fault injector for *real*
+//!   sockets: a per-edge proxy that kills established connections,
+//!   delays accepts, and blackholes one direction on a reproducible
+//!   schedule, powering the tcp-chaos suite.
 //! * [`SimTransport`] — a deterministic discrete-event simulation of a
 //!   hostile network (seeded latency, drops, duplication, reordering,
 //!   partitions, link poison, adversarial corruption and selective
@@ -26,6 +33,8 @@
 //!   every send and receive.
 
 mod byzantine;
+mod faulty;
+mod link;
 mod local;
 mod metrics;
 mod sim;
@@ -33,6 +42,8 @@ mod tcp;
 mod trace;
 
 pub use byzantine::Equivocator;
+pub use faulty::{FaultyPlan, FaultyTcp};
+pub use link::{LinkTuning, TcpLinkStats};
 pub use local::{LocalTransport, LocalTransportChannel};
 pub use metrics::{EdgeMetrics, MetricsSnapshot, TransportMetrics};
 pub use sim::{

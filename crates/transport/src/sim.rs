@@ -956,7 +956,8 @@ impl<L: LocationSet, Target: ChoreographyLocation> SessionTransport<L, Target>
         let from = self.names.resolve(from)?;
         let to = Target::NAME;
         let wq = self.link(from, to)?;
-        let deadline = Instant::now() + self.net.shared.plan.watchdog;
+        let started = Instant::now();
+        let deadline = started + self.net.shared.plan.watchdog;
         let mut link = wq.lock();
         loop {
             if let Some(env) = link.streams.get_mut(&session).and_then(|s| s.ready.pop_front()) {
@@ -997,9 +998,10 @@ impl<L: LocationSet, Target: ChoreographyLocation> SessionTransport<L, Target>
                 && link.streams.get(&session).is_none_or(|s| s.ready.is_empty())
             {
                 return Err(TransportError::Protocol(format!(
-                    "sim watchdog: no frame of session {session} from {from} after {:?} \
-                     (schedule stalled or sender never sent)",
-                    self.net.shared.plan.watchdog
+                    "sim watchdog: no frame of session {session} from {from} after {}ms \
+                     (configured deadline {}ms; schedule stalled or sender never sent)",
+                    started.elapsed().as_millis(),
+                    self.net.shared.plan.watchdog.as_millis()
                 )));
             }
         }

@@ -1,28 +1,57 @@
-//! TCP transport: length-prefixed envelope frames over sockets.
+//! TCP transport: resilient, length-prefixed link frames over sockets.
 //!
 //! Each endpoint binds a listener at its configured address. Outgoing
-//! links are opened lazily (with retry, so start-up order does not
-//! matter) and begin with a handshake frame carrying the sender's
-//! location name; after that, every frame is a `u32` little-endian
-//! length followed by a [`chorus_wire::Envelope`] (session id, per-edge
-//! sequence number, payload).
+//! links are opened lazily (with jittered, env-tunable backoff — see
+//! [`LinkTuning`]) and begin with a handshake frame carrying the
+//! sender's location name and link mode; after that, every frame is a
+//! `u32` little-endian length followed by a [`chorus_wire::LinkFrame`]:
+//! either a data frame (per-link sequence number + session
+//! [`chorus_wire::Envelope`]) or an ack/heartbeat/resume control frame.
 //!
-//! A reader thread per peer decodes each envelope and routes
-//! it into a per-(session, sender) FIFO mailbox, giving the per-sender
-//! ordering guarantee the λN model assumes *within* each session while
-//! letting sessions interleave freely on the socket.
+//! # The resilient link layer
 //!
-//! The data plane is allocation-lean: sends assemble small frames in a
+//! In the default resilient mode, any TCP connection can die and come
+//! back at any moment without a session observing anything but latency:
+//!
+//! * **Retention + replay.** A send queue retains every encoded frame
+//!   (refcounted, so retention is cheap) until the receiver's
+//!   cumulative ack covers it. On reconnect the receiver answers the
+//!   handshake with a `Resume { next }` cursor and the sender replays
+//!   exactly the unacknowledged tail.
+//! * **Dedup.** The receiver keeps a per-peer link cursor across
+//!   connections: already-delivered frames replayed by a cautious
+//!   sender are dropped before they reach session sequencing, and a
+//!   *forward* cursor gap — bytes genuinely lost — poisons the link
+//!   loudly instead of corrupting a session.
+//! * **Supervision.** A per-endpoint supervisor thread probes idle
+//!   established links with heartbeats (a link silent for 3 heartbeats
+//!   is presumed half-dead and torn down for replay) and re-establishes
+//!   broken links in the background so a parked receiver's frames
+//!   replay even when the application has nothing new to send. Every
+//!   outage has a bounded retry budget, after which the link surfaces a
+//!   typed [`TransportError::LinkDown`] instead of hanging.
+//!
+//! The plain mode (`TcpConfigBuilder::resilience(false)`) is the same
+//! wire format without retention, acks, or supervision — the bench
+//! baseline for measuring the ack path's overhead, and the old
+//! lose-whatever-was-in-flight behavior (now detected loudly by the
+//! receiver's cursor rather than surfacing as a session sequence gap).
+//!
+//! A reader thread per accepted connection decodes each envelope and
+//! routes it into a per-(session, sender) FIFO mailbox, giving the
+//! per-sender ordering guarantee the λN model assumes *within* each
+//! session while letting sessions interleave freely on the socket. The
+//! data plane remains allocation-lean: sends assemble small frames in a
 //! reused per-link buffer (one `write` syscall) and put large payloads
-//! on the wire as a second slice without copying them; reads pull each
-//! frame into a pooled per-peer buffer and slice the payload out into
-//! exactly-sized shared storage (one allocation per message).
+//! on the wire as a second slice without copying them.
 
+pub use crate::link::TcpLinkStats;
+use crate::link::{backoff_delay, FrameAccumulator, LinkStats, LinkTuning, ACK_EVERY};
 use chorus_core::{
-    ChoreographyLocation, InternedNames, LocationSet, MailboxWaker, SequenceTracker, SessionId,
-    SessionTransport, Transport, TransportError, RAW_SESSION,
+    park, ChoreographyLocation, InternedNames, LocationSet, MailboxWaker, SequenceTracker,
+    SessionId, SessionTransport, Transport, TransportError, RAW_SESSION,
 };
-use chorus_wire::{Envelope, ENVELOPE_HEADER_LEN};
+use chorus_wire::{data_header, ControlFrame, Envelope, LinkFrame, DATA_HEADER_LEN};
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::io::{Read, Write};
@@ -30,19 +59,50 @@ use std::marker::PhantomData;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-/// Address book for a TCP system: one socket address per location in `L`.
+/// Unanswered heartbeat probes before an established link is presumed
+/// half-dead and torn down for replay.
+const DEAD_AFTER_PINGS: u32 = 3;
+
+/// Handshake mode byte: a plain (frame-at-a-time) sender.
+const MODE_PLAIN: u8 = 0;
+/// Handshake mode byte: a resilient sender expecting a resume cursor
+/// and sending/consuming acks and heartbeats.
+const MODE_RESILIENT: u8 = 1;
+
+/// Address book for a TCP system: one socket address per location in
+/// `L`, plus the link-layer policy every endpoint of the system shares.
 #[derive(Debug, Clone)]
 pub struct TcpConfig<L: LocationSet> {
     addrs: HashMap<&'static str, SocketAddr>,
+    resilient: bool,
+    retry_limit: Option<u32>,
+    retry_base: Option<Duration>,
+    heartbeat: Option<Duration>,
     system: PhantomData<L>,
 }
 
 /// Builder for [`TcpConfig`].
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct TcpConfigBuilder {
     addrs: HashMap<&'static str, SocketAddr>,
+    resilient: bool,
+    retry_limit: Option<u32>,
+    retry_base: Option<Duration>,
+    heartbeat: Option<Duration>,
+}
+
+impl Default for TcpConfigBuilder {
+    fn default() -> Self {
+        TcpConfigBuilder {
+            addrs: HashMap::new(),
+            resilient: true,
+            retry_limit: None,
+            retry_base: None,
+            heartbeat: None,
+        }
+    }
 }
 
 impl TcpConfigBuilder {
@@ -58,6 +118,37 @@ impl TcpConfigBuilder {
         self
     }
 
+    /// Enables or disables the resilient link layer (default: enabled).
+    ///
+    /// All endpoints of one system must agree: a plain receiver never
+    /// answers a resilient sender's handshake, which the sender treats
+    /// as a failed connection attempt.
+    pub fn resilience(mut self, resilient: bool) -> Self {
+        self.resilient = resilient;
+        self
+    }
+
+    /// Overrides the per-outage connection-attempt budget (otherwise
+    /// `CHORUS_TCP_RETRY_LIMIT`, default 60).
+    pub fn retry_limit(mut self, attempts: u32) -> Self {
+        self.retry_limit = Some(attempts.max(1));
+        self
+    }
+
+    /// Overrides the base reconnect backoff delay (otherwise
+    /// `CHORUS_TCP_RETRY_BASE_MS`, default 5ms).
+    pub fn retry_base(mut self, base: Duration) -> Self {
+        self.retry_base = Some(base);
+        self
+    }
+
+    /// Overrides the heartbeat cadence (otherwise
+    /// `CHORUS_TCP_HEARTBEAT_MS`, default 1s).
+    pub fn heartbeat(mut self, heartbeat: Duration) -> Self {
+        self.heartbeat = Some(heartbeat);
+        self
+    }
+
     /// Finalizes the address book for the system census `L`.
     ///
     /// # Errors
@@ -68,10 +159,35 @@ impl TcpConfigBuilder {
         let missing: Vec<&'static str> =
             L::names().into_iter().filter(|n| !self.addrs.contains_key(n)).collect();
         if missing.is_empty() {
-            Ok(TcpConfig { addrs: self.addrs, system: PhantomData })
+            Ok(TcpConfig {
+                addrs: self.addrs,
+                resilient: self.resilient,
+                retry_limit: self.retry_limit,
+                retry_base: self.retry_base,
+                heartbeat: self.heartbeat,
+                system: PhantomData,
+            })
         } else {
             Err(missing)
         }
+    }
+}
+
+impl<L: LocationSet> TcpConfig<L> {
+    /// The link tuning this config resolves to: builder overrides win,
+    /// then the `CHORUS_TCP_*` environment, then defaults.
+    fn tuning(&self) -> LinkTuning {
+        let mut tuning = LinkTuning::from_env(self.resilient);
+        if let Some(limit) = self.retry_limit {
+            tuning.retry_limit = limit;
+        }
+        if let Some(base) = self.retry_base {
+            tuning.retry_base = base;
+        }
+        if let Some(heartbeat) = self.heartbeat {
+            tuning.heartbeat = heartbeat;
+        }
+        tuning
     }
 }
 
@@ -103,25 +219,32 @@ fn read_frame(stream: &mut TcpStream) -> std::io::Result<Vec<u8>> {
     Ok(payload)
 }
 
+/// Writes one control frame as its own length-prefixed wire frame.
+fn write_control(stream: &mut TcpStream, frame: &ControlFrame) -> std::io::Result<()> {
+    write_frame(stream, &frame.encode())
+}
+
 /// Payloads up to this size are coalesced with their headers into the
 /// reused send buffer and hit the socket as a single `write`; larger
 /// payloads go out as their own slice, uncopied.
 const COALESCE_LIMIT: usize = 16 * 1024;
 
-/// Writes one envelope: `u32` outer length, envelope header, payload —
-/// assembled in `buf` (whose capacity is reused across frames) or, for
-/// large payloads, written as two slices so the payload is never
-/// copied.
-fn write_envelope(
+/// Writes one data frame: `u32` outer length, link-frame data header
+/// (tag + link sequence), envelope header, payload — assembled in `buf`
+/// (whose capacity is reused across frames) or, for large payloads,
+/// written as two slices so the payload is never copied.
+fn write_link_data(
     stream: &mut TcpStream,
     buf: &mut Vec<u8>,
+    link_seq: u64,
     frame: &Envelope,
 ) -> std::io::Result<()> {
-    let inner_len = frame.encoded_len();
+    let inner_len = DATA_HEADER_LEN + frame.encoded_len();
     let outer_len = u32::try_from(inner_len)
         .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidInput, "frame too large"))?;
     buf.clear();
     buf.extend_from_slice(&outer_len.to_le_bytes());
+    buf.extend_from_slice(&data_header(link_seq));
     buf.extend_from_slice(&frame.header());
     if frame.payload.len() <= COALESCE_LIMIT {
         buf.extend_from_slice(&frame.payload);
@@ -133,31 +256,16 @@ fn write_envelope(
     stream.flush()
 }
 
-/// Why reading one envelope off a socket failed.
-enum ReadFrameError {
-    /// The connection ended (peer hung up or I/O error).
-    Disconnected,
-    /// The stream delivered bytes that are not a valid envelope.
-    Malformed(String),
-}
-
-/// Reads one envelope into the pooled `scratch` buffer (capacity reused
-/// across frames) and decodes it, copying only the payload out into
-/// exactly-sized shared storage.
-fn read_envelope(
-    stream: &mut TcpStream,
-    scratch: &mut Vec<u8>,
-) -> Result<Envelope, ReadFrameError> {
-    let mut len_bytes = [0u8; 4];
-    stream.read_exact(&mut len_bytes).map_err(|_| ReadFrameError::Disconnected)?;
-    let len = u32::from_le_bytes(len_bytes) as usize;
-    if len < ENVELOPE_HEADER_LEN {
-        return Err(ReadFrameError::Malformed("frame shorter than an envelope header".into()));
-    }
-    scratch.clear();
-    scratch.resize(len, 0);
-    stream.read_exact(scratch).map_err(|_| ReadFrameError::Disconnected)?;
-    Envelope::decode(scratch).map_err(|e| ReadFrameError::Malformed(e.to_string()))
+/// The link-layer verdict on one incoming data frame.
+enum LinkVerdict {
+    /// Fresh: the cursor advanced and session routing ran.
+    Accepted,
+    /// Already delivered on an earlier connection; dropped.
+    Duplicate,
+    /// The cursor jumped forward: frames were genuinely lost (plain
+    /// mode, or a receiver restart behind a live sender). The link is
+    /// poisoned loudly.
+    Gap,
 }
 
 /// The demultiplexed receive side shared by all reader threads.
@@ -174,6 +282,10 @@ struct InboxInner {
     mailboxes: HashMap<(&'static str, SessionId), VecDeque<Envelope>>,
     /// Per-(session, sender) sequence validation.
     sequences: SequenceTracker,
+    /// Per-sender link cursor: the next link sequence expected,
+    /// persisted across connections (the heart of resumption — a
+    /// reconnecting sender is told exactly where to replay from).
+    cursors: HashMap<&'static str, u64>,
     /// Senders whose connection has ended (with an optional error).
     closed: HashMap<&'static str, Option<String>>,
     /// Readiness wakers parked on empty mailboxes by the pooled session
@@ -184,15 +296,42 @@ struct InboxInner {
 }
 
 impl Inbox {
-    /// Routes one decoded envelope from `sender` into its mailbox.
-    fn deposit(&self, sender: &'static str, envelope: Envelope) {
+    /// Routes one decoded data frame from `sender` through link-level
+    /// dedup/gap detection and then into its session mailbox.
+    fn deposit_link(&self, sender: &'static str, link_seq: u64, envelope: Envelope) -> LinkVerdict {
         let mut inner = self.inner.lock().expect("tcp inbox poisoned");
-        // A sender that violated its sequence is unrecoverable (see
-        // `reopen`): withhold everything it sends afterwards so every
-        // session behind it observes the protocol error instead of a
+        let cursor = inner.cursors.entry(sender).or_insert(0);
+        if link_seq < *cursor {
+            // A replay of something already delivered: the sender
+            // reconnected before our ack covering this frame reached it.
+            return LinkVerdict::Duplicate;
+        }
+        if link_seq > *cursor {
+            // Frames below `link_seq` are gone for good (a plain-mode
+            // sender lost its in-flight tail, or this receiver restarted
+            // and lost its cursor). Poison the link rather than let a
+            // session see a silently shortened stream.
+            let message = format!(
+                "link-layer sequence gap from {sender}: expected frame {cursor}, got {link_seq} \
+                 (frames lost on a dead connection)"
+            );
+            inner.closed.insert(sender, Some(message));
+            let fired = drain_sender_wakers(&mut inner.wakers, sender);
+            self.cv.notify_all();
+            drop(inner);
+            for waker in fired {
+                waker();
+            }
+            return LinkVerdict::Gap;
+        }
+        *cursor += 1;
+        // A sender that violated its session sequencing is unrecoverable
+        // (see `reopen`): consume the frame at the link level (so the
+        // sender's retention queue drains) but withhold it from every
+        // session, which observes the protocol error instead of a
         // silently resumed stream.
         if matches!(inner.closed.get(sender), Some(Some(_))) {
-            return;
+            return LinkVerdict::Accepted;
         }
         let mut fired = None;
         let mut all_fired = Vec::new();
@@ -217,6 +356,14 @@ impl Inbox {
         for waker in all_fired {
             waker();
         }
+        LinkVerdict::Accepted
+    }
+
+    /// The next link sequence expected of `sender` — the cumulative-ack
+    /// and resume cursor.
+    fn link_cursor(&self, sender: &'static str) -> u64 {
+        let mut inner = self.inner.lock().expect("tcp inbox poisoned");
+        *inner.cursors.entry(sender).or_insert(0)
     }
 
     /// Marks `sender`'s connection as ended.
@@ -236,7 +383,7 @@ impl Inbox {
     /// Clears `sender`'s closed state when it establishes a fresh
     /// connection, so a reconnecting peer resumes feeding its mailboxes
     /// instead of being treated as permanently gone. A sequence
-    /// violation is kept: the stream state is unrecoverable.
+    /// violation or link gap is kept: the stream state is unrecoverable.
     fn reopen(&self, sender: &'static str) {
         let mut inner = self.inner.lock().expect("tcp inbox poisoned");
         if matches!(inner.closed.get(sender), Some(None)) {
@@ -286,8 +433,13 @@ impl Inbox {
         Ok(false)
     }
 
-    /// Blocks until a frame of `session` from `sender` arrives.
+    /// Blocks until a frame of `session` from `sender` arrives, bounded
+    /// by the workspace watchdog ([`park::default_watchdog`]) so a dead
+    /// edge resolves with a protocol error naming the wait instead of
+    /// parking the thread forever.
     fn take(&self, session: SessionId, sender: &'static str) -> Result<Envelope, TransportError> {
+        let watchdog = park::default_watchdog();
+        let started = Instant::now();
         let mut inner = self.inner.lock().expect("tcp inbox poisoned");
         loop {
             if let Some(envelope) =
@@ -301,7 +453,18 @@ impl Inbox {
                     None => TransportError::ConnectionClosed { peer: sender.to_string() },
                 });
             }
-            inner = self.cv.wait(inner).expect("tcp inbox poisoned");
+            let waited = started.elapsed();
+            let Some(remaining) = watchdog.checked_sub(waited) else {
+                return Err(TransportError::Protocol(format!(
+                    "tcp receive watchdog: no frame of session {session} from {sender} after \
+                     {}ms (configured deadline {}ms)",
+                    waited.as_millis(),
+                    watchdog.as_millis()
+                )));
+            };
+            let (guard, _timed_out) =
+                self.cv.wait_timeout(inner, remaining).expect("tcp inbox poisoned");
+            inner = guard;
         }
     }
 }
@@ -318,34 +481,436 @@ fn drain_sender_wakers(
     keys.into_iter().filter_map(|key| wakers.remove(&key)).collect()
 }
 
-/// One outgoing link: the lazily-opened stream plus a reused frame
-/// assembly buffer, so steady-state sends allocate nothing.
-#[derive(Default)]
-struct SendLink {
-    stream: Option<TcpStream>,
-    buf: Vec<u8>,
+/// An ongoing connection outage on one link: when it began and how many
+/// attempts the retry budget has consumed.
+struct Outage {
+    since: Instant,
+    attempts: u32,
 }
 
-/// One endpoint of a TCP-connected choreography.
-pub struct TcpTransport<L: LocationSet, Target: ChoreographyLocation> {
-    config: TcpConfig<L>,
-    /// The census, resolved once so per-message destination/sender
-    /// validation works over interned names.
-    names: InternedNames,
+/// One outgoing link: the lazily-opened stream, the retention queue of
+/// unacknowledged frames, and the reconnect bookkeeping.
+struct SendLink {
+    stream: Option<TcpStream>,
+    /// Bumped per connection attempt that reached streaming, so the ack
+    /// reader of a dead connection can tell it has been superseded and
+    /// must not touch the link's fresh state.
+    generation: u64,
+    /// Successfully established connections (for reconnect stats).
+    established: u64,
+    /// Reused frame assembly buffer, so steady-state sends allocate
+    /// nothing.
+    buf: Vec<u8>,
+    /// Next link sequence to assign.
+    next_seq: u64,
+    /// Frames below this are on the wire of the *current* connection.
+    flushed: u64,
+    /// Highest sequence ever written to any connection (replay stats).
+    wire_high: u64,
+    /// Everything the peer has not cumulatively acked, in order.
+    /// Payloads are refcounted `Bytes`, so retention holds handles, not
+    /// copies.
+    unacked: VecDeque<(u64, Envelope)>,
+    /// Frames below this are acknowledged (pruned from `unacked`).
+    acked: u64,
+    /// Last time the peer proved liveness (ack or pong).
+    last_heard: Instant,
+    /// Last heartbeat probe written.
+    last_ping: Instant,
+    /// Probes written since the peer last proved liveness. Deadness is
+    /// judged by unanswered probes, not wall time, so a supervisor
+    /// stalled elsewhere (e.g. a long reconnect on another link) cannot
+    /// misread its own silence as the peer's.
+    pings_unanswered: u32,
+    /// Heartbeat nonce counter.
+    nonce: u64,
+    /// Present while disconnected: the running retry budget.
+    outage: Option<Outage>,
+    /// Terminal: the retry budget was exhausted `(elapsed, attempts)`.
+    down: Option<(Duration, u32)>,
+}
+
+impl SendLink {
+    fn new() -> Self {
+        let now = Instant::now();
+        SendLink {
+            stream: None,
+            generation: 0,
+            established: 0,
+            buf: Vec::new(),
+            next_seq: 0,
+            flushed: 0,
+            wire_high: 0,
+            unacked: VecDeque::new(),
+            acked: 0,
+            last_heard: now,
+            last_ping: now,
+            pings_unanswered: 0,
+            nonce: 0,
+            outage: None,
+            down: None,
+        }
+    }
+}
+
+/// Tears down the link's current connection (if any) and starts the
+/// outage clock if one is not already running.
+fn kill_stream(link: &mut SendLink) {
+    if let Some(stream) = link.stream.take() {
+        let _ = stream.shutdown(std::net::Shutdown::Both);
+    }
+    if link.outage.is_none() {
+        link.outage = Some(Outage { since: Instant::now(), attempts: 0 });
+    }
+}
+
+/// Send-side state shared with the supervisor and ack-reader threads.
+/// Deliberately non-generic (the target's name is interned in `me`).
+struct SendShared {
+    me: &'static str,
+    addrs: HashMap<&'static str, SocketAddr>,
+    tuning: LinkTuning,
+    stats: Arc<LinkStats>,
+    stop: Arc<AtomicBool>,
     /// Per-peer outgoing links. The outer lock is held only to look up
     /// or create an entry; connecting (which retries with backoff) and
     /// writing happen under the per-peer lock, so one slow or dead peer
     /// never stalls sends to the others.
-    outgoing: Mutex<HashMap<&'static str, Arc<Mutex<SendLink>>>>,
+    links: Mutex<HashMap<&'static str, Arc<Mutex<SendLink>>>>,
+}
+
+fn link_down_error(me: &str, to: &str, elapsed: Duration, attempts: u32) -> TransportError {
+    TransportError::LinkDown { edge: format!("{me}->{to}"), elapsed, attempts }
+}
+
+/// FNV-1a of a peer name, as the per-link backoff jitter salt.
+fn jitter_salt(name: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// Writes every retained frame not yet on the current connection.
+///
+/// # Errors
+///
+/// An I/O error leaves the stream in place; the caller decides between
+/// `kill_stream` + re-establish (resilient) and surfacing it.
+fn flush_pending(link: &mut SendLink, stats: &LinkStats) -> std::io::Result<()> {
+    let SendLink { stream, buf, unacked, flushed, wire_high, .. } = link;
+    let Some(stream) = stream.as_mut() else {
+        return Err(std::io::Error::new(std::io::ErrorKind::NotConnected, "link not connected"));
+    };
+    // `unacked` holds contiguous sequences, so the first unflushed frame
+    // is at a computable offset — no scan over the acked-but-unpruned
+    // prefix.
+    let skip = unacked
+        .front()
+        .map_or(0, |(first, _)| usize::try_from(flushed.saturating_sub(*first)).unwrap_or(0));
+    for (seq, envelope) in unacked.iter().skip(skip) {
+        if *seq < *flushed {
+            continue;
+        }
+        if *seq < *wire_high {
+            stats.replayed.fetch_add(1, Ordering::Relaxed);
+        }
+        write_link_data(stream, buf, *seq, envelope)?;
+        *flushed = *seq + 1;
+        *wire_high = (*wire_high).max(*flushed);
+    }
+    Ok(())
+}
+
+/// One connection attempt: connect, handshake, (resilient) adopt the
+/// receiver's resume cursor, replay the unacked tail, and start the ack
+/// reader. On `Err` the caller counts the attempt and backs off.
+fn try_connect_once(
+    shared: &Arc<SendShared>,
+    to: &'static str,
+    handle: &Arc<Mutex<SendLink>>,
+    link: &mut SendLink,
+    addr: SocketAddr,
+) -> std::io::Result<()> {
+    let tuning = shared.tuning;
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(1))?;
+    stream.set_nodelay(true).ok();
+    let mut hello = Vec::with_capacity(1 + shared.me.len());
+    hello.push(if tuning.resilient { MODE_RESILIENT } else { MODE_PLAIN });
+    hello.extend_from_slice(shared.me.as_bytes());
+    write_frame(&mut stream, &hello)?;
+    if !tuning.resilient {
+        link.generation += 1;
+        link.stream = Some(stream);
+        return Ok(());
+    }
+
+    // Wait for the receiver's resume cursor (bounded: a half-dead or
+    // mode-mismatched peer must not hang the connect path).
+    stream.set_read_timeout(Some(tuning.io_tick()))?;
+    let mut acc = FrameAccumulator::default();
+    let deadline = Instant::now() + tuning.handshake_timeout();
+    let resume = loop {
+        if shared.stop.load(Ordering::Relaxed) {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::Interrupted,
+                "transport shutting down",
+            ));
+        }
+        match acc.poll(&mut stream)? {
+            Some(body) => {
+                break LinkFrame::decode(body).map_err(|e| {
+                    std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
+                })?
+            }
+            None if Instant::now() >= deadline => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    "peer sent no resume cursor (plain-mode receiver, or half-open connection)",
+                ))
+            }
+            None => {}
+        }
+    };
+    let LinkFrame::Control(ControlFrame::Resume { next }) = resume else {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "expected a resume cursor after the handshake",
+        ));
+    };
+    if next > link.next_seq {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "peer resume cursor is ahead of everything ever sent",
+        ));
+    }
+    // Adopt the cursor: everything below it arrived, everything from it
+    // on must (re)flow on this connection. A cursor *behind* `acked`
+    // (the receiver lost its state, e.g. a process restart) replays
+    // from what we still retain; the receiver's gap detection will
+    // report the truncation loudly rather than let sessions see a
+    // spliced stream.
+    while link.unacked.front().is_some_and(|(seq, _)| *seq < next) {
+        link.unacked.pop_front();
+    }
+    link.acked = link.acked.max(next);
+    link.flushed = next;
+    link.generation += 1;
+    let generation = link.generation;
+    // The clone shares the socket (and its read timeout) with the
+    // writer half; it becomes the ack reader's handle.
+    let reader_stream = stream.try_clone()?;
+    link.stream = Some(stream);
+    link.last_heard = Instant::now();
+    link.last_ping = Instant::now();
+    link.pings_unanswered = 0;
+    // Replay the unacked tail before anything else touches the link.
+    flush_pending(link, &shared.stats)?;
+    let reader_handle = Arc::clone(handle);
+    let reader_stop = Arc::clone(&shared.stop);
+    std::thread::Builder::new()
+        .name(format!("chorus-tcp-ack-{to}"))
+        .spawn(move || ack_reader(reader_stream, acc, reader_handle, reader_stop, generation))
+        .map_err(|e| std::io::Error::other(format!("spawning ack reader: {e}")))?;
+    Ok(())
+}
+
+/// Establishes `link`'s connection, retrying with jittered exponential
+/// backoff against the outage's bounded budget.
+///
+/// `burst` limits attempts consumed in *this call* (the supervisor
+/// reconnects in short bursts per sweep; the send path stays until the
+/// budget resolves). The budget itself is cumulative across calls via
+/// `link.outage`.
+fn establish(
+    shared: &Arc<SendShared>,
+    to: &'static str,
+    handle: &Arc<Mutex<SendLink>>,
+    link: &mut SendLink,
+    burst: Option<u32>,
+) -> Result<(), TransportError> {
+    if let Some((elapsed, attempts)) = link.down {
+        return Err(link_down_error(shared.me, to, elapsed, attempts));
+    }
+    let addr =
+        *shared.addrs.get(to).ok_or_else(|| TransportError::UnknownLocation(to.to_string()))?;
+    if link.outage.is_none() {
+        link.outage = Some(Outage { since: Instant::now(), attempts: 0 });
+    }
+    let salt = jitter_salt(to);
+    let mut tried_this_call = 0u32;
+    loop {
+        if shared.stop.load(Ordering::Relaxed) {
+            return Err(TransportError::Io(std::io::Error::new(
+                std::io::ErrorKind::Interrupted,
+                "transport shutting down",
+            )));
+        }
+        let (since, attempts) = {
+            let outage = link.outage.as_ref().expect("outage set above");
+            (outage.since, outage.attempts)
+        };
+        if attempts >= shared.tuning.retry_limit {
+            let elapsed = since.elapsed();
+            link.down = Some((elapsed, attempts));
+            shared.stats.links_down.fetch_add(1, Ordering::Relaxed);
+            return Err(link_down_error(shared.me, to, elapsed, attempts));
+        }
+        if burst.is_some_and(|budget| tried_this_call >= budget) {
+            return Err(TransportError::Io(std::io::Error::new(
+                std::io::ErrorKind::WouldBlock,
+                "reconnect pass budget spent; the supervisor retries next sweep",
+            )));
+        }
+        match try_connect_once(shared, to, handle, link, addr) {
+            Ok(()) => {
+                link.outage = None;
+                link.down = None;
+                link.established += 1;
+                if link.established > 1 {
+                    shared.stats.reconnects.fetch_add(1, Ordering::Relaxed);
+                }
+                return Ok(());
+            }
+            Err(_) => {
+                #[cfg(test)]
+                tests::FAILED_CONNECT_ATTEMPTS.fetch_add(1, Ordering::Relaxed);
+                kill_stream(link);
+                let outage = link.outage.as_mut().expect("kill_stream keeps the outage");
+                outage.attempts += 1;
+                tried_this_call += 1;
+                let delay = backoff_delay(shared.tuning.retry_base, outage.attempts, salt);
+                std::thread::sleep(delay);
+            }
+        }
+    }
+}
+
+/// Drains acknowledgements (and heartbeat replies) of one established
+/// connection, pruning the retention queue. Exits when the connection
+/// dies (tearing the link down for the supervisor to rebuild) or when a
+/// newer connection supersedes this generation.
+fn ack_reader(
+    mut stream: TcpStream,
+    mut acc: FrameAccumulator,
+    handle: Arc<Mutex<SendLink>>,
+    stop: Arc<AtomicBool>,
+    generation: u64,
+) {
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            return;
+        }
+        match acc.poll(&mut stream) {
+            Ok(Some(body)) => {
+                let next = match LinkFrame::decode(body) {
+                    Ok(LinkFrame::Control(ControlFrame::Ack { next })) => Some(next),
+                    Ok(LinkFrame::Control(ControlFrame::Pong { next, .. })) => Some(next),
+                    Ok(_) => None,
+                    Err(_) => None,
+                };
+                if let Some(next) = next {
+                    let mut link = handle.lock();
+                    if link.generation != generation {
+                        return;
+                    }
+                    link.acked = link.acked.max(next);
+                    while link.unacked.front().is_some_and(|(seq, _)| *seq < link.acked) {
+                        link.unacked.pop_front();
+                    }
+                    link.last_heard = Instant::now();
+                    link.pings_unanswered = 0;
+                }
+            }
+            Ok(None) => {
+                // Idle tick: cheap staleness check so superseded readers
+                // exit instead of lingering on a parked connection.
+                if handle.lock().generation != generation {
+                    return;
+                }
+            }
+            Err(_) => {
+                let mut link = handle.lock();
+                if link.generation == generation {
+                    kill_stream(&mut link);
+                }
+                return;
+            }
+        }
+    }
+}
+
+/// The per-endpoint link supervisor: heartbeats established links,
+/// tears down half-dead ones, and re-establishes broken links in the
+/// background so retained frames replay even when the application has
+/// nothing new to send.
+fn supervisor_loop(shared: Arc<SendShared>) {
+    let tick = shared.tuning.supervisor_tick();
+    while !shared.stop.load(Ordering::Relaxed) {
+        std::thread::sleep(tick);
+        if shared.stop.load(Ordering::Relaxed) {
+            return;
+        }
+        let links: Vec<(&'static str, Arc<Mutex<SendLink>>)> =
+            shared.links.lock().iter().map(|(to, handle)| (*to, Arc::clone(handle))).collect();
+        for (to, handle) in links {
+            // A contended link is being actively worked (a sender in
+            // `establish`, an ack reader pruning); blocking the whole
+            // sweep on it would starve every other link of heartbeats
+            // and misread their silence as deadness. Skip and revisit.
+            let Some(mut link) = handle.try_lock() else { continue };
+            if link.down.is_some() {
+                continue;
+            }
+            if link.stream.is_some() {
+                if link.pings_unanswered >= DEAD_AFTER_PINGS
+                    && link.last_heard.elapsed() >= shared.tuning.dead_after()
+                {
+                    // Probes went out and nothing came back: presumed
+                    // half-dead (e.g. one direction blackholed). Tear it
+                    // down; replay brings the retained tail back on the
+                    // next connection.
+                    kill_stream(&mut link);
+                } else if link.last_ping.elapsed() >= shared.tuning.heartbeat {
+                    link.nonce += 1;
+                    let ping = ControlFrame::Ping { nonce: link.nonce };
+                    let SendLink { stream, .. } = &mut *link;
+                    if write_control(stream.as_mut().expect("checked above"), &ping).is_ok() {
+                        link.last_ping = Instant::now();
+                        link.pings_unanswered += 1;
+                        shared.stats.heartbeats.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        kill_stream(&mut link);
+                    }
+                }
+            } else if !link.unacked.is_empty() {
+                // A receiver is owed frames we still retain: reconnect in
+                // short bursts (the cumulative budget lives in the
+                // outage) without monopolizing the sweep.
+                let _ = establish(&shared, to, &handle, &mut link, Some(2));
+            }
+        }
+    }
+}
+
+/// One endpoint of a TCP-connected choreography.
+pub struct TcpTransport<L: LocationSet, Target: ChoreographyLocation> {
+    /// The census, resolved once so per-message destination/sender
+    /// validation works over interned names.
+    names: InternedNames,
+    send: Arc<SendShared>,
     inbox: Arc<Inbox>,
     /// Sequence counters for the raw (sessionless) compatibility path.
     raw_seqs: Mutex<HashMap<&'static str, u64>>,
     stop: Arc<AtomicBool>,
-    target: PhantomData<Target>,
+    system: PhantomData<(L, Target)>,
 }
 
 impl<L: LocationSet, Target: ChoreographyLocation> TcpTransport<L, Target> {
-    /// Binds `target`'s listener and starts its acceptor thread.
+    /// Binds `target`'s listener and starts its acceptor thread (plus,
+    /// in resilient mode, the link supervisor).
     ///
     /// # Errors
     ///
@@ -362,55 +927,75 @@ impl<L: LocationSet, Target: ChoreographyLocation> TcpTransport<L, Target> {
 
         let peers: HashSet<&'static str> =
             L::names().into_iter().filter(|n| *n != Target::NAME).collect();
+        let tuning = config.tuning();
+        let stats = Arc::new(LinkStats::default());
         let inbox = Arc::new(Inbox::default());
         let stop = Arc::new(AtomicBool::new(false));
 
         let acceptor_inbox = Arc::clone(&inbox);
+        let acceptor_stats = Arc::clone(&stats);
         let acceptor_stop = Arc::clone(&stop);
         std::thread::spawn(move || {
-            accept_loop(listener, peers, acceptor_inbox, acceptor_stop);
+            accept_loop(listener, peers, acceptor_inbox, acceptor_stats, tuning, acceptor_stop);
         });
 
+        let send = Arc::new(SendShared {
+            me: Target::NAME,
+            addrs: config.addrs.clone(),
+            tuning,
+            stats,
+            stop: Arc::clone(&stop),
+            links: Mutex::new(HashMap::new()),
+        });
+        if tuning.resilient {
+            let supervisor_shared = Arc::clone(&send);
+            std::thread::Builder::new()
+                .name("chorus-tcp-supervisor".into())
+                .spawn(move || supervisor_loop(supervisor_shared))
+                .map_err(|e| {
+                    TransportError::Io(std::io::Error::other(format!(
+                        "spawning link supervisor: {e}"
+                    )))
+                })?;
+        }
+
         Ok(TcpTransport {
-            config,
             names: InternedNames::of::<L>(),
-            outgoing: Mutex::new(HashMap::new()),
+            send,
             inbox,
             raw_seqs: Mutex::new(HashMap::new()),
             stop,
-            target: PhantomData,
+            system: PhantomData,
         })
     }
 
-    fn connect(&self, to: &'static str) -> Result<TcpStream, TransportError> {
-        let addr = *self
-            .config
-            .addrs
-            .get(to)
-            .ok_or_else(|| TransportError::UnknownLocation(to.to_string()))?;
-        // Retry with backoff: peers may not have bound their listeners yet.
-        let mut delay = Duration::from_millis(5);
-        let mut last_err = None;
-        for _ in 0..60 {
-            match TcpStream::connect_timeout(&addr, Duration::from_secs(1)) {
-                Ok(mut stream) => {
-                    stream.set_nodelay(true).ok();
-                    // Handshake: announce who we are.
-                    write_frame(&mut stream, Target::NAME.as_bytes())?;
-                    return Ok(stream);
-                }
-                Err(e) => {
-                    #[cfg(test)]
-                    tests::FAILED_CONNECT_ATTEMPTS.fetch_add(1, Ordering::Relaxed);
-                    last_err = Some(e);
-                    std::thread::sleep(delay);
-                    delay = (delay * 2).min(Duration::from_millis(200));
-                }
+    /// A snapshot of this endpoint's link-layer activity: reconnects,
+    /// replayed and deduplicated frames, heartbeats, downed links.
+    pub fn link_stats(&self) -> TcpLinkStats {
+        self.send.stats.snapshot()
+    }
+
+    /// Chaos/test hook: hard-kills every currently established outgoing
+    /// connection (as a crashed middlebox would), returning how many
+    /// were torn down. In resilient mode the links replay their
+    /// retained tails on reconnect; sessions observe only latency.
+    pub fn break_established_links(&self) -> usize {
+        let handles: Vec<Arc<Mutex<SendLink>>> =
+            self.send.links.lock().values().map(Arc::clone).collect();
+        let mut killed = 0;
+        for handle in handles {
+            let mut link = handle.lock();
+            if link.stream.is_some() {
+                kill_stream(&mut link);
+                killed += 1;
             }
         }
-        Err(TransportError::Io(last_err.unwrap_or_else(|| {
-            std::io::Error::new(std::io::ErrorKind::TimedOut, "connect retries exhausted")
-        })))
+        killed
+    }
+
+    fn link_handle(&self, to: &'static str) -> Arc<Mutex<SendLink>> {
+        let mut links = self.send.links.lock();
+        Arc::clone(links.entry(to).or_insert_with(|| Arc::new(Mutex::new(SendLink::new()))))
     }
 }
 
@@ -418,58 +1003,184 @@ fn accept_loop(
     listener: TcpListener,
     peers: HashSet<&'static str>,
     inbox: Arc<Inbox>,
+    stats: Arc<LinkStats>,
+    tuning: LinkTuning,
     stop: Arc<AtomicBool>,
 ) {
     while !stop.load(Ordering::Relaxed) {
         match listener.accept() {
             Ok((mut stream, _)) => {
                 let inbox = Arc::clone(&inbox);
+                let stats = Arc::clone(&stats);
                 let stop = Arc::clone(&stop);
                 let peers = peers.clone();
                 std::thread::spawn(move || {
                     stream.set_nonblocking(false).ok();
                     stream.set_nodelay(true).ok();
-                    // Handshake frame identifies the peer; resolve it to
-                    // the interned census name once, so every subsequent
-                    // frame routes without allocating.
-                    let Ok(name_bytes) = read_frame(&mut stream) else { return };
-                    let Ok(name) = String::from_utf8(name_bytes) else { return };
-                    let Some(name) = peers.get(name.as_str()).copied() else {
+                    // Handshake frame: one mode byte, then the peer's
+                    // location name; resolve it to the interned census
+                    // name once, so every subsequent frame routes
+                    // without allocating.
+                    let Ok(hello) = read_frame(&mut stream) else { return };
+                    let Some((&mode, name_bytes)) = hello.split_first() else { return };
+                    if mode != MODE_PLAIN && mode != MODE_RESILIENT {
+                        return;
+                    }
+                    let Ok(name) = std::str::from_utf8(name_bytes) else { return };
+                    let Some(name) = peers.get(name).copied() else {
                         return;
                     };
-                    // A fresh connection from a peer whose previous one
-                    // hung up resumes feeding its mailboxes.
-                    inbox.reopen(name);
-                    // Pooled read buffer: frames are pulled into this
-                    // scratch space and payloads sliced out of it.
-                    let mut scratch = Vec::new();
-                    while !stop.load(Ordering::Relaxed) {
-                        match read_envelope(&mut stream, &mut scratch) {
-                            Ok(envelope) => inbox.deposit(name, envelope),
-                            Err(ReadFrameError::Malformed(e)) => {
-                                inbox.close(name, Some(format!("bad frame: {e}")));
-                                return;
-                            }
-                            Err(ReadFrameError::Disconnected) => {
-                                // Peer hung up.
-                                inbox.close(name, None);
-                                return;
-                            }
-                        }
-                    }
+                    reader_loop(stream, name, mode == MODE_RESILIENT, inbox, stats, tuning, stop);
                 });
             }
             Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(1));
             }
-            Err(_) => return,
+            Err(_) => {
+                // Transient accept failures (e.g. ECONNABORTED when a
+                // queued peer resets before we accept) must not kill
+                // the listener for everyone else.
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+    }
+}
+
+/// Drives one accepted connection: resume-cursor handshake reply,
+/// frame decode, link dedup/gap verdicts, cumulative acks, heartbeat
+/// replies.
+fn reader_loop(
+    mut stream: TcpStream,
+    name: &'static str,
+    resilient_peer: bool,
+    inbox: Arc<Inbox>,
+    stats: Arc<LinkStats>,
+    tuning: LinkTuning,
+    stop: Arc<AtomicBool>,
+) {
+    // Timeout ticks keep shutdown prompt and drive pending-ack flushes.
+    stream.set_read_timeout(Some(tuning.io_tick())).ok();
+    if resilient_peer {
+        // Tell the (re)connecting sender exactly where to replay from.
+        let next = inbox.link_cursor(name);
+        if write_control(&mut stream, &ControlFrame::Resume { next }).is_err() {
+            return;
+        }
+    }
+    // A fresh connection from a peer whose previous one hung up resumes
+    // feeding its mailboxes (plain mode; resilient links never close on
+    // mere disconnection).
+    inbox.reopen(name);
+    let mut acc = FrameAccumulator::default();
+    let mut accepted_since_ack: u32 = 0;
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            return;
+        }
+        match acc.poll(&mut stream) {
+            Ok(Some(body)) => match LinkFrame::decode(body) {
+                Ok(LinkFrame::Data { link_seq, envelope }) => {
+                    match inbox.deposit_link(name, link_seq, envelope) {
+                        LinkVerdict::Accepted => {
+                            if resilient_peer {
+                                accepted_since_ack += 1;
+                                if accepted_since_ack >= ACK_EVERY {
+                                    accepted_since_ack = 0;
+                                    let next = inbox.link_cursor(name);
+                                    if write_control(&mut stream, &ControlFrame::Ack { next })
+                                        .is_err()
+                                    {
+                                        return;
+                                    }
+                                }
+                            }
+                        }
+                        LinkVerdict::Duplicate => {
+                            stats.duplicates.fetch_add(1, Ordering::Relaxed);
+                        }
+                        LinkVerdict::Gap => return,
+                    }
+                }
+                Ok(LinkFrame::Control(ControlFrame::Ping { nonce })) => {
+                    // The pong carries the cursor, doubling as an ack.
+                    let next = inbox.link_cursor(name);
+                    accepted_since_ack = 0;
+                    if write_control(&mut stream, &ControlFrame::Pong { nonce, next }).is_err() {
+                        return;
+                    }
+                }
+                Ok(LinkFrame::Control(_)) => {
+                    // Ack/Pong/Resume have no meaning inbound here.
+                }
+                Err(e) => {
+                    inbox.close(name, Some(format!("bad frame: {e}")));
+                    return;
+                }
+            },
+            Ok(None) => {
+                // Timeout tick: flush a pending cumulative ack so a
+                // sender trickling frames slower than ACK_EVERY still
+                // drains its retention queue promptly.
+                if resilient_peer && accepted_since_ack > 0 {
+                    accepted_since_ack = 0;
+                    let next = inbox.link_cursor(name);
+                    if write_control(&mut stream, &ControlFrame::Ack { next }).is_err() {
+                        return;
+                    }
+                }
+            }
+            Err(_) => {
+                // The connection ended. For a resilient peer that is not
+                // an event sessions may observe — the sender reconnects
+                // and the cursor resumes the stream. A plain peer is
+                // simply gone.
+                if !resilient_peer {
+                    inbox.close(name, None);
+                }
+                return;
+            }
         }
     }
 }
 
 impl<L: LocationSet, Target: ChoreographyLocation> Drop for TcpTransport<L, Target> {
     fn drop(&mut self) {
+        // A participant can finish its role (and drop its endpoint)
+        // while a slower peer is still owed retained frames — perhaps
+        // on a connection that just died. Linger briefly so the
+        // supervisor finishes reconnecting and replaying; leaving
+        // immediately would strand the tail and starve the peer.
+        if self.send.tuning.resilient {
+            let cap = (self.send.tuning.dead_after() * 3)
+                .clamp(Duration::from_secs(1), Duration::from_secs(3));
+            let deadline = Instant::now() + cap;
+            loop {
+                let drained = {
+                    let links = self.send.links.lock();
+                    links.values().all(|handle| {
+                        handle
+                            .try_lock()
+                            .is_some_and(|link| link.unacked.is_empty() || link.down.is_some())
+                    })
+                };
+                if drained || Instant::now() >= deadline {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
         self.stop.store(true, Ordering::Relaxed);
+        // Shut established streams down so reader/supervisor threads
+        // notice promptly instead of waiting out their timeout ticks.
+        let handles: Vec<Arc<Mutex<SendLink>>> =
+            self.send.links.lock().values().map(Arc::clone).collect();
+        for handle in handles {
+            if let Some(mut link) = handle.try_lock() {
+                if let Some(stream) = link.stream.take() {
+                    let _ = stream.shutdown(std::net::Shutdown::Both);
+                }
+            }
+        }
     }
 }
 
@@ -478,21 +1189,39 @@ impl<L: LocationSet, Target: ChoreographyLocation> SessionTransport<L, Target>
 {
     fn send_frame(&self, to: &str, frame: Envelope) -> Result<(), TransportError> {
         let to_static = self.names.resolve(to)?;
-        let link = {
-            let mut outgoing = self.outgoing.lock();
-            Arc::clone(outgoing.entry(to_static).or_default())
-        };
-        let mut link = link.lock();
-        if link.stream.is_none() {
-            link.stream = Some(self.connect(to_static)?);
+        let handle = self.link_handle(to_static);
+        let mut link = handle.lock();
+        if let Some((elapsed, attempts)) = link.down {
+            return Err(link_down_error(self.send.me, to_static, elapsed, attempts));
         }
-        let SendLink { stream, buf } = &mut *link;
-        let stream = stream.as_mut().expect("just connected");
-        write_envelope(stream, buf, &frame).map_err(|e| {
-            // Drop the dead stream; the next send reconnects lazily.
-            link.stream = None;
-            TransportError::Io(e)
-        })
+        let seq = link.next_seq;
+        link.next_seq += 1;
+        if self.send.tuning.resilient {
+            // Retain first: whatever happens to the connection from here
+            // on, the frame is queued and will reach the peer (or the
+            // link goes down loudly).
+            link.unacked.push_back((seq, frame));
+            if link.stream.is_none() {
+                return establish(&self.send, to_static, &handle, &mut link, None);
+            }
+            if flush_pending(&mut link, &self.send.stats).is_err() {
+                kill_stream(&mut link);
+                return establish(&self.send, to_static, &handle, &mut link, None);
+            }
+            Ok(())
+        } else {
+            if link.stream.is_none() {
+                establish(&self.send, to_static, &handle, &mut link, None)?;
+            }
+            let SendLink { stream, buf, .. } = &mut *link;
+            let stream = stream.as_mut().expect("just connected");
+            write_link_data(stream, buf, seq, &frame).map_err(|e| {
+                // Drop the dead stream; whatever was in flight is lost
+                // (the receiver's cursor reports the gap loudly).
+                kill_stream(&mut link);
+                TransportError::Io(e)
+            })
+        }
     }
 
     fn receive_frame(&self, session: SessionId, from: &str) -> Result<Envelope, TransportError> {
@@ -659,5 +1388,94 @@ mod tests {
         assert_eq!(s2, b"s2-only");
         assert_eq!(s1a, b"s1-first");
         assert_eq!(s1b, b"s1-second");
+    }
+
+    #[test]
+    fn killed_connections_replay_the_unacked_tail() {
+        // Fast heartbeat so the test's reconnect window is tight.
+        let addrs = free_local_addrs(2).unwrap();
+        let cfg = TcpConfigBuilder::new()
+            .location(Alice, addrs[0])
+            .location(Bob, addrs[1])
+            .heartbeat(Duration::from_millis(50))
+            .retry_base(Duration::from_millis(2))
+            .build::<System>()
+            .unwrap();
+        let a_cfg = cfg.clone();
+        let b_cfg = cfg;
+        let bob = std::thread::spawn(move || {
+            let t = TcpTransport::bind(Bob, b_cfg).unwrap();
+            let mut got = Vec::new();
+            for _ in 0..6 {
+                got.push(t.receive("Alice").unwrap());
+            }
+            t.send("Alice", b"done").unwrap();
+            got
+        });
+        let alice = TcpTransport::bind(Alice, a_cfg).unwrap();
+        for i in 0..3u8 {
+            alice.send("Bob", &[i]).unwrap();
+        }
+        // Hard-kill the established connection mid-session; the next
+        // sends re-establish and the link replays anything unacked.
+        assert!(alice.break_established_links() >= 1);
+        for i in 3..6u8 {
+            alice.send("Bob", &[i]).unwrap();
+        }
+        assert_eq!(alice.receive("Bob").unwrap(), b"done");
+        let got = bob.join().unwrap();
+        assert_eq!(got, vec![vec![0], vec![1], vec![2], vec![3], vec![4], vec![5]]);
+        let stats = alice.link_stats();
+        assert!(stats.reconnects >= 1, "kill must force a reconnect: {stats:?}");
+    }
+
+    #[test]
+    fn exhausted_retry_budget_surfaces_link_down() {
+        // Bob's address is reserved but never bound: every connect is
+        // refused, so the budget drains deterministically and fast.
+        let addrs = free_local_addrs(2).unwrap();
+        let cfg = TcpConfigBuilder::new()
+            .location(Alice, addrs[0])
+            .location(Bob, addrs[1])
+            .retry_limit(3)
+            .retry_base(Duration::from_millis(1))
+            .build::<System>()
+            .unwrap();
+        let alice = TcpTransport::<System, _>::bind(Alice, cfg).unwrap();
+        let err = alice.send("Bob", b"void").unwrap_err();
+        match &err {
+            TransportError::LinkDown { edge, attempts, .. } => {
+                assert_eq!(edge, "Alice->Bob");
+                assert_eq!(*attempts, 3);
+            }
+            other => panic!("expected LinkDown, got {other:?}"),
+        }
+        // The link is terminally down: later sends fail immediately.
+        let again = alice.send("Bob", b"still void").unwrap_err();
+        assert!(matches!(again, TransportError::LinkDown { .. }), "got {again:?}");
+        assert_eq!(alice.link_stats().links_down, 1);
+    }
+
+    #[test]
+    fn plain_mode_still_delivers() {
+        let addrs = free_local_addrs(2).unwrap();
+        let cfg = TcpConfigBuilder::new()
+            .location(Alice, addrs[0])
+            .location(Bob, addrs[1])
+            .resilience(false)
+            .build::<System>()
+            .unwrap();
+        let a_cfg = cfg.clone();
+        let b_cfg = cfg;
+        let bob = std::thread::spawn(move || {
+            let t = TcpTransport::bind(Bob, b_cfg).unwrap();
+            let one = t.receive("Alice").unwrap();
+            t.send("Alice", b"ack").unwrap();
+            one
+        });
+        let alice = TcpTransport::bind(Alice, a_cfg).unwrap();
+        alice.send("Bob", b"plain").unwrap();
+        assert_eq!(alice.receive("Bob").unwrap(), b"ack");
+        assert_eq!(bob.join().unwrap(), b"plain");
     }
 }

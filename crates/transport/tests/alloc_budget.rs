@@ -80,9 +80,16 @@ fn local_hot_path_stays_within_one_allocation_per_message() {
     }
     let spent = ALLOCATIONS.load(Ordering::Relaxed) - before;
 
+    // The counter is process-global, and the test harness's own threads
+    // (plus any lazily-ticking runtime thread) can allocate a handful of
+    // times while the measured loop runs — more likely when the machine
+    // is loaded by the rest of the suite. A small *constant* slack
+    // absorbs that without weakening the per-message pin: anything the
+    // hot path allocated per message would scale with MESSAGES.
+    const SLACK: usize = 8;
     assert!(
-        spent <= MESSAGES,
+        spent <= MESSAGES + SLACK,
         "local send+receive hot path allocated {spent} times for {MESSAGES} messages \
-         (budget: 1 per message)"
+         (budget: 1 per message + {SLACK} constant slack)"
     );
 }

@@ -337,3 +337,47 @@ pub fn multi_session_metrics_parity<TA: AliceTransport, TB: BobTransport>(
         );
     }
 }
+
+/// Sequential session reuse survives a link disruption: a session id
+/// whose first run completed is reused (sequence restarting at zero,
+/// per the tracker's restart rule) and keeps working even though the
+/// underlying connection was dropped and re-established in between —
+/// and again with frames in flight, so the resilient TCP link must
+/// replay its unacked tail across the reconnect. `disrupt` is
+/// transport-specific: on TCP it hard-kills every established
+/// connection; on local/sim (no connections to kill) it is a no-op and
+/// the case pins plain sequential-reuse semantics.
+pub fn session_reuse_after_link_disruption<TA: AliceTransport, TB: BobTransport>(
+    alice: TA,
+    bob: TB,
+    disrupt: impl Fn(&TA, &TB),
+) {
+    const SESSION: u64 = 7;
+    const FRAMES: u64 = 4;
+    for seq in 0..FRAMES {
+        alice.send_frame("Bob", frame(SESSION, seq, format!("run1-{seq}").as_bytes())).unwrap();
+    }
+    for seq in 0..FRAMES {
+        assert_eq!(
+            bob.receive_frame(SESSION, "Alice").unwrap().payload,
+            format!("run1-{seq}").as_bytes(),
+            "first run broke before any disruption"
+        );
+    }
+    // The link dies between the runs.
+    disrupt(&alice, &bob);
+    for seq in 0..FRAMES {
+        alice.send_frame("Bob", frame(SESSION, seq, format!("run2-{seq}").as_bytes())).unwrap();
+    }
+    // …and again with the second run's frames potentially still in
+    // flight (unacknowledged), forcing a replay on transports with real
+    // connections.
+    disrupt(&alice, &bob);
+    for seq in 0..FRAMES {
+        assert_eq!(
+            bob.receive_frame(SESSION, "Alice").unwrap().payload,
+            format!("run2-{seq}").as_bytes(),
+            "reused session lost or reordered frames across the disruption"
+        );
+    }
+}

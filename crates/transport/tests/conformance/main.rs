@@ -34,9 +34,12 @@ use cases::{Alice, Bob, System};
 /// bit-exact delivery, no spurious watchdog errors.
 macro_rules! conformance_suite {
     ($name:ident, $make:expr) => {
-        conformance_suite!($name, $make, $make, $make, false);
+        conformance_suite!($name, $make, $make, $make, false, (|_, _| {}));
     };
     ($name:ident, $make:expr, $corrupt:expr, $silent:expr, $hostile:expr) => {
+        conformance_suite!($name, $make, $corrupt, $silent, $hostile, (|_, _| {}));
+    };
+    ($name:ident, $make:expr, $corrupt:expr, $silent:expr, $hostile:expr, $disrupt:expr) => {
         mod $name {
             use super::*;
 
@@ -110,6 +113,12 @@ macro_rules! conformance_suite {
                 let (alice, bob) = $silent;
                 cases::silenced_link_fails_loud(alice, bob, $hostile);
             }
+
+            #[test]
+            fn session_reuse_after_link_disruption() {
+                let (alice, bob) = $make;
+                cases::session_reuse_after_link_disruption(alice, bob, $disrupt);
+            }
         }
     };
 }
@@ -119,15 +128,35 @@ conformance_suite!(local, {
     (LocalTransport::new(Alice, channel.clone()), LocalTransport::new(Bob, channel))
 });
 
-conformance_suite!(tcp, {
-    let addrs = free_local_addrs(2).unwrap();
-    let config = TcpConfigBuilder::new()
-        .location(Alice, addrs[0])
-        .location(Bob, addrs[1])
-        .build::<System>()
-        .unwrap();
-    (TcpTransport::bind(Alice, config.clone()).unwrap(), TcpTransport::bind(Bob, config).unwrap())
-});
+macro_rules! tcp_pair {
+    () => {{
+        let addrs = free_local_addrs(2).unwrap();
+        let config = TcpConfigBuilder::new()
+            .location(Alice, addrs[0])
+            .location(Bob, addrs[1])
+            .build::<System>()
+            .unwrap();
+        (
+            TcpTransport::bind(Alice, config.clone()).unwrap(),
+            TcpTransport::bind(Bob, config).unwrap(),
+        )
+    }};
+}
+
+conformance_suite!(
+    tcp,
+    tcp_pair!(),
+    tcp_pair!(),
+    tcp_pair!(),
+    false,
+    // The TCP disruption is real: hard-kill every established
+    // connection on both sides; the resilient link layer must
+    // reconnect and replay without a session noticing.
+    |alice: &TcpTransport<System, Alice>, bob: &TcpTransport<System, Bob>| {
+        alice.break_established_links();
+        bob.break_established_links();
+    }
+);
 
 conformance_suite!(
     sim,

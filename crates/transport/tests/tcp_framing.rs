@@ -31,10 +31,12 @@ fn test_frames() -> Vec<Envelope> {
 }
 
 /// Encodes `frame` exactly as `TcpTransport` puts it on the wire: a
-/// `u32` little-endian outer length, then the envelope bytes.
-fn wire_bytes(frame: &Envelope) -> Vec<u8> {
+/// `u32` little-endian outer length, then the link-frame data header
+/// (tag + per-link sequence), then the envelope bytes.
+fn wire_bytes(link_seq: u64, frame: &Envelope) -> Vec<u8> {
     let inner = frame.encode();
-    let mut out = (inner.len() as u32).to_le_bytes().to_vec();
+    let mut out = ((chorus_wire::DATA_HEADER_LEN + inner.len()) as u32).to_le_bytes().to_vec();
+    out.extend_from_slice(&chorus_wire::data_header(link_seq));
     out.extend_from_slice(&inner);
     out
 }
@@ -53,9 +55,12 @@ fn receiver_and_raw_sender() -> (TcpTransport<Duo, N1>, TcpStream) {
     let receiver = TcpTransport::bind(N1, config).unwrap();
     let mut stream = TcpStream::connect(addrs[1]).unwrap();
     stream.set_nodelay(true).unwrap();
-    // Handshake: a length-prefixed frame carrying the sender's name.
-    stream.write_all(&(b"N0".len() as u32).to_le_bytes()).unwrap();
-    stream.write_all(b"N0").unwrap();
+    // Handshake: a length-prefixed frame carrying the link mode byte
+    // (0 = plain, so the receiver sends no resume cursor or acks this
+    // raw socket would never read) and the sender's name.
+    let hello = [&[0u8][..], b"N0"].concat();
+    stream.write_all(&(hello.len() as u32).to_le_bytes()).unwrap();
+    stream.write_all(&hello).unwrap();
     stream.flush().unwrap();
     (receiver, stream)
 }
@@ -75,8 +80,8 @@ fn chunked_writes_reassemble_identically_to_a_single_write() {
     let reference: Vec<Envelope> = {
         let (receiver, mut stream) = receiver_and_raw_sender();
         let mut all = Vec::new();
-        for frame in test_frames() {
-            all.extend_from_slice(&wire_bytes(&frame));
+        for (seq, frame) in test_frames().iter().enumerate() {
+            all.extend_from_slice(&wire_bytes(seq as u64, frame));
         }
         stream.write_all(&all).unwrap();
         stream.flush().unwrap();
@@ -86,8 +91,8 @@ fn chunked_writes_reassemble_identically_to_a_single_write() {
 
     for chunk in [1usize, 2, 7, 4096] {
         let (receiver, mut stream) = receiver_and_raw_sender();
-        for frame in test_frames() {
-            write_chunked(&mut stream, &wire_bytes(&frame), chunk);
+        for (seq, frame) in test_frames().iter().enumerate() {
+            write_chunked(&mut stream, &wire_bytes(seq as u64, frame), chunk);
         }
         let got: Vec<Envelope> = test_frames()
             .iter()
@@ -106,7 +111,7 @@ fn chunk_boundaries_inside_the_length_prefix_are_harmless() {
     // all straddle 3-byte chunks — every prefix field gets split.
     let (receiver, mut stream) = receiver_and_raw_sender();
     let frame = Envelope::new(7, 0, b"boundary-crossing payload".to_vec());
-    write_chunked(&mut stream, &wire_bytes(&frame), 3);
+    write_chunked(&mut stream, &wire_bytes(0, &frame), 3);
     assert_eq!(receiver.receive_frame(7, "N0").unwrap(), frame);
 }
 
@@ -149,7 +154,7 @@ fn a_large_frame_dripped_byte_wise_still_reassembles() {
 
     for chunk in [4096usize, 1] {
         let (receiver, mut stream) = receiver_and_raw_sender();
-        write_chunked(&mut stream, &wire_bytes(&frame), chunk);
+        write_chunked(&mut stream, &wire_bytes(0, &frame), chunk);
         assert_eq!(
             receiver.receive_frame(9, "N0").unwrap(),
             frame,

@@ -25,11 +25,16 @@
 //! # }
 //! ```
 
+mod control;
 mod de;
 mod envelope;
 mod error;
 mod ser;
 
+pub use control::{
+    data_header, ControlFrame, LinkFrame, DATA_HEADER_LEN, LINK_ACK, LINK_DATA, LINK_PING,
+    LINK_PONG, LINK_RESUME,
+};
 pub use de::{from_bytes, Deserializer};
 pub use envelope::{Envelope, ENVELOPE_HEADER_LEN};
 pub use error::WireError;

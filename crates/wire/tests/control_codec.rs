@@ -1,0 +1,85 @@
+//! Property tests for the link-layer frame codec: arbitrary frames
+//! round-trip bit-exactly, truncation always reports `UnexpectedEof`,
+//! excess always reports `TrailingBytes`, and the decoder never panics
+//! on garbage.
+
+use chorus_wire::{ControlFrame, Envelope, LinkFrame, WireError, DATA_HEADER_LEN};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn arb_control() -> impl Strategy<Value = ControlFrame> {
+    prop_oneof![
+        any::<u64>().prop_map(|next| ControlFrame::Ack { next }),
+        any::<u64>().prop_map(|nonce| ControlFrame::Ping { nonce }),
+        (any::<u64>(), any::<u64>()).prop_map(|(nonce, next)| ControlFrame::Pong { nonce, next }),
+        any::<u64>().prop_map(|next| ControlFrame::Resume { next }),
+    ]
+}
+
+fn arb_frame() -> impl Strategy<Value = LinkFrame> {
+    prop_oneof![
+        arb_control().prop_map(LinkFrame::Control),
+        (any::<u64>(), any::<u64>(), any::<u64>(), vec(any::<u8>(), 0..128)).prop_map(
+            |(link_seq, session, seq, payload)| LinkFrame::Data {
+                link_seq,
+                envelope: Envelope::new(session, seq, payload),
+            }
+        ),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn frames_round_trip(frame in arb_frame()) {
+        let bytes = frame.encode();
+        prop_assert_eq!(LinkFrame::decode(&bytes).unwrap(), frame);
+    }
+
+    #[test]
+    fn encoding_is_deterministic(frame in arb_frame()) {
+        prop_assert_eq!(frame.encode(), frame.encode());
+    }
+
+    #[test]
+    fn data_header_is_the_encoded_prefix(frame in arb_frame()) {
+        if let LinkFrame::Data { link_seq, .. } = frame {
+            let bytes = frame.encode();
+            prop_assert_eq!(&bytes[..DATA_HEADER_LEN], &chorus_wire::data_header(link_seq));
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_unexpected_eof(frame in arb_frame(), cut in any::<u64>()) {
+        let bytes = frame.encode();
+        let len = (cut as usize) % bytes.len(); // in 0..bytes.len(), always a strict prefix
+        let err = LinkFrame::decode(&bytes[..len]).unwrap_err();
+        prop_assert!(
+            matches!(err, WireError::UnexpectedEof),
+            "prefix of {} / {} bytes gave {:?}", len, bytes.len(), err
+        );
+    }
+
+    #[test]
+    fn every_extension_is_trailing_bytes(frame in arb_frame(), extra in vec(any::<u8>(), 1..16)) {
+        let mut bytes = frame.encode();
+        bytes.extend_from_slice(&extra);
+        let err = LinkFrame::decode(&bytes).unwrap_err();
+        prop_assert!(
+            matches!(err, WireError::TrailingBytes(n) if n == extra.len()),
+            "{} extra bytes gave {:?}", extra.len(), err
+        );
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage(bytes in vec(any::<u8>(), 0..256)) {
+        // Any verdict is fine except a panic.
+        let _ = LinkFrame::decode(&bytes);
+    }
+
+    #[test]
+    fn unknown_tags_are_loud(tag in 5u8..=255u8, body in vec(any::<u8>(), 0..32)) {
+        let mut bytes = vec![tag];
+        bytes.extend_from_slice(&body);
+        prop_assert!(matches!(LinkFrame::decode(&bytes), Err(WireError::Message(_))));
+    }
+}

@@ -1,0 +1,522 @@
+//! The TCP chaos matrix: the paper's case-study choreographies executed
+//! over **real sockets** with the connections killed underneath them.
+//!
+//! Where `sim_chaos` stresses delivery *schedules* on a simulated
+//! network, this suite stresses the operating system's byte streams: a
+//! seeded [`FaultyTcp`] proxy sits on every directed edge and, on a
+//! reproducible per-seed schedule, hard-kills established connections
+//! mid-frame, delays accepts, and blackholes one direction (a half-dead
+//! link: the socket stays open, bytes stop arriving). The resilient
+//! link layer must reconnect, resume from the receiver's cursor, and
+//! replay the unacked tail — every session completing with the **same
+//! per-edge message/byte metrics a fault-free run produces**, because
+//! retransmission lives entirely below the session layer.
+//!
+//! Seeds come from `CHORUS_TCP_SEED_BASE` (decimal, default `49374`) so
+//! CI can sweep fresh schedules while PR runs stay reproducible. When a
+//! seed fails, the proxy's full per-connection fault schedule is
+//! written to `target/tcp-chaos/` and the panic names the seed: replay
+//! with `CHORUS_TCP_SEED_BASE=<base> cargo test --test tcp_chaos`.
+
+use chorus_repro::core::{Endpoint, LocationSet as _, SessionRuntime};
+use chorus_repro::mpc::field::FLOTTERY;
+use chorus_repro::mpc::Circuit;
+use chorus_repro::protocols::gmw::Gmw;
+use chorus_repro::protocols::kvs_backup::{KvsCensus, ReplicatedKvs, Servers};
+use chorus_repro::protocols::kvs_simple::{PooledKvsClient, PooledKvsServer, SimpleKvsCensus};
+use chorus_repro::protocols::lottery::Lottery;
+use chorus_repro::protocols::roles::{
+    Analyst, Backup1, Backup2, Client, Primary, C1, C2, C3, P1, P2, P3, S1, S2,
+};
+use chorus_repro::protocols::store::{Request, Response, SharedStore};
+use chorus_repro::transport::{
+    FaultyPlan, FaultyTcp, MetricsSnapshot, TcpConfigBuilder, TcpTransport, TransportMetrics,
+};
+use std::marker::PhantomData;
+use std::net::SocketAddr;
+use std::panic::AssertUnwindSafe;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Seeds per protocol; the three matrices are disjoint.
+const PER_PROTOCOL: u64 = 24;
+
+/// Fast link tuning so fault detection and reconnection happen at test
+/// speed: heartbeat 50ms ⇒ a half-dead link is torn down after 150ms,
+/// and reconnect backoff starts at 2ms.
+const HEARTBEAT: Duration = Duration::from_millis(50);
+const RETRY_BASE: Duration = Duration::from_millis(2);
+
+fn seed_base() -> u64 {
+    std::env::var("CHORUS_TCP_SEED_BASE").ok().and_then(|s| s.parse().ok()).unwrap_or(49374)
+}
+
+/// Hands out loopback listener ports from a process-wide monotonic
+/// counter, probing each candidate before use.
+///
+/// Probe-then-rebind against `:0` (what `free_local_addrs` does) has a
+/// window in which a concurrently running test — or one of this suite's
+/// own `FaultyTcp` proxies binding `:0` — can be handed the just-probed
+/// port by the kernel; with hundreds of binds per run that race fires,
+/// one endpoint dies at bind, and its peers starve. The counter keeps
+/// every port this process hands out unique, the range sits below the
+/// kernel's ephemeral window (so `:0` binds can never be assigned into
+/// it), and the probe skips ports some other process happens to own.
+/// The process-id offset spreads concurrently running test binaries
+/// across the range.
+fn chaos_addrs(n: usize) -> Vec<SocketAddr> {
+    use std::sync::atomic::{AtomicU16, Ordering};
+    use std::sync::OnceLock;
+    static NEXT_PORT: OnceLock<AtomicU16> = OnceLock::new();
+    let next =
+        NEXT_PORT.get_or_init(|| AtomicU16::new(21000 + (std::process::id() % 400) as u16 * 20));
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let port = next.fetch_add(1, Ordering::Relaxed);
+        if !(21000..32768).contains(&port) {
+            next.store(21000, Ordering::Relaxed);
+            continue;
+        }
+        let addr = SocketAddr::from(([127, 0, 0, 1], port));
+        if std::net::TcpListener::bind(addr).is_ok() {
+            out.push(addr);
+        }
+    }
+    out
+}
+
+/// Route resolver for one run: either transparent (the clean baseline)
+/// or through a seeded [`FaultyTcp`] proxy per directed edge.
+struct Router {
+    proxy: Option<FaultyTcp>,
+}
+
+impl Router {
+    fn clean() -> Self {
+        Router { proxy: None }
+    }
+
+    fn chaotic(seed: u64) -> Self {
+        Router { proxy: Some(FaultyTcp::new(FaultyPlan::chaos(seed))) }
+    }
+
+    fn route(&self, edge: &str, real: SocketAddr) -> SocketAddr {
+        match &self.proxy {
+            Some(proxy) => proxy.route(edge, real).expect("proxy listener must bind"),
+            None => real,
+        }
+    }
+
+    /// Proxied connections beyond one per routed edge — i.e. the
+    /// reconnects the chaos actually forced.
+    fn reconnections(&self) -> u64 {
+        self.proxy
+            .as_ref()
+            .map_or(0, |p| (p.connection_count() as u64).saturating_sub(p.edge_count() as u64))
+    }
+}
+
+/// Builds the `TcpConfig` the location `$me` uses: its own entry is its
+/// real address (the listener bind), every peer's entry is routed
+/// through the run's proxy for the `me->peer` edge — so each direction
+/// of each link gets its own independent fault schedule.
+macro_rules! cfg_for {
+    ($census:ty, $me:ident, $router:expr, $addr_of:expr, [$($loc:ident),+ $(,)?]) => {{
+        let me = stringify!($me);
+        let mut builder =
+            TcpConfigBuilder::new().heartbeat(HEARTBEAT).retry_base(RETRY_BASE);
+        $(
+            let name = stringify!($loc);
+            let real = $addr_of(name);
+            let addr =
+                if name == me { real } else { $router.route(&format!("{me}->{name}"), real) };
+            builder = builder.location($loc, addr);
+        )+
+        builder.build::<$census>().unwrap()
+    }};
+}
+
+/// Runs `body` and, if it panics, writes the proxy's fault schedule to
+/// `target/tcp-chaos/<protocol>-seed-<seed>.log` before re-panicking
+/// with the seed and replay instructions.
+fn with_scenario_dump(protocol: &str, seed: u64, router: &Router, body: impl FnOnce()) {
+    if let Err(payload) = std::panic::catch_unwind(AssertUnwindSafe(body)) {
+        let message = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        let dump = router.proxy.as_ref().map_or_else(
+            || "(clean run: no proxy, no schedule)".to_string(),
+            FaultyTcp::scenario_dump,
+        );
+        let dir = std::path::Path::new("target").join("tcp-chaos");
+        std::fs::create_dir_all(&dir).ok();
+        let path = dir.join(format!("{protocol}-seed-{seed}.log"));
+        std::fs::write(&path, dump).ok();
+        let base = seed - seed_offset(protocol);
+        panic!(
+            "{protocol} failed under FaultyTcp seed {seed}: {message}\n\
+             fault schedule dumped to {} — replay with \
+             CHORUS_TCP_SEED_BASE={base} cargo test --test tcp_chaos",
+            path.display()
+        );
+    }
+}
+
+/// Where each protocol's matrix starts relative to the seed base.
+fn seed_offset(protocol: &str) -> u64 {
+    match protocol {
+        "gmw" => 1_000,
+        "lottery" => 2_000,
+        "pooled_kvs" => 9_000,
+        _ => 0,
+    }
+}
+
+/// One protocol's full matrix: a clean (un-proxied) baseline run pins
+/// the per-edge metrics, then every seed must reproduce them exactly
+/// through the chaos — delivered frames are invariant because
+/// retransmission never reaches the session layer. Returns the total
+/// forced reconnections, which the caller asserts is non-zero: a matrix
+/// that never killed a live connection tested nothing.
+fn run_matrix(protocol: &str, run: impl Fn(&Router) -> MetricsSnapshot) -> u64 {
+    let baseline = run(&Router::clean());
+    assert!(!baseline.is_empty(), "{protocol}: the clean run must produce traffic");
+    let base = seed_base() + seed_offset(protocol);
+    let mut reconnections = 0;
+    for seed in base..base + PER_PROTOCOL {
+        let router = Router::chaotic(seed);
+        with_scenario_dump(protocol, seed, &router, || {
+            let under_chaos = run(&router);
+            assert_eq!(
+                under_chaos, baseline,
+                "{protocol} seed {seed}: per-edge delivered-frame metrics must be \
+                 byte-identical to the fault-free run"
+            );
+        });
+        reconnections += router.reconnections();
+    }
+    reconnections
+}
+
+// ---------------------------------------------------------------------
+// kvs_backup: client + primary + two backups over four real listeners,
+// with in-protocol state corruption on top of the socket chaos.
+// ---------------------------------------------------------------------
+
+type Backups = chorus_repro::core::LocationSet!(Backup1, Backup2);
+type Census = KvsCensus<Backups>;
+
+fn run_kvs_backup(router: &Router) -> MetricsSnapshot {
+    let addrs = chaos_addrs(4);
+    let addr_of = |name: &str| match name {
+        "Client" => addrs[0],
+        "Primary" => addrs[1],
+        "Backup1" => addrs[2],
+        "Backup2" => addrs[3],
+        _ => unreachable!("unknown location {name}"),
+    };
+    let metrics = Arc::new(TransportMetrics::new());
+
+    let mut servers = Vec::new();
+    macro_rules! server {
+        ($ty:ident, $corrupt:expr) => {{
+            let cfg = cfg_for!(Census, $ty, router, addr_of, [Client, Primary, Backup1, Backup2]);
+            let metrics = Arc::clone(&metrics);
+            servers.push(std::thread::spawn(move || {
+                let endpoint = Endpoint::builder($ty)
+                    .transport(TcpTransport::bind($ty, cfg).unwrap())
+                    .layer(metrics)
+                    .build();
+                let session = endpoint.session();
+                let store = SharedStore::new();
+                if $corrupt {
+                    store.corrupt_next_put();
+                }
+                let outcome = session.epp_and_run(ReplicatedKvs::<Backups, _, _, _> {
+                    request: session.remote(Client),
+                    states: session.local_faceted(store.clone()),
+                    phantom: PhantomData,
+                });
+                (session.unwrap(outcome.resynched), store.snapshot())
+            }));
+        }};
+    }
+    server!(Primary, false);
+    server!(Backup1, true);
+    server!(Backup2, false);
+
+    let cfg = cfg_for!(Census, Client, router, addr_of, [Client, Primary, Backup1, Backup2]);
+    let client_metrics = Arc::clone(&metrics);
+    let client = std::thread::spawn(move || {
+        let endpoint = Endpoint::builder(Client)
+            .transport(TcpTransport::bind(Client, cfg).unwrap())
+            .layer(client_metrics)
+            .build();
+        let session = endpoint.session();
+        let outcome = session.epp_and_run(ReplicatedKvs::<Backups, _, _, _> {
+            request: session.local(Request::Put("k".into(), "v".into())),
+            states: session.remote_faceted(<Servers<Backups>>::new()),
+            phantom: PhantomData,
+        });
+        session.unwrap(outcome.response)
+    });
+
+    assert_eq!(client.join().unwrap(), Response::NotFound);
+    let results: Vec<_> = servers.into_iter().map(|h| h.join().unwrap()).collect();
+    assert!(results.iter().all(|(resynched, _)| *resynched), "every server saw the resynch");
+    let reference = &results[0].1;
+    assert!(results.iter().all(|(_, snapshot)| snapshot == reference), "replicas converged");
+    assert_eq!(reference.get("k").map(String::as_str), Some("v"));
+    metrics.snapshot()
+}
+
+#[test]
+fn kvs_backup_survives_real_socket_chaos() {
+    let reconnections = run_matrix("kvs_backup", run_kvs_backup);
+    assert!(
+        reconnections > 0,
+        "the kvs matrix must actually kill live connections and force reconnects"
+    );
+}
+
+// ---------------------------------------------------------------------
+// gmw: three-party secure computation of majority(t, t, f); the OT and
+// share traffic is the densest of the three, so kill thresholds fire
+// repeatedly mid-protocol.
+// ---------------------------------------------------------------------
+
+type Parties = chorus_repro::core::LocationSet!(P1, P2, P3);
+
+fn run_gmw(router: &Router) -> MetricsSnapshot {
+    let addrs = chaos_addrs(3);
+    let addr_of = |name: &str| match name {
+        "P1" => addrs[0],
+        "P2" => addrs[1],
+        "P3" => addrs[2],
+        _ => unreachable!("unknown location {name}"),
+    };
+    let circuit = Arc::new(
+        Circuit::input("P1", 0)
+            .and(Circuit::input("P2", 0))
+            .xor(Circuit::input("P1", 0).and(Circuit::input("P3", 0)))
+            .xor(Circuit::input("P2", 0).and(Circuit::input("P3", 0))),
+    );
+    let metrics = Arc::new(TransportMetrics::new());
+    let mut handles = Vec::new();
+    macro_rules! party {
+        ($ty:ident, $input:expr) => {{
+            let cfg = cfg_for!(Parties, $ty, router, addr_of, [P1, P2, P3]);
+            let circuit = Arc::clone(&circuit);
+            let metrics = Arc::clone(&metrics);
+            handles.push(std::thread::spawn(move || {
+                let endpoint = Endpoint::builder($ty)
+                    .transport(TcpTransport::bind($ty, cfg).unwrap())
+                    .layer(metrics)
+                    .build();
+                let session = endpoint.session();
+                session.epp_and_run(Gmw::<Parties, _, _> {
+                    circuit: &circuit,
+                    inputs: &session.local_faceted(vec![$input]),
+                    phantom: PhantomData,
+                })
+            }));
+        }};
+    }
+    party!(P1, true);
+    party!(P2, true);
+    party!(P3, false);
+    let results: Vec<bool> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    assert_eq!(results, vec![true, true, true], "majority(t, t, f) = t at every party");
+    metrics.snapshot()
+}
+
+#[test]
+fn gmw_survives_real_socket_chaos() {
+    let reconnections = run_matrix("gmw", run_gmw);
+    assert!(
+        reconnections > 0,
+        "the gmw matrix must actually kill live connections and force reconnects"
+    );
+}
+
+// ---------------------------------------------------------------------
+// lottery: three clients, two servers, one analyst — six listeners,
+// commit-then-open fairness with the opens crossing dying sockets.
+// ---------------------------------------------------------------------
+
+type Clients = chorus_repro::core::LocationSet!(C1, C2, C3);
+type LotteryServers = chorus_repro::core::LocationSet!(S1, S2);
+type LotteryCensus = chorus_repro::core::LocationSet!(Analyst, C1, C2, C3, S1, S2);
+
+fn run_lottery(router: &Router) -> MetricsSnapshot {
+    const SECRETS: [u64; 3] = [1001, 2002, 3003];
+    let addrs = chaos_addrs(6);
+    let addr_of = |name: &str| match name {
+        "Analyst" => addrs[0],
+        "C1" => addrs[1],
+        "C2" => addrs[2],
+        "C3" => addrs[3],
+        "S1" => addrs[4],
+        "S2" => addrs[5],
+        _ => unreachable!("unknown location {name}"),
+    };
+    let metrics = Arc::new(TransportMetrics::new());
+    let mut handles = Vec::new();
+
+    macro_rules! node {
+        ($ty:ident, $secrets:expr, $cheaters:expr) => {{
+            let cfg = cfg_for!(LotteryCensus, $ty, router, addr_of, [Analyst, C1, C2, C3, S1, S2]);
+            let metrics = Arc::clone(&metrics);
+            handles.push(std::thread::spawn(move || {
+                let endpoint = Endpoint::builder($ty)
+                    .transport(TcpTransport::bind($ty, cfg).unwrap())
+                    .layer(metrics)
+                    .build();
+                let session = endpoint.session();
+                let _ = session.epp_and_run(Lottery::<
+                    Clients,
+                    LotteryServers,
+                    LotteryCensus,
+                    _,
+                    _,
+                    _,
+                    _,
+                    _,
+                    _,
+                    _,
+                > {
+                    secrets: &$secrets(&session),
+                    tau: 300,
+                    cheaters: &$cheaters(&session),
+                    phantom: PhantomData,
+                });
+            }));
+        }};
+    }
+    macro_rules! client {
+        ($ty:ident, $secret:expr) => {
+            node!(
+                $ty,
+                |s: &chorus_repro::core::Session<_, $ty, _>| s
+                    .local_faceted(FLOTTERY::new($secret)),
+                |s: &chorus_repro::core::Session<_, $ty, _>| s
+                    .remote_faceted(LotteryServers::new())
+            )
+        };
+    }
+    macro_rules! server {
+        ($ty:ident) => {
+            node!(
+                $ty,
+                |s: &chorus_repro::core::Session<_, $ty, _>| s.remote_faceted(Clients::new()),
+                |s: &chorus_repro::core::Session<_, $ty, _>| s.local_faceted(false)
+            )
+        };
+    }
+
+    client!(C1, SECRETS[0]);
+    client!(C2, SECRETS[1]);
+    client!(C3, SECRETS[2]);
+    server!(S1);
+    server!(S2);
+
+    let cfg = cfg_for!(LotteryCensus, Analyst, router, addr_of, [Analyst, C1, C2, C3, S1, S2]);
+    let analyst_metrics = Arc::clone(&metrics);
+    let analyst = std::thread::spawn(move || {
+        let endpoint = Endpoint::builder(Analyst)
+            .transport(TcpTransport::bind(Analyst, cfg).unwrap())
+            .layer(analyst_metrics)
+            .build();
+        let session = endpoint.session();
+        let out = session.epp_and_run(Lottery::<
+            Clients,
+            LotteryServers,
+            LotteryCensus,
+            _,
+            _,
+            _,
+            _,
+            _,
+            _,
+            _,
+        > {
+            secrets: &session.remote_faceted(Clients::new()),
+            tau: 300,
+            cheaters: &session.remote_faceted(LotteryServers::new()),
+            phantom: PhantomData,
+        });
+        session.unwrap(out)
+    });
+
+    for h in handles {
+        h.join().unwrap();
+    }
+    let value = analyst.join().unwrap().expect("honest servers, so the lottery must not abort");
+    assert!(
+        SECRETS.contains(&value),
+        "the analyst must reconstruct one of the client secrets, got {value}"
+    );
+    metrics.snapshot()
+}
+
+#[test]
+fn lottery_survives_real_socket_chaos() {
+    let reconnections = run_matrix("lottery", run_lottery);
+    assert!(
+        reconnections > 0,
+        "the lottery matrix must actually kill live connections and force reconnects"
+    );
+}
+
+// ---------------------------------------------------------------------
+// The pooled session runtime over real sockets under chaos: many
+// concurrent sessions multiplexed on ONE link pair whose connections
+// keep dying. The waker-driven receive path and the link layer's
+// replay must compose — no session hangs, every answer is right.
+// ---------------------------------------------------------------------
+
+#[test]
+fn pooled_sessions_survive_real_socket_chaos() {
+    const SESSIONS: u64 = 64;
+    let seed = seed_base() + seed_offset("pooled_kvs");
+    let router = Router::chaotic(seed);
+    let addrs = chaos_addrs(2);
+    let addr_of = |name: &str| match name {
+        "Client" => addrs[0],
+        "Primary" => addrs[1],
+        _ => unreachable!("unknown location {name}"),
+    };
+    let client_cfg = cfg_for!(SimpleKvsCensus, Client, router, addr_of, [Client, Primary]);
+    let server_cfg = cfg_for!(SimpleKvsCensus, Primary, router, addr_of, [Client, Primary]);
+    with_scenario_dump("pooled_kvs", seed, &router, || {
+        let client = Arc::new(Endpoint::new(TcpTransport::bind(Client, client_cfg).unwrap()));
+        let server = Arc::new(Endpoint::new(TcpTransport::bind(Primary, server_cfg).unwrap()));
+        let runtime = SessionRuntime::new(4);
+        let store = SharedStore::new();
+        let servers: Vec<_> = (0..SESSIONS)
+            .map(|id| runtime.spawn(&server, id, PooledKvsServer::new(store.clone())))
+            .collect();
+        let clients: Vec<_> = (0..SESSIONS)
+            .map(|id| {
+                runtime.spawn(
+                    &client,
+                    id,
+                    PooledKvsClient::new(Request::Put(format!("k{id}"), format!("v{id}"))),
+                )
+            })
+            .collect();
+        for (id, handle) in clients.into_iter().enumerate() {
+            assert_eq!(handle.join().unwrap(), Response::NotFound, "client {id}");
+        }
+        for handle in servers {
+            handle.join().unwrap();
+        }
+        assert_eq!(store.get("k0"), Response::Found("v0".into()));
+        assert_eq!(
+            store.get(&format!("k{}", SESSIONS - 1)),
+            Response::Found(format!("v{}", SESSIONS - 1))
+        );
+    });
+}
