@@ -858,10 +858,159 @@ fn bench_tcp_resilience(quick: bool) -> TcpResilienceResult {
     }
 }
 
+/// Throughput on a saturated loopback link for the `saturated_link`
+/// section: several sessions pump small frames one way as fast as they
+/// can offer them, through the same resilient link with coalesced
+/// vectored batches (swept over flush windows) vs frame-at-a-time (a
+/// zero flush window: every frame is its own vectored write, acked and
+/// retained individually). Plain mode (no retention, one plain `write`
+/// per frame) rides along as context.
+struct SaturatedLinkResult {
+    msgs: u64,
+    sessions: u64,
+    payload_bytes: usize,
+    plain_msgs_per_sec: f64,
+    unbatched_msgs_per_sec: f64,
+    /// `(flush window in µs, msgs/sec)` for every swept window,
+    /// including the frame-at-a-time `0` point.
+    sweep: Vec<(u64, f64)>,
+    batched_flush_us: u64,
+    batched_msgs_per_sec: f64,
+    batches: u64,
+    batched_frames: u64,
+    batch_histogram: [u64; 7],
+}
+
+impl SaturatedLinkResult {
+    /// Batched speedup over the frame-at-a-time data plane (the
+    /// regression floor in CI guards this ratio).
+    fn ratio(&self) -> f64 {
+        self.batched_msgs_per_sec / self.unbatched_msgs_per_sec.max(f64::EPSILON)
+    }
+}
+
+/// One saturated one-way run: `sessions` sender threads each pump
+/// `msgs / sessions` 32-byte frames on their own session. The timed
+/// region is the *data plane*: it ends when the receiving transport
+/// has deposited every frame into its mailboxes
+/// ([`deposited_frames`]), not when application threads have popped
+/// them — mailbox pops cost the same in every mode and would otherwise
+/// mask the wire-side difference. The mailboxes are drained (and FIFO
+/// asserted) outside the timed window. Returns msgs/sec and the
+/// sender's link stats (batch counters).
+///
+/// [`deposited_frames`]: chorus_transport::TcpLinkStats::deposited_frames
+fn saturated_link_run(
+    msgs: u64,
+    sessions: u64,
+    resilient: bool,
+    flush: Duration,
+) -> (f64, chorus_transport::TcpLinkStats) {
+    use chorus_core::SessionTransport as _;
+    chorus_core::locations! { LA, LB }
+    type Duo = chorus_core::LocationSet!(LA, LB);
+
+    let addrs = chorus_transport::free_local_addrs(2).expect("loopback addrs");
+    let config = chorus_transport::TcpConfigBuilder::new()
+        .location(LA, addrs[0])
+        .location(LB, addrs[1])
+        .resilience(resilient)
+        .flush_delay(flush)
+        .build::<Duo>()
+        .expect("complete census");
+    let a = Arc::new(chorus_transport::TcpTransport::bind(LA, config.clone()).expect("bind LA"));
+    let b = Arc::new(chorus_transport::TcpTransport::bind(LB, config).expect("bind LB"));
+    let per_session = msgs / sessions;
+    let start = Instant::now();
+    let senders: Vec<_> = (0..sessions)
+        .map(|session| {
+            let a = Arc::clone(&a);
+            std::thread::spawn(move || {
+                for seq in 0..per_session {
+                    let envelope = Envelope::new(session + 1, seq, vec![0xB7u8; 32]);
+                    a.send_frame("LB", envelope).expect("saturated send");
+                }
+            })
+        })
+        .collect();
+    for t in senders {
+        t.join().expect("sender thread");
+    }
+    // Senders are done offering; the clock stops when the last frame
+    // lands in a mailbox on the receiving side.
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while b.link_stats().deposited_frames < msgs {
+        assert!(Instant::now() < deadline, "saturated link never finished depositing");
+        std::thread::yield_now();
+    }
+    let elapsed = start.elapsed().as_secs_f64().max(f64::EPSILON);
+    // Untimed correctness sweep: everything arrived, in order.
+    for session in 0..sessions {
+        for seq in 0..per_session {
+            let got = b.receive_frame(session + 1, "LA").expect("saturated receive");
+            assert_eq!(got.seq, seq, "FIFO broke on the saturated link");
+        }
+    }
+    (msgs as f64 / elapsed, a.link_stats())
+}
+
+fn bench_saturated_link(quick: bool) -> SaturatedLinkResult {
+    let msgs: u64 = if quick { 40_000 } else { 120_000 };
+    let sessions: u64 = 4;
+    // Every point is peak-of-3: throughput noise on a shared box is
+    // one-sided (scheduling stalls only ever slow a run down), so the
+    // max is the low-variance estimator — applied to baseline and
+    // batched points alike.
+    const REPS: u32 = 3;
+    let peak_of = |resilient: bool, flush: Duration| {
+        let mut peak: Option<(f64, chorus_transport::TcpLinkStats)> = None;
+        for _ in 0..REPS {
+            let (rate, stats) = saturated_link_run(msgs, sessions, resilient, flush);
+            if peak.as_ref().is_none_or(|(r, _)| rate > *r) {
+                peak = Some((rate, stats));
+            }
+        }
+        peak.expect("at least one rep")
+    };
+    let (plain_rate, _) = peak_of(false, Duration::ZERO);
+    // The frame-at-a-time baseline: the identical resilient data plane
+    // with no coalescing window, so every offered frame is flushed (and
+    // retained, and acked) on its own.
+    let (unbatched_rate, _) = peak_of(true, Duration::ZERO);
+    let mut sweep = vec![(0u64, unbatched_rate)];
+    let mut best: Option<(u64, f64, chorus_transport::TcpLinkStats)> = None;
+    for &us in &[50u64, 200, 500] {
+        let (rate, stats) = peak_of(true, Duration::from_micros(us));
+        sweep.push((us, rate));
+        if best.as_ref().is_none_or(|(_, r, _)| rate > *r) {
+            best = Some((us, rate, stats));
+        }
+    }
+    let (batched_flush_us, batched_msgs_per_sec, stats) = best.expect("non-empty sweep");
+    SaturatedLinkResult {
+        msgs,
+        sessions,
+        payload_bytes: 32,
+        plain_msgs_per_sec: plain_rate,
+        unbatched_msgs_per_sec: unbatched_rate,
+        sweep,
+        batched_flush_us,
+        batched_msgs_per_sec,
+        batches: stats.batches,
+        batched_frames: stats.batched_frames,
+        batch_histogram: stats.batch_histogram,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let sim = args.iter().any(|a| a == "--sim");
+    let saturated_floor = args.iter().position(|a| a == "--assert-saturated-floor").map(|i| {
+        args.get(i + 1)
+            .and_then(|v| v.parse::<f64>().ok())
+            .expect("--assert-saturated-floor takes a ratio, e.g. 2.0")
+    });
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -891,6 +1040,11 @@ fn main() {
     // The resilient-TCP price tag: ack/retention overhead on a real
     // socket round trip, and throughput through a reconnect storm.
     let tcp_resilience = bench_tcp_resilience(quick);
+
+    // The batched-data-plane payoff: msgs/sec on a saturated loopback
+    // link, coalesced vectored batches vs one write per frame, with the
+    // realized batch-size histogram and the flush-window sweep.
+    let saturated = bench_saturated_link(quick);
 
     // The pooled-runtime concurrency scenarios: N sessions to
     // completion on a fixed pool, against the thread-per-role blocking
@@ -966,6 +1120,31 @@ fn main() {
         tcp_resilience.storm_kills,
         tcp_resilience.storm_reconnects,
     ));
+    let sweep_json = saturated
+        .sweep
+        .iter()
+        .map(|(us, rate)| format!("{{\"flush_us\": {us}, \"msgs_per_sec\": {rate:.1}}}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    json.push_str(&format!(
+        "  \"saturated_link\": {{\"msgs\": {}, \"sessions\": {}, \"payload_bytes\": {}, \
+         \"plain_msgs_per_sec\": {:.1}, \"unbatched_msgs_per_sec\": {:.1}, \
+         \"batched_msgs_per_sec\": {:.1}, \"batched_over_unbatched_ratio\": {:.3}, \
+         \"batched_flush_us\": {}, \"batches\": {}, \"batched_frames\": {}, \
+         \"batch_histogram\": {:?}, \"flush_sweep\": [{}]}},\n",
+        saturated.msgs,
+        saturated.sessions,
+        saturated.payload_bytes,
+        saturated.plain_msgs_per_sec,
+        saturated.unbatched_msgs_per_sec,
+        saturated.batched_msgs_per_sec,
+        saturated.ratio(),
+        saturated.batched_flush_us,
+        saturated.batches,
+        saturated.batched_frames,
+        saturated.batch_histogram,
+        sweep_json,
+    ));
     json.push_str("  \"concurrency\": [\n");
     for (i, c) in concurrency.iter().enumerate() {
         json.push_str(&format!(
@@ -1035,6 +1214,19 @@ fn main() {
         tcp_resilience.storm_kills,
         tcp_resilience.storm_reconnects,
     );
+    println!(
+        "{:<48} plain {:.0} msgs/s  unbatched {:.0} msgs/s  batched {:.0} msgs/s \
+         (flush {}us)  ratio {:.2}x  {} batches / {} frames  hist {:?}",
+        "saturated_link/batched_vs_frame_at_a_time",
+        saturated.plain_msgs_per_sec,
+        saturated.unbatched_msgs_per_sec,
+        saturated.batched_msgs_per_sec,
+        saturated.batched_flush_us,
+        saturated.ratio(),
+        saturated.batches,
+        saturated.batched_frames,
+        saturated.batch_histogram,
+    );
     for c in &concurrency {
         println!(
             "{:<48} N={:<6} threads={:<5} cores={}  {:>9.1} sessions/s  {:>9.1} msgs/s  \
@@ -1051,4 +1243,16 @@ fn main() {
     }
     std::fs::write(&out_path, &json).expect("write BENCH_results.json");
     println!("\nwrote {out_path}");
+
+    if let Some(floor) = saturated_floor {
+        let ratio = saturated.ratio();
+        if ratio < floor {
+            eprintln!(
+                "saturated-link regression: batched/frame-at-a-time ratio {ratio:.2}x \
+                 fell below the {floor:.2}x floor"
+            );
+            std::process::exit(1);
+        }
+        println!("saturated-link floor ok: {ratio:.2}x >= {floor:.2}x");
+    }
 }

@@ -118,6 +118,18 @@ impl<T> WaitQueue<T> {
     pub fn notify_all(&self) {
         self.cv.notify_all();
     }
+
+    /// Wakes at most one parked thread.
+    ///
+    /// Only correct when every parked thread waits on the *same*
+    /// predicate and any one of them can consume the state change — the
+    /// work-queue shape, where one pushed item needs one worker. A
+    /// queue whose sleepers wait on different predicates must use
+    /// [`notify_all`](Self::notify_all), or a wake can land on a thread
+    /// whose predicate still fails while the right one stays parked.
+    pub fn notify_one(&self) {
+        self.cv.notify_one();
+    }
 }
 
 #[cfg(test)]

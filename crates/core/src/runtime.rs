@@ -413,7 +413,10 @@ fn wake_task(shared: &RuntimeShared, entry: &Arc<TaskEntry>) {
                     let mut queue = shared.queue.lock();
                     queue.ready.push_back(Arc::clone(entry));
                     drop(queue);
-                    shared.queue.notify_all();
+                    // One task became runnable; wake one worker, not the
+                    // whole pool (they all wait on the same pop-or-stop
+                    // predicate, so any worker can take it).
+                    shared.queue.notify_one();
                     return;
                 }
             }
@@ -467,7 +470,7 @@ fn worker_loop(shared: Arc<RuntimeShared>) {
                 let mut queue = shared.queue.lock();
                 queue.ready.push_back(Arc::clone(&entry));
                 drop(queue);
-                shared.queue.notify_all();
+                shared.queue.notify_one();
             }
             PollOutcome::Parked(edge) => {
                 *entry.parked.lock().expect("task park info poisoned") =
@@ -483,7 +486,7 @@ fn worker_loop(shared: Arc<RuntimeShared>) {
                     let mut queue = shared.queue.lock();
                     queue.ready.push_back(Arc::clone(&entry));
                     drop(queue);
-                    shared.queue.notify_all();
+                    shared.queue.notify_one();
                 }
             }
         }
@@ -754,7 +757,7 @@ impl SessionRuntime {
         let mut queue = self.shared.queue.lock();
         queue.ready.push_back(entry);
         drop(queue);
-        self.shared.queue.notify_all();
+        self.shared.queue.notify_one();
         SessionHandle { cell, id }
     }
 }

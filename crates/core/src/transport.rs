@@ -42,6 +42,23 @@ pub enum TransportError {
         /// Number of connection attempts made.
         attempts: u32,
     },
+    /// A resilient link's retention queue reached its configured
+    /// watermark and could not drain.
+    ///
+    /// The sender parked at the watermark waiting for the peer's acks
+    /// to prune the queue, but the link resolved down (or the watchdog
+    /// expired) first. Holding more frames for a peer that is not
+    /// acknowledging would only hoard memory — this is the bound that
+    /// keeps a dead peer from OOMing its senders.
+    RetentionExceeded {
+        /// The stalled edge, as `"sender->receiver"` location names.
+        edge: String,
+        /// Bytes retained for the peer when the sender gave up.
+        retained_bytes: usize,
+        /// The configured watermark (`CHORUS_TCP_RETAIN_MAX` or the
+        /// builder override).
+        limit: usize,
+    },
 }
 
 impl fmt::Display for TransportError {
@@ -60,6 +77,11 @@ impl fmt::Display for TransportError {
                 f,
                 "link {edge} is down: gave up after {attempts} connection attempts over {}ms",
                 elapsed.as_millis()
+            ),
+            TransportError::RetentionExceeded { edge, retained_bytes, limit } => write!(
+                f,
+                "link {edge} retention watermark exceeded: {retained_bytes} bytes retained \
+                 (limit {limit}) with the peer not acknowledging"
             ),
         }
     }
@@ -133,6 +155,11 @@ pub type SessionId = u64;
 /// from a sender's thread with no locks held, and a *spurious* wake
 /// (the frame was consumed by the time the session runs) must be
 /// harmless to the registrant.
+///
+/// Transports that deliver frames in batches fire each waker once per
+/// *drain*, not once per frame: a burst of frames for one mailbox costs
+/// one wake, and only mailboxes that actually received a frame (or hit
+/// an error) are woken.
 pub type MailboxWaker = std::sync::Arc<dyn Fn() + Send + Sync>;
 
 /// The session id the raw [`Transport`] compatibility path uses on
@@ -420,6 +447,19 @@ mod tests {
         assert!(text.contains("Alpha->Beta"), "got: {text}");
         assert!(text.contains("60 connection attempts"), "got: {text}");
         assert!(text.contains("1500ms"), "got: {text}");
+    }
+
+    #[test]
+    fn retention_exceeded_display_names_edge_and_watermark() {
+        let err = TransportError::RetentionExceeded {
+            edge: "Alpha->Beta".into(),
+            retained_bytes: 70_000_000,
+            limit: 67_108_864,
+        };
+        let text = err.to_string();
+        assert!(text.contains("Alpha->Beta"), "got: {text}");
+        assert!(text.contains("70000000"), "got: {text}");
+        assert!(text.contains("67108864"), "got: {text}");
     }
 
     #[test]

@@ -31,6 +31,12 @@ fn env_u64(name: &str, default: u64) -> u64 {
         .unwrap_or(default)
 }
 
+/// Like [`env_u64`] but zero is a meaningful setting (it disables the
+/// knob) rather than "unset".
+fn env_u64_or_zero(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|v| v.trim().parse().ok()).unwrap_or(default)
+}
+
 /// Link-layer policy for one TCP endpoint.
 ///
 /// Defaults come from the environment so deployments tune reconnect
@@ -44,8 +50,20 @@ fn env_u64(name: &str, default: u64) -> u64 {
 /// * `CHORUS_TCP_HEARTBEAT_MS` — ping cadence on idle established
 ///   links; a link silent for 3 heartbeats is presumed half-dead and
 ///   torn down for replay (default 1000).
+/// * `CHORUS_TCP_FLUSH_US` — coalescing flush delay in microseconds for
+///   resilient links: sends enqueue and a flusher thread writes the
+///   whole accumulated batch after at most this long (default 0 —
+///   flush inline on every send, which still batches whatever queued
+///   behind a contended link lock).
+/// * `CHORUS_TCP_RETAIN_MAX` — retention watermark in bytes per link:
+///   a sender whose unacknowledged tail reaches this parks until acks
+///   prune it, and surfaces
+///   [`TransportError::RetentionExceeded`] if the link resolves down
+///   (or the watchdog expires) while it waits (default 64 MiB; 0
+///   disables the watermark).
 ///
 /// [`TransportError::LinkDown`]: chorus_core::TransportError::LinkDown
+/// [`TransportError::RetentionExceeded`]: chorus_core::TransportError::RetentionExceeded
 #[derive(Debug, Clone, Copy)]
 pub struct LinkTuning {
     /// Connection attempts per outage before the link goes down.
@@ -54,12 +72,19 @@ pub struct LinkTuning {
     pub retry_base: Duration,
     /// Heartbeat probe cadence on established links.
     pub heartbeat: Duration,
+    /// Coalescing window for batched flushes (zero: flush inline).
+    pub flush_delay: Duration,
+    /// Per-link retention watermark in bytes (zero: unbounded).
+    pub retain_max: usize,
     /// Whether links retain, replay, and acknowledge frames. When
     /// false the transport is the plain frame-at-a-time wire (the bench
     /// baseline): a dead connection simply loses whatever was in
     /// flight, and the receiver's link cursor reports the gap loudly.
     pub resilient: bool,
 }
+
+/// Default retention watermark: 64 MiB per link.
+const RETAIN_MAX_DEFAULT: u64 = 64 * 1024 * 1024;
 
 impl LinkTuning {
     /// Reads the environment-tunable defaults.
@@ -68,6 +93,12 @@ impl LinkTuning {
             retry_limit: env_u64("CHORUS_TCP_RETRY_LIMIT", 60).min(u64::from(u32::MAX)) as u32,
             retry_base: Duration::from_millis(env_u64("CHORUS_TCP_RETRY_BASE_MS", 5)),
             heartbeat: Duration::from_millis(env_u64("CHORUS_TCP_HEARTBEAT_MS", 1000)),
+            flush_delay: Duration::from_micros(env_u64_or_zero("CHORUS_TCP_FLUSH_US", 0)),
+            retain_max: usize::try_from(env_u64_or_zero(
+                "CHORUS_TCP_RETAIN_MAX",
+                RETAIN_MAX_DEFAULT,
+            ))
+            .unwrap_or(usize::MAX),
             resilient,
         }
     }
@@ -116,6 +147,24 @@ pub(crate) fn backoff_delay(base: Duration, attempt: u32, salt: u64) -> Duration
     delay + Duration::from_nanos(jitter)
 }
 
+/// Number of batch-size histogram buckets; see
+/// [`TcpLinkStats::batch_histogram`] for the bucket bounds.
+pub const BATCH_HIST_BUCKETS: usize = 7;
+
+/// Maps a batch size (frames per vectored flush) to its histogram
+/// bucket: 1, 2, 3–4, 5–8, 9–16, 17–64, 65+.
+fn batch_bucket(frames: usize) -> usize {
+    match frames {
+        0 | 1 => 0,
+        2 => 1,
+        3..=4 => 2,
+        5..=8 => 3,
+        9..=16 => 4,
+        17..=64 => 5,
+        _ => 6,
+    }
+}
+
 /// Lifetime counters for one TCP endpoint's resilient links, shared by
 /// the send queues, the supervisor, and the receive loops.
 #[derive(Debug, Default)]
@@ -130,16 +179,44 @@ pub(crate) struct LinkStats {
     pub heartbeats: AtomicU64,
     /// Links that exhausted their retry budget and went down.
     pub links_down: AtomicU64,
+    /// Vectored batch flushes issued.
+    pub batches: AtomicU64,
+    /// Data frames that travelled inside those batches.
+    pub batched_frames: AtomicU64,
+    /// Data frames this endpoint's readers accepted into mailboxes
+    /// (duplicates excluded) — the receive-side mirror of
+    /// `batched_frames`.
+    pub deposited: AtomicU64,
+    /// Batch-size distribution, bucketed by [`batch_bucket`].
+    pub batch_hist: [AtomicU64; BATCH_HIST_BUCKETS],
 }
 
 impl LinkStats {
+    /// Records one vectored flush of `frames` data frames.
+    pub(crate) fn record_batch(&self, frames: usize) {
+        if frames == 0 {
+            return;
+        }
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_frames.fetch_add(frames as u64, Ordering::Relaxed);
+        self.batch_hist[batch_bucket(frames)].fetch_add(1, Ordering::Relaxed);
+    }
+
     pub(crate) fn snapshot(&self) -> TcpLinkStats {
+        let mut batch_histogram = [0u64; BATCH_HIST_BUCKETS];
+        for (out, bucket) in batch_histogram.iter_mut().zip(&self.batch_hist) {
+            *out = bucket.load(Ordering::Relaxed);
+        }
         TcpLinkStats {
             reconnects: self.reconnects.load(Ordering::Relaxed),
             replayed_frames: self.replayed.load(Ordering::Relaxed),
             duplicate_frames: self.duplicates.load(Ordering::Relaxed),
             heartbeats: self.heartbeats.load(Ordering::Relaxed),
             links_down: self.links_down.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batched_frames: self.batched_frames.load(Ordering::Relaxed),
+            deposited_frames: self.deposited.load(Ordering::Relaxed),
+            batch_histogram,
         }
     }
 }
@@ -164,6 +241,17 @@ pub struct TcpLinkStats {
     pub heartbeats: u64,
     /// Links that exhausted their retry budget and surfaced `LinkDown`.
     pub links_down: u64,
+    /// Vectored batch flushes issued by this endpoint's send queues.
+    pub batches: u64,
+    /// Data frames that travelled inside those batches.
+    pub batched_frames: u64,
+    /// Data frames this endpoint accepted into its mailboxes
+    /// (duplicates excluded). Tracks delivery into the transport, not
+    /// application pops, so a bench can time the data plane itself.
+    pub deposited_frames: u64,
+    /// Batch-size distribution: flushes of 1, 2, 3–4, 5–8, 9–16,
+    /// 17–64, and 65+ frames.
+    pub batch_histogram: [u64; BATCH_HIST_BUCKETS],
 }
 
 /// Reassembles `u32`-length-prefixed frames from a stream being read
@@ -193,6 +281,18 @@ impl FrameAccumulator {
         }
         let lo = self.start + 4;
         Some((lo, lo + len))
+    }
+
+    /// Hands out the next complete frame body *already buffered*,
+    /// without touching the stream — `None` means the next frame (if
+    /// any) is still partial. Receivers drain a whole wire burst per
+    /// wakeup through this before blocking in [`poll`] again.
+    ///
+    /// [`poll`]: FrameAccumulator::poll
+    pub(crate) fn next_buffered(&mut self) -> Option<&[u8]> {
+        let (lo, hi) = self.frame_bounds()?;
+        self.start = hi;
+        Some(&self.buf[lo..hi])
     }
 
     /// Returns the next complete frame body, reading from `stream` as
@@ -267,6 +367,55 @@ mod tests {
         assert!(tuning.heartbeat > Duration::ZERO);
         assert!(tuning.handshake_timeout() >= Duration::from_millis(500));
         assert!(tuning.dead_after() > tuning.heartbeat);
+    }
+
+    #[test]
+    fn batch_buckets_partition_every_size() {
+        assert_eq!(batch_bucket(1), 0);
+        assert_eq!(batch_bucket(2), 1);
+        assert_eq!(batch_bucket(4), 2);
+        assert_eq!(batch_bucket(8), 3);
+        assert_eq!(batch_bucket(16), 4);
+        assert_eq!(batch_bucket(64), 5);
+        assert_eq!(batch_bucket(65), 6);
+        assert_eq!(batch_bucket(100_000), 6);
+    }
+
+    #[test]
+    fn accumulator_drains_a_buffered_burst_without_reading() {
+        // Three frames land in one read; `poll` hands out the first and
+        // `next_buffered` drains the rest without another syscall.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut tx = TcpStream::connect(addr).unwrap();
+        let (mut rx, _) = listener.accept().unwrap();
+        rx.set_read_timeout(Some(Duration::from_millis(100))).unwrap();
+
+        let frames: Vec<Vec<u8>> = vec![b"one".to_vec(), b"".to_vec(), b"three".to_vec()];
+        let mut wire = Vec::new();
+        for frame in &frames {
+            wire.extend_from_slice(&(frame.len() as u32).to_le_bytes());
+            wire.extend_from_slice(frame);
+        }
+        tx.write_all(&wire).unwrap();
+        tx.flush().unwrap();
+
+        let mut acc = FrameAccumulator::default();
+        let mut got = Vec::new();
+        loop {
+            match acc.poll(&mut rx).unwrap() {
+                Some(body) => got.push(body.to_vec()),
+                None => continue,
+            }
+            while let Some(body) = acc.next_buffered() {
+                got.push(body.to_vec());
+            }
+            if got.len() == frames.len() {
+                break;
+            }
+        }
+        assert_eq!(got, frames);
+        assert!(acc.next_buffered().is_none(), "the burst is fully drained");
     }
 
     #[test]

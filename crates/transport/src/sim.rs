@@ -940,10 +940,28 @@ impl<L: LocationSet, Target: ChoreographyLocation> SessionTransport<L, Target>
             frame: k,
             env: frame,
         }));
-        // Every parked session re-polls: readiness is only knowable
-        // after draining the in-flight set, which the woken receiver
-        // does itself. Wakers fire outside the link lock.
-        let fired: Vec<MailboxWaker> = link.wakers.drain().map(|(_, w)| w).collect();
+        // Drain the whole in-flight set eagerly — the same
+        // deterministic `(arrival, uid)` total order any receiver
+        // would drain in, so the delivery schedule is unchanged (and
+        // the dumps re-sort by `(arrival, frame)` regardless) — then
+        // wake only the sessions whose mailboxes actually gained a
+        // frame. A deposit for session A no longer costs every other
+        // parked session a spurious wake (and a scheduler requeue) per
+        // frame; sessions whose frames are still held in the reorder
+        // stage stay parked until the stream really resumes.
+        while !link.in_flight.is_empty() {
+            link.advance(from, to);
+        }
+        let woken: Vec<SessionId> = link
+            .wakers
+            .keys()
+            .copied()
+            .filter(|session| link.streams.get(session).is_some_and(|s| !s.ready.is_empty()))
+            .collect();
+        let mut fired: Vec<MailboxWaker> = Vec::with_capacity(woken.len());
+        for session in woken {
+            fired.extend(link.wakers.remove(&session));
+        }
         drop(link);
         wq.notify_all();
         for waker in fired {
@@ -1318,6 +1336,62 @@ mod tests {
         let (_alice, bob, _) = pair(plan);
         let ready = bob.register_waker(RAW_SESSION, "Alice", Arc::new(|| {})).unwrap();
         assert!(ready, "a silenced link must not park a session forever");
+    }
+
+    #[test]
+    fn deposits_wake_only_the_mailboxes_that_gained_frames() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let (alice, bob, _) = pair(FaultPlan::ideal());
+        let fired_one = Arc::new(AtomicUsize::new(0));
+        let fired_two = Arc::new(AtomicUsize::new(0));
+        let waker = |counter: &Arc<AtomicUsize>| -> MailboxWaker {
+            let counter = Arc::clone(counter);
+            Arc::new(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            })
+        };
+        assert!(!bob.register_waker(1, "Alice", waker(&fired_one)).unwrap());
+        assert!(!bob.register_waker(2, "Alice", waker(&fired_two)).unwrap());
+        // A frame for session 1 must not cost session 2 a spurious wake.
+        alice.send_frame("Bob", Envelope::new(1, 0, b"for-one".to_vec())).unwrap();
+        assert_eq!(fired_one.load(Ordering::SeqCst), 1);
+        assert_eq!(fired_two.load(Ordering::SeqCst), 0, "session 2 gained no frame");
+        // Session 2's waker is still armed and fires on its own deposit.
+        alice.send_frame("Bob", Envelope::new(2, 0, b"for-two".to_vec())).unwrap();
+        assert_eq!(fired_two.load(Ordering::SeqCst), 1);
+        assert_eq!(fired_one.load(Ordering::SeqCst), 1, "consumed on its first fire");
+        assert_eq!(bob.receive_frame(1, "Alice").unwrap().payload, b"for-one");
+        assert_eq!(bob.receive_frame(2, "Alice").unwrap().payload, b"for-two");
+    }
+
+    #[test]
+    fn eager_draining_leaves_chaos_schedules_bit_identical() {
+        // Senders now drain the in-flight set at deposit time (so they
+        // can tell which mailboxes gained frames). The dump must not
+        // care *who* drains: a run that consumes after every send and a
+        // run that consumes only at the end see one schedule.
+        let plan = || {
+            FaultPlan::ideal().with_seed(77).with_jitter(14).with_drop(0.25).with_duplicate(0.25)
+        };
+        let interleaved = {
+            let (alice, bob, net) = pair(plan());
+            for i in 0..24u32 {
+                alice.send("Bob", &i.to_le_bytes()).unwrap();
+                assert_eq!(bob.receive("Alice").unwrap(), i.to_le_bytes());
+            }
+            net.schedule_dump()
+        };
+        let batched = {
+            let (alice, bob, net) = pair(plan());
+            for i in 0..24u32 {
+                alice.send("Bob", &i.to_le_bytes()).unwrap();
+            }
+            for i in 0..24u32 {
+                assert_eq!(bob.receive("Alice").unwrap(), i.to_le_bytes());
+            }
+            net.schedule_dump()
+        };
+        assert_eq!(interleaved, batched, "drain timing must never change the schedule");
     }
 
     #[test]

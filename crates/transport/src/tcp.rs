@@ -37,13 +37,30 @@
 //! lose-whatever-was-in-flight behavior (now detected loudly by the
 //! receiver's cursor rather than surfacing as a session sequence gap).
 //!
-//! A reader thread per accepted connection decodes each envelope and
-//! routes it into a per-(session, sender) FIFO mailbox, giving the
-//! per-sender ordering guarantee the λN model assumes *within* each
-//! session while letting sessions interleave freely on the socket. The
-//! data plane remains allocation-lean: sends assemble small frames in a
-//! reused per-link buffer (one `write` syscall) and put large payloads
-//! on the wire as a second slice without copying them.
+//! # The batched data plane
+//!
+//! Resilient sends are batched per link: every retained frame not yet
+//! on the current connection flushes in one vectored write — the fixed
+//! 33-byte headers assembled in a reused per-link buffer, the
+//! refcounted payloads handed to the kernel as their own slices, never
+//! copied. With a nonzero coalescing window (`CHORUS_TCP_FLUSH_US`,
+//! builder override wins) sends enqueue and a flusher thread writes the
+//! accumulated batch once the window closes; the window starts at the
+//! first enqueued frame, so a lone frame is never stalled longer than
+//! the window, and a large backlog flushes inline without waiting.
+//!
+//! A reader thread per accepted connection drains the whole buffered
+//! burst per wakeup, deposits it into the per-(session, sender) FIFO
+//! mailboxes under one inbox lock, and fires each parked waker once per
+//! drain instead of once per frame — preserving the per-sender ordering
+//! guarantee the λN model assumes *within* each session while letting
+//! sessions interleave freely on the socket.
+//!
+//! Retention is bounded: a link whose unacknowledged tail reaches the
+//! `CHORUS_TCP_RETAIN_MAX` watermark parks further senders until acks
+//! prune it, and surfaces [`TransportError::RetentionExceeded`] if the
+//! link resolves down while they wait — a peer that stays dead can no
+//! longer grow a sender's retention queue without bound.
 
 pub use crate::link::TcpLinkStats;
 use crate::link::{backoff_delay, FrameAccumulator, LinkStats, LinkTuning, ACK_EVERY};
@@ -51,14 +68,17 @@ use chorus_core::{
     park, ChoreographyLocation, InternedNames, LocationSet, MailboxWaker, SequenceTracker,
     SessionId, SessionTransport, Transport, TransportError, RAW_SESSION,
 };
-use chorus_wire::{data_header, ControlFrame, Envelope, LinkFrame, DATA_HEADER_LEN};
+use chorus_wire::{
+    data_frame_wire_len, data_header, ControlFrame, Envelope, LinkFrame, DATA_FRAME_OVERHEAD,
+    DATA_HEADER_LEN,
+};
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet, VecDeque};
-use std::io::{Read, Write};
+use std::io::{IoSlice, Read, Write};
 use std::marker::PhantomData;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::sync::{Arc, Condvar, Mutex as StdMutex, MutexGuard, PoisonError, TryLockError};
 use std::time::{Duration, Instant};
 
 /// Unanswered heartbeat probes before an established link is presumed
@@ -80,6 +100,8 @@ pub struct TcpConfig<L: LocationSet> {
     retry_limit: Option<u32>,
     retry_base: Option<Duration>,
     heartbeat: Option<Duration>,
+    flush_delay: Option<Duration>,
+    retain_max: Option<usize>,
     system: PhantomData<L>,
 }
 
@@ -91,6 +113,8 @@ pub struct TcpConfigBuilder {
     retry_limit: Option<u32>,
     retry_base: Option<Duration>,
     heartbeat: Option<Duration>,
+    flush_delay: Option<Duration>,
+    retain_max: Option<usize>,
 }
 
 impl Default for TcpConfigBuilder {
@@ -101,6 +125,8 @@ impl Default for TcpConfigBuilder {
             retry_limit: None,
             retry_base: None,
             heartbeat: None,
+            flush_delay: None,
+            retain_max: None,
         }
     }
 }
@@ -149,6 +175,23 @@ impl TcpConfigBuilder {
         self
     }
 
+    /// Overrides the coalescing flush window (otherwise
+    /// `CHORUS_TCP_FLUSH_US`, default zero — flush inline on every
+    /// send, which still batches whatever queued behind a contended
+    /// link or a replay).
+    pub fn flush_delay(mut self, window: Duration) -> Self {
+        self.flush_delay = Some(window);
+        self
+    }
+
+    /// Overrides the per-link retention watermark in bytes (otherwise
+    /// `CHORUS_TCP_RETAIN_MAX`, default 64 MiB; zero disables the
+    /// bound).
+    pub fn retain_max(mut self, bytes: usize) -> Self {
+        self.retain_max = Some(bytes);
+        self
+    }
+
     /// Finalizes the address book for the system census `L`.
     ///
     /// # Errors
@@ -165,6 +208,8 @@ impl TcpConfigBuilder {
                 retry_limit: self.retry_limit,
                 retry_base: self.retry_base,
                 heartbeat: self.heartbeat,
+                flush_delay: self.flush_delay,
+                retain_max: self.retain_max,
                 system: PhantomData,
             })
         } else {
@@ -186,6 +231,12 @@ impl<L: LocationSet> TcpConfig<L> {
         }
         if let Some(heartbeat) = self.heartbeat {
             tuning.heartbeat = heartbeat;
+        }
+        if let Some(window) = self.flush_delay {
+            tuning.flush_delay = window;
+        }
+        if let Some(bytes) = self.retain_max {
+            tuning.retain_max = bytes;
         }
         tuning
     }
@@ -256,16 +307,17 @@ fn write_link_data(
     stream.flush()
 }
 
-/// The link-layer verdict on one incoming data frame.
-enum LinkVerdict {
-    /// Fresh: the cursor advanced and session routing ran.
-    Accepted,
-    /// Already delivered on an earlier connection; dropped.
-    Duplicate,
+/// What the link layer made of one deposited batch of data frames.
+#[derive(Default)]
+struct BatchOutcome {
+    /// Frames whose link cursor advanced (session routing ran).
+    accepted: u32,
+    /// Frames dropped as already delivered on an earlier connection.
+    duplicates: u64,
     /// The cursor jumped forward: frames were genuinely lost (plain
     /// mode, or a receiver restart behind a live sender). The link is
-    /// poisoned loudly.
-    Gap,
+    /// poisoned loudly and the rest of the batch discarded.
+    gap: bool,
 }
 
 /// The demultiplexed receive side shared by all reader threads.
@@ -296,67 +348,78 @@ struct InboxInner {
 }
 
 impl Inbox {
-    /// Routes one decoded data frame from `sender` through link-level
-    /// dedup/gap detection and then into its session mailbox.
-    fn deposit_link(&self, sender: &'static str, link_seq: u64, envelope: Envelope) -> LinkVerdict {
+    /// Routes one decoded burst of data frames from `sender` through
+    /// link-level dedup/gap detection and into their session mailboxes,
+    /// under a single inbox lock.
+    ///
+    /// Each waker fires at most once per drain: the first frame for a
+    /// parked mailbox removes and collects its waker, subsequent frames
+    /// of the burst find none. Only mailboxes that actually received a
+    /// frame (or observed an error) are woken.
+    fn deposit_batch(
+        &self,
+        sender: &'static str,
+        batch: &mut Vec<(u64, Envelope)>,
+    ) -> BatchOutcome {
+        let mut outcome = BatchOutcome::default();
+        let mut fired: Vec<MailboxWaker> = Vec::new();
         let mut inner = self.inner.lock().expect("tcp inbox poisoned");
-        let cursor = inner.cursors.entry(sender).or_insert(0);
-        if link_seq < *cursor {
-            // A replay of something already delivered: the sender
-            // reconnected before our ack covering this frame reached it.
-            return LinkVerdict::Duplicate;
+        for (link_seq, envelope) in batch.drain(..) {
+            let cursor = inner.cursors.entry(sender).or_insert(0);
+            if link_seq < *cursor {
+                // A replay of something already delivered: the sender
+                // reconnected before our ack covering this frame
+                // reached it.
+                outcome.duplicates += 1;
+                continue;
+            }
+            if link_seq > *cursor {
+                // Frames below `link_seq` are gone for good (a
+                // plain-mode sender lost its in-flight tail, or this
+                // receiver restarted and lost its cursor). Poison the
+                // link rather than let a session see a silently
+                // shortened stream.
+                let message = format!(
+                    "link-layer sequence gap from {sender}: expected frame {cursor}, got \
+                     {link_seq} (frames lost on a dead connection)"
+                );
+                inner.closed.insert(sender, Some(message));
+                fired.extend(drain_sender_wakers(&mut inner.wakers, sender));
+                outcome.gap = true;
+                break;
+            }
+            *cursor += 1;
+            outcome.accepted += 1;
+            // A sender that violated its session sequencing is
+            // unrecoverable (see `reopen`): consume the frame at the
+            // link level (so the sender's retention queue drains) but
+            // withhold it from every session, which observes the
+            // protocol error instead of a silently resumed stream.
+            if matches!(inner.closed.get(sender), Some(Some(_))) {
+                continue;
+            }
+            match inner.sequences.check(envelope.session, sender, envelope.seq) {
+                Ok(()) => {
+                    let session = envelope.session;
+                    inner.mailboxes.entry((sender, session)).or_default().push_back(envelope);
+                    fired.extend(inner.wakers.remove(&(sender, session)));
+                }
+                Err(e) => {
+                    inner.closed.insert(sender, Some(e.to_string()));
+                    fired.extend(drain_sender_wakers(&mut inner.wakers, sender));
+                }
+            }
         }
-        if link_seq > *cursor {
-            // Frames below `link_seq` are gone for good (a plain-mode
-            // sender lost its in-flight tail, or this receiver restarted
-            // and lost its cursor). Poison the link rather than let a
-            // session see a silently shortened stream.
-            let message = format!(
-                "link-layer sequence gap from {sender}: expected frame {cursor}, got {link_seq} \
-                 (frames lost on a dead connection)"
-            );
-            inner.closed.insert(sender, Some(message));
-            let fired = drain_sender_wakers(&mut inner.wakers, sender);
+        if outcome.accepted > 0 || outcome.gap {
             self.cv.notify_all();
-            drop(inner);
-            for waker in fired {
-                waker();
-            }
-            return LinkVerdict::Gap;
         }
-        *cursor += 1;
-        // A sender that violated its session sequencing is unrecoverable
-        // (see `reopen`): consume the frame at the link level (so the
-        // sender's retention queue drains) but withhold it from every
-        // session, which observes the protocol error instead of a
-        // silently resumed stream.
-        if matches!(inner.closed.get(sender), Some(Some(_))) {
-            return LinkVerdict::Accepted;
-        }
-        let mut fired = None;
-        let mut all_fired = Vec::new();
-        match inner.sequences.check(envelope.session, sender, envelope.seq) {
-            Ok(()) => {
-                let session = envelope.session;
-                inner.mailboxes.entry((sender, session)).or_default().push_back(envelope);
-                fired = inner.wakers.remove(&(sender, session));
-            }
-            Err(e) => {
-                inner.closed.insert(sender, Some(e.to_string()));
-                all_fired = drain_sender_wakers(&mut inner.wakers, sender);
-            }
-        }
-        self.cv.notify_all();
         // Wakers re-enqueue sessions into a scheduler queue; invoke them
         // outside the inbox lock to avoid ordering deadlocks.
         drop(inner);
-        if let Some(waker) = fired {
+        for waker in fired {
             waker();
         }
-        for waker in all_fired {
-            waker();
-        }
-        LinkVerdict::Accepted
+        outcome
     }
 
     /// The next link sequence expected of `sender` — the cumulative-ack
@@ -511,6 +574,15 @@ struct SendLink {
     /// Payloads are refcounted `Bytes`, so retention holds handles, not
     /// copies.
     unacked: VecDeque<(u64, Envelope)>,
+    /// Wire bytes `unacked` accounts for (headers + payloads), the
+    /// quantity the `retain_max` watermark bounds.
+    retained_bytes: usize,
+    /// Wire bytes enqueued but not yet attempted on the current
+    /// connection — the inline-flush threshold for the coalescing path.
+    unflushed_bytes: usize,
+    /// Frames are parked behind the coalescing window, waiting for the
+    /// flusher thread.
+    dirty: bool,
     /// Frames below this are acknowledged (pruned from `unacked`).
     acked: u64,
     /// Last time the peer proved liveness (ack or pong).
@@ -542,6 +614,9 @@ impl SendLink {
             flushed: 0,
             wire_high: 0,
             unacked: VecDeque::new(),
+            retained_bytes: 0,
+            unflushed_bytes: 0,
+            dirty: false,
             acked: 0,
             last_heard: now,
             last_ping: now,
@@ -551,6 +626,68 @@ impl SendLink {
             down: None,
         }
     }
+}
+
+/// A send link fused with the condvar announcing retention prunes, so
+/// a watermark-blocked sender parks on exactly the link it waits for
+/// and wakes when acks (or a terminal link-down) resolve the wait.
+struct LinkCell {
+    state: StdMutex<SendLink>,
+    pruned: Condvar,
+}
+
+impl LinkCell {
+    fn new() -> Self {
+        LinkCell { state: StdMutex::new(SendLink::new()), pruned: Condvar::new() }
+    }
+
+    /// Locks the link. Poisoning is deliberately absorbed: the state a
+    /// panicking holder leaves behind is structurally sound (queues and
+    /// counters move together), and propagating it would wedge every
+    /// sender on the link.
+    fn lock(&self) -> MutexGuard<'_, SendLink> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn try_lock(&self) -> Option<MutexGuard<'_, SendLink>> {
+        match self.state.try_lock() {
+            Ok(guard) => Some(guard),
+            Err(TryLockError::Poisoned(poisoned)) => Some(poisoned.into_inner()),
+            Err(TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Parks until a prune is announced (or `timeout` passes — callers
+    /// re-check their predicate either way).
+    fn wait_pruned<'a>(
+        &self,
+        guard: MutexGuard<'a, SendLink>,
+        timeout: Duration,
+    ) -> MutexGuard<'a, SendLink> {
+        match self.pruned.wait_timeout(guard, timeout) {
+            Ok((guard, _timed_out)) => guard,
+            Err(poisoned) => poisoned.into_inner().0,
+        }
+    }
+
+    /// Announces a retention prune (or a terminal link-down) to parked
+    /// senders.
+    fn notify_pruned(&self) {
+        self.pruned.notify_all();
+    }
+}
+
+/// Pops every retained frame below `below`, keeping `retained_bytes`
+/// in step with the queue. Returns how many frames were pruned (the
+/// caller announces via [`LinkCell::notify_pruned`]).
+fn prune_acked(link: &mut SendLink, below: u64) -> usize {
+    let mut pruned = 0;
+    while link.unacked.front().is_some_and(|(seq, _)| *seq < below) {
+        let (_, envelope) = link.unacked.pop_front().expect("front checked above");
+        link.retained_bytes = link.retained_bytes.saturating_sub(data_frame_wire_len(&envelope));
+        pruned += 1;
+    }
+    pruned
 }
 
 /// Tears down the link's current connection (if any) and starts the
@@ -576,11 +713,74 @@ struct SendShared {
     /// or create an entry; connecting (which retries with backoff) and
     /// writing happen under the per-peer lock, so one slow or dead peer
     /// never stalls sends to the others.
-    links: Mutex<HashMap<&'static str, Arc<Mutex<SendLink>>>>,
+    links: Mutex<HashMap<&'static str, Arc<LinkCell>>>,
+    /// Set when any link parked frames behind the coalescing window;
+    /// the flusher thread consumes it.
+    flush_signal: park::WaitQueue<bool>,
+    /// Fast-path gate in front of `flush_signal`: the first deposit of
+    /// a flush round pays the lock + wake; the thousands that follow in
+    /// the same window see the hint already set and pay one relaxed
+    /// atomic swap. The flusher clears the hint *before* scanning for
+    /// dirty links, so a deposit that lands mid-scan re-arms the next
+    /// round instead of being lost.
+    dirty_hint: AtomicBool,
+}
+
+impl SendShared {
+    /// Tells the coalescing flusher that a link has undispatched
+    /// frames (the start of its flush window).
+    fn note_dirty(&self) {
+        if self.dirty_hint.swap(true, Ordering::Relaxed) {
+            return;
+        }
+        let mut signalled = self.flush_signal.lock();
+        *signalled = true;
+        drop(signalled);
+        self.flush_signal.notify_one();
+    }
 }
 
 fn link_down_error(me: &str, to: &str, elapsed: Duration, attempts: u32) -> TransportError {
     TransportError::LinkDown { edge: format!("{me}->{to}"), elapsed, attempts }
+}
+
+/// Parks the sending session until acks prune the retention queue far
+/// enough below the watermark to admit `wire_len` more bytes — the
+/// backpressure that keeps a slow or dead peer from growing a sender's
+/// retention without bound.
+///
+/// # Errors
+///
+/// Surfaces [`TransportError::RetentionExceeded`] if the link resolves
+/// down, or the workspace watchdog expires, while the queue is still
+/// over the watermark.
+fn wait_for_retention_room<'a>(
+    me: &str,
+    to: &'static str,
+    handle: &'a LinkCell,
+    mut link: MutexGuard<'a, SendLink>,
+    wire_len: usize,
+    limit: usize,
+) -> Result<MutexGuard<'a, SendLink>, TransportError> {
+    let deadline = Instant::now() + park::default_watchdog();
+    loop {
+        // An empty queue admits the frame regardless: a single frame
+        // larger than the watermark must still be sendable, or it could
+        // never leave at all.
+        if link.unacked.is_empty() || link.retained_bytes + wire_len <= limit {
+            return Ok(link);
+        }
+        if link.down.is_some() || Instant::now() >= deadline {
+            return Err(TransportError::RetentionExceeded {
+                edge: format!("{me}->{to}"),
+                retained_bytes: link.retained_bytes,
+                limit,
+            });
+        }
+        // Bounded park: prunes notify `pruned`, but the terminal
+        // link-down can race a notification, so re-check periodically.
+        link = handle.wait_pruned(link, Duration::from_millis(50));
+    }
 }
 
 /// FNV-1a of a peer name, as the per-link backoff jitter salt.
@@ -593,34 +793,91 @@ fn jitter_salt(name: &str) -> u64 {
     hash
 }
 
-/// Writes every retained frame not yet on the current connection.
+/// Frames per vectored batch: bounds the header buffer and keeps the
+/// iovec array comfortably under `IOV_MAX` (two slices per frame).
+const FLUSH_BATCH_MAX: usize = 256;
+
+/// A coalescing-mode backlog at or past this many wire bytes flushes
+/// inline on the sending thread instead of waiting out the window.
+const FLUSH_INLINE_BYTES: usize = 256 * 1024;
+
+/// Writes every retained frame not yet on the current connection, as
+/// vectored batches: per batch, the fixed 33-byte headers are
+/// assembled back-to-back in the reused link buffer and handed to
+/// `write_vectored` interleaved with the refcounted payload slices —
+/// one syscall per batch, the payloads never copied.
 ///
 /// # Errors
 ///
-/// An I/O error leaves the stream in place; the caller decides between
-/// `kill_stream` + re-establish (resilient) and surfacing it.
+/// An I/O error leaves the stream in place (a batch may be partially
+/// written; the resume cursor re-syncs `flushed` on reconnect); the
+/// caller decides between `kill_stream` + re-establish (resilient) and
+/// surfacing it.
 fn flush_pending(link: &mut SendLink, stats: &LinkStats) -> std::io::Result<()> {
-    let SendLink { stream, buf, unacked, flushed, wire_high, .. } = link;
+    let SendLink { stream, buf, unacked, flushed, wire_high, .. } = &mut *link;
     let Some(stream) = stream.as_mut() else {
         return Err(std::io::Error::new(std::io::ErrorKind::NotConnected, "link not connected"));
     };
-    // `unacked` holds contiguous sequences, so the first unflushed frame
-    // is at a computable offset — no scan over the acked-but-unpruned
-    // prefix.
-    let skip = unacked
-        .front()
-        .map_or(0, |(first, _)| usize::try_from(flushed.saturating_sub(*first)).unwrap_or(0));
-    for (seq, envelope) in unacked.iter().skip(skip) {
-        if *seq < *flushed {
-            continue;
+    loop {
+        // `unacked` holds contiguous sequences, so the first unflushed
+        // frame is at a computable offset — no scan over the
+        // acked-but-unpruned prefix.
+        let skip = unacked
+            .front()
+            .map_or(0, |(first, _)| usize::try_from(flushed.saturating_sub(*first)).unwrap_or(0));
+        if skip >= unacked.len() {
+            break;
         }
-        if *seq < *wire_high {
-            stats.replayed.fetch_add(1, Ordering::Relaxed);
+        let count = (unacked.len() - skip).min(FLUSH_BATCH_MAX);
+        buf.clear();
+        let mut last_seq = *flushed;
+        for (seq, envelope) in unacked.iter().skip(skip).take(count) {
+            if *seq < *wire_high {
+                stats.replayed.fetch_add(1, Ordering::Relaxed);
+            }
+            let inner_len = DATA_HEADER_LEN + envelope.encoded_len();
+            let outer_len = u32::try_from(inner_len).map_err(|_| {
+                std::io::Error::new(std::io::ErrorKind::InvalidInput, "frame too large")
+            })?;
+            buf.extend_from_slice(&outer_len.to_le_bytes());
+            buf.extend_from_slice(&data_header(*seq));
+            buf.extend_from_slice(&envelope.header());
+            last_seq = *seq;
         }
-        write_link_data(stream, buf, *seq, envelope)?;
-        *flushed = *seq + 1;
+        // Headers have a fixed stride, so header `i` sits at
+        // `buf[i * DATA_FRAME_OVERHEAD ..]`. The iovec array lives on
+        // the stack: the steady-state flush allocates nothing.
+        let mut iov = [IoSlice::new(&[]); 2 * FLUSH_BATCH_MAX];
+        let mut iov_len = 0;
+        for (i, (_, envelope)) in unacked.iter().skip(skip).take(count).enumerate() {
+            iov[iov_len] =
+                IoSlice::new(&buf[i * DATA_FRAME_OVERHEAD..(i + 1) * DATA_FRAME_OVERHEAD]);
+            iov_len += 1;
+            if !envelope.payload.is_empty() {
+                iov[iov_len] = IoSlice::new(&envelope.payload);
+                iov_len += 1;
+            }
+        }
+        let mut slices = &mut iov[..iov_len];
+        while !slices.is_empty() {
+            match stream.write_vectored(slices) {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::WriteZero,
+                        "connection closed mid-batch",
+                    ))
+                }
+                Ok(n) => IoSlice::advance_slices(&mut slices, n),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        *flushed = last_seq + 1;
         *wire_high = (*wire_high).max(*flushed);
+        stats.record_batch(count);
     }
+    link.unflushed_bytes = 0;
+    link.dirty = false;
     Ok(())
 }
 
@@ -630,7 +887,7 @@ fn flush_pending(link: &mut SendLink, stats: &LinkStats) -> std::io::Result<()> 
 fn try_connect_once(
     shared: &Arc<SendShared>,
     to: &'static str,
-    handle: &Arc<Mutex<SendLink>>,
+    handle: &Arc<LinkCell>,
     link: &mut SendLink,
     addr: SocketAddr,
 ) -> std::io::Result<()> {
@@ -692,8 +949,8 @@ fn try_connect_once(
     // from what we still retain; the receiver's gap detection will
     // report the truncation loudly rather than let sessions see a
     // spliced stream.
-    while link.unacked.front().is_some_and(|(seq, _)| *seq < next) {
-        link.unacked.pop_front();
+    if prune_acked(link, next) > 0 {
+        handle.notify_pruned();
     }
     link.acked = link.acked.max(next);
     link.flushed = next;
@@ -727,7 +984,7 @@ fn try_connect_once(
 fn establish(
     shared: &Arc<SendShared>,
     to: &'static str,
-    handle: &Arc<Mutex<SendLink>>,
+    handle: &Arc<LinkCell>,
     link: &mut SendLink,
     burst: Option<u32>,
 ) -> Result<(), TransportError> {
@@ -756,6 +1013,9 @@ fn establish(
             let elapsed = since.elapsed();
             link.down = Some((elapsed, attempts));
             shared.stats.links_down.fetch_add(1, Ordering::Relaxed);
+            // Senders parked on the retention watermark observe the
+            // terminal state and surface `RetentionExceeded`.
+            handle.notify_pruned();
             return Err(link_down_error(shared.me, to, elapsed, attempts));
         }
         if burst.is_some_and(|budget| tried_this_call >= budget) {
@@ -795,7 +1055,7 @@ fn establish(
 fn ack_reader(
     mut stream: TcpStream,
     mut acc: FrameAccumulator,
-    handle: Arc<Mutex<SendLink>>,
+    handle: Arc<LinkCell>,
     stop: Arc<AtomicBool>,
     generation: u64,
 ) {
@@ -817,11 +1077,14 @@ fn ack_reader(
                         return;
                     }
                     link.acked = link.acked.max(next);
-                    while link.unacked.front().is_some_and(|(seq, _)| *seq < link.acked) {
-                        link.unacked.pop_front();
-                    }
+                    let below = link.acked;
+                    let pruned = prune_acked(&mut link, below);
                     link.last_heard = Instant::now();
                     link.pings_unanswered = 0;
+                    drop(link);
+                    if pruned > 0 {
+                        handle.notify_pruned();
+                    }
                 }
             }
             Ok(None) => {
@@ -853,7 +1116,7 @@ fn supervisor_loop(shared: Arc<SendShared>) {
         if shared.stop.load(Ordering::Relaxed) {
             return;
         }
-        let links: Vec<(&'static str, Arc<Mutex<SendLink>>)> =
+        let links: Vec<(&'static str, Arc<LinkCell>)> =
             shared.links.lock().iter().map(|(to, handle)| (*to, Arc::clone(handle))).collect();
         for (to, handle) in links {
             // A contended link is being actively worked (a sender in
@@ -890,6 +1153,52 @@ fn supervisor_loop(shared: Arc<SendShared>) {
                 // short bursts (the cumulative budget lives in the
                 // outage) without monopolizing the sweep.
                 let _ = establish(&shared, to, &handle, &mut link, Some(2));
+            }
+        }
+    }
+}
+
+/// The coalescing flusher: when sends park frames behind a nonzero
+/// `CHORUS_TCP_FLUSH_US` window, this thread wakes at the *first*
+/// enqueue, sleeps out the window (letting the batch accumulate), and
+/// writes every dirty link's backlog as one vectored flush. Because
+/// the signal fires on the first frame, a lone frame's latency is
+/// bounded by the window — it is never stalled waiting for company.
+fn flusher_loop(shared: Arc<SendShared>) {
+    let window = shared.tuning.flush_delay;
+    // Bound idle parks so shutdown is prompt even with no traffic.
+    let tick = shared.tuning.supervisor_tick();
+    while !shared.stop.load(Ordering::Relaxed) {
+        let mut signalled = shared.flush_signal.lock();
+        while !*signalled {
+            let (guard, _timed_out) =
+                shared.flush_signal.wait_deadline(signalled, Instant::now() + tick);
+            signalled = guard;
+            if shared.stop.load(Ordering::Relaxed) {
+                return;
+            }
+        }
+        *signalled = false;
+        drop(signalled);
+        // Re-arm the fast-path gate before sleeping: deposits from here
+        // on signal the *next* round (and are usually also caught by
+        // this one, since the dirty links are scanned after the
+        // window).
+        shared.dirty_hint.store(false, Ordering::Relaxed);
+        // The coalescing window: frames sent while we sleep join the
+        // batch (and set the signal again, harmlessly).
+        std::thread::sleep(window);
+        let links: Vec<Arc<LinkCell>> = shared.links.lock().values().map(Arc::clone).collect();
+        for handle in links {
+            let mut link = handle.lock();
+            if !link.dirty {
+                continue;
+            }
+            link.dirty = false;
+            if link.stream.is_some() && flush_pending(&mut link, &shared.stats).is_err() {
+                // The retained tail is non-empty, so the supervisor
+                // re-establishes and replays in the background.
+                kill_stream(&mut link);
             }
         }
     }
@@ -946,6 +1255,8 @@ impl<L: LocationSet, Target: ChoreographyLocation> TcpTransport<L, Target> {
             stats,
             stop: Arc::clone(&stop),
             links: Mutex::new(HashMap::new()),
+            flush_signal: park::WaitQueue::new(false),
+            dirty_hint: AtomicBool::new(false),
         });
         if tuning.resilient {
             let supervisor_shared = Arc::clone(&send);
@@ -955,6 +1266,17 @@ impl<L: LocationSet, Target: ChoreographyLocation> TcpTransport<L, Target> {
                 .map_err(|e| {
                     TransportError::Io(std::io::Error::other(format!(
                         "spawning link supervisor: {e}"
+                    )))
+                })?;
+        }
+        if tuning.resilient && tuning.flush_delay > Duration::ZERO {
+            let flusher_shared = Arc::clone(&send);
+            std::thread::Builder::new()
+                .name("chorus-tcp-flusher".into())
+                .spawn(move || flusher_loop(flusher_shared))
+                .map_err(|e| {
+                    TransportError::Io(std::io::Error::other(format!(
+                        "spawning coalescing flusher: {e}"
                     )))
                 })?;
         }
@@ -980,8 +1302,7 @@ impl<L: LocationSet, Target: ChoreographyLocation> TcpTransport<L, Target> {
     /// were torn down. In resilient mode the links replay their
     /// retained tails on reconnect; sessions observe only latency.
     pub fn break_established_links(&self) -> usize {
-        let handles: Vec<Arc<Mutex<SendLink>>> =
-            self.send.links.lock().values().map(Arc::clone).collect();
+        let handles: Vec<Arc<LinkCell>> = self.send.links.lock().values().map(Arc::clone).collect();
         let mut killed = 0;
         for handle in handles {
             let mut link = handle.lock();
@@ -993,9 +1314,24 @@ impl<L: LocationSet, Target: ChoreographyLocation> TcpTransport<L, Target> {
         killed
     }
 
-    fn link_handle(&self, to: &'static str) -> Arc<Mutex<SendLink>> {
+    /// What the resilient link to `to` currently retains, as
+    /// `(frames, wire_bytes)` — the quantity the `retain_max`
+    /// watermark bounds. Test/introspection hook; `(0, 0)` for unknown
+    /// peers or links never used.
+    pub fn retention(&self, to: &str) -> (usize, usize) {
+        let Ok(to) = self.names.resolve(to) else {
+            return (0, 0);
+        };
+        let handle = self.send.links.lock().get(to).map(Arc::clone);
+        handle.map_or((0, 0), |handle| {
+            let link = handle.lock();
+            (link.unacked.len(), link.retained_bytes)
+        })
+    }
+
+    fn link_handle(&self, to: &'static str) -> Arc<LinkCell> {
         let mut links = self.send.links.lock();
-        Arc::clone(links.entry(to).or_insert_with(|| Arc::new(Mutex::new(SendLink::new()))))
+        Arc::clone(links.entry(to).or_insert_with(|| Arc::new(LinkCell::new())))
     }
 }
 
@@ -1046,9 +1382,33 @@ fn accept_loop(
     }
 }
 
+/// Deposits a decoded burst into the inbox, keeping the duplicate
+/// stats and the ack cadence counter in step. Returns `false` when the
+/// burst poisoned the link with a cursor gap (the reader must exit).
+fn drain_batch(
+    inbox: &Inbox,
+    stats: &LinkStats,
+    name: &'static str,
+    batch: &mut Vec<(u64, Envelope)>,
+    accepted_since_ack: &mut u32,
+) -> bool {
+    if batch.is_empty() {
+        return true;
+    }
+    let outcome = inbox.deposit_batch(name, batch);
+    if outcome.duplicates > 0 {
+        stats.duplicates.fetch_add(outcome.duplicates, Ordering::Relaxed);
+    }
+    if outcome.accepted > 0 {
+        stats.deposited.fetch_add(u64::from(outcome.accepted), Ordering::Relaxed);
+    }
+    *accepted_since_ack = accepted_since_ack.saturating_add(outcome.accepted);
+    !outcome.gap
+}
+
 /// Drives one accepted connection: resume-cursor handshake reply,
-/// frame decode, link dedup/gap verdicts, cumulative acks, heartbeat
-/// replies.
+/// whole-burst frame decode and batch deposit, link dedup/gap
+/// verdicts, cumulative acks at batch boundaries, heartbeat replies.
 fn reader_loop(
     mut stream: TcpStream,
     name: &'static str,
@@ -1073,62 +1433,16 @@ fn reader_loop(
     inbox.reopen(name);
     let mut acc = FrameAccumulator::default();
     let mut accepted_since_ack: u32 = 0;
+    let mut batch: Vec<(u64, Envelope)> = Vec::new();
     loop {
         if stop.load(Ordering::Relaxed) {
             return;
         }
-        match acc.poll(&mut stream) {
-            Ok(Some(body)) => match LinkFrame::decode(body) {
-                Ok(LinkFrame::Data { link_seq, envelope }) => {
-                    match inbox.deposit_link(name, link_seq, envelope) {
-                        LinkVerdict::Accepted => {
-                            if resilient_peer {
-                                accepted_since_ack += 1;
-                                if accepted_since_ack >= ACK_EVERY {
-                                    accepted_since_ack = 0;
-                                    let next = inbox.link_cursor(name);
-                                    if write_control(&mut stream, &ControlFrame::Ack { next })
-                                        .is_err()
-                                    {
-                                        return;
-                                    }
-                                }
-                            }
-                        }
-                        LinkVerdict::Duplicate => {
-                            stats.duplicates.fetch_add(1, Ordering::Relaxed);
-                        }
-                        LinkVerdict::Gap => return,
-                    }
-                }
-                Ok(LinkFrame::Control(ControlFrame::Ping { nonce })) => {
-                    // The pong carries the cursor, doubling as an ack.
-                    let next = inbox.link_cursor(name);
-                    accepted_since_ack = 0;
-                    if write_control(&mut stream, &ControlFrame::Pong { nonce, next }).is_err() {
-                        return;
-                    }
-                }
-                Ok(LinkFrame::Control(_)) => {
-                    // Ack/Pong/Resume have no meaning inbound here.
-                }
-                Err(e) => {
-                    inbox.close(name, Some(format!("bad frame: {e}")));
-                    return;
-                }
-            },
-            Ok(None) => {
-                // Timeout tick: flush a pending cumulative ack so a
-                // sender trickling frames slower than ACK_EVERY still
-                // drains its retention queue promptly.
-                if resilient_peer && accepted_since_ack > 0 {
-                    accepted_since_ack = 0;
-                    let next = inbox.link_cursor(name);
-                    if write_control(&mut stream, &ControlFrame::Ack { next }).is_err() {
-                        return;
-                    }
-                }
-            }
+        // Decode immediately so the borrow of the accumulator ends and
+        // the burst-drain below can keep pulling buffered frames.
+        let polled = match acc.poll(&mut stream) {
+            Ok(Some(body)) => Some(LinkFrame::decode(body)),
+            Ok(None) => None,
             Err(_) => {
                 // The connection ended. For a resilient peer that is not
                 // an event sessions may observe — the sender reconnects
@@ -1137,6 +1451,68 @@ fn reader_loop(
                 if !resilient_peer {
                     inbox.close(name, None);
                 }
+                return;
+            }
+        };
+        let Some(mut frame) = polled else {
+            // Timeout tick: flush a pending cumulative ack so a sender
+            // trickling frames slower than ACK_EVERY still drains its
+            // retention queue promptly.
+            if resilient_peer && accepted_since_ack > 0 {
+                accepted_since_ack = 0;
+                let next = inbox.link_cursor(name);
+                if write_control(&mut stream, &ControlFrame::Ack { next }).is_err() {
+                    return;
+                }
+            }
+            continue;
+        };
+        // Decode the whole buffered burst before depositing: one inbox
+        // lock and at most one waker fire per mailbox per drain, not
+        // per frame.
+        loop {
+            match frame {
+                Ok(LinkFrame::Data { link_seq, envelope }) => {
+                    batch.push((link_seq, envelope));
+                }
+                Ok(LinkFrame::Control(ControlFrame::Ping { nonce })) => {
+                    // Deposit what preceded the probe so the pong's
+                    // piggybacked cursor covers it, doubling as an ack.
+                    if !drain_batch(&inbox, &stats, name, &mut batch, &mut accepted_since_ack) {
+                        return;
+                    }
+                    accepted_since_ack = 0;
+                    let next = inbox.link_cursor(name);
+                    if write_control(&mut stream, &ControlFrame::Pong { nonce, next }).is_err() {
+                        return;
+                    }
+                }
+                Ok(LinkFrame::Control(_)) => {
+                    // Ack/Pong/Resume have no meaning inbound here.
+                }
+                Err(e) => {
+                    // Deliver the frames that preceded the bad one,
+                    // then close loudly.
+                    drain_batch(&inbox, &stats, name, &mut batch, &mut accepted_since_ack);
+                    inbox.close(name, Some(format!("bad frame: {e}")));
+                    return;
+                }
+            }
+            match acc.next_buffered() {
+                Some(body) => frame = LinkFrame::decode(body),
+                None => break,
+            }
+        }
+        if !drain_batch(&inbox, &stats, name, &mut batch, &mut accepted_since_ack) {
+            return;
+        }
+        // Ack at the batch boundary: a burst whose tail lands exactly
+        // on the cadence must not leave the sender's retention tail
+        // unpruned until the idle tick or a heartbeat.
+        if resilient_peer && accepted_since_ack >= ACK_EVERY {
+            accepted_since_ack = 0;
+            let next = inbox.link_cursor(name);
+            if write_control(&mut stream, &ControlFrame::Ack { next }).is_err() {
                 return;
             }
         }
@@ -1170,10 +1546,10 @@ impl<L: LocationSet, Target: ChoreographyLocation> Drop for TcpTransport<L, Targ
             }
         }
         self.stop.store(true, Ordering::Relaxed);
+        self.send.flush_signal.notify_all();
         // Shut established streams down so reader/supervisor threads
         // notice promptly instead of waiting out their timeout ticks.
-        let handles: Vec<Arc<Mutex<SendLink>>> =
-            self.send.links.lock().values().map(Arc::clone).collect();
+        let handles: Vec<Arc<LinkCell>> = self.send.links.lock().values().map(Arc::clone).collect();
         for handle in handles {
             if let Some(mut link) = handle.try_lock() {
                 if let Some(stream) = link.stream.take() {
@@ -1194,15 +1570,41 @@ impl<L: LocationSet, Target: ChoreographyLocation> SessionTransport<L, Target>
         if let Some((elapsed, attempts)) = link.down {
             return Err(link_down_error(self.send.me, to_static, elapsed, attempts));
         }
-        let seq = link.next_seq;
-        link.next_seq += 1;
         if self.send.tuning.resilient {
-            // Retain first: whatever happens to the connection from here
-            // on, the frame is queued and will reach the peer (or the
-            // link goes down loudly).
+            let wire_len = data_frame_wire_len(&frame);
+            let limit = self.send.tuning.retain_max;
+            if limit > 0 && !link.unacked.is_empty() && link.retained_bytes + wire_len > limit {
+                link = wait_for_retention_room(
+                    self.send.me,
+                    to_static,
+                    &handle,
+                    link,
+                    wire_len,
+                    limit,
+                )?;
+            }
+            // Retain first (the sequence is assigned *after* any
+            // watermark park, so queue order always matches sequence
+            // order): whatever happens to the connection from here on,
+            // the frame is queued and will reach the peer (or the link
+            // goes down loudly).
+            let seq = link.next_seq;
+            link.next_seq += 1;
+            link.retained_bytes += wire_len;
+            link.unflushed_bytes += wire_len;
             link.unacked.push_back((seq, frame));
             if link.stream.is_none() {
                 return establish(&self.send, to_static, &handle, &mut link, None);
+            }
+            if self.send.tuning.flush_delay > Duration::ZERO
+                && link.unflushed_bytes < FLUSH_INLINE_BYTES
+            {
+                // Park the frame behind the coalescing window; the
+                // flusher writes the whole backlog as one batch.
+                link.dirty = true;
+                drop(link);
+                self.send.note_dirty();
+                return Ok(());
             }
             if flush_pending(&mut link, &self.send.stats).is_err() {
                 kill_stream(&mut link);
@@ -1210,6 +1612,8 @@ impl<L: LocationSet, Target: ChoreographyLocation> SessionTransport<L, Target>
             }
             Ok(())
         } else {
+            let seq = link.next_seq;
+            link.next_seq += 1;
             if link.stream.is_none() {
                 establish(&self.send, to_static, &handle, &mut link, None)?;
             }
@@ -1454,6 +1858,92 @@ mod tests {
         let again = alice.send("Bob", b"still void").unwrap_err();
         assert!(matches!(again, TransportError::LinkDown { .. }), "got {again:?}");
         assert_eq!(alice.link_stats().links_down, 1);
+    }
+
+    #[test]
+    fn batches_coalesce_under_flush_delay() {
+        let addrs = free_local_addrs(2).unwrap();
+        let cfg = TcpConfigBuilder::new()
+            .location(Alice, addrs[0])
+            .location(Bob, addrs[1])
+            .flush_delay(Duration::from_millis(20))
+            .build::<System>()
+            .unwrap();
+        let a_cfg = cfg.clone();
+        let b_cfg = cfg;
+        let bob = std::thread::spawn(move || {
+            let t = TcpTransport::bind(Bob, b_cfg).unwrap();
+            let mut got = Vec::new();
+            for _ in 0..12 {
+                got.push(t.receive("Alice").unwrap());
+            }
+            t.send("Alice", b"done").unwrap();
+            got
+        });
+        let alice = TcpTransport::bind(Alice, a_cfg).unwrap();
+        for i in 0..12u8 {
+            alice.send("Bob", &[i]).unwrap();
+        }
+        assert_eq!(alice.receive("Bob").unwrap(), b"done");
+        let got = bob.join().unwrap();
+        assert_eq!(got, (0..12u8).map(|i| vec![i]).collect::<Vec<_>>());
+        let stats = alice.link_stats();
+        assert!(stats.batched_frames >= 12, "every frame flushes in a batch: {stats:?}");
+        assert!(
+            stats.batches < stats.batched_frames,
+            "the window must coalesce at least one multi-frame batch: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn single_frame_larger_than_watermark_still_sends() {
+        // A watermark below one frame's wire footprint must admit the
+        // frame when the queue is empty — otherwise it could never be
+        // sent at all.
+        let addrs = free_local_addrs(2).unwrap();
+        let cfg = TcpConfigBuilder::new()
+            .location(Alice, addrs[0])
+            .location(Bob, addrs[1])
+            .retain_max(64)
+            .build::<System>()
+            .unwrap();
+        let a_cfg = cfg.clone();
+        let b_cfg = cfg;
+        let bob = std::thread::spawn(move || {
+            let t = TcpTransport::bind(Bob, b_cfg).unwrap();
+            t.receive("Alice").unwrap()
+        });
+        let alice = TcpTransport::bind(Alice, a_cfg).unwrap();
+        let oversized = vec![7u8; 4096];
+        alice.send("Bob", &oversized).unwrap();
+        assert_eq!(bob.join().unwrap(), oversized);
+    }
+
+    #[test]
+    fn retention_reports_and_drains() {
+        let addrs = free_local_addrs(2).unwrap();
+        let cfg = TcpConfigBuilder::new()
+            .location(Alice, addrs[0])
+            .location(Bob, addrs[1])
+            .heartbeat(Duration::from_millis(50))
+            .build::<System>()
+            .unwrap();
+        let a_cfg = cfg.clone();
+        let b_cfg = cfg;
+        let _bob = TcpTransport::<System, _>::bind(Bob, b_cfg).unwrap();
+        let alice = TcpTransport::<System, _>::bind(Alice, a_cfg).unwrap();
+        alice.send("Bob", b"tracked").unwrap();
+        // Acks prune the retention queue without the application ever
+        // receiving: the watermark accounting must return to zero.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let (frames, bytes) = alice.retention("Bob");
+            if frames == 0 && bytes == 0 {
+                break;
+            }
+            assert!(Instant::now() < deadline, "retention never drained: {frames} frames");
+            std::thread::sleep(Duration::from_millis(5));
+        }
     }
 
     #[test]

@@ -92,4 +92,31 @@ fn local_hot_path_stays_within_one_allocation_per_message() {
         "local send+receive hot path allocated {spent} times for {MESSAGES} messages \
          (budget: 1 per message + {SLACK} constant slack)"
     );
+
+    // Batched phase: the whole burst is queued before the first
+    // receive, the shape the batched TCP data plane flushes as one
+    // vectored write. The budget is unchanged — one allocation per
+    // message — because batching reuses the same shared payload
+    // buffers; only the mailbox queue's capacity growth is new, and the
+    // warm-up burst pays for that once.
+    for i in 0..MESSAGES as u64 {
+        alice_session.send_value("Bob", &i).unwrap();
+    }
+    for _ in 0..MESSAGES {
+        bob_session.receive_payload("Alice").unwrap();
+    }
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for i in 0..MESSAGES as u64 {
+        alice_session.send_value("Bob", &i).unwrap();
+    }
+    for _ in 0..MESSAGES {
+        let payload = bob_session.receive_payload("Alice").unwrap();
+        assert_eq!(payload.len(), 8);
+    }
+    let spent = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    assert!(
+        spent <= MESSAGES + SLACK,
+        "batched send burst allocated {spent} times for {MESSAGES} messages \
+         (budget: 1 per message + {SLACK} constant slack)"
+    );
 }

@@ -119,6 +119,47 @@ pub fn cross_session_interleaving(alice: impl AliceTransport, bob: impl BobTrans
     }
 }
 
+/// Per-(session, sender) FIFO must hold across *batch* boundaries: the
+/// sender offers session-major bursts sized exactly to the resilient
+/// link's ack cadence (16 frames), so consecutive bursts land in
+/// different wire batches and the final burst ends on a cadence
+/// boundary — the shapes the batched data plane flushes, acks, and
+/// prunes around. Every session's stream must still come out in
+/// exactly its offered order, whatever the drain order.
+pub fn fifo_across_batch_boundaries(alice: impl AliceTransport, bob: impl BobTransport) {
+    const SESSIONS: u64 = 3;
+    const BURST: u64 = 16;
+    const ROUNDS: u64 = 5;
+    for round in 0..ROUNDS {
+        for session in 0..SESSIONS {
+            for slot in 0..BURST {
+                let seq = round * BURST + slot;
+                let tag = format!("s{session}-r{round}-f{seq}");
+                alice.send_frame("Bob", frame(session, seq, tag.as_bytes())).unwrap();
+            }
+        }
+    }
+    // Drain whole sessions in reverse id order, one via the blocking
+    // path and the rest via the poll/park path, so batch delivery is
+    // exercised under both receive protocols.
+    for session in (0..SESSIONS).rev() {
+        for seq in 0..ROUNDS * BURST {
+            let got = if session == 0 {
+                bob.receive_frame(session, "Alice").unwrap()
+            } else {
+                recv_eventually(&bob, session, "Alice").unwrap()
+            };
+            assert_eq!(got.seq, seq, "session {session} broke FIFO across a batch boundary");
+            let round = seq / BURST;
+            assert_eq!(
+                got.payload,
+                format!("s{session}-r{round}-f{seq}").as_bytes(),
+                "session {session} delivered the wrong frame at seq {seq}"
+            );
+        }
+    }
+}
+
 /// A sequence gap within a session is a protocol violation the receiver
 /// must detect and report, not silently reorder around.
 pub fn sequence_gap_detected(alice: impl AliceTransport, bob: impl BobTransport) {

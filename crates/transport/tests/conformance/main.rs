@@ -56,6 +56,12 @@ macro_rules! conformance_suite {
             }
 
             #[test]
+            fn fifo_across_batch_boundaries() {
+                let (alice, bob) = $make;
+                cases::fifo_across_batch_boundaries(alice, bob);
+            }
+
+            #[test]
             fn sequence_gap_detected() {
                 let (alice, bob) = $make;
                 cases::sequence_gap_detected(alice, bob);

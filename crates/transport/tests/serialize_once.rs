@@ -38,6 +38,7 @@ macro_rules! counted_probe {
 
 counted_probe!(MulticastProbe, MULTICAST_SERIALIZATIONS);
 counted_probe!(BroadcastProbe, BROADCAST_SERIALIZATIONS);
+counted_probe!(TcpBatchProbe, TCP_BATCH_SERIALIZATIONS);
 
 chorus_core::locations! { A, B, C, D }
 type Census = chorus_core::LocationSet!(A, B, C, D);
@@ -103,6 +104,62 @@ fn multicast_serializes_exactly_once_regardless_of_census_size() {
         MULTICAST_SERIALIZATIONS.load(Ordering::SeqCst),
         1,
         "multicast must serialize once, not once per destination"
+    );
+}
+
+/// A multicasts over the batched TCP data plane; the census returns
+/// what it observed.
+#[derive(Clone)]
+struct TcpFanOut;
+
+impl Choreography<u64> for TcpFanOut {
+    type L = Census;
+
+    fn run(self, op: &impl ChoreoOp<Self::L>) -> u64 {
+        let at_a: Located<TcpBatchProbe, A> = op.locally(A, |_| TcpBatchProbe(23));
+        let shared: MultiplyLocated<TcpBatchProbe, Census> = op.multicast(A, Census::new(), &at_a);
+        op.naked(shared).0
+    }
+}
+
+/// The encode-once property must survive the batched TCP path: the
+/// coalescing window queues all three remote copies before one vectored
+/// flush, and every queued frame shares the single encoded payload
+/// buffer — so the probe still serializes exactly once.
+#[test]
+fn tcp_batched_multicast_serializes_exactly_once() {
+    use chorus_transport::{free_local_addrs, TcpConfigBuilder, TcpTransport};
+    use std::time::Duration;
+
+    let addrs = free_local_addrs(4).unwrap();
+    let cfg = TcpConfigBuilder::new()
+        .location(A, addrs[0])
+        .location(B, addrs[1])
+        .location(C, addrs[2])
+        .location(D, addrs[3])
+        .flush_delay(Duration::from_micros(200))
+        .build::<Census>()
+        .unwrap();
+    let mut handles = Vec::new();
+    macro_rules! spawn_at {
+        ($loc:ident) => {{
+            let cfg = cfg.clone();
+            handles.push(std::thread::spawn(move || {
+                let endpoint = Endpoint::new(TcpTransport::bind($loc, cfg).unwrap());
+                endpoint.session_with_id(7).epp_and_run(TcpFanOut)
+            }));
+        }};
+    }
+    spawn_at!(A);
+    spawn_at!(B);
+    spawn_at!(C);
+    spawn_at!(D);
+    let results: Vec<u64> = handles.into_iter().map(|h| h.join().expect("participant")).collect();
+    assert_eq!(results, vec![23, 23, 23, 23]);
+    assert_eq!(
+        TCP_BATCH_SERIALIZATIONS.load(Ordering::SeqCst),
+        1,
+        "a batched TCP multicast must serialize once, not once per socket"
     );
 }
 

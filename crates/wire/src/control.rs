@@ -45,6 +45,21 @@ pub const LINK_RESUME: u8 = 4;
 /// Byte length of the fixed data-frame prefix (tag + link sequence).
 pub const DATA_HEADER_LEN: usize = 1 + 8;
 
+/// Bytes a data frame adds around its payload when it travels
+/// `u32`-length-prefixed on a stream: the outer length, the data
+/// header, and the envelope header. A *batch* of data frames is plain
+/// concatenation of such frames — there is no batch-level framing, so
+/// batched senders stay wire-compatible with frame-at-a-time receivers
+/// (and vice versa) in both plain and resilient modes.
+pub const DATA_FRAME_OVERHEAD: usize = 4 + DATA_HEADER_LEN + crate::ENVELOPE_HEADER_LEN;
+
+/// Total wire footprint of one length-prefixed data frame carrying
+/// `envelope` — the unit batched senders account retention watermarks
+/// and flush decisions in.
+pub fn data_frame_wire_len(envelope: &Envelope) -> usize {
+    DATA_FRAME_OVERHEAD + envelope.payload.len()
+}
+
 /// The fixed prefix of a data frame: tag byte plus link sequence
 /// number, for senders that assemble frames in a reused buffer and put
 /// the envelope on the wire without an intermediate allocation.
@@ -220,6 +235,15 @@ mod tests {
         let bytes = frame.encode();
         assert_eq!(&bytes[..DATA_HEADER_LEN], &data_header(0x0102_0304));
         assert_eq!(LinkFrame::decode(&bytes).unwrap(), frame);
+    }
+
+    #[test]
+    fn data_frame_wire_len_matches_the_length_prefixed_encoding() {
+        for payload in [&b""[..], b"x", &[7u8; 4096]] {
+            let envelope = Envelope::new(3, 9, payload.to_vec());
+            let encoded = LinkFrame::Data { link_seq: 5, envelope: envelope.clone() }.encode();
+            assert_eq!(data_frame_wire_len(&envelope), 4 + encoded.len());
+        }
     }
 
     #[test]
